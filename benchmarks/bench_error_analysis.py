@@ -1,0 +1,24 @@
+"""Extension benchmark: per-template-kind error analysis.
+
+Verifies the corpus design end to end: each gold kind fails (or
+succeeds) for exactly its designed reason — direct sentences are judged
+correctly, traps produce wrong-polar output, slang/anaphora are missed,
+neutral and stray mentions stay neutral.
+"""
+
+from conftest import run_once
+
+from repro.eval import error_analysis
+
+
+def test_error_analysis_by_kind(benchmark, scale, seed, report):
+    result = run_once(benchmark, error_analysis, seed=seed, scale=min(scale, 0.15))
+    report(result.render())
+
+    assert result.rate("direct", "correct") >= 0.95
+    assert result.rate("trap", "wrong_polar") >= 0.85
+    assert result.rate("slang", "missed") >= 0.95
+    assert result.rate("anaphora", "missed") >= 0.95
+    assert result.rate("neutral", "neutral_ok") >= 0.99
+    assert result.rate("stray", "neutral_ok") >= 0.95
+    assert result.rate("mixed", "correct") >= 0.6

@@ -1,0 +1,21 @@
+"""Benchmark + reproduction: feature extraction precision (Section 4.1).
+
+Paper: bBNP-L precision 97% (digital cameras) and 100% (music), judged
+by two human subjects whose agreed labels define a hit.
+"""
+
+from conftest import run_once
+
+from repro.eval import feature_precision
+
+
+def test_feature_precision_camera(benchmark, scale, seed, report):
+    result = run_once(benchmark, feature_precision, "digital_camera", seed=seed, scale=scale)
+    report(result.render())
+    assert result.precision >= 0.85
+
+
+def test_feature_precision_music(benchmark, scale, seed, report):
+    result = run_once(benchmark, feature_precision, "music", seed=seed, scale=scale)
+    report(result.render())
+    assert result.precision >= 0.85

@@ -1,0 +1,23 @@
+"""Benchmark + reproduction of Figure 1: the WebFountain platform.
+
+The paper's architecture figure shows multi-source ingestion feeding a
+shared-nothing cluster of miners over a partitioned store.  Absolute
+numbers are meaningless on a simulator; the reproduced *shape* is the
+near-linear scaling regime of per-entity mining as nodes grow.
+"""
+
+from conftest import run_once
+
+from repro.eval import figure1_scaling
+
+
+def test_figure1_platform_scaling(benchmark, scale, seed, report):
+    result = run_once(benchmark, figure1_scaling, seed=seed, scale=scale)
+    report(result.render())
+
+    assert set(result.ingestion_per_source) == {"newsfeed", "bboard", "customer"}
+    speedups = [s for _, _, s in result.scaling]
+    makespans = [m for _, m, _ in result.scaling]
+    assert speedups == sorted(speedups)  # monotone improvement
+    assert makespans == sorted(makespans, reverse=True)
+    assert speedups[-1] > 3.0  # 8 nodes: well into the parallel regime

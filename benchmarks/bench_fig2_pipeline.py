@@ -1,0 +1,22 @@
+"""Benchmark + reproduction of Figure 2: predefined-subject mining.
+
+Covers both halves of the figure: the pipeline (spotter → disambiguator
+→ context → analyzer) timed end to end, and the inset "Digital Camera
+Customer Satisfaction" chart (% positive sentiment per product and
+feature).
+"""
+
+from conftest import run_once
+
+from repro.eval import figure2_satisfaction
+
+
+def test_figure2_customer_satisfaction(benchmark, scale, seed, report):
+    result = run_once(benchmark, figure2_satisfaction, seed=seed, scale=scale)
+    report(result.render())
+
+    assert result.features == ["picture quality", "battery", "flash"]
+    assert len(result.satisfaction) >= 3
+    for by_feature in result.satisfaction.values():
+        for value in by_feature.values():
+            assert 0.0 <= value <= 1.0

@@ -1,0 +1,75 @@
+"""Platform microbenchmarks: throughput of the substrate components.
+
+These are true pytest-benchmark microbenchmarks (multiple rounds) for
+the pieces whose speed limits corpus-scale runs: the analyzer, the
+tokenizer/tagger, the data store, and the inverted index.
+"""
+
+import pytest
+
+from repro.core import SentimentAnalyzer, Subject
+from repro.corpora import DIGITAL_CAMERA, ReviewGenerator
+from repro.nlp import default_tagger, split_sentences, tokenize
+from repro.platform import DataStore, Entity, InvertedIndex
+
+TEXT = (
+    "The camera takes excellent pictures in daylight, but the battery "
+    "life is disappointing and the flash never works indoors."
+)
+
+
+@pytest.fixture(scope="module")
+def review_docs():
+    return [d.text for d in ReviewGenerator(DIGITAL_CAMERA, seed=1).generate_dplus(30)]
+
+
+def test_bench_tokenizer(benchmark):
+    tokens = benchmark(tokenize, TEXT)
+    assert len(tokens) > 15
+
+
+def test_bench_tagger(benchmark):
+    tagger = default_tagger()
+    (sentence,) = split_sentences(TEXT.replace("pictures in daylight, but the", "pictures, and the"))
+
+    result = benchmark(tagger.tag, sentence)
+    assert len(result) == len(sentence)
+
+
+def test_bench_analyzer_sentence(benchmark):
+    analyzer = SentimentAnalyzer()
+    subjects = [Subject("camera"), Subject("battery life"), Subject("flash")]
+
+    judgments = benchmark(analyzer.analyze_text, TEXT, subjects)
+    assert len(judgments) == 3
+
+
+def test_bench_datastore_store_get(benchmark):
+    store = DataStore(num_partitions=8)
+    entity = Entity(entity_id="bench", content=TEXT)
+
+    def op():
+        store.store(entity)
+        return store.get("bench")
+
+    assert benchmark(op) is not None
+
+
+def test_bench_index_build(benchmark, review_docs):
+    def build():
+        index = InvertedIndex()
+        for i, text in enumerate(review_docs):
+            index.add_entity(Entity(entity_id=f"d{i}", content=text))
+        return index
+
+    index = benchmark(build)
+    assert index.document_count == len(review_docs)
+
+
+def test_bench_boolean_query(benchmark, review_docs):
+    index = InvertedIndex()
+    for i, text in enumerate(review_docs):
+        index.add_entity(Entity(entity_id=f"d{i}", content=text))
+
+    hits = benchmark(index.search, '"battery life" OR (flash AND NOT zoom)')
+    assert isinstance(hits, set)

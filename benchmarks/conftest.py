@@ -1,0 +1,41 @@
+"""Shared benchmark configuration.
+
+Every table/figure benchmark runs its experiment once (rounds=1) — the
+experiments are deterministic end-to-end runs, not microbenchmarks — and
+prints the reproduced table to the real stdout so it survives pytest's
+capture.  ``REPRO_BENCH_SCALE`` (default 0.15) scales dataset sizes;
+1.0 reproduces the paper's document counts.
+"""
+
+import os
+import sys
+
+import pytest
+
+DEFAULT_SCALE = 0.15
+
+
+@pytest.fixture(scope="session")
+def scale() -> float:
+    return float(os.environ.get("REPRO_BENCH_SCALE", DEFAULT_SCALE))
+
+
+@pytest.fixture(scope="session")
+def seed() -> int:
+    return int(os.environ.get("REPRO_BENCH_SEED", 2005))
+
+
+def emit(text: str) -> None:
+    """Print to the unbuffered real stdout, bypassing pytest capture."""
+    sys.__stdout__.write("\n" + text + "\n")
+    sys.__stdout__.flush()
+
+
+@pytest.fixture()
+def report():
+    return emit
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment exactly once under the benchmark timer."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

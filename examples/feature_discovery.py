@@ -1,0 +1,42 @@
+#!/usr/bin/env python3
+"""Feature term discovery with the bBNP + likelihood-ratio algorithm.
+
+Run:  python examples/feature_discovery.py
+
+Section 4.1 of the paper: candidate feature terms are definite base noun
+phrases opening a sentence ("The battery lasts ..."), scored by Dunning's
+likelihood-ratio test against an off-topic background collection.
+"""
+
+from repro.core import FeatureExtractionConfig, FeatureExtractor
+from repro.corpora import camera_reviews, music_reviews
+from repro.eval import FeatureJudgePanel, format_table
+from repro.corpora import DIGITAL_CAMERA, MUSIC
+
+
+def discover(name, dataset, vocab):
+    extractor = FeatureExtractor(FeatureExtractionConfig(min_support=3, top_n=20))
+    features = extractor.extract(dataset.dplus_texts(), dataset.dminus_texts())
+    panel = FeatureJudgePanel(vocab)
+    precision = panel.precision([f.term for f in features])
+    rows = [
+        [i + 1, f.term, f"{f.score:.1f}", f.dplus_count, f.dminus_count]
+        for i, f in enumerate(features)
+    ]
+    print(
+        format_table(
+            ["rank", "feature term", "-2 log λ", "C11 (D+)", "C12 (D-)"],
+            rows,
+            title=f"{name}: top feature terms (judged precision {precision:.0%})",
+        )
+    )
+    print()
+
+
+def main() -> None:
+    discover("Digital cameras", camera_reviews(scale=0.1), DIGITAL_CAMERA)
+    discover("Music albums", music_reviews(scale=0.1), MUSIC)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,45 @@
+#!/usr/bin/env python3
+"""Quickstart: target-level sentiment analysis in a few lines.
+
+Run:  python examples/quickstart.py
+
+The paper's key idea: instead of classifying a whole document, assign a
+polarity to *each subject occurrence* via sentence parsing, a sentiment
+lexicon and the predicate pattern database.
+"""
+
+from repro import SentimentAnalyzer, Subject
+
+# Sentences from (or modelled on) the paper's own examples.
+TEXT = """
+I am impressed by the picture quality. This camera takes excellent
+pictures, but the battery life is disappointing. The company offers
+high quality products. Unlike the more recent T series CLIEs, the NR70
+offers superb MP3 playback. The colors are vibrant. The flash fails to
+impress.
+"""
+
+SUBJECTS = [
+    Subject("picture quality"),
+    Subject("camera", synonyms=("cam",)),
+    Subject("battery life"),
+    Subject("company"),
+    Subject("NR70", synonyms=("NR70 series",)),
+    Subject("T series CLIEs"),
+    Subject("colors", synonyms=("color",)),
+    Subject("flash"),
+]
+
+
+def main() -> None:
+    analyzer = SentimentAnalyzer()
+    judgments = analyzer.analyze_text(TEXT, SUBJECTS)
+    print(f"{'subject':<18} {'polarity':<8} explanation")
+    print("-" * 64)
+    for judgment in judgments:
+        subject, polarity = judgment.as_pair()
+        print(f"{subject:<18} {polarity:<8} {judgment.provenance.describe()}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,44 @@
+#!/usr/bin/env python3
+"""Market trend tracking: the paper's reputation-over-time use case.
+
+Run:  python examples/trend_tracking.py
+
+A six-month synthetic news stream is mined document by document; the
+trend tracker buckets the polar judgments by month and reports which
+companies are moving.
+"""
+
+from repro.apps.trends import TrendTracker
+from repro.core import SentimentMiner, Subject
+from repro.corpora.trending import TrendingNewsGenerator, TrendScenario, default_scenario
+from repro.corpora.vocab import PETROLEUM
+
+
+def main() -> None:
+    base = default_scenario()
+    scenario = TrendScenario(
+        declining=base.declining,
+        improving=base.improving,
+        months=6,
+        documents_per_month=25,
+    )
+    stream = TrendingNewsGenerator(seed=42).generate(scenario)
+    print(f"mining {len(stream)} dated news documents "
+          f"({scenario.months} months x {scenario.documents_per_month}/month)\n")
+
+    miner = SentimentMiner(subjects=[Subject(p) for p in PETROLEUM.products])
+    tracker = TrendTracker()
+    for document, date in stream:
+        for judgment in miner.mine_document(document.text, document.doc_id).polar_judgments():
+            tracker.add(judgment, date)
+
+    for subject, direction in tracker.movers():
+        print(f"*** {subject} is {direction} ***")
+    print()
+    print(tracker.series(scenario.declining).render())
+    print()
+    print(tracker.series(scenario.improving).render())
+
+
+if __name__ == "__main__":
+    main()

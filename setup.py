@@ -1,0 +1,22 @@
+"""Setup shim.
+
+The execution environment has no network access and no ``wheel`` package,
+so PEP 517 editable installs (which need ``bdist_wheel``) fail.  This shim
+lets ``pip install -e . --no-use-pep517 --no-build-isolation`` (and plain
+``python setup.py develop``) work offline.  Metadata mirrors pyproject.toml.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Reproduction of 'Sentiment Mining in WebFountain' (Yi & Niblack, "
+        "ICDE 2005)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    entry_points={"console_scripts": ["repro = repro.cli:main"]},
+)

@@ -1,0 +1,12 @@
+"""End-user applications built on the platform (the paper's use case)."""
+
+from .reputation import ReputationManager, ReputationSummary
+from .trends import TrendPoint, TrendSeries, TrendTracker
+
+__all__ = [
+    "ReputationManager",
+    "ReputationSummary",
+    "TrendPoint",
+    "TrendSeries",
+    "TrendTracker",
+]

@@ -1,0 +1,138 @@
+"""Market trend tracking: sentiment time series per subject.
+
+The reputation application in the paper "enables various analyses for
+corporate customers, including ... tracking of market trends."  This
+module buckets sentiment judgments by a document date (taken from entity
+metadata) and reports per-period positive/negative counts, satisfaction,
+and a simple direction verdict.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from ..core.model import Polarity, SentimentJudgment
+from ..eval.reporting import ascii_bar_chart, format_table
+
+
+@dataclass(frozen=True)
+class TrendPoint:
+    """Aggregated sentiment for one subject in one period."""
+
+    period: str
+    positive: int
+    negative: int
+
+    @property
+    def total(self) -> int:
+        return self.positive + self.negative
+
+    @property
+    def satisfaction(self) -> float:
+        if self.total == 0:
+            return 0.0
+        return self.positive / self.total
+
+
+@dataclass
+class TrendSeries:
+    """A subject's sentiment trajectory over ordered periods."""
+
+    subject: str
+    points: list[TrendPoint] = field(default_factory=list)
+
+    @property
+    def direction(self) -> str:
+        """"improving" / "declining" / "flat" over the observed periods.
+
+        Compares mean satisfaction of the first and last halves of the
+        series (periods with no polar mentions are skipped).
+        """
+        observed = [p for p in self.points if p.total > 0]
+        if len(observed) < 2:
+            return "flat"
+        half = len(observed) // 2
+        early = sum(p.satisfaction for p in observed[:half]) / half
+        late = sum(p.satisfaction for p in observed[half:]) / (len(observed) - half)
+        if late - early > 0.05:
+            return "improving"
+        if early - late > 0.05:
+            return "declining"
+        return "flat"
+
+    def render(self) -> str:
+        chart = ascii_bar_chart(
+            [(p.period, round(100 * p.satisfaction, 1)) for p in self.points],
+            title=f"{self.subject}: satisfaction by period ({self.direction})",
+            max_value=100.0,
+        )
+        table = format_table(
+            ["period", "positive", "negative"],
+            [[p.period, p.positive, p.negative] for p in self.points],
+        )
+        return chart + "\n" + table
+
+
+class TrendTracker:
+    """Accumulate judgments with dates; emit per-subject series.
+
+    ``period_of`` controls bucketing; the default truncates ISO dates to
+    the month (``2004-06-15`` → ``2004-06``).
+    """
+
+    def __init__(self, period_length: int = 7):
+        if period_length < 1:
+            raise ValueError("period_length must be positive")
+        self._period_length = period_length
+        self._counts: dict[str, dict[str, list[int]]] = {}
+
+    def period_of(self, date: str) -> str:
+        """Truncate an ISO-ish date string to the period key."""
+        return date[: self._period_length]
+
+    def add(self, judgment: SentimentJudgment, date: str) -> None:
+        """Record one judgment observed on *date* (ignores neutrals)."""
+        if not judgment.polarity.is_polar:
+            return
+        period = self.period_of(date)
+        subject = judgment.subject_name
+        bucket = self._counts.setdefault(subject, {}).setdefault(period, [0, 0])
+        if judgment.polarity is Polarity.POSITIVE:
+            bucket[0] += 1
+        else:
+            bucket[1] += 1
+
+    def add_all(self, judgments: Iterable[tuple[SentimentJudgment, str]]) -> int:
+        count = 0
+        for judgment, date in judgments:
+            before = self._total_for(judgment.subject_name)
+            self.add(judgment, date)
+            count += self._total_for(judgment.subject_name) - before
+        return count
+
+    def _total_for(self, subject: str) -> int:
+        return sum(
+            sum(bucket) for bucket in self._counts.get(subject, {}).values()
+        )
+
+    def subjects(self) -> list[str]:
+        return sorted(self._counts)
+
+    def series(self, subject: str) -> TrendSeries:
+        """The subject's full series, periods in ascending order."""
+        periods = self._counts.get(subject, {})
+        points = [
+            TrendPoint(period=period, positive=pos, negative=neg)
+            for period, (pos, neg) in sorted(periods.items())
+        ]
+        return TrendSeries(subject=subject, points=points)
+
+    def movers(self) -> list[tuple[str, str]]:
+        """Subjects with a non-flat direction, alphabetical."""
+        out = []
+        for subject in self.subjects():
+            direction = self.series(subject).direction
+            if direction != "flat":
+                out.append((subject, direction))
+        return out

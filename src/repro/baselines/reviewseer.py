@@ -1,0 +1,152 @@
+"""A ReviewSeer-like statistical opinion classifier (Dave et al. 2003).
+
+ReviewSeer is "a document level opinion classifier that uses mainly
+statistical techniques"; it "achieved high accuracy on review articles,
+but the performance sharply degrades when applied to sentences with
+subject terms from the general web documents" (paper Section 1.1).
+
+This reproduction implements the method class faithfully: a multinomial
+Naive Bayes classifier over unigram + bigram features, trained on
+document-polarity-labelled reviews, with a log-odds neutrality band so it
+can abstain (the paper's accuracy numbers include neutral cases).  It has
+*no* notion of a sentiment target — which is exactly the failure mode the
+paper demonstrates on multi-subject general-web sentences.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from dataclasses import dataclass
+from typing import Iterable
+
+from ..core.model import Polarity
+from ..nlp.tokenizer import Tokenizer
+
+#: Tokens ignored as features (high-frequency closed-class noise).
+_STOPWORDS = frozenset(
+    "the a an of in on at to for with and or but is are was were be been "
+    "i it this that these those my your his her its our their".split()
+)
+
+
+def extract_features(text: str, tokenizer: Tokenizer | None = None) -> list[str]:
+    """Unigram + bigram features, lowercased, stopword-filtered unigrams."""
+    tokenizer = tokenizer or Tokenizer()
+    words = [t.lower for t in tokenizer.tokenize(text) if any(c.isalnum() for c in t.text)]
+    features = [w for w in words if w not in _STOPWORDS]
+    features.extend(f"{a}_{b}" for a, b in zip(words, words[1:]))
+    return features
+
+
+@dataclass(frozen=True)
+class ClassifierScores:
+    """Per-class log-likelihoods plus the decision margin."""
+
+    log_positive: float
+    log_negative: float
+
+    @property
+    def margin(self) -> float:
+        return self.log_positive - self.log_negative
+
+
+class ReviewSeerClassifier:
+    """Multinomial Naive Bayes with a neutrality band.
+
+    Parameters
+    ----------
+    neutral_margin:
+        Decision band half-width: predictions whose absolute log-odds
+        margin falls below it come out NEUTRAL.  Zero makes the
+        classifier always choose a polar class.
+    smoothing:
+        Laplace smoothing constant.
+    """
+
+    def __init__(self, neutral_margin: float = 1.0, smoothing: float = 1.0):
+        if neutral_margin < 0:
+            raise ValueError("neutral_margin must be non-negative")
+        if smoothing <= 0:
+            raise ValueError("smoothing must be positive")
+        self._neutral_margin = neutral_margin
+        self._smoothing = smoothing
+        self._tokenizer = Tokenizer()
+        self._positive_counts: Counter[str] = Counter()
+        self._negative_counts: Counter[str] = Counter()
+        self._positive_total = 0
+        self._negative_total = 0
+        self._positive_docs = 0
+        self._negative_docs = 0
+        self._vocabulary: set[str] = set()
+
+    # -- training -------------------------------------------------------------------
+
+    def train(self, positive_docs: Iterable[str], negative_docs: Iterable[str]) -> None:
+        """Fit on document-polarity-labelled review texts."""
+        for text in positive_docs:
+            features = extract_features(text, self._tokenizer)
+            self._positive_counts.update(features)
+            self._positive_total += len(features)
+            self._positive_docs += 1
+            self._vocabulary.update(features)
+        for text in negative_docs:
+            features = extract_features(text, self._tokenizer)
+            self._negative_counts.update(features)
+            self._negative_total += len(features)
+            self._negative_docs += 1
+            self._vocabulary.update(features)
+        if not self._positive_docs or not self._negative_docs:
+            raise ValueError("training needs documents of both polarities")
+
+    @property
+    def is_trained(self) -> bool:
+        return bool(self._positive_docs and self._negative_docs)
+
+    @property
+    def vocabulary_size(self) -> int:
+        return len(self._vocabulary)
+
+    # -- scoring ---------------------------------------------------------------------
+
+    def scores(self, text: str) -> ClassifierScores:
+        """Class log-likelihoods for *text* (requires training)."""
+        if not self.is_trained:
+            raise RuntimeError("classifier is not trained")
+        features = extract_features(text, self._tokenizer)
+        vocab = len(self._vocabulary) or 1
+        smoothing = self._smoothing
+        log_positive = math.log(self._positive_docs / (self._positive_docs + self._negative_docs))
+        log_negative = math.log(self._negative_docs / (self._positive_docs + self._negative_docs))
+        for feature in features:
+            if feature not in self._vocabulary:
+                continue  # unseen features carry no signal either way
+            log_positive += math.log(
+                (self._positive_counts[feature] + smoothing)
+                / (self._positive_total + smoothing * vocab)
+            )
+            log_negative += math.log(
+                (self._negative_counts[feature] + smoothing)
+                / (self._negative_total + smoothing * vocab)
+            )
+        return ClassifierScores(log_positive, log_negative)
+
+    def classify(self, text: str) -> Polarity:
+        """Polar decision with the neutrality band."""
+        scores = self.scores(text)
+        if abs(scores.margin) <= self._neutral_margin:
+            return Polarity.NEUTRAL
+        return Polarity.POSITIVE if scores.margin > 0 else Polarity.NEGATIVE
+
+    def classify_document(self, text: str) -> Polarity:
+        """Document-level decision (ReviewSeer's native task): no band."""
+        scores = self.scores(text)
+        if scores.margin == 0:
+            return Polarity.NEUTRAL
+        return Polarity.POSITIVE if scores.margin > 0 else Polarity.NEGATIVE
+
+    def classify_sentence(self, sentence_text: str) -> Polarity:
+        """Sentence-level decision — how the paper applied ReviewSeer to
+        general web documents ("on the individual sentences with a
+        subject word")."""
+        return self.classify(sentence_text)

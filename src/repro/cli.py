@@ -1,0 +1,229 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``analyze``     target-level sentiment analysis of text from the
+                command line or stdin;
+``experiment``  run one of the paper's table/figure reproductions;
+``lexicon``     dump the sentiment lexicon in the paper's file format;
+``patterns``    list the sentiment pattern database;
+``mine``        mine a synthetic domain corpus and print a summary.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import IO
+
+from . import __version__
+from .core import SentimentAnalyzer, Subject, default_lexicon, default_pattern_db
+
+#: Experiment name -> callable(seed, scale) (resolved lazily to keep
+#: ``--help`` fast).
+EXPERIMENTS = (
+    "feature_precision",
+    "table2",
+    "table3",
+    "table4",
+    "table5",
+    "figure1",
+    "figure2",
+    "figure3",
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Sentiment Mining in WebFountain' (ICDE 2005)",
+    )
+    parser.add_argument("--version", action="version", version=f"repro {__version__}")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    analyze = sub.add_parser("analyze", help="target-level sentiment analysis")
+    analyze.add_argument("text", nargs="?", help="text to analyze (default: stdin)")
+    analyze.add_argument(
+        "--subject",
+        "-s",
+        action="append",
+        default=[],
+        required=False,
+        help="subject term to track (repeatable); synonyms with 'name=syn1,syn2'",
+    )
+
+    experiment = sub.add_parser("experiment", help="run a paper experiment")
+    experiment.add_argument("name", choices=EXPERIMENTS)
+    experiment.add_argument("--scale", type=float, default=0.15)
+    experiment.add_argument("--seed", type=int, default=2005)
+
+    full_report = sub.add_parser("report", help="run every experiment, write a markdown report")
+    full_report.add_argument("--scale", type=float, default=0.15)
+    full_report.add_argument("--seed", type=int, default=2005)
+    full_report.add_argument("--out", default=None, help="output file (default: stdout)")
+
+    lexicon = sub.add_parser("lexicon", help="dump the sentiment lexicon")
+    lexicon.add_argument("--pos", choices=["JJ", "NN", "VB", "RB"], default=None)
+
+    sub.add_parser("patterns", help="list the sentiment pattern database")
+
+    mine = sub.add_parser("mine", help="mine a synthetic domain corpus")
+    mine.add_argument(
+        "--domain",
+        choices=["digital_camera", "music", "petroleum", "pharmaceutical"],
+        default="digital_camera",
+    )
+    mine.add_argument("--docs", type=int, default=10)
+    mine.add_argument("--seed", type=int, default=2005)
+    return parser
+
+
+def _parse_subject(spec: str) -> Subject:
+    if "=" in spec:
+        name, synonyms = spec.split("=", 1)
+        return Subject(name, tuple(s for s in synonyms.split(",") if s))
+    return Subject(spec)
+
+
+def cmd_analyze(args: argparse.Namespace, out: IO[str], stdin: IO[str]) -> int:
+    text = args.text if args.text is not None else stdin.read()
+    if not text.strip():
+        print("no input text", file=sys.stderr)
+        return 2
+    subjects = [_parse_subject(s) for s in args.subject]
+    analyzer = SentimentAnalyzer()
+    if not subjects:
+        # No subjects: run mode B over the text.
+        from .core import SentimentMiner
+
+        result = SentimentMiner(analyzer=analyzer).mine_open_document(text)
+        judgments = result.judgments
+    else:
+        judgments = analyzer.analyze_text(text, subjects)
+    if not judgments:
+        out.write("(no subject mentions found)\n")
+        return 0
+    width = max(len(j.subject_name) for j in judgments)
+    for judgment in judgments:
+        subject, polarity = judgment.as_pair()
+        out.write(f"{subject:<{width}}  {polarity}  {judgment.provenance.describe()}\n")
+    return 0
+
+
+def cmd_experiment(args: argparse.Namespace, out: IO[str]) -> int:
+    from .eval import experiments
+
+    runners = {
+        "feature_precision": lambda: experiments.feature_precision(seed=args.seed, scale=args.scale),
+        "table2": lambda: experiments.table2(seed=args.seed, scale=args.scale),
+        "table3": lambda: experiments.table3(seed=args.seed, scale=args.scale),
+        "table4": lambda: experiments.table4(seed=args.seed, scale=args.scale),
+        "table5": lambda: experiments.table5(seed=args.seed, scale=args.scale),
+        "figure1": lambda: experiments.figure1_scaling(seed=args.seed, scale=args.scale),
+        "figure2": lambda: experiments.figure2_satisfaction(seed=args.seed, scale=args.scale),
+        "figure3": lambda: experiments.figure3_open_subjects(seed=args.seed, scale=args.scale),
+    }
+    result = runners[args.name]()
+    out.write(result.render() + "\n")
+    return 0
+
+
+def cmd_report(args: argparse.Namespace, out: IO[str]) -> int:
+    """Run the full experiment suite and emit a markdown report."""
+    from .eval import experiments
+
+    sections = [
+        ("Feature extraction precision (camera)", lambda: experiments.feature_precision("digital_camera", seed=args.seed, scale=args.scale)),
+        ("Feature extraction precision (music)", lambda: experiments.feature_precision("music", seed=args.seed, scale=args.scale)),
+        ("Table 2", lambda: experiments.table2(seed=args.seed, scale=args.scale)),
+        ("Table 3", lambda: experiments.table3(seed=args.seed, scale=args.scale)),
+        ("Table 4", lambda: experiments.table4(seed=args.seed, scale=args.scale)),
+        ("Table 5", lambda: experiments.table5(seed=args.seed, scale=args.scale)),
+        ("Figure 1", lambda: experiments.figure1_scaling(seed=args.seed, scale=args.scale)),
+        ("Figure 2", lambda: experiments.figure2_satisfaction(seed=args.seed, scale=args.scale)),
+        ("Figure 3", lambda: experiments.figure3_open_subjects(seed=args.seed, scale=args.scale)),
+    ]
+    lines = [
+        "# Sentiment Mining in WebFountain — experiment report",
+        "",
+        f"seed {args.seed}, scale {args.scale}",
+        "",
+    ]
+    for title, runner in sections:
+        lines.append(f"## {title}")
+        lines.append("")
+        lines.append("```")
+        lines.append(runner().render())
+        lines.append("```")
+        lines.append("")
+    text = "\n".join(lines)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as stream:
+            stream.write(text)
+        out.write(f"wrote {args.out}\n")
+    else:
+        out.write(text)
+    return 0
+
+
+def cmd_lexicon(args: argparse.Namespace, out: IO[str]) -> int:
+    for entry in default_lexicon():
+        if args.pos is None or entry.pos == args.pos:
+            out.write(entry.format() + "\n")
+    return 0
+
+
+def cmd_patterns(out: IO[str]) -> int:
+    for pattern in default_pattern_db():
+        out.write(pattern.format() + "\n")
+    return 0
+
+
+def cmd_mine(args: argparse.Namespace, out: IO[str]) -> int:
+    from .core import SentimentMiner
+    from .corpora import DOMAINS, ReviewGenerator
+    from .eval.reporting import format_table
+
+    vocab = DOMAINS[args.domain]
+    documents = ReviewGenerator(vocab, seed=args.seed).generate_dplus(args.docs)
+    subjects = [Subject(p) for p in vocab.products] + [Subject(f) for f in vocab.features]
+    miner = SentimentMiner(subjects=subjects)
+    result = miner.mine_corpus((d.doc_id, d.text) for d in documents)
+    by_subject: dict[str, list[int]] = {}
+    for judgment in result.polar_judgments():
+        bucket = by_subject.setdefault(judgment.subject_name, [0, 0])
+        bucket[0 if judgment.polarity.value == "+" else 1] += 1
+    rows = [
+        [name, pos, neg]
+        for name, (pos, neg) in sorted(by_subject.items(), key=lambda kv: -sum(kv[1]))
+    ][:15]
+    out.write(
+        format_table(
+            ["subject", "positive", "negative"],
+            rows,
+            title=f"mined {result.stats.documents} documents, "
+            f"{result.stats.judgments_polar} polar judgments",
+        )
+        + "\n"
+    )
+    return 0
+
+
+def main(argv: list[str] | None = None, out: IO[str] | None = None, stdin: IO[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    out = out or sys.stdout
+    stdin = stdin or sys.stdin
+    args = build_parser().parse_args(argv)
+    if args.command == "analyze":
+        return cmd_analyze(args, out, stdin)
+    if args.command == "experiment":
+        return cmd_experiment(args, out)
+    if args.command == "report":
+        return cmd_report(args, out)
+    if args.command == "lexicon":
+        return cmd_lexicon(args, out)
+    if args.command == "patterns":
+        return cmd_patterns(out)
+    if args.command == "mine":
+        return cmd_mine(args, out)
+    raise AssertionError(f"unhandled command {args.command!r}")

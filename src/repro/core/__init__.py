@@ -1,0 +1,85 @@
+"""The paper's primary contribution: the target-level sentiment miner.
+
+Public API highlights:
+
+* :class:`~repro.core.miner.SentimentMiner` — end-to-end mining in both
+  operational modes (predefined subjects / open subjects);
+* :class:`~repro.core.analyzer.SentimentAnalyzer` — sentence-level
+  sentiment extraction with target association;
+* :class:`~repro.core.features.FeatureExtractor` — bBNP + likelihood-ratio
+  feature term extraction;
+* :class:`~repro.core.lexicon.SentimentLexicon` and
+  :class:`~repro.core.patterns.SentimentPatternDB` — the two linguistic
+  resources of Section 4.2.
+"""
+
+from .analyzer import ClauseAssignment, SentimentAnalyzer
+from .context import ContextBuilder, ContextWindowRule, SentimentContext
+from .disambiguation import (
+    DisambiguationConfig,
+    DisambiguationResult,
+    Disambiguator,
+    TopicTermSet,
+    idf_from_documents,
+)
+from .features import (
+    FeatureExtractionConfig,
+    FeatureExtractor,
+    likelihood_ratio,
+)
+from .lexicon import LexiconEntry, SentimentLexicon, default_lexicon
+from .miner import MiningResult, MiningStats, SentimentMiner
+from .model import (
+    FeatureTerm,
+    Polarity,
+    Provenance,
+    SentimentJudgment,
+    Spot,
+    Subject,
+)
+from .patterns import (
+    ComponentRef,
+    SentimentPattern,
+    SentimentPatternDB,
+    default_pattern_db,
+    parse_pattern_line,
+)
+from .phrase import PhraseScorer, PhraseSentiment
+from .spotting import NamedEntitySpotter, SubjectSpotter
+
+__all__ = [
+    "ClauseAssignment",
+    "ComponentRef",
+    "ContextBuilder",
+    "ContextWindowRule",
+    "DisambiguationConfig",
+    "DisambiguationResult",
+    "Disambiguator",
+    "FeatureExtractionConfig",
+    "FeatureExtractor",
+    "FeatureTerm",
+    "LexiconEntry",
+    "MiningResult",
+    "MiningStats",
+    "NamedEntitySpotter",
+    "PhraseScorer",
+    "PhraseSentiment",
+    "Polarity",
+    "Provenance",
+    "SentimentAnalyzer",
+    "SentimentContext",
+    "SentimentJudgment",
+    "SentimentLexicon",
+    "SentimentMiner",
+    "SentimentPattern",
+    "SentimentPatternDB",
+    "Spot",
+    "Subject",
+    "SubjectSpotter",
+    "TopicTermSet",
+    "default_lexicon",
+    "default_pattern_db",
+    "idf_from_documents",
+    "likelihood_ratio",
+    "parse_pattern_line",
+]

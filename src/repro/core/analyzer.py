@@ -1,0 +1,362 @@
+"""The sentiment analyzer: pattern matching and relationship analysis.
+
+Implements Section 4.2 of the paper.  For each parsed clause:
+
+1. identify the predicate and look its lemma up in the sentiment pattern
+   database;
+2. take the *best matching* pattern — the first (highest-priority) rule
+   whose target component is present in the clause and, for transfer
+   rules, whose source component is present and sentiment-bearing;
+3. compute the polarity: the rule's fixed polarity, or the source
+   phrase's polarity (optionally inverted by ``~``);
+4. reverse the polarity when the verb phrase is negated ("if an adverb
+   with negative meaning appears in a verb phrase, the sentiment miner
+   reverses the sentiment of the sentence assigned by the corresponding
+   sentiment pattern");
+5. assign the polarity to the target phrase, and through it to any
+   subject spot that overlaps the target.
+
+Spots that receive no assignment are judged NEUTRAL — the paper includes
+neutral cases in its accuracy computation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..lexicons.negation import NEGATION_VERBS
+from ..nlp import penn
+from ..nlp.parser import Clause, SentenceParse, ShallowParser
+from ..nlp.postagger import PosTagger
+from ..nlp.sentences import SentenceSplitter
+from ..nlp.tokenizer import Tokenizer
+from ..nlp.tokens import Chunk, Sentence, Span, TaggedSentence
+from .lexicon import SentimentLexicon, default_lexicon
+from .model import Polarity, Provenance, SentimentJudgment, Spot, Subject
+from .patterns import ComponentRef, SentimentPattern, SentimentPatternDB, default_pattern_db
+from .phrase import PhraseScorer
+from .spotting import SubjectSpotter
+
+
+@dataclass(frozen=True)
+class ClauseAssignment:
+    """A polarity assigned to a set of character spans in one clause."""
+
+    spans: tuple[Span, ...]
+    polarity: Polarity
+    provenance: Provenance
+
+    def covers(self, span: Span) -> bool:
+        """True when *span* overlaps any of the assignment's spans."""
+        return any(s.overlaps(span) for s in self.spans)
+
+
+class SentimentAnalyzer:
+    """Sentence-level sentiment extraction with target association."""
+
+    def __init__(
+        self,
+        lexicon: SentimentLexicon | None = None,
+        pattern_db: SentimentPatternDB | None = None,
+        weighted_phrases: bool = False,
+        use_patterns: bool = True,
+        handle_negation: bool = True,
+    ):
+        self._lexicon = lexicon if lexicon is not None else default_lexicon()
+        self._patterns = pattern_db if pattern_db is not None else default_pattern_db()
+        # The tagger and lemmatizer must know every pattern predicate as a
+        # verb, or inflected forms like "fixes" fall through to noun tags.
+        predicates = set(self._patterns.predicates)
+        tagger_lexicon = self._lexicon.tagger_entries()
+        for predicate in predicates:
+            tagger_lexicon.setdefault(predicate, "VB")
+        self._tagger = PosTagger(extra_lexicon=tagger_lexicon)
+        from ..nlp.lemmatizer import Lemmatizer
+
+        self._parser = ShallowParser(lemmatizer=Lemmatizer(extra_verb_bases=predicates))
+        self._scorer = PhraseScorer(self._lexicon, weighted=weighted_phrases)
+        self._tokenizer = Tokenizer()
+        self._splitter = SentenceSplitter(self._tokenizer)
+        # Ablation switches (DESIGN.md "ablations"): pattern DB off falls
+        # back to pure phrase polarity around the spot; negation off skips
+        # step 4.
+        self._use_patterns = use_patterns
+        self._handle_negation = handle_negation
+
+    # -- pipeline entry points -------------------------------------------------
+
+    @property
+    def lexicon(self) -> SentimentLexicon:
+        return self._lexicon
+
+    @property
+    def tagger(self) -> PosTagger:
+        return self._tagger
+
+    def tag(self, sentence: Sentence) -> TaggedSentence:
+        """POS-tag with the lexicon-extended tagger."""
+        return self._tagger.tag(sentence)
+
+    def analyze_sentence(self, tagged: TaggedSentence) -> list[ClauseAssignment]:
+        """All polarity assignments the sentence's clauses yield."""
+        if tagged.tokens[-1].text == "?":
+            # Questions ask about sentiment; they do not assert it.
+            return []
+        parse = self._parser.parse(tagged)
+        assignments: list[ClauseAssignment] = []
+        for clause in parse.clauses:
+            if clause.hypothetical:
+                # "If the zoom were better ..." asserts nothing.
+                continue
+            assignment = self._analyze_clause(clause)
+            if assignment is not None:
+                assignments.append(assignment)
+                contrast = self._contrast_assignment(clause, assignment)
+                if contrast is not None:
+                    assignments.append(contrast)
+        if not self._use_patterns:
+            assignments = self._lexicon_only_assignments(tagged)
+        return assignments
+
+    def judge_spots(self, tagged: TaggedSentence, spots: list[Spot]) -> list[SentimentJudgment]:
+        """One judgment per spot; NEUTRAL when nothing matched it."""
+        assignments = self.analyze_sentence(tagged)
+        sentence_span = tagged.span
+        judgments: list[SentimentJudgment] = []
+        for spot in spots:
+            matched = None
+            for assignment in assignments:
+                if assignment.covers(spot.span):
+                    matched = assignment
+                    break
+            if matched is None:
+                judgments.append(
+                    SentimentJudgment(spot=spot, polarity=Polarity.NEUTRAL, sentence_span=sentence_span)
+                )
+            else:
+                judgments.append(
+                    SentimentJudgment(
+                        spot=spot,
+                        polarity=matched.polarity,
+                        provenance=matched.provenance,
+                        sentence_span=sentence_span,
+                    )
+                )
+        return judgments
+
+    def analyze_text(self, text: str, subjects: list[Subject], document_id: str = "") -> list[SentimentJudgment]:
+        """Full pipeline on raw text: tokenize, spot, tag, judge."""
+        sentences = self._splitter.split_text(text)
+        spotter = SubjectSpotter(subjects)
+        judgments: list[SentimentJudgment] = []
+        for sentence in sentences:
+            spots = spotter.spot_sentence(sentence, document_id)
+            if not spots:
+                continue
+            tagged = self.tag(sentence)
+            judgments.extend(self.judge_spots(tagged, spots))
+        return judgments
+
+    # -- clause analysis ---------------------------------------------------------
+
+    def _analyze_clause(self, clause: Clause) -> ClauseAssignment | None:
+        # Try the head predicate first, then earlier verbs in the group:
+        # "fails to meet our expectations" has no pattern for "meet" but
+        # "fail" carries the sentiment itself.
+        for lemma, verb_index in self._candidate_predicates(clause):
+            assignment = self._match_patterns(clause, lemma, verb_index)
+            if assignment is not None:
+                return assignment
+        return None
+
+    def _candidate_predicates(self, clause: Clause) -> list[tuple[str, int]]:
+        from ..nlp.lemmatizer import lemmatize
+
+        verbs = [t for t in clause.predicate.tokens if t.tag in penn.VERB_TAGS]
+        candidates: list[tuple[str, int]] = [(clause.predicate_lemma, len(verbs) - 1)]
+        for index in range(len(verbs) - 2, -1, -1):
+            lemma = lemmatize(verbs[index].text, verbs[index].tag)
+            if lemma not in {c for c, _ in candidates}:
+                candidates.append((lemma, index))
+        return candidates
+
+    def _match_patterns(
+        self, clause: Clause, lemma: str, verb_index: int
+    ) -> ClauseAssignment | None:
+        negated = clause.negated or self._negation_verb_before(clause, verb_index)
+        for pattern in self._patterns.for_predicate(lemma):
+            target_chunk = self._resolve(clause, pattern.target)
+            if target_chunk is None:
+                continue
+            polarity, words, source_role = self._pattern_polarity(clause, pattern)
+            if polarity is None or not polarity.is_polar:
+                continue
+            if negated and self._handle_negation:
+                polarity = polarity.invert()
+            provenance = Provenance(
+                predicate=lemma,
+                pattern=pattern.format(),
+                source_role=source_role,
+                target_role=pattern.target.role,
+                sentiment_words=words,
+                negated=negated and self._handle_negation,
+                holder=self._opinion_holder(clause, pattern),
+            )
+            spans = self._target_spans(clause, pattern.target, target_chunk)
+            return ClauseAssignment(spans=spans, polarity=polarity, provenance=provenance)
+        return None
+
+    @staticmethod
+    def _opinion_holder(clause: Clause, pattern: SentimentPattern) -> str:
+        """The opinion source: the writer, or a named third party.
+
+        When the sentiment lands on the object ("Analysts criticized X"),
+        the grammatical subject holds the opinion — unless it is a
+        first-person pronoun, which still means the writer.
+        """
+        if pattern.target.role != "OP" or clause.subject is None:
+            return "writer"
+        subject_text = clause.subject.text
+        if subject_text.lower() in {"i", "we", "me", "us"}:
+            return "writer"
+        return subject_text
+
+    def _pattern_polarity(
+        self, clause: Clause, pattern: SentimentPattern
+    ) -> tuple[Polarity | None, tuple[str, ...], str]:
+        if pattern.polarity is not None:
+            return pattern.polarity, (clause.predicate_lemma,), ""
+        source_chunk = self._resolve(clause, pattern.source)
+        if source_chunk is None:
+            return None, (), pattern.source.role
+        sentiment = self._scorer.score_chunk(source_chunk)
+        if not sentiment.is_polar:
+            return None, (), pattern.source.role
+        polarity = sentiment.polarity
+        if pattern.source.invert:
+            polarity = polarity.invert()
+        return polarity, sentiment.sentiment_words, pattern.source.role
+
+    @staticmethod
+    def _resolve(clause: Clause, ref: ComponentRef) -> Chunk | None:
+        """The clause chunk a component reference points at, if present."""
+        if ref.role == "SP":
+            return clause.subject
+        if ref.role == "OP":
+            return clause.object
+        if ref.role == "CP":
+            return clause.complement
+        pp = clause.prep_phrase(*ref.prepositions)
+        return pp.noun_phrase if pp is not None else None
+
+    def _target_spans(
+        self, clause: Clause, ref: ComponentRef, target_chunk: Chunk
+    ) -> tuple[Span, ...]:
+        """Character spans the assignment covers.
+
+        A subject target also covers its pre-verbal PP attachments, so a
+        spot inside "the support *in the NR70 series*" receives the
+        sentiment assigned to the subject.
+        """
+        spans = [target_chunk.span]
+        if ref.role == "SP":
+            for pp in clause.prep_phrases:
+                if (
+                    pp.noun_phrase.span.start >= target_chunk.span.end
+                    and pp.noun_phrase.span.end <= clause.predicate.span.start
+                ):
+                    spans.append(pp.noun_phrase.span)
+        return tuple(spans)
+
+    @staticmethod
+    def _negation_verb_before(clause: Clause, verb_index: int) -> bool:
+        """Negation verb earlier in the group than the matched verb.
+
+        "fails to impress" flips the polarity that "impress" assigns, but
+        when "fail" itself is the matched predicate there is nothing to
+        flip.
+        """
+        verbs = [t for t in clause.predicate.tokens if t.tag in penn.VERB_TAGS]
+        if verb_index <= 0:
+            return False
+        from ..nlp.lemmatizer import lemmatize
+
+        return any(
+            lemmatize(v.text, v.tag) in NEGATION_VERBS for v in verbs[:verb_index]
+        )
+
+    def _contrast_assignment(
+        self, clause: Clause, assignment: ClauseAssignment
+    ) -> ClauseAssignment | None:
+        """Contrastive phrases receive the opposite polarity.
+
+        "Unlike X, Y is great" and comparatives "Y is better than X" both
+        imply X sits on the other side of the judgment.
+        """
+        pp = clause.prep_phrase("unlike", "than")
+        if pp is None:
+            return None
+        provenance = Provenance(
+            predicate=clause.predicate_lemma,
+            pattern=f"contrast({pp.preposition})",
+            target_role="PP",
+            sentiment_words=assignment.provenance.sentiment_words,
+            negated=assignment.provenance.negated,
+        )
+        return ClauseAssignment(
+            spans=(pp.noun_phrase.span,),
+            polarity=assignment.polarity.invert(),
+            provenance=provenance,
+        )
+
+    def pronoun_assignment(self, tagged: TaggedSentence) -> ClauseAssignment | None:
+        """An assignment whose target is a bare subject pronoun, if any.
+
+        Supports the context-window rule: "It is superb." carries
+        sentiment that belongs to whatever the previous sentence named.
+        """
+        pronouns = {"it", "this", "they", "these"}
+        by_start = {t.start: t for t in tagged.tokens}
+        for assignment in self.analyze_sentence(tagged):
+            for span in assignment.spans:
+                token = by_start.get(span.start)
+                if (
+                    token is not None
+                    and token.end == span.end
+                    and token.lower in pronouns
+                ):
+                    return assignment
+        return None
+
+    # -- ablation fallback ---------------------------------------------------------
+
+    def _lexicon_only_assignments(self, tagged: TaggedSentence) -> list[ClauseAssignment]:
+        """Pattern-free mode: whole-sentence phrase polarity (ablation)."""
+        sentiment = self._scorer.score_tokens(tagged.tokens)
+        if not sentiment.is_polar:
+            return []
+        provenance = Provenance(
+            pattern="lexicon-only",
+            sentiment_words=sentiment.sentiment_words,
+            negated=sentiment.negated,
+        )
+        return [
+            ClauseAssignment(
+                spans=(tagged.span,), polarity=sentiment.polarity, provenance=provenance
+            )
+        ]
+
+    # -- sentiment-bearing filter (mode B) --------------------------------------
+
+    def bears_sentiment(self, tagged: TaggedSentence) -> bool:
+        """Quick test: does the sentence contain any sentiment term?
+
+        Mode B "spots sentiment terms and analyzes each sentiment-bearing
+        sentence"; sentences that fail this test are skipped wholesale.
+        """
+        for token in tagged.tokens:
+            if self._lexicon.polarity(token.text, token.tag).is_polar:
+                return True
+            if self._patterns.for_predicate(token.lower):
+                pass  # predicate presence alone does not bear sentiment
+        return False

@@ -1,0 +1,104 @@
+"""Sentiment context construction.
+
+"A small sentiment context for each subject term spot is constructed and
+the sentiment miner runs on the context.  A sentiment context generally
+consists of the full sentence that contains a subject spot and possibly
+some surrounding text of the sentence determined by the sentiment context
+window formation rule.  The subject spot is marked by an XML tag and
+passed to the sentiment analyzer." (paper Section 3)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..nlp.tokens import Sentence, Span
+from .model import Spot
+
+
+@dataclass(frozen=True)
+class ContextWindowRule:
+    """How many neighbouring sentences join the spot's own sentence."""
+
+    sentences_before: int = 0
+    sentences_after: int = 0
+
+    def __post_init__(self) -> None:
+        if self.sentences_before < 0 or self.sentences_after < 0:
+            raise ValueError("window sizes must be non-negative")
+
+
+@dataclass(frozen=True)
+class SentimentContext:
+    """The text window around one spot, ready for the analyzer."""
+
+    spot: Spot
+    sentences: tuple[Sentence, ...]
+    span: Span
+    document_id: str = ""
+
+    @property
+    def focus_sentence(self) -> Sentence:
+        """The sentence containing the spot itself."""
+        for sentence in self.sentences:
+            if sentence.start <= self.spot.start < sentence.end:
+                return sentence
+        # The spot is guaranteed inside the window by construction.
+        return self.sentences[0]
+
+    def text_of(self, document: str) -> str:
+        return self.span.text_of(document)
+
+    def marked_text(self, document: str, tag: str = "subject") -> str:
+        """Context text with the spot wrapped in an XML tag.
+
+        Reproduces the paper's hand-off format: the subject spot is marked
+        so the analyzer (or a human inspecting the pipeline) can see which
+        occurrence is under analysis.
+        """
+        text = self.text_of(document)
+        rel_start = self.spot.start - self.span.start
+        rel_end = self.spot.end - self.span.start
+        return (
+            text[:rel_start]
+            + f'<{tag} id="{self.spot.subject.canonical}">'
+            + text[rel_start:rel_end]
+            + f"</{tag}>"
+            + text[rel_end:]
+        )
+
+
+class ContextBuilder:
+    """Build sentiment contexts from sentence-segmented documents."""
+
+    def __init__(self, rule: ContextWindowRule | None = None):
+        self._rule = rule or ContextWindowRule()
+
+    @property
+    def rule(self) -> ContextWindowRule:
+        return self._rule
+
+    def build(self, sentences: list[Sentence], spot: Spot) -> SentimentContext:
+        """The context window for *spot* within its document's sentences."""
+        if not sentences:
+            raise ValueError("cannot build a context from zero sentences")
+        focus = self._focus_index(sentences, spot)
+        lo = max(0, focus - self._rule.sentences_before)
+        hi = min(len(sentences), focus + self._rule.sentences_after + 1)
+        window = tuple(sentences[lo:hi])
+        span = Span(window[0].start, window[-1].end)
+        return SentimentContext(
+            spot=spot,
+            sentences=window,
+            span=span,
+            document_id=spot.document_id,
+        )
+
+    @staticmethod
+    def _focus_index(sentences: list[Sentence], spot: Spot) -> int:
+        for i, sentence in enumerate(sentences):
+            if sentence.start <= spot.start < sentence.end:
+                return i
+        raise ValueError(
+            f"spot at [{spot.start}, {spot.end}) lies outside every sentence"
+        )

@@ -1,0 +1,221 @@
+"""The sentiment lexicon: term polarity definitions.
+
+Entries follow the paper's format::
+
+    <lexical_entry> <POS> <sent_category>
+
+e.g. ``"excellent" JJ +``.  ``lexical_entry`` may be a multi-word term;
+``POS`` is the *required* coarse POS tag of the entry (``JJ``, ``NN``,
+``VB``, ``RB``); ``sent_category`` is ``+`` or ``-``.
+
+The default lexicon is assembled from :mod:`repro.lexicons` plus
+participial adjectives derived from the sentiment verbs ("disappointing",
+"disappointed"), giving roughly the paper's scale ("about 3000 sentiment
+term entries including about 2500 adjectives").
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from ..lexicons import adjectives, adverbs, nouns, verbs
+from ..nlp import penn
+from ..nlp.lemmatizer import Lemmatizer
+from .model import Polarity
+
+#: Coarse POS classes the lexicon distinguishes.
+_COARSE = {"JJ": "JJ", "NN": "NN", "VB": "VB", "RB": "RB"}
+
+
+def coarse_pos(tag: str) -> str | None:
+    """Map a Penn tag to the lexicon's coarse POS class, if sentiment-bearing."""
+    if tag in penn.ADJECTIVE_TAGS or tag in {"VBN", "VBG"}:
+        # Participles in modifier position act as adjectives; the lexicon
+        # lists "disappointing"/"disappointed" as JJ entries.
+        return "JJ"
+    if tag in penn.NOUN_TAGS:
+        return "NN"
+    if tag in penn.VERB_TAGS:
+        return "VB"
+    if tag in penn.ADVERB_TAGS:
+        return "RB"
+    return None
+
+
+@dataclass(frozen=True)
+class LexiconEntry:
+    """One sentiment lexicon entry."""
+
+    term: str
+    pos: str
+    polarity: Polarity
+
+    def format(self) -> str:
+        """Serialize in the paper's file format."""
+        return f'"{self.term}" {self.pos} {self.polarity.value}'
+
+
+class SentimentLexicon:
+    """Queryable sentiment term dictionary.
+
+    Lookup is by (term, coarse POS).  Verb and noun lookups fall back to
+    the lemma so "impresses"/"defects" hit "impress"/"defect".
+    """
+
+    def __init__(self, entries: Iterable[LexiconEntry] = ()):
+        self._entries: dict[tuple[str, str], Polarity] = {}
+        self._lemmatizer = Lemmatizer()
+        for entry in entries:
+            self.add(entry)
+
+    # -- construction ---------------------------------------------------------
+
+    def add(self, entry: LexiconEntry) -> None:
+        """Insert or overwrite one entry."""
+        if entry.pos not in _COARSE:
+            raise ValueError(f"lexicon POS must be one of {sorted(_COARSE)}, got {entry.pos!r}")
+        self._entries[(entry.term.lower(), entry.pos)] = entry.polarity
+
+    def add_term(self, term: str, pos: str, polarity: Polarity | str) -> None:
+        """Convenience: add from raw fields; polarity may be ``+``/``-``."""
+        if isinstance(polarity, str):
+            polarity = Polarity.from_symbol(polarity)
+        self.add(LexiconEntry(term, pos, polarity))
+
+    def merge(self, other: "SentimentLexicon") -> None:
+        """Add all entries of *other*, overwriting on conflict."""
+        self._entries.update(other._entries)
+
+    # -- queries --------------------------------------------------------------
+
+    def polarity(self, word: str, tag: str) -> Polarity:
+        """Polarity of *word* tagged *tag*; NEUTRAL when not in the lexicon."""
+        pos = coarse_pos(tag)
+        if pos is None:
+            return Polarity.NEUTRAL
+        lower = word.lower()
+        hit = self._entries.get((lower, pos))
+        if hit is not None:
+            return hit
+        if pos in {"NN", "VB"}:
+            lemma = self._lemmatizer.lemmatize(lower, tag)
+            if lemma != lower:
+                hit = self._entries.get((lemma, pos))
+                if hit is not None:
+                    return hit
+        if pos == "JJ" and tag in {"VBN", "VBG"}:
+            # Participle without its own entry: fall back to the verb.
+            lemma = self._lemmatizer.lemmatize(lower, tag)
+            hit = self._entries.get((lemma, "VB"))
+            if hit is not None:
+                return hit
+        if pos == "JJ" and tag in {"JJR", "JJS"}:
+            # Graded forms fall back to the base adjective ("better" →
+            # "good", "sharpest" → "sharp").
+            lemma = self._lemmatizer.lemmatize(lower, tag)
+            hit = self._entries.get((lemma, "JJ"))
+            if hit is not None:
+                return hit
+        if pos == "RB" and tag in {"RBR", "RBS"}:
+            lemma = self._lemmatizer.lemmatize(lower, tag)
+            hit = self._entries.get((lemma, "RB"))
+            if hit is not None:
+                return hit
+        return Polarity.NEUTRAL
+
+    def contains(self, term: str, pos: str) -> bool:
+        """True when (term, pos) is an exact entry."""
+        return (term.lower(), pos) in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[LexiconEntry]:
+        for (term, pos), polarity in sorted(self._entries.items()):
+            yield LexiconEntry(term, pos, polarity)
+
+    def counts_by_pos(self) -> dict[str, int]:
+        """Entry counts per coarse POS (for reporting)."""
+        out: dict[str, int] = {}
+        for (_, pos) in self._entries:
+            out[pos] = out.get(pos, 0) + 1
+        return out
+
+    # -- tagger support ---------------------------------------------------------
+
+    def tagger_entries(self) -> dict[str, str]:
+        """Single-word ``word -> Penn tag`` map to extend the POS tagger.
+
+        Sentiment adjectives/adverbs/nouns are exactly the words the
+        default tagger lexicon is most likely to miss.
+        """
+        out: dict[str, str] = {}
+        for (term, pos) in self._entries:
+            if " " in term or "-" in term:
+                continue
+            out.setdefault(term, pos)
+        return out
+
+    # -- the paper's file format ---------------------------------------------
+
+    def dump(self, stream: io.TextIOBase) -> None:
+        """Write all entries in the paper's ``"term" POS ±`` format."""
+        for entry in self:
+            stream.write(entry.format() + "\n")
+
+    @classmethod
+    def load(cls, stream: io.TextIOBase) -> "SentimentLexicon":
+        """Parse the paper's file format (inverse of :meth:`dump`)."""
+        lexicon = cls()
+        for lineno, raw in enumerate(stream, start=1):
+            line = raw.strip()
+            if not line or line.startswith("#"):
+                continue
+            try:
+                term, rest = line.rsplit('" ', 1)
+                term = term.lstrip('"')
+                pos, symbol = rest.split()
+            except ValueError as exc:
+                raise ValueError(f"malformed lexicon line {lineno}: {line!r}") from exc
+            lexicon.add_term(term, pos, symbol)
+        return lexicon
+
+
+# -- default lexicon assembly ---------------------------------------------------
+
+
+def _participle(verb: str, suffix: str) -> str:
+    """Regular participle orthography: love→loved/loving, worry→worried."""
+    if suffix == "ed":
+        if verb.endswith("e"):
+            return verb + "d"
+        if verb.endswith("y") and len(verb) > 2 and verb[-2] not in "aeiou":
+            return verb[:-1] + "ied"
+        return verb + "ed"
+    # "ing"
+    if verb.endswith("e") and not verb.endswith(("ee", "ye")):
+        return verb[:-1] + "ing"
+    return verb + "ing"
+
+
+def default_lexicon() -> SentimentLexicon:
+    """The built-in lexicon: curated lists + derived participial adjectives."""
+    lexicon = SentimentLexicon()
+    for term, pos, symbol in adjectives.entries():
+        lexicon.add_term(term, pos, symbol)
+    for term, pos, symbol in nouns.entries():
+        lexicon.add_term(term, pos, symbol)
+    for term, pos, symbol in verbs.entries():
+        lexicon.add_term(term, pos, symbol)
+    for term, pos, symbol in adverbs.entries():
+        lexicon.add_term(term, pos, symbol)
+    # Participial adjectives derived from sentiment verbs.
+    for verb_list, symbol in ((verbs.POSITIVE_VERBS, "+"), (verbs.NEGATIVE_VERBS, "-")):
+        for verb in verb_list:
+            for suffix in ("ed", "ing"):
+                form = _participle(verb, suffix)
+                if not lexicon.contains(form, "JJ"):
+                    lexicon.add_term(form, "JJ", symbol)
+    return lexicon

@@ -1,0 +1,227 @@
+"""The sentiment miner: end-to-end orchestration of both operational modes.
+
+Mode A — *predefined subjects* (paper Fig. 2): spotter → disambiguator →
+sentiment-context formation → sentiment analyzer.
+
+Mode B — *no predefined subjects* (paper Fig. 3): named-entity spotter →
+sentiment-bearing sentence filter → analyzer; results feed the sentiment
+index for query-time lookups.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from ..nlp.sentences import SentenceSplitter
+from ..nlp.tokenizer import Tokenizer
+from .analyzer import SentimentAnalyzer
+from .context import ContextBuilder, ContextWindowRule
+from .disambiguation import Disambiguator
+from .model import Polarity, SentimentJudgment, Spot, Subject
+from .spotting import NamedEntitySpotter, SubjectSpotter
+
+
+@dataclass
+class MiningStats:
+    """Counters describing one mining run."""
+
+    documents: int = 0
+    sentences: int = 0
+    spots_found: int = 0
+    spots_on_topic: int = 0
+    judgments_polar: int = 0
+    judgments_neutral: int = 0
+
+    def merge(self, other: "MiningStats") -> None:
+        self.documents += other.documents
+        self.sentences += other.sentences
+        self.spots_found += other.spots_found
+        self.spots_on_topic += other.spots_on_topic
+        self.judgments_polar += other.judgments_polar
+        self.judgments_neutral += other.judgments_neutral
+
+
+@dataclass
+class MiningResult:
+    """Judgments plus run statistics."""
+
+    judgments: list[SentimentJudgment] = field(default_factory=list)
+    stats: MiningStats = field(default_factory=MiningStats)
+
+    def polar_judgments(self) -> list[SentimentJudgment]:
+        return [j for j in self.judgments if j.polarity.is_polar]
+
+    def by_subject(self) -> dict[str, list[SentimentJudgment]]:
+        out: dict[str, list[SentimentJudgment]] = {}
+        for judgment in self.judgments:
+            out.setdefault(judgment.subject_name, []).append(judgment)
+        return out
+
+
+class SentimentMiner:
+    """Entity-level sentiment miner with two operational modes."""
+
+    def __init__(
+        self,
+        subjects: list[Subject] | None = None,
+        analyzer: SentimentAnalyzer | None = None,
+        disambiguator: Disambiguator | None = None,
+        context_rule: ContextWindowRule | None = None,
+    ):
+        self._subjects = list(subjects or [])
+        self._analyzer = analyzer or SentimentAnalyzer()
+        self._disambiguator = disambiguator
+        self._context_builder = ContextBuilder(context_rule)
+        self._spotter = SubjectSpotter(self._subjects) if self._subjects else None
+        self._ne_spotter = NamedEntitySpotter()
+        self._tokenizer = Tokenizer()
+        self._splitter = SentenceSplitter(self._tokenizer)
+
+    @property
+    def analyzer(self) -> SentimentAnalyzer:
+        return self._analyzer
+
+    @property
+    def subjects(self) -> list[Subject]:
+        return list(self._subjects)
+
+    # -- mode A: predefined subject set -------------------------------------------
+
+    def mine_document(self, text: str, document_id: str = "") -> MiningResult:
+        """Run the Fig. 2 pipeline on one document."""
+        if self._spotter is None:
+            raise ValueError("mode A requires a predefined subject list")
+        result = MiningResult()
+        result.stats.documents = 1
+        sentences = self._splitter.split_text(text)
+        result.stats.sentences = len(sentences)
+        spots = self._spotter.spot_document(sentences, document_id)
+        result.stats.spots_found = len(spots)
+        if self._disambiguator is not None:
+            spots = self._disambiguator.disambiguate(sentences, spots).on_topic
+        result.stats.spots_on_topic = len(spots)
+
+        spots_by_sentence: dict[int, list[Spot]] = {}
+        for spot in spots:
+            spots_by_sentence.setdefault(spot.sentence_index, []).append(spot)
+        for index, sentence_spots in sorted(spots_by_sentence.items()):
+            sentence = sentences[index]
+            tagged = self._analyzer.tag(sentence)
+            judgments = self._analyzer.judge_spots(tagged, sentence_spots)
+            judgments = self._widen_with_context(sentences, index, judgments)
+            self._record(result, judgments)
+        return result
+
+    def _widen_with_context(
+        self,
+        sentences: list,
+        index: int,
+        judgments: list[SentimentJudgment],
+    ) -> list[SentimentJudgment]:
+        """Context-window attribution for anaphora.
+
+        When the window rule includes neighbouring sentences, a spot left
+        NEUTRAL by its own sentence inherits a polarity assigned to a bare
+        pronoun subject in a window sentence ("I tested the zoom.  It is
+        superb.") — the paper's "possibly some surrounding text of the
+        sentence determined by the sentiment context window formation
+        rule".
+        """
+        rule = self._context_builder.rule
+        if rule.sentences_after == 0 and rule.sentences_before == 0:
+            return judgments
+        if all(j.polarity.is_polar for j in judgments):
+            return judgments
+        neighbor_indices = [
+            i
+            for i in range(index - rule.sentences_before, index + rule.sentences_after + 1)
+            if i != index and 0 <= i < len(sentences)
+        ]
+        inherited: Polarity | None = None
+        provenance = None
+        for i in neighbor_indices:
+            tagged = self._analyzer.tag(sentences[i])
+            assignment = self._analyzer.pronoun_assignment(tagged)
+            if assignment is not None:
+                inherited = assignment.polarity
+                provenance = assignment.provenance
+                break
+        if inherited is None:
+            return judgments
+        widened = []
+        for judgment in judgments:
+            if judgment.polarity.is_polar:
+                widened.append(judgment)
+            else:
+                widened.append(
+                    SentimentJudgment(
+                        spot=judgment.spot,
+                        polarity=inherited,
+                        provenance=provenance,
+                        sentence_span=judgment.sentence_span,
+                    )
+                )
+        return widened
+
+    def mine_corpus(
+        self, documents: Iterable[tuple[str, str]]
+    ) -> MiningResult:
+        """Mine ``(document_id, text)`` pairs; results are concatenated."""
+        total = MiningResult()
+        for document_id, text in documents:
+            result = self.mine_document(text, document_id)
+            total.judgments.extend(result.judgments)
+            total.stats.merge(result.stats)
+        return total
+
+    def contexts(self, text: str, document_id: str = "") -> Iterator:
+        """Yield the sentiment contexts mode A would analyze (for tooling)."""
+        if self._spotter is None:
+            raise ValueError("mode A requires a predefined subject list")
+        sentences = self._splitter.split_text(text)
+        for spot in self._spotter.spot_document(sentences, document_id):
+            yield self._context_builder.build(sentences, spot)
+
+    # -- mode B: open subjects ------------------------------------------------------
+
+    def mine_open_document(self, text: str, document_id: str = "") -> MiningResult:
+        """Run the Fig. 3 pipeline: named entities as subjects.
+
+        Only sentiment-bearing sentences are analyzed, mirroring the
+        paper's offline whole-corpus pass that feeds the sentiment index.
+        """
+        result = MiningResult()
+        result.stats.documents = 1
+        sentences = self._splitter.split_text(text)
+        result.stats.sentences = len(sentences)
+        for sentence in sentences:
+            tagged = self._analyzer.tag(sentence)
+            spots = self._ne_spotter.spot_sentence(tagged, document_id)
+            result.stats.spots_found += len(spots)
+            if not spots or not self._analyzer.bears_sentiment(tagged):
+                continue
+            result.stats.spots_on_topic += len(spots)
+            judgments = self._analyzer.judge_spots(tagged, spots)
+            self._record(result, judgments)
+        return result
+
+    def mine_open_corpus(self, documents: Iterable[tuple[str, str]]) -> MiningResult:
+        """Mode B over ``(document_id, text)`` pairs."""
+        total = MiningResult()
+        for document_id, text in documents:
+            result = self.mine_open_document(text, document_id)
+            total.judgments.extend(result.judgments)
+            total.stats.merge(result.stats)
+        return total
+
+    # -- shared ------------------------------------------------------------------------
+
+    @staticmethod
+    def _record(result: MiningResult, judgments: list[SentimentJudgment]) -> None:
+        for judgment in judgments:
+            result.judgments.append(judgment)
+            if judgment.polarity is Polarity.NEUTRAL:
+                result.stats.judgments_neutral += 1
+            else:
+                result.stats.judgments_polar += 1

@@ -1,0 +1,165 @@
+"""Core data model of the sentiment miner.
+
+Terminology follows the paper:
+
+* a **subject** is a topic of interest (company, brand, product name),
+  identified by a canonical name and matched through a synonym set;
+* a **spot** is one occurrence of a subject term in a document;
+* a **sentiment judgment** is the miner's output: a (subject-spot,
+  polarity) pair with provenance describing *why* the polarity was
+  assigned (which pattern, which sentiment words).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from ..nlp.tokens import Span
+
+
+class Polarity(enum.Enum):
+    """Sentiment orientation: the deviation from the neutral state."""
+
+    POSITIVE = "+"
+    NEGATIVE = "-"
+    NEUTRAL = "0"
+
+    def invert(self) -> "Polarity":
+        """Reverse polarity; neutral stays neutral."""
+        if self is Polarity.POSITIVE:
+            return Polarity.NEGATIVE
+        if self is Polarity.NEGATIVE:
+            return Polarity.POSITIVE
+        return Polarity.NEUTRAL
+
+    @property
+    def is_polar(self) -> bool:
+        """True for positive or negative (non-neutral) sentiment."""
+        return self is not Polarity.NEUTRAL
+
+    @classmethod
+    def from_symbol(cls, symbol: str) -> "Polarity":
+        """Parse the paper's ``+``/``-`` notation (``0`` for neutral)."""
+        for member in cls:
+            if member.value == symbol:
+                return member
+        raise ValueError(f"unknown polarity symbol {symbol!r}")
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True)
+class Subject:
+    """A topic of interest with its synonym set.
+
+    "Subject terms are grouped into synonym sets that are user configurable
+    and the spotter annotates the occurrences with the synonym set ID."
+    """
+
+    canonical: str
+    synonyms: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.canonical.strip():
+            raise ValueError("subject canonical name must be non-empty")
+
+    @property
+    def all_terms(self) -> tuple[str, ...]:
+        """Canonical name plus synonyms, canonical first."""
+        seen = {self.canonical.lower()}
+        terms = [self.canonical]
+        for syn in self.synonyms:
+            if syn.lower() not in seen:
+                seen.add(syn.lower())
+                terms.append(syn)
+        return tuple(terms)
+
+
+@dataclass(frozen=True)
+class Spot:
+    """One occurrence of a subject term in a document."""
+
+    subject: Subject
+    term: str
+    span: Span
+    sentence_index: int
+    document_id: str = ""
+
+    @property
+    def start(self) -> int:
+        return self.span.start
+
+    @property
+    def end(self) -> int:
+        return self.span.end
+
+
+@dataclass(frozen=True)
+class Provenance:
+    """Why a judgment was made: the matched pattern and evidence words.
+
+    ``holder`` is the opinion *source* — "a source may be the writer or
+    the third person mentioned in the text" (paper Section 4.2).  The
+    writer is the default; experiencer-verb patterns name the subject
+    phrase ("Analysts criticized X" → holder "Analysts").
+    """
+
+    predicate: str = ""
+    pattern: str = ""
+    source_role: str = ""
+    target_role: str = ""
+    sentiment_words: tuple[str, ...] = ()
+    negated: bool = False
+    holder: str = "writer"
+
+    def describe(self) -> str:
+        """One-line human-readable explanation."""
+        parts = []
+        if self.pattern:
+            parts.append(f"pattern[{self.pattern}]")
+        if self.sentiment_words:
+            parts.append("words[" + ", ".join(self.sentiment_words) + "]")
+        if self.negated:
+            parts.append("negated")
+        if self.holder and self.holder != "writer":
+            parts.append(f"holder[{self.holder}]")
+        return " ".join(parts) or "lexicon"
+
+
+@dataclass(frozen=True)
+class SentimentJudgment:
+    """The miner's output for one subject spot in one sentence."""
+
+    spot: Spot
+    polarity: Polarity
+    provenance: Provenance = field(default_factory=Provenance)
+    sentence_span: Span | None = None
+
+    @property
+    def subject_name(self) -> str:
+        return self.spot.subject.canonical
+
+    def as_pair(self) -> tuple[str, str]:
+        """The paper's presentation format: ``(subject, polarity)``."""
+        return (self.spot.subject.canonical, self.polarity.value)
+
+
+@dataclass(frozen=True)
+class FeatureTerm:
+    """A feature term of a topic with its selection score.
+
+    "A feature term of a topic is a term that satisfies one of: a part-of
+    relationship with the given topic; an attribute-of relationship with
+    the given topic; an attribute-of relationship with a known feature."
+    """
+
+    term: str
+    score: float
+    dplus_count: int
+    dminus_count: int
+
+    def __post_init__(self) -> None:
+        if self.dplus_count < 0 or self.dminus_count < 0:
+            raise ValueError("document counts must be non-negative")

@@ -1,0 +1,180 @@
+"""The sentiment pattern database: predicate sentiment-transfer rules.
+
+Each entry has the paper's shape ``<predicate> <sent_category> <target>``:
+
+* ``predicate`` — verb lemma the rule applies to;
+* ``sent_category`` — ``+``/``-`` (fixed polarity) or a source component
+  ``SP``/``OP``/``CP``/``PP(prep[;prep...])`` whose phrase polarity is
+  transferred, optionally prefixed with ``~`` to invert it;
+* ``target`` — component receiving the sentiment: ``SP``/``OP``/
+  ``PP(prep[;prep...])``.
+
+Examples straight from the paper::
+
+    impress + PP(by;with)      I am impressed by the picture quality.
+    be CP SP                   The colors are vibrant.
+    offer OP SP                The company offers mediocre services.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from ..lexicons import patterns as pattern_data
+from .model import Polarity
+
+_ROLES = ("SP", "OP", "CP", "PP")
+_COMPONENT_RE = re.compile(r"^(~)?(SP|OP|CP|PP)(?:\(([^)]*)\))?$")
+
+
+@dataclass(frozen=True)
+class ComponentRef:
+    """Reference to a sentence component in a pattern rule."""
+
+    role: str
+    prepositions: tuple[str, ...] = ()
+    invert: bool = False
+
+    def __post_init__(self) -> None:
+        if self.role not in _ROLES:
+            raise ValueError(f"unknown component role {self.role!r}")
+        if self.prepositions and self.role != "PP":
+            raise ValueError("only PP components take prepositions")
+
+    def format(self) -> str:
+        text = ("~" if self.invert else "") + self.role
+        if self.prepositions:
+            text += "(" + ";".join(self.prepositions) + ")"
+        return text
+
+    @classmethod
+    def parse(cls, text: str) -> "ComponentRef":
+        match = _COMPONENT_RE.match(text.strip())
+        if match is None:
+            raise ValueError(f"malformed component reference {text!r}")
+        invert, role, preps = match.groups()
+        prepositions = tuple(p.strip().lower() for p in preps.split(";") if p.strip()) if preps else ()
+        if role == "PP" and not prepositions:
+            raise ValueError(f"PP component needs prepositions: {text!r}")
+        return cls(role=role, prepositions=prepositions, invert=bool(invert))
+
+
+@dataclass(frozen=True)
+class SentimentPattern:
+    """One predicate rule.
+
+    Exactly one of ``polarity`` / ``source`` is set: a fixed-polarity rule
+    carries the sentiment itself; a transfer rule reads it from the source
+    component's phrase.
+    """
+
+    predicate: str
+    target: ComponentRef
+    polarity: Polarity | None = None
+    source: ComponentRef | None = None
+
+    def __post_init__(self) -> None:
+        if (self.polarity is None) == (self.source is None):
+            raise ValueError("pattern needs exactly one of polarity/source")
+        if self.target.invert:
+            raise ValueError("targets cannot be inverted")
+
+    @property
+    def is_transfer(self) -> bool:
+        return self.source is not None
+
+    def format(self) -> str:
+        category = self.polarity.value if self.polarity else self.source.format()
+        return f"{self.predicate} {category} {self.target.format()}"
+
+
+def parse_pattern_line(line: str) -> SentimentPattern:
+    """Parse one ``<predicate> <sent_category> <target>`` line."""
+    parts = line.split()
+    if len(parts) != 3:
+        raise ValueError(f"pattern line needs 3 fields: {line!r}")
+    predicate, category, target_text = parts
+    target = ComponentRef.parse(target_text)
+    if category in ("+", "-"):
+        return SentimentPattern(
+            predicate=predicate.lower(),
+            target=target,
+            polarity=Polarity.from_symbol(category),
+        )
+    source = ComponentRef.parse(category)
+    return SentimentPattern(predicate=predicate.lower(), target=target, source=source)
+
+
+class SentimentPatternDB:
+    """Predicate -> ordered rule list, with the paper's lookup semantics.
+
+    "The sentiment miner identifies the predicate of the sentence from the
+    parse and searches the sentiment pattern database to find the best
+    matching sentiment pattern of the predicate."  Best match = the first
+    rule (in insertion order) whose components are present in the clause;
+    that check lives in the analyzer, which iterates :meth:`for_predicate`.
+    """
+
+    def __init__(self, patterns: Iterable[SentimentPattern] = ()):
+        self._by_predicate: dict[str, list[SentimentPattern]] = {}
+        for pattern in patterns:
+            self.add(pattern)
+
+    def add(self, pattern: SentimentPattern) -> None:
+        """Append a rule for its predicate (order defines priority)."""
+        self._by_predicate.setdefault(pattern.predicate, []).append(pattern)
+
+    def add_line(self, line: str) -> None:
+        """Parse and append one DSL line."""
+        self.add(parse_pattern_line(line))
+
+    def for_predicate(self, lemma: str) -> list[SentimentPattern]:
+        """Rules for *lemma*, in priority order (empty when unknown)."""
+        return list(self._by_predicate.get(lemma.lower(), ()))
+
+    def __contains__(self, lemma: str) -> bool:
+        return lemma.lower() in self._by_predicate
+
+    def __len__(self) -> int:
+        return sum(len(rules) for rules in self._by_predicate.values())
+
+    def __iter__(self) -> Iterator[SentimentPattern]:
+        for predicate in sorted(self._by_predicate):
+            yield from self._by_predicate[predicate]
+
+    @property
+    def predicates(self) -> list[str]:
+        return sorted(self._by_predicate)
+
+    # -- file format (one DSL line per rule) -----------------------------------
+
+    def dump(self, stream: io.TextIOBase) -> None:
+        """Write rules one per line, grouped by predicate, priority order."""
+        for predicate in self.predicates:
+            for pattern in self._by_predicate[predicate]:
+                stream.write(pattern.format() + "\n")
+
+    @classmethod
+    def load(cls, stream: io.TextIOBase) -> "SentimentPatternDB":
+        """Parse the :meth:`dump` format (``#`` comments and blanks allowed)."""
+        db = cls()
+        for lineno, raw in enumerate(stream, start=1):
+            line = raw.strip()
+            if not line or line.startswith("#"):
+                continue
+            try:
+                db.add_line(line)
+            except ValueError as exc:
+                raise ValueError(f"malformed pattern line {lineno}: {line!r}") from exc
+        return db
+
+
+def default_pattern_db() -> SentimentPatternDB:
+    """The built-in pattern database from :mod:`repro.lexicons.patterns`."""
+    db = SentimentPatternDB()
+    for line in pattern_data.pattern_lines():
+        db.add_line(line)
+    return db

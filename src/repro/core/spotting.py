@@ -1,0 +1,201 @@
+"""Spotting: subject-term occurrences and named entities.
+
+Two spotters, mirroring the paper's two operational modes:
+
+* :class:`SubjectSpotter` — "identifies occurrences of arbitrary terms or
+  phrases within documents ... subject terms are grouped into synonym
+  sets" (mode with a predefined subject list);
+* :class:`NamedEntitySpotter` — "detects all capitalized noun phrases ...
+  a set of heuristics is applied to each candidate name to determine
+  where the split has to be made" (open-subject mode).
+"""
+
+from __future__ import annotations
+
+from ..nlp import penn
+from ..nlp.tokens import Sentence, Span, TaggedSentence, Token
+from .model import Spot, Subject
+
+#: Lowercase connectors allowed inside a candidate entity name.
+_NAME_CONNECTORS = frozenset({"and", "of", "&", "de", "la"})
+
+#: Connectors that trigger a split into separate entities.
+_SPLIT_PREPOSITIONS = frozenset({"of", "at", "in", "for", "from"})
+_SPLIT_CONJUNCTIONS = frozenset({"and", "&", "or"})
+
+#: Sentence-initial words never treated as names even when capitalised.
+_COMMON_SENTENCE_STARTERS = frozenset(
+    "the a an this that these those it its they i we you he she there "
+    "but and or so yet however overall unfortunately fortunately".split()
+)
+
+
+class SubjectSpotter:
+    """Find subject-term occurrences (spots) in tokenized documents.
+
+    Matching is case-insensitive over token n-grams, longest term first,
+    so "Sony PDA" wins over "Sony" at the same position.  Each spot keeps
+    its synonym-set identity: the :class:`Subject` it belongs to.
+    """
+
+    def __init__(self, subjects: list[Subject]):
+        self._subjects = list(subjects)
+        self._by_term: dict[tuple[str, ...], Subject] = {}
+        for subject in subjects:
+            for term in subject.all_terms:
+                key = tuple(term.lower().split())
+                if key:
+                    self._by_term[key] = subject
+        self._max_len = max((len(k) for k in self._by_term), default=0)
+
+    @property
+    def subjects(self) -> list[Subject]:
+        return list(self._subjects)
+
+    def spot_sentence(self, sentence: Sentence, document_id: str = "") -> list[Spot]:
+        """All spots in one sentence, left to right, non-overlapping."""
+        spots: list[Spot] = []
+        tokens = sentence.tokens
+        i = 0
+        n = len(tokens)
+        while i < n:
+            match = self._longest_match(tokens, i)
+            if match is None:
+                i += 1
+                continue
+            length, subject = match
+            span = Span(tokens[i].start, tokens[i + length - 1].end)
+            term = " ".join(t.text for t in tokens[i : i + length])
+            spots.append(
+                Spot(
+                    subject=subject,
+                    term=term,
+                    span=span,
+                    sentence_index=sentence.index,
+                    document_id=document_id,
+                )
+            )
+            i += length
+        return spots
+
+    def spot_document(self, sentences: list[Sentence], document_id: str = "") -> list[Spot]:
+        """All spots across a document's sentences."""
+        spots: list[Spot] = []
+        for sentence in sentences:
+            spots.extend(self.spot_sentence(sentence, document_id))
+        return spots
+
+    def _longest_match(self, tokens: list[Token], i: int) -> tuple[int, Subject] | None:
+        limit = min(self._max_len, len(tokens) - i)
+        for length in range(limit, 0, -1):
+            key = tuple(tokens[i + k].lower for k in range(length))
+            subject = self._by_term.get(key)
+            if subject is not None:
+                return length, subject
+        return None
+
+
+class NamedEntitySpotter:
+    """Capitalized-noun-phrase entity detection with split heuristics.
+
+    Reproduces the paper's example: "Prof. Wilson of American University"
+    splits into "Prof. Wilson" and "American University".
+    """
+
+    def spot_sentence(self, sentence: TaggedSentence, document_id: str = "") -> list[Spot]:
+        """Named-entity spots in one tagged sentence."""
+        candidates = self._candidate_runs(sentence)
+        spots: list[Spot] = []
+        for run in candidates:
+            for part in self._split(run):
+                name = " ".join(t.text for t in part)
+                span = Span(part[0].start, part[-1].end)
+                subject = Subject(canonical=name)
+                spots.append(
+                    Spot(
+                        subject=subject,
+                        term=name,
+                        span=span,
+                        sentence_index=sentence.index,
+                        document_id=document_id,
+                    )
+                )
+        return spots
+
+    def spot_document(self, sentences: list[TaggedSentence], document_id: str = "") -> list[Spot]:
+        """Named-entity spots across a document, merged by surface name."""
+        spots: list[Spot] = []
+        for sentence in sentences:
+            spots.extend(self.spot_sentence(sentence, document_id))
+        return spots
+
+    # -- internals ----------------------------------------------------------
+
+    def _candidate_runs(self, sentence: TaggedSentence) -> list[list]:
+        """Maximal runs of capitalized tokens plus allowed connectors."""
+        runs: list[list] = []
+        current: list = []
+        for position, token in enumerate(sentence.tokens):
+            if self._is_name_token(token, position):
+                current.append(token)
+            elif current and token.lower in _NAME_CONNECTORS:
+                # Connector stays only if a capitalized token follows.
+                nxt = (
+                    sentence.tokens[position + 1]
+                    if position + 1 < len(sentence.tokens)
+                    else None
+                )
+                if nxt is not None and self._is_name_token(nxt, position + 1):
+                    current.append(token)
+                else:
+                    self._flush(runs, current)
+                    current = []
+            else:
+                self._flush(runs, current)
+                current = []
+        self._flush(runs, current)
+        return runs
+
+    @staticmethod
+    def _flush(runs: list[list], current: list) -> None:
+        # Drop trailing connectors and singleton connectors.
+        while current and current[-1].text.lower() in _NAME_CONNECTORS:
+            current.pop()
+        if current:
+            runs.append(list(current))
+
+    @staticmethod
+    def _is_name_token(token, position: int) -> bool:
+        if not token.is_capitalized:
+            return False
+        if position == 0 and token.lower in _COMMON_SENTENCE_STARTERS:
+            return False
+        if token.tag not in penn.PROPER_NOUN_TAGS and not (
+            position > 0 and token.tag in penn.NOUN_TAGS
+        ):
+            # Sentence-initial capitalized common nouns ("Battery life is
+            # ...") are not names; mid-sentence capitalized nouns are.
+            if not (position == 0 and token.tag in penn.PROPER_NOUN_TAGS):
+                return False
+        return True
+
+    def _split(self, run: list) -> list[list]:
+        """Apply the paper's split heuristics to a candidate name."""
+        parts: list[list] = []
+        current: list = []
+        for token in run:
+            lower = token.lower
+            if lower in _SPLIT_PREPOSITIONS or lower in _SPLIT_CONJUNCTIONS:
+                if current:
+                    parts.append(current)
+                current = []
+                continue
+            if token.text.endswith("'s"):
+                current.append(token)
+                parts.append(current)
+                current = []
+                continue
+            current.append(token)
+        if current:
+            parts.append(current)
+        return [p for p in parts if p]

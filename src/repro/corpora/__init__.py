@@ -1,0 +1,74 @@
+"""Synthetic corpora with ground truth (DESIGN.md Section 2 substitution).
+
+Deterministic generators replace the paper's proprietary datasets while
+preserving the statistical properties the evaluation depends on: review
+pages are sentiment-dense and single-product; general web pages are
+sparse, multi-subject, and I-class dominated.
+"""
+
+from .datasets import (
+    camera_reviews,
+    document_polarity_split,
+    music_reviews,
+    petroleum_news,
+    petroleum_web,
+    pharmaceutical_web,
+    review_dataset_for,
+)
+from .gold import (
+    Dataset,
+    GoldMention,
+    I_CLASS_KINDS,
+    KINDS,
+    LabeledDocument,
+    LabeledSentence,
+)
+from .reviews import ReviewGenerator, SentenceMix, zipf_choice
+from .templates import SentenceFactory
+from .trending import TrendScenario, TrendingNewsGenerator, default_scenario
+from .vocab import (
+    DIGITAL_CAMERA,
+    DOMAINS,
+    MUSIC,
+    PAPER_CAMERA_FEATURES,
+    PAPER_CAMERA_PRODUCTS,
+    PAPER_MUSIC_FEATURES,
+    PETROLEUM,
+    PHARMACEUTICAL,
+    DomainVocab,
+)
+from .webpages import WebPageGenerator, WebPageMix
+
+__all__ = [
+    "DIGITAL_CAMERA",
+    "DOMAINS",
+    "Dataset",
+    "DomainVocab",
+    "GoldMention",
+    "I_CLASS_KINDS",
+    "KINDS",
+    "LabeledDocument",
+    "LabeledSentence",
+    "MUSIC",
+    "PAPER_CAMERA_FEATURES",
+    "PAPER_CAMERA_PRODUCTS",
+    "PAPER_MUSIC_FEATURES",
+    "PETROLEUM",
+    "PHARMACEUTICAL",
+    "ReviewGenerator",
+    "SentenceFactory",
+    "TrendScenario",
+    "TrendingNewsGenerator",
+    "SentenceMix",
+    "WebPageGenerator",
+    "WebPageMix",
+    "camera_reviews",
+    "default_scenario",
+    "document_polarity_split",
+    "music_reviews",
+    "petroleum_news",
+    "petroleum_web",
+    "pharmaceutical_web",
+    "review_dataset_for",
+    "zipf_choice",
+]

@@ -1,0 +1,91 @@
+"""Ambiguous-subject corpus for the disambiguator experiments.
+
+The paper's example: the subject term "SUN" may refer to SUN Microsystems
+(on topic) or to the sun/Sunday (off topic).  This generator produces a
+mixed corpus around one deliberately ambiguous brand name — by default
+"Apex", a camera-accessory maker that shares its name with a mountain
+trail — together with the on/off-topic term sets a user would configure.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..core.disambiguation import TopicTermSet
+from .gold import LabeledDocument
+
+#: Context words for the on-topic (company) reading.
+ON_TOPIC_TERMS = (
+    "camera", "lens", "tripod", "photography", "accessory", "firmware",
+    "shipping", "warranty", "retailer", "product",
+)
+
+#: Context words for the off-topic (trail) reading.
+OFF_TOPIC_TERMS = (
+    "trail", "summit", "hikers", "ridge", "valley", "weather", "snow",
+    "climb", "elevation", "wilderness",
+)
+
+_ON_TOPIC_SENTENCES = (
+    "{name} shipped a new tripod accessory for every camera.",
+    "The {ctx} retailer stocked {name} products all month.",
+    "{name} updated the firmware for its lens lineup.",
+    "Reviewers tested the {name} warranty and shipping process.",
+    "A photography blog compared {name} to other accessory makers.",
+)
+
+_OFF_TOPIC_SENTENCES = (
+    "The {name} trail climbs toward the snowy summit.",
+    "Hikers crossed the {ctx} below the {name} ridge.",
+    "Snow closed the {name} valley route for the weather season.",
+    "The wilderness around {name} draws climbers every elevation season.",
+    "A guide described the {ctx} near the {name} summit.",
+)
+
+
+@dataclass
+class AmbiguousCorpus:
+    """Mixed corpus plus the configured term sets."""
+
+    subject: str
+    documents: list[LabeledDocument]
+    term_set: TopicTermSet
+
+    def on_topic_documents(self) -> list[LabeledDocument]:
+        return [d for d in self.documents if d.on_topic]
+
+    def off_topic_documents(self) -> list[LabeledDocument]:
+        return [d for d in self.documents if not d.on_topic]
+
+
+def generate_ambiguous_corpus(
+    subject: str = "Apex",
+    on_topic_docs: int = 20,
+    off_topic_docs: int = 20,
+    seed: int = 2005,
+) -> AmbiguousCorpus:
+    """A corpus where *subject* appears in two unrelated senses."""
+    rng = random.Random(seed)
+    documents: list[LabeledDocument] = []
+    for kind, count, sentences in (
+        ("on", on_topic_docs, _ON_TOPIC_SENTENCES),
+        ("off", off_topic_docs, _OFF_TOPIC_SENTENCES),
+    ):
+        terms = ON_TOPIC_TERMS if kind == "on" else OFF_TOPIC_TERMS
+        for i in range(count):
+            chosen = rng.sample(sentences, k=3)
+            text = " ".join(
+                s.format(name=subject, ctx=rng.choice(terms)) for s in chosen
+            )
+            documents.append(
+                LabeledDocument(
+                    doc_id=f"ambiguous:{kind}:{i:04d}",
+                    text=text,
+                    domain="ambiguous",
+                    on_topic=(kind == "on"),
+                )
+            )
+    rng.shuffle(documents)
+    term_set = TopicTermSet.build(on_topic=ON_TOPIC_TERMS, off_topic=OFF_TOPIC_TERMS)
+    return AmbiguousCorpus(subject=subject, documents=documents, term_set=term_set)

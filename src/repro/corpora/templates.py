@@ -1,0 +1,288 @@
+"""Sentence templates with gold labels.
+
+Each factory method renders one sentence about a subject and returns a
+:class:`~repro.corpora.gold.LabeledSentence` whose mentions carry the
+intended gold polarity and template kind.  The template classes are
+engineered against the analyzer's *documented* behaviour (and pinned by
+tests in ``tests/corpora/test_templates.py``):
+
+* ``direct``  — the sentiment miner associates the right polarity;
+* ``mixed``   — the miner is right, nearest-word collocation is wrong;
+* ``slang``   — verbless/exclamative: the miner abstains (recall loss)
+  while collocation still fires;
+* ``trap``    — surface polarity contradicts the gold label; everything
+  that reads surface polarity errs;
+* ``neutral`` — factual, no sentiment vocabulary at all;
+* ``stray``   — factual about the subject, but sentiment words nearby
+  target something else (the statistical baselines' false positives).
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..core.model import Polarity
+from . import vocab as vocab_module
+from .gold import GoldMention, LabeledSentence
+from .vocab import DomainVocab
+
+_POSITIVE_DIRECT = (
+    "The {subject} is {adj}.",
+    "The {subject} is {adj} and {adj2}.",
+    "The {subject} is really {adj}.",
+    "I am impressed by the {subject}.",
+    "I was impressed with the {subject}.",
+    "The {subject} works really well.",
+    "The {subject} performs beautifully.",
+    "Reviewers recommend the {subject}.",
+    "I love the {subject}.",
+    "The {subject} impressed everyone.",
+    "The {subject} never disappoints.",
+    "The {subject} takes {adj} {objects}.",
+    "The {subject} delivers {adj} {objects}.",
+)
+
+_NEGATIVE_DIRECT = (
+    "The {subject} is {adj}.",
+    "The {subject} is {adj} and {adj2}.",
+    "The {subject} is really {adj}.",
+    "I was disappointed with the {subject}.",
+    "The {subject} does not work.",
+    "The {subject} performs poorly.",
+    "The {subject} fails to impress.",
+    "I hate the {subject}.",
+    "The {subject} disappointed everyone.",
+    "The {subject} stopped working.",
+    "The {subject} is not {posadj}.",
+    "The {subject} takes {adj} {objects}.",
+    "The {subject} frustrated us.",
+)
+
+_POSITIVE_MIXED = (
+    "Although the {other} is {neg} and {neg2}, the {subject} is {adj}.",
+    "Unlike the {neg} and {neg2} {other}, the {subject} is {adj}.",
+    "While the {other} seems {neg} and {neg2}, the {subject} impressed everyone.",
+)
+
+_NEGATIVE_MIXED = (
+    "Although the {other} is {pos} and {pos2}, the {subject} is {adj}.",
+    "Unlike the {pos} and {pos2} {other}, the {subject} is {adj}.",
+    "While the {other} seems {pos} and {pos2}, the {subject} disappointed everyone.",
+)
+
+_POSITIVE_SLANG = (
+    "What a {adj} {subject}!",
+    "The {subject}: simply {adj}.",
+    "A truly {adj} {subject}, through and through.",
+    "Such a {adj}, {adj2} {subject}.",
+)
+
+_NEGATIVE_SLANG = (
+    "What a {adj} {subject}!",
+    "The {subject}: simply {adj}.",
+    "A thoroughly {adj} {subject}, sadly.",
+    "Such a {adj}, {adj2} {subject}.",
+)
+
+# Trap sentences: gold is the opposite of the surface reading.
+_TRAP_GOLD_NEGATIVE = (
+    "The {subject} was supposed to be {pos}.",
+    "The {subject} is {pos} only in the brochure.",
+)
+
+_TRAP_GOLD_POSITIVE = (
+    "No part of the {subject} is {neg}.",
+    "No part of the {subject} seems {neg}.",
+)
+
+# Neutral/stray sentences avoid opening with "The <non-feature noun>" so
+# the bBNP heuristic never harvests template props ("box", "salesman").
+_NEUTRAL = (
+    "I bought the {subject} last {weekday}.",
+    "The {subject} arrived on {weekday}.",
+    "Chapter {number} covers the {subject} in detail.",
+    "The {subject} comes in three versions.",
+    "Each box includes the {subject} and a cable.",
+    "The {subject} weighs about {number} ounces.",
+    "We compared the {subject} across {number} settings.",
+    "The {subject} shipped in early spring.",
+)
+
+_STRAY = (
+    "A friend with a {pos} job bought the {subject}.",
+    "My neighbor, who had a {neg} week, returned the {subject}.",
+    "A store that sold me the {subject} had {pos} service.",
+    "Our salesman was {pos} while wrapping the {subject}.",
+    "A {neg} storm delayed the {subject} shipment.",
+    "Their courier, {pos} as always, delivered the {subject}.",
+)
+
+
+class SentenceFactory:
+    """Render labeled sentences for one domain with one RNG."""
+
+    def __init__(self, vocab: DomainVocab, rng: random.Random):
+        self._vocab = vocab
+        self._rng = rng
+
+    # -- public factories ---------------------------------------------------------
+
+    def direct(self, subject: str, polarity: Polarity) -> LabeledSentence:
+        templates = _POSITIVE_DIRECT if polarity is Polarity.POSITIVE else _NEGATIVE_DIRECT
+        return self._render(self._rng.choice(templates), subject, polarity, "direct")
+
+    def mixed(self, subject: str, polarity: Polarity) -> LabeledSentence:
+        """Contrastive sentence: the *other* feature carries the opposite
+        polarity, and gets its own gold mention."""
+        templates = _POSITIVE_MIXED if polarity is Polarity.POSITIVE else _NEGATIVE_MIXED
+        # The contrasted feature must not contain (or be contained by)
+        # the subject, or the spotter would find the subject inside it.
+        candidates = [
+            f
+            for f in self._vocab.features
+            if subject not in f and f not in subject
+        ] or ["competition"]
+        other = self._rng.choice(candidates)
+        text = self._fill(self._rng.choice(templates), subject=subject, polarity=polarity, other=other)
+        return LabeledSentence(
+            text=text,
+            mentions=(
+                GoldMention(subject=subject, polarity=polarity, kind="mixed"),
+                GoldMention(subject=other, polarity=polarity.invert(), kind="mixed"),
+            ),
+        )
+
+    def slang(self, subject: str, polarity: Polarity) -> LabeledSentence:
+        templates = _POSITIVE_SLANG if polarity is Polarity.POSITIVE else _NEGATIVE_SLANG
+        return self._render(self._rng.choice(templates), subject, polarity, "slang")
+
+    def trap(self, subject: str, polarity: Polarity) -> LabeledSentence:
+        templates = _TRAP_GOLD_POSITIVE if polarity is Polarity.POSITIVE else _TRAP_GOLD_NEGATIVE
+        return self._render(self._rng.choice(templates), subject, polarity, "trap")
+
+    def neutral(self, subject: str) -> LabeledSentence:
+        return self._render(self._rng.choice(_NEUTRAL), subject, Polarity.NEUTRAL, "neutral")
+
+    def stray(self, subject: str) -> LabeledSentence:
+        return self._render(self._rng.choice(_STRAY), subject, Polarity.NEUTRAL, "stray")
+
+    def of_kind(self, kind: str, subject: str, polarity: Polarity) -> LabeledSentence:
+        """Dispatch by kind name (used by the document generators)."""
+        if kind == "direct":
+            return self.direct(subject, polarity)
+        if kind == "mixed":
+            return self.mixed(subject, polarity)
+        if kind == "slang":
+            return self.slang(subject, polarity)
+        if kind == "trap":
+            return self.trap(subject, polarity)
+        if kind == "neutral":
+            return self.neutral(subject)
+        if kind == "stray":
+            return self.stray(subject)
+        raise ValueError(f"unknown template kind {kind!r}")
+
+    def anaphora(self, subject: str, polarity: Polarity) -> tuple[LabeledSentence, LabeledSentence]:
+        """A two-sentence pair: the subject is named first, the sentiment
+        lands on a pronoun in the follow-up sentence.
+
+        Gold polarity attaches to the *first* sentence's mention; a miner
+        confined to single-sentence contexts must abstain, while one with
+        a one-sentence-after context window can attribute the pronoun
+        assignment back to the spot.
+        """
+        intro_template = self._rng.choice(
+            (
+                "I tested the {subject} for a week.",
+                "Let me say a word about the {subject}.",
+                "We also examined the {subject} closely.",
+            )
+        )
+        adj = self._rng.choice(
+            self._vocab.positive_adjectives
+            if polarity is Polarity.POSITIVE
+            else self._vocab.negative_adjectives
+        )
+        followup_template = self._rng.choice(
+            ("It is truly {adj}.", "It is {adj}.", "It seems {adj} overall.")
+        )
+        intro = LabeledSentence(
+            text=self._fill(intro_template, subject=subject),
+            mentions=(GoldMention(subject=subject, polarity=polarity, kind="anaphora"),),
+        )
+        followup = LabeledSentence(text=followup_template.format(adj=adj), mentions=())
+        return intro, followup
+
+    def common_opener(self) -> LabeledSentence:
+        """A sentiment-free sentence opening with a definite non-feature NP.
+
+        These appear in *both* D+ and D− (more often in D−), giving the
+        likelihood-ratio test something real to filter: a raw-frequency
+        ranker promotes "weather"/"morning" into the feature list, the
+        LR guard (r2 ≥ r1) zeroes them.
+        """
+        template = self._rng.choice(
+            (
+                "The weather stayed dry that afternoon.",
+                "The weather turned colder overnight.",
+                "The weather cleared up before noon.",
+                "The morning went by without incident.",
+                "The afternoon passed slowly downtown.",
+            )
+        )
+        return LabeledSentence(template, ())
+
+    def filler(self) -> LabeledSentence:
+        """An off-topic sentence mentioning no subject at all."""
+        template = self._rng.choice(
+            (
+                "The {off_subject} announced a new {off_noun} on {weekday}.",
+                "A {off_noun} about the {off_noun2} is planned for {weekday}.",
+                "{person} attended the {off_noun} downtown.",
+                "The {off_subject} published its {off_noun} this week.",
+                "Minutes from the {off_noun} were posted online.",
+            )
+        )
+        return LabeledSentence(self._fill(template, subject=""), ())
+
+    # -- internals ---------------------------------------------------------------------
+
+    def _render(
+        self, template: str, subject: str, polarity: Polarity, kind: str
+    ) -> LabeledSentence:
+        text = self._fill(template, subject=subject, polarity=polarity)
+        mention = GoldMention(subject=subject, polarity=polarity, kind=kind)
+        return LabeledSentence(text=text, mentions=(mention,))
+
+    def _fill(
+        self,
+        template: str,
+        subject: str,
+        polarity: Polarity = Polarity.NEUTRAL,
+        other: str | None = None,
+    ) -> str:
+        rng = self._rng
+        v = self._vocab
+        pos = rng.sample(v.positive_adjectives, 2)
+        neg = rng.sample(v.negative_adjectives, 2)
+        adjectives = pos if polarity is Polarity.POSITIVE else neg
+        other_candidates = [f for f in v.features if f != subject] or ["competition"]
+        values = {
+            "subject": subject,
+            "adj": adjectives[0],
+            "adj2": adjectives[1],
+            "pos": pos[0],
+            "pos2": pos[1],
+            "neg": neg[0],
+            "neg2": neg[1],
+            "posadj": pos[0],
+            "objects": rng.choice(v.object_nouns),
+            "other": other if other is not None else rng.choice(other_candidates),
+            "weekday": rng.choice(vocab_module.WEEKDAYS),
+            "number": rng.randint(2, 9),
+            "person": rng.choice(vocab_module.PERSON_NAMES),
+            "off_subject": rng.choice(vocab_module.OFF_TOPIC_SUBJECTS).removeprefix("the "),
+            "off_noun": rng.choice(vocab_module.OFF_TOPIC_NOUNS),
+            "off_noun2": rng.choice(vocab_module.OFF_TOPIC_NOUNS),
+        }
+        return template.format(**values)

@@ -1,0 +1,87 @@
+"""Trending corpora: dated documents with drifting sentiment.
+
+Supports the paper's "tracking of market trends" use case: a news stream
+over several months in which one company's sentiment deteriorates, one
+improves, and the rest hold steady.  Each document carries an ISO date
+so the :class:`repro.apps.trends.TrendTracker` has something to bucket.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..core.model import Polarity
+from .gold import LabeledDocument, LabeledSentence
+from .reviews import _assemble
+from .templates import SentenceFactory
+from .vocab import DomainVocab, PETROLEUM
+
+
+@dataclass(frozen=True)
+class TrendScenario:
+    """Which companies move, and how fast."""
+
+    declining: str
+    improving: str
+    months: int = 6
+    documents_per_month: int = 10
+
+    def __post_init__(self) -> None:
+        if self.months < 2:
+            raise ValueError("a trend needs at least two months")
+        if self.documents_per_month < 1:
+            raise ValueError("documents_per_month must be positive")
+
+
+def default_scenario(vocab: DomainVocab = PETROLEUM) -> TrendScenario:
+    return TrendScenario(declining=vocab.products[0], improving=vocab.products[1])
+
+
+class TrendingNewsGenerator:
+    """Dated news stream with engineered sentiment drift."""
+
+    def __init__(self, vocab: DomainVocab = PETROLEUM, seed: int = 2005):
+        self._vocab = vocab
+        self._rng = random.Random(seed)
+        self._factory = SentenceFactory(vocab, self._rng)
+
+    def generate(self, scenario: TrendScenario | None = None) -> list[tuple[LabeledDocument, str]]:
+        """``(document, iso_date)`` pairs in chronological order."""
+        scenario = scenario or default_scenario(self._vocab)
+        rng = self._rng
+        out: list[tuple[LabeledDocument, str]] = []
+        for month in range(scenario.months):
+            progress = month / (scenario.months - 1)
+            date = f"2004-{month + 1:02d}-15"
+            for i in range(scenario.documents_per_month):
+                company = rng.choice(self._vocab.products[:4])
+                polarity = self._polarity_for(rng, company, scenario, progress)
+                sentences: list[LabeledSentence] = [
+                    self._factory.direct(company, polarity),
+                    self._factory.filler(),
+                ]
+                if rng.random() < 0.5:
+                    sentences.append(self._factory.neutral(company))
+                document = _assemble(
+                    f"{self._vocab.name}:trend:{month:02d}:{i:03d}",
+                    sentences,
+                    self._vocab.name,
+                    True,
+                    polarity,
+                )
+                out.append((document, date))
+        return out
+
+    @staticmethod
+    def _polarity_for(
+        rng: random.Random, company: str, scenario: TrendScenario, progress: float
+    ) -> Polarity:
+        """Positive probability as a function of time and company."""
+        if company == scenario.declining:
+            positive_probability = 0.9 - 0.8 * progress
+        elif company == scenario.improving:
+            positive_probability = 0.1 + 0.8 * progress
+        else:
+            positive_probability = 0.5
+        return Polarity.POSITIVE if rng.random() < positive_probability else Polarity.NEGATIVE

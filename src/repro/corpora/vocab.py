@@ -1,0 +1,220 @@
+"""Domain vocabularies for the synthetic corpora.
+
+Four domains mirror the paper's evaluation data: digital cameras and
+music albums (product reviews, Section 4.1), petroleum and pharmaceutical
+companies (general web pages and news, Table 5).  Feature lists are
+seeded with the paper's published Table 2 terms so the feature-extraction
+experiment can be compared rank-for-rank.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class DomainVocab:
+    """Everything the generators need to write about one domain."""
+
+    name: str
+    #: Subjects of interest (product or company names).
+    products: tuple[str, ...]
+    #: Feature terms (part-of / attribute-of the products).
+    features: tuple[str, ...]
+    #: Positive adjectives idiomatic for the domain (all in the lexicon).
+    positive_adjectives: tuple[str, ...]
+    #: Negative adjectives idiomatic for the domain (all in the lexicon).
+    negative_adjectives: tuple[str, ...]
+    #: Plural nouns for "takes excellent pictures"-style objects.
+    object_nouns: tuple[str, ...]
+    #: On-topic context words (for the disambiguator / D+ texture).
+    context_terms: tuple[str, ...]
+
+
+# -- digital cameras -----------------------------------------------------------
+
+#: Paper Table 2, digital camera column (top 20 extracted feature terms).
+PAPER_CAMERA_FEATURES = (
+    "camera", "picture", "flash", "lens", "picture quality", "battery",
+    "software", "price", "battery life", "viewfinder", "color", "feature",
+    "image", "menu", "manual", "photo", "movie", "resolution", "quality",
+    "zoom",
+)
+
+#: Paper Table 3 product names (7 listed + "15 Products" total).
+PAPER_CAMERA_PRODUCTS = ("Canon", "Nikon", "Sony", "Olympus", "Kodak", "Fuji", "Minolta")
+
+DIGITAL_CAMERA = DomainVocab(
+    name="digital_camera",
+    products=PAPER_CAMERA_PRODUCTS
+    + (
+        "Casio", "Pentax", "Panasonic", "Leica", "Ricoh", "Sanyo",
+        "Toshiba", "Epson",
+    ),
+    features=PAPER_CAMERA_FEATURES
+    + (
+        "shutter", "shutter speed", "autofocus", "memory card", "screen",
+        "display", "sensor", "grip", "strap", "charger", "burst mode",
+        "white balance", "exposure", "aperture", "focus", "night mode",
+        "video mode", "playback", "interface", "build quality", "body",
+        "size", "weight", "startup time", "shutter lag", "optical zoom",
+        "digital zoom", "flash range", "red eye reduction", "timer",
+        "tripod mount", "battery charger", "lens cap", "firmware",
+        "image stabilization",
+    ),
+    positive_adjectives=(
+        "excellent", "superb", "sharp", "crisp", "vibrant", "outstanding",
+        "impressive", "fast", "reliable", "solid", "compact", "bright",
+        "accurate", "responsive", "smooth", "great", "fantastic",
+        "wonderful", "flawless", "remarkable",
+    ),
+    negative_adjectives=(
+        "disappointing", "blurry", "grainy", "sluggish", "slow", "noisy",
+        "flimsy", "terrible", "awful", "unreliable", "mediocre", "dim",
+        "inaccurate", "unresponsive", "clumsy", "poor", "dreadful",
+        "frustrating", "defective", "shoddy",
+    ),
+    object_nouns=("pictures", "photos", "images", "shots", "movies", "portraits"),
+    context_terms=(
+        "megapixel", "photography", "photographer", "digicam", "shooting",
+        "tripod", "snapshot", "album", "print", "pixel",
+    ),
+)
+
+# -- music albums -----------------------------------------------------------------
+
+#: Paper Table 2, music albums column.
+PAPER_MUSIC_FEATURES = (
+    "song", "album", "track", "music", "piece", "band", "lyrics",
+    "first movement", "second movement", "orchestra", "guitar",
+    "final movement", "beat", "production", "chorus", "first track",
+    "mix", "third movement", "piano", "work",
+)
+
+MUSIC = DomainVocab(
+    name="music",
+    products=(
+        "Aria Nova", "Velvet Meridian", "Cobalt Sky", "Paper Lanterns",
+        "The Glasshouse", "Silver Harbor", "Night Cartography",
+        "Ember Chorale", "Quiet Machines", "Golden Hour",
+    ),
+    features=PAPER_MUSIC_FEATURES
+    + (
+        "melody", "harmony", "vocals", "voice", "drums", "bass",
+        "arrangement", "composition", "tempo", "rhythm", "opening track",
+        "closing track", "sound quality", "recording", "performance",
+        "solo", "bridge", "verse", "finale", "ensemble",
+    ),
+    positive_adjectives=(
+        "beautiful", "haunting", "melodious", "harmonious", "soulful",
+        "brilliant", "captivating", "elegant", "graceful", "lyrical",
+        "masterful", "memorable", "moving", "radiant", "rich",
+        "stirring", "sublime", "superb", "uplifting", "wonderful",
+    ),
+    negative_adjectives=(
+        "bland", "boring", "derivative", "dull", "flat", "forgettable",
+        "grating", "harsh", "lifeless", "monotonous", "muddy",
+        "pretentious", "repetitive", "shrill", "tedious", "tinny",
+        "uninspired", "unlistenable", "weak", "jarring",
+    ),
+    object_nouns=("songs", "moments", "passages", "verses", "phrases", "textures"),
+    context_terms=(
+        "concert", "studio", "label", "listener", "musician", "genre",
+        "soundtrack", "symphony", "quartet", "stage",
+    ),
+)
+
+# -- petroleum ----------------------------------------------------------------------
+
+PETROLEUM = DomainVocab(
+    name="petroleum",
+    products=(
+        "PetroMax", "Orion Energy", "Gulf Crest", "Meridian Oil",
+        "Atlas Petroleum", "NorthStar Fuels", "Crown Refining",
+        "Delta Hydrocarbons",
+    ),
+    features=(
+        "refinery", "pipeline", "drilling program", "production",
+        "exploration", "output", "safety record", "earnings", "dividend",
+        "reserves", "crude output", "refining margin", "fuel quality",
+        "environmental record", "management", "stock", "expansion plan",
+        "maintenance program", "supply chain", "service station",
+    ),
+    positive_adjectives=(
+        "profitable", "efficient", "reliable", "strong", "robust",
+        "impressive", "successful", "solid", "excellent", "prosperous",
+        "thriving", "stable", "outstanding", "productive", "secure",
+    ),
+    negative_adjectives=(
+        "unprofitable", "inefficient", "troubled", "weak", "declining",
+        "disappointing", "hazardous", "unsafe", "polluted", "struggling",
+        "unstable", "wasteful", "problematic", "risky", "dismal",
+    ),
+    object_nouns=("margins", "results", "barrels", "volumes", "forecasts", "figures"),
+    context_terms=(
+        "oil", "gas", "energy", "barrel", "crude", "offshore", "rig",
+        "refining", "petroleum", "fuel",
+    ),
+)
+
+# -- pharmaceuticals -----------------------------------------------------------------
+
+PHARMACEUTICAL = DomainVocab(
+    name="pharmaceutical",
+    products=(
+        "Novaretix", "Cardexa", "Luminal Pharma", "Veritas Biotech",
+        "Solace Therapeutics", "Arcadia Labs", "Helix Remedies",
+        "Pinnacle Biosciences",
+    ),
+    features=(
+        "clinical trial", "drug pipeline", "treatment", "vaccine",
+        "research program", "side effects", "efficacy", "safety profile",
+        "approval process", "earnings", "patent portfolio", "dosage",
+        "formulation", "manufacturing", "distribution", "pricing",
+        "study results", "lab", "therapy", "stock",
+    ),
+    positive_adjectives=(
+        "effective", "promising", "safe", "successful", "innovative",
+        "groundbreaking", "impressive", "reliable", "beneficial",
+        "excellent", "remarkable", "strong", "encouraging", "robust",
+        "outstanding",
+    ),
+    negative_adjectives=(
+        "ineffective", "dangerous", "harmful", "disappointing", "risky",
+        "toxic", "troubling", "unsafe", "questionable", "weak",
+        "alarming", "problematic", "inadequate", "controversial",
+        "worrisome",
+    ),
+    object_nouns=("results", "outcomes", "treatments", "findings", "readings", "responses"),
+    context_terms=(
+        "patient", "doctor", "hospital", "medicine", "therapy", "dose",
+        "fda", "clinic", "prescription", "biotech",
+    ),
+)
+
+DOMAINS = {
+    vocab.name: vocab
+    for vocab in (DIGITAL_CAMERA, MUSIC, PETROLEUM, PHARMACEUTICAL)
+}
+
+#: Topics for off-topic (D−) documents: everyday web page subjects.
+OFF_TOPIC_SUBJECTS = (
+    "the city council", "the local museum", "the weekend market",
+    "the highway project", "the school board", "the weather service",
+    "the public library", "the history society", "the garden club",
+    "the transit authority", "the volunteer group", "the art festival",
+)
+
+OFF_TOPIC_NOUNS = (
+    "meeting", "schedule", "budget", "exhibition", "route", "program",
+    "season", "report", "election", "renovation", "ceremony", "workshop",
+    "lecture", "parade", "survey", "census", "ordinance", "hearing",
+)
+
+#: Names for people appearing in filler sentences.
+PERSON_NAMES = (
+    "Alice Morgan", "Brian Chen", "Carla Diaz", "David Okafor",
+    "Elena Petrova", "Frank Nakamura", "Grace Lindqvist", "Hassan Ali",
+)
+
+WEEKDAYS = ("Monday", "Tuesday", "Wednesday", "Thursday", "Friday", "Saturday", "Sunday")

@@ -1,0 +1,107 @@
+"""General web page and news article generators (Table 5 material).
+
+"Document level classifiers do not work as well on general Web pages in
+which sentiment expressions are typically very sparse."  These pages are
+multi-subject and dominated by the paper's **I class** (ambiguous / not
+describing the product / no sentiment at all — "60%–90% depending on the
+domain"), which is exactly what breaks sentence-level statistical
+classification while the NLP miner keeps abstaining correctly.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from ..core.model import Polarity
+from .gold import LabeledDocument, LabeledSentence
+from .reviews import _assemble, zipf_choice
+from .templates import SentenceFactory
+from .vocab import DomainVocab
+
+
+@dataclass(frozen=True)
+class WebPageMix:
+    """Sentence mix for one general web page: I-class dominated."""
+
+    direct: int = 4
+    mixed: int = 1
+    slang: int = 1
+    trap: int = 1
+    neutral: int = 5
+    stray: int = 9
+    filler: int = 4
+
+    def kind_counts(self) -> dict[str, int]:
+        return {
+            "direct": self.direct,
+            "mixed": self.mixed,
+            "slang": self.slang,
+            "trap": self.trap,
+            "neutral": self.neutral,
+            "stray": self.stray,
+        }
+
+
+@dataclass
+class WebPageGenerator:
+    """Deterministic general-web / news generator for one domain."""
+
+    vocab: DomainVocab
+    seed: int = 2005
+    mix: WebPageMix = field(default_factory=WebPageMix)
+    news_style: bool = False
+
+    def __post_init__(self) -> None:
+        self._rng = random.Random(self.seed + (1 if self.news_style else 0))
+        self._factory = SentenceFactory(self.vocab, self._rng)
+
+    def generate_page(self, doc_id: str) -> LabeledDocument:
+        rng = self._rng
+        # General pages discuss several subjects: companies and their
+        # aspects interleave.
+        companies = rng.sample(self.vocab.products, k=min(3, len(self.vocab.products)))
+        sentences: list[LabeledSentence] = []
+        if self.news_style:
+            company = companies[0]
+            headline_verb = rng.choice(("reports", "reviews", "updates"))
+            sentences.append(
+                LabeledSentence(f"{company} {headline_verb} its quarterly outlook.")
+            )
+        body: list[LabeledSentence] = []
+        for kind, count in self.mix.kind_counts().items():
+            jittered = max(0, count + rng.choice((-1, 0, 0, 1)))
+            for _ in range(jittered):
+                subject = self._pick_subject(rng, companies)
+                polarity = (
+                    Polarity.NEUTRAL
+                    if kind in ("neutral", "stray")
+                    else rng.choice((Polarity.POSITIVE, Polarity.NEGATIVE))
+                )
+                body.append(self._factory.of_kind(kind, subject, polarity))
+        for _ in range(self.mix.filler):
+            body.append(self._factory.filler())
+        rng.shuffle(body)
+        sentences.extend(body)
+        document = _assemble(
+            doc_id,
+            sentences,
+            self.vocab.name,
+            True,
+            Polarity.NEUTRAL,
+        )
+        document.doc_polarity = Polarity.NEUTRAL
+        return document
+
+    def generate_pages(self, count: int) -> list[LabeledDocument]:
+        style = "news" if self.news_style else "web"
+        return [
+            self.generate_page(f"{self.vocab.name}:{style}:{i:05d}")
+            for i in range(count)
+        ]
+
+    def _pick_subject(self, rng: random.Random, companies: list[str]) -> str:
+        # Half the mentions name a company, half an aspect/feature.
+        if rng.random() < 0.5:
+            return rng.choice(companies)
+        return zipf_choice(rng, self.vocab.features)

@@ -1,0 +1,140 @@
+"""Evaluation metrics, using the paper's definitions.
+
+"The precision was computed only on the test cases with either positive
+or negative sentiment.  For the computation of the accuracy, neutral
+sentiment cases were included as well."
+
+* **precision** — among *predicted-polar* cases, the fraction whose gold
+  is polar with the same sign;
+* **recall** — among *gold-polar* cases, the fraction predicted with the
+  correct polar sign;
+* **accuracy** — over all cases (neutral included), exact label match.
+
+This is why the miner's accuracy exceeds its precision: "the majority of
+the test cases have neutral sentiment, and it correctly classifies them."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from ..core.model import Polarity
+from ..corpora.gold import GoldMention
+
+#: Evaluation case key: (lowercased subject, sentence index).
+CaseKey = tuple[str, int]
+
+
+@dataclass
+class EvaluationCounts:
+    """Raw confusion counts for one system on one dataset."""
+
+    correct_polar: int = 0  # polar prediction, right sign
+    wrong_polar: int = 0  # polar prediction, wrong sign or neutral gold
+    missed_polar: int = 0  # neutral prediction on polar gold
+    correct_neutral: int = 0  # neutral prediction on neutral gold
+
+    @property
+    def predicted_polar(self) -> int:
+        return self.correct_polar + self.wrong_polar
+
+    @property
+    def gold_polar(self) -> int:
+        polar_hits = self.correct_polar + self.missed_polar
+        # wrong_polar mixes two cases; track exactly via record() instead.
+        return polar_hits + self._wrong_on_polar
+
+    @property
+    def total(self) -> int:
+        return (
+            self.correct_polar
+            + self.wrong_polar
+            + self.missed_polar
+            + self.correct_neutral
+        )
+
+    _wrong_on_polar: int = field(default=0, repr=False)
+
+    def record(self, gold: Polarity, predicted: Polarity) -> None:
+        """Tally one case."""
+        if predicted.is_polar:
+            if gold is predicted:
+                self.correct_polar += 1
+            else:
+                self.wrong_polar += 1
+                if gold.is_polar:
+                    self._wrong_on_polar += 1
+        else:
+            if gold.is_polar:
+                self.missed_polar += 1
+            else:
+                self.correct_neutral += 1
+
+    # -- metrics -------------------------------------------------------------------
+
+    @property
+    def precision(self) -> float:
+        if self.predicted_polar == 0:
+            return 0.0
+        return self.correct_polar / self.predicted_polar
+
+    @property
+    def recall(self) -> float:
+        if self.gold_polar == 0:
+            return 0.0
+        return self.correct_polar / self.gold_polar
+
+    @property
+    def accuracy(self) -> float:
+        if self.total == 0:
+            return 0.0
+        return (self.correct_polar + self.correct_neutral) / self.total
+
+    @property
+    def f1(self) -> float:
+        p, r = self.precision, self.recall
+        if p + r == 0:
+            return 0.0
+        return 2 * p * r / (p + r)
+
+    def merge(self, other: "EvaluationCounts") -> None:
+        self.correct_polar += other.correct_polar
+        self.wrong_polar += other.wrong_polar
+        self.missed_polar += other.missed_polar
+        self.correct_neutral += other.correct_neutral
+        self._wrong_on_polar += other._wrong_on_polar
+
+
+def evaluate_cases(
+    gold_mentions: Iterable[GoldMention],
+    predictions: dict[CaseKey, Polarity],
+    exclude_kinds: frozenset[str] | set[str] = frozenset(),
+) -> EvaluationCounts:
+    """Score predictions against gold mentions.
+
+    *predictions* maps (subject, sentence_index) to the predicted
+    polarity; missing keys count as NEUTRAL predictions (the system
+    abstained).  ``exclude_kinds`` drops gold cases of certain template
+    kinds — used for the paper's "accuracy w/o I class" variant.
+    """
+    counts = EvaluationCounts()
+    for mention in gold_mentions:
+        if mention.kind in exclude_kinds:
+            continue
+        key = (mention.subject.lower(), mention.sentence_index)
+        predicted = predictions.get(key, Polarity.NEUTRAL)
+        counts.record(mention.polarity, predicted)
+    return counts
+
+
+def document_accuracy(
+    gold_labels: list[Polarity], predicted_labels: list[Polarity]
+) -> float:
+    """Plain document-level accuracy (ReviewSeer's native metric)."""
+    if len(gold_labels) != len(predicted_labels):
+        raise ValueError("label lists must align")
+    if not gold_labels:
+        return 0.0
+    hits = sum(1 for g, p in zip(gold_labels, predicted_labels) if g is p)
+    return hits / len(gold_labels)

@@ -1,0 +1,84 @@
+"""Plain-text reporting: fixed-width tables and ASCII bar charts.
+
+The experiment harness prints the same rows/series the paper reports;
+these helpers keep the output aligned and diff-friendly.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def format_percent(value: float, digits: int = 1) -> str:
+    """0.856 → ``85.6%``."""
+    return f"{100 * value:.{digits}f}%"
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Fixed-width table with a header rule.
+
+    Cells are stringified; numeric-looking cells right-align.
+    """
+    rows = [[_cell(c) for c in row] for row in rows]
+    headers = [str(h) for h in headers]
+    for row in rows:
+        if len(row) != len(headers):
+            raise ValueError("row width does not match header width")
+    widths = [
+        max(len(headers[i]), *(len(row[i]) for row in rows)) if rows else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append(
+            "  ".join(
+                c.rjust(w) if _is_numeric(c) else c.ljust(w)
+                for c, w in zip(row, widths)
+            )
+        )
+    return "\n".join(lines)
+
+
+def ascii_bar_chart(
+    series: Sequence[tuple[str, float]],
+    width: int = 40,
+    title: str | None = None,
+    max_value: float | None = None,
+) -> str:
+    """Horizontal bar chart, one row per (label, value)."""
+    if width < 1:
+        raise ValueError("width must be positive")
+    values = [v for _, v in series]
+    peak = max_value if max_value is not None else (max(values) if values else 1.0)
+    peak = peak or 1.0
+    label_width = max((len(label) for label, _ in series), default=0)
+    lines = []
+    if title:
+        lines.append(title)
+    for label, value in series:
+        bar = "#" * max(0, round(width * value / peak))
+        lines.append(f"{label.ljust(label_width)} | {bar} {value:g}")
+    return "\n".join(lines)
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.1f}"
+    return str(value)
+
+
+def _is_numeric(text: str) -> bool:
+    stripped = text.rstrip("%x").replace(",", "")
+    try:
+        float(stripped)
+    except ValueError:
+        return False
+    return True

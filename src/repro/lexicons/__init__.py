@@ -1,0 +1,11 @@
+"""Linguistic resources: sentiment lexicon word lists, negators, patterns.
+
+These modules are *data*, curated for this reproduction in place of the
+paper's General Inquirer / DAL / WordNet-derived lexicon (see DESIGN.md).
+The :mod:`repro.core.lexicon` and :mod:`repro.core.patterns` modules turn
+them into queryable objects.
+"""
+
+from . import adjectives, adverbs, negation, nouns, patterns, verbs
+
+__all__ = ["adjectives", "adverbs", "negation", "nouns", "patterns", "verbs"]

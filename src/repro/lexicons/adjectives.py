@@ -1,0 +1,367 @@
+"""Sentiment adjectives.
+
+The paper's lexicon held "about 3000 sentiment term entries including about
+2500 adjectives" collected from the General Inquirer, the Dictionary of
+Affect in Language and WordNet, then manually validated.  Those resources
+are not redistributable here, so this module carries a curated replacement
+list assembled for this reproduction.  Entries are grouped thematically
+purely for maintainability; the loader flattens them.
+
+Participial adjectives ("impressive", "disappointing", "disappointed") are
+listed explicitly when they are common in product reviews — they are
+distinct lexical entries in the paper's format, which keys on (term, POS).
+"""
+
+from __future__ import annotations
+
+# -- positive adjectives -----------------------------------------------------
+
+_POSITIVE_QUALITY = (
+    "excellent outstanding superb exceptional magnificent marvelous "
+    "wonderful fantastic terrific fabulous phenomenal stellar superior "
+    "supreme premium first-rate first-class top-notch world-class "
+    "high-end upscale deluxe exquisite immaculate impeccable flawless "
+    "perfect ideal optimal prime choice select vintage classic iconic "
+    "legendary masterful masterly virtuoso polished refined elegant "
+    "graceful stylish chic sleek classy tasteful sophisticated luxurious "
+    "lavish plush opulent sumptuous splendid glorious grand majestic "
+    "stately noble dignified distinguished prestigious renowned famed "
+    "celebrated acclaimed esteemed admired respected revered honored "
+    "exemplary admirable commendable laudable praiseworthy meritorious "
+    "worthy deserving creditable estimable reputable trustworthy "
+    "dependable reliable solid sturdy robust durable rugged tough "
+    "resilient lasting enduring stable steady consistent uniform "
+    "faithful loyal devoted dedicated committed conscientious diligent "
+    "meticulous thorough careful precise accurate exact correct proper "
+    "sound valid legitimate authentic genuine real true honest sincere "
+    "truthful candid frank forthright straightforward transparent open "
+    "fair just impartial unbiased objective balanced reasonable sensible "
+    "rational logical coherent lucid clear crisp sharp vivid bright "
+    "brilliant radiant luminous glowing gleaming shining sparkling "
+    "dazzling striking stunning breathtaking magnificent-looking "
+    "beautiful gorgeous lovely pretty attractive appealing alluring "
+    "charming enchanting captivating fascinating mesmerizing riveting "
+    "engrossing absorbing engaging compelling gripping intriguing "
+    "interesting entertaining amusing enjoyable delightful pleasant "
+    "pleasing pleasurable satisfying gratifying fulfilling rewarding "
+    "refreshing invigorating energizing stimulating exciting thrilling "
+    "exhilarating electrifying rousing stirring inspiring uplifting "
+    "heartening encouraging promising hopeful optimistic upbeat cheerful "
+    "happy joyful joyous jubilant elated ecstatic euphoric blissful "
+    "content contented pleased glad delighted thrilled overjoyed "
+    "grateful thankful appreciative impressed amazed astonished awed "
+    "impressive remarkable extraordinary incredible amazing astounding "
+    "astonishing awesome wondrous miraculous sensational spectacular "
+    "haunting soulful moving sublime evocative-sounding "
+    "eye-catching memorable unforgettable noteworthy notable significant "
+)
+
+_POSITIVE_FUNCTION = (
+    "useful helpful handy practical functional versatile flexible "
+    "adaptable convenient accessible available affordable economical "
+    "inexpensive cheap budget-friendly cost-effective valuable invaluable "
+    "worthwhile beneficial advantageous favorable productive effective "
+    "efficient capable competent proficient skilled skillful adept "
+    "expert professional qualified experienced seasoned accomplished "
+    "talented gifted able powerful potent strong mighty forceful "
+    "vigorous dynamic energetic lively spirited vibrant vivacious "
+    "brisk quick fast rapid swift speedy prompt punctual timely "
+    "responsive agile nimble smooth seamless effortless easy simple "
+    "straightforward intuitive user-friendly ergonomic comfortable cozy "
+    "snug compact portable lightweight slim trim streamlined neat tidy "
+    "organized orderly systematic methodical structured clean hygienic "
+    "spotless pristine fresh new novel innovative inventive creative "
+    "original imaginative ingenious clever smart intelligent brainy "
+    "wise sage insightful perceptive astute shrewd savvy discerning "
+    "thoughtful considerate kind kindly gentle tender warm warmhearted "
+    "friendly amiable affable cordial genial gracious courteous polite "
+    "respectful civil hospitable welcoming generous charitable "
+    "benevolent magnanimous compassionate sympathetic empathetic caring "
+    "supportive nurturing protective safe secure protected guarded "
+    "harmless benign gentle-handed painless trouble-free carefree "
+    "quiet silent noiseless peaceful calm tranquil serene placid "
+    "relaxed restful soothing calming comforting reassuring "
+    "crisp-sounding full-bodied rich deep resonant melodious harmonious "
+    "tuneful musical lyrical poetic artistic aesthetic scenic "
+    "picturesque idyllic charming-looking quaint delicate dainty fine "
+    "subtle nuanced layered textured detailed intricate elaborate "
+    "thoughtfully-made well-made well-built well-designed well-crafted "
+    "well-engineered well-balanced well-rounded well-executed "
+    "well-implemented well-documented well-supported well-priced "
+    "well-received well-regarded best better finest greatest nicest "
+    "good great nice fine decent solid-performing dependable-feeling "
+    "responsive-feeling snappy zippy peppy punchy slick "
+)
+
+_POSITIVE_DOMAIN = (
+    "sharp-focused high-resolution widescreen expandable upgradable "
+    "rechargeable long-lasting energy-efficient power-efficient "
+    "quick-charging fast-focusing waterproof weatherproof shockproof "
+    "dustproof scratch-resistant fingerprint-resistant glare-free "
+    "lag-free noise-free distortion-free blur-free grain-free "
+    "feature-rich full-featured fully-functional plug-and-play wireless "
+    "cordless cable-free hands-free intuitive-feeling customizable "
+    "configurable programmable extensible interoperable compatible "
+    "backward-compatible standards-compliant certified award-winning "
+    "best-selling top-selling top-rated highly-rated five-star "
+    "market-leading industry-leading cutting-edge state-of-the-art "
+    "next-generation advanced modern contemporary current up-to-date "
+    "future-proof scalable maintainable sustainable eco-friendly green "
+    "recyclable ethical responsible accountable profitable lucrative "
+    "thriving prosperous flourishing booming growing expanding "
+    "successful victorious triumphant winning unbeaten unrivaled "
+    "unmatched unparalleled unsurpassed peerless matchless incomparable "
+    "definitive authoritative seminal groundbreaking revolutionary "
+    "transformative game-changing pioneering trailblazing visionary "
+    "forward-looking ambitious bold daring courageous brave fearless "
+    "confident assured self-assured poised composed collected "
+    "articulate eloquent persuasive convincing credible believable "
+    "plausible defensible justified warranted merited earned honest-run "
+    "law-abiding compliant safe-to-use child-safe family-friendly "
+    "beginner-friendly travel-friendly pocket-sized featherweight "
+    "whisper-quiet ultra-fast ultra-sharp ultra-compact ultra-reliable "
+    "razor-sharp crystal-clear pin-sharp tack-sharp true-to-life "
+    "lifelike natural-looking accurate-sounding faithful-sounding "
+    "balanced-sounding detailed-sounding airy spacious roomy generous-sized "
+    "ample abundant plentiful bountiful copious sufficient adequate "
+)
+
+_POSITIVE_EMOTION = (
+    "affectionate amiable-natured amused animated appreciated beloved "
+    "blessed buoyant calm-minded carefree celebratory charmed cheery "
+    "comfy congenial consoling contagious-joyful cordial-hearted "
+    "ebullient effervescent elating empathic enamored endearing "
+    "enthused exultant festive fond fulfilled genial-spirited giddy "
+    "gleeful good-humored good-natured gratified heartfelt heartwarming "
+    "hope-filled idolized jolly jovial jubilant-hearted lighthearted "
+    "likable lovable loving merry mirthful optimistic-minded overjoyous "
+    "passionate peace-loving playful proud radiant-hearted rapturous "
+    "rejuvenated relieved rosy sanguine satisfied-feeling smiley "
+    "spirited sunny tender-hearted thrilled-feeling tickled touched "
+    "tranquil-minded treasured unburdened unflappable upbeat-feeling "
+    "victorious-feeling vivified warm-fuzzy welcoming-hearted winsome "
+    "zestful zippy-spirited adored amazing-feeling beatific blithe "
+    "breezy bubbly chipper companionable convivial delighted-feeling "
+    "dreamy ecstatic-feeling exuberant gracious-hearted grateful-minded "
+    "halcyon inspired-feeling intoxicating invigorated jaunty keen "
+    "mellow nurtured pampered perky pleased-feeling plucky quickened "
+    "refreshed-feeling renewed rhapsodic roused sated savoring secure-feeling "
+    "self-confident serene-minded smitten snug-feeling soothing-feeling "
+    "sprightly starry-eyed stoked sweet-tempered thankful-hearted "
+    "unruffled uplifted-feeling vibrant-feeling whimsical wholehearted "
+    "wonder-struck youthful zealous"
+)
+
+_POSITIVE_AESTHETIC = (
+    "adorable angelic artful balanced beauteous becoming bonny "
+    "breathtakingly-composed burnished chiseled colorful comely "
+    "crystalline cultured dainty-looking dapper dashing dazzlingly-lit "
+    "debonair decorative dignified-looking dreamlike effulgent "
+    "embellished enchanted ethereal evocative exalted expressive "
+    "eye-pleasing fetching filigreed flattering flourishing-looking "
+    "fragrant fresh-faced gilded glamorous glistening glossy golden "
+    "grandiose-beautiful handcrafted harmonized heavenly honeyed "
+    "illustrious imaginative-looking incandescent iridescent jewel-like "
+    "lavishly-made limpid lustrous luxuriant magnetic majestic-looking "
+    "manicured marbled mellifluous mesmeric moonlit opaline ornate "
+    "pastel pearly photogenic picture-perfect poised-looking pristine-looking "
+    "regal resplendent rhythmic rosy-hued satiny scintillating sculpted "
+    "shimmering silken silvery sleek-lined snowy sparkly spellbinding "
+    "splashy statuesque stately-looking stylish-looking sumptuously-made "
+    "sun-drenched svelte swanky tasteful-looking tuneful-sounding "
+    "twinkling unblemished velvety verdant vivid-looking well-groomed "
+    "well-proportioned willowy winning wistful-beautiful"
+)
+
+_NEGATIVE_AESTHETIC = (
+    "bedraggled bleached-out blotchy boxy brackish bristly bulbous "
+    "cacophonous careworn charmless chintzy clashing clownish "
+    "colorless cramped-looking crumpled dank dilapidated-looking "
+    "disfigured disheveled dowdy drab-looking dreary-looking dusty "
+    "festering fetid flaky frayed frumpy garish gaudy ghoulish "
+    "graceless grating-sounding grim-looking grotesque gruesome-looking "
+    "haggard ham-fisted homely ill-fitting inelegant inharmonious "
+    "jarring-looking lurid mangy matted mildewed misshapen moth-eaten "
+    "mottled muddled-looking murky-sounding musty-smelling nondescript "
+    "off-key off-putting overgrown oversaturated-looking pallid patchy "
+    "pockmarked repainted-badly rumpled rusty sallow scraggly scuffed "
+    "shapeless shopworn shrill-sounding smudged soggy splotchy stained "
+    "stodgy stuffy sun-bleached tacky tarnished-looking tatty tinny-sounding "
+    "top-heavy ugly unbecoming uncouth ungraceful unkempt unpolished "
+    "unsightly warped washed-out-looking weather-beaten wilted wrinkled"
+)
+
+_NEGATIVE_EMOTION = (
+    "abandoned-feeling abashed aggrieved agitated alienated anguished "
+    "antsy apathetic apprehensive ashamed bereaved bereft betrayed-feeling "
+    "bewildered-feeling bitter-hearted blue brokenhearted browbeaten "
+    "bummed burdened chagrined cheerless crestfallen crushed-feeling "
+    "dejected demeaned-feeling demoralized-feeling despairing despondent "
+    "devastated-feeling disconsolate disenchanted disgruntled disheartened-feeling "
+    "disillusioned dismal-feeling dispirited-feeling distraught doleful "
+    "downcast downhearted downtrodden dreading embarrassed embittered "
+    "enervated estranged exasperated-feeling exhausted fatigued fearful "
+    "flustered forlorn forsaken fraught fretful friendless frightened "
+    "frustrated-feeling glum grief-stricken grieving guilt-ridden "
+    "harassed heartbroken heartsick helpless humiliated-feeling hurt "
+    "inconsolable indignant insecure-feeling irate irked isolated "
+    "jaded jittery joyless lonely lonesome melancholic melancholy "
+    "miffed miserable moody mortified mournful nervous numb offended-feeling "
+    "oppressed-feeling overwhelmed panicked paranoid peeved perturbed "
+    "pessimistic petrified powerless rattled regretful remorseful "
+    "repulsed-feeling resentful-feeling restless rueful scared shaken "
+    "shamed sheepish sorrowful spiteful-feeling stressed stricken "
+    "sulky sullen-feeling tearful tense terrified tormented-feeling "
+    "traumatized troubled-feeling unappreciated uneasy unhappy unloved "
+    "unnerved unsettled-feeling unwanted upset-feeling vexed-feeling "
+    "weary woebegone worried-sick wounded wretched-feeling"
+)
+
+POSITIVE_ADJECTIVES: tuple[str, ...] = tuple(
+    sorted(
+        set(
+            (
+                _POSITIVE_QUALITY
+                + _POSITIVE_FUNCTION
+                + _POSITIVE_DOMAIN
+                + _POSITIVE_EMOTION
+                + _POSITIVE_AESTHETIC
+            ).split()
+        )
+    )
+)
+
+# -- negative adjectives -----------------------------------------------------
+
+_NEGATIVE_QUALITY = (
+    "bad terrible horrible awful dreadful atrocious abysmal appalling "
+    "horrendous horrid hideous ghastly gruesome grim dire woeful "
+    "lamentable deplorable disgraceful shameful scandalous outrageous "
+    "egregious inexcusable unforgivable unacceptable intolerable "
+    "insufferable unbearable unendurable poor inferior substandard "
+    "second-rate third-rate low-end low-grade low-quality shoddy "
+    "cheaply-made flimsy fragile frail brittle rickety wobbly shaky "
+    "unstable unsteady insecure unsafe dangerous hazardous risky "
+    "perilous treacherous harmful damaging destructive ruinous "
+    "detrimental injurious toxic poisonous noxious foul rank rancid "
+    "rotten putrid stale moldy musty dingy dirty filthy grimy grubby "
+    "squalid sordid seedy shabby scruffy tattered worn worn-out "
+    "threadbare dilapidated decrepit run-down broken broken-down "
+    "defective faulty flawed damaged impaired malfunctioning "
+    "nonfunctional inoperative unusable unworkable useless worthless "
+    "valueless pointless futile vain fruitless ineffective inefficient "
+    "incompetent inept unskilled amateurish unprofessional careless "
+    "negligent sloppy slipshod slapdash hasty rushed half-baked "
+    "half-hearted lazy idle slothful lax slack remiss derelict "
+    "irresponsible unreliable undependable untrustworthy dishonest "
+    "deceitful deceptive fraudulent bogus fake counterfeit phony sham "
+    "spurious false untrue untruthful misleading manipulative sneaky "
+    "sly devious cunning crafty underhanded crooked corrupt venal "
+    "unscrupulous unethical immoral amoral wicked evil vile vicious "
+    "malicious malevolent spiteful vindictive cruel brutal savage "
+    "ruthless merciless heartless callous cold cold-hearted unfeeling "
+    "insensitive inconsiderate thoughtless rude impolite discourteous "
+    "disrespectful insolent impertinent impudent arrogant haughty "
+    "conceited vain-glorious pompous pretentious smug condescending "
+    "patronizing dismissive contemptuous scornful disdainful mocking "
+    "derisive sarcastic snide catty petty mean mean-spirited nasty "
+    "hostile antagonistic belligerent aggressive combative quarrelsome "
+    "argumentative cantankerous irritable irascible grumpy grouchy "
+    "cranky crabby surly sullen morose sour bitter resentful envious "
+    "jealous covetous greedy avaricious selfish self-centered egotistic "
+)
+
+_NEGATIVE_FUNCTION = (
+    "disappointing dissatisfying unsatisfying unsatisfactory mediocre "
+    "flat repetitive weak questionable controversial "
+    "lackluster uninspired uninspiring unimpressive forgettable bland "
+    "dull boring tedious monotonous dreary drab humdrum mundane banal "
+    "trite hackneyed stale-feeling clichéd derivative unoriginal "
+    "predictable uneventful lifeless listless sluggish slow laggy "
+    "unresponsive balky glitchy buggy crash-prone error-prone unstable "
+    "erratic inconsistent unpredictable temperamental finicky fussy "
+    "fiddly awkward clumsy cumbersome unwieldy bulky heavy oversized "
+    "overweight ungainly inconvenient impractical unusable-feeling "
+    "confusing perplexing puzzling baffling bewildering convoluted "
+    "complicated overcomplicated byzantine labyrinthine opaque murky "
+    "unclear vague ambiguous equivocal cryptic obscure muddled garbled "
+    "incoherent disorganized chaotic messy cluttered haphazard random "
+    "arbitrary inaccurate imprecise inexact erroneous wrong incorrect "
+    "mistaken invalid unsound illogical irrational absurd ridiculous "
+    "ludicrous laughable preposterous nonsensical senseless foolish "
+    "silly stupid idiotic moronic asinine dumb dim-witted obtuse dense "
+    "ignorant uninformed misinformed clueless naive gullible credulous "
+    "noisy loud deafening grating jarring harsh shrill screechy tinny "
+    "muffled muddy distorted fuzzy blurry blurred grainy pixelated "
+    "washed-out faded dim dark murky-looking overexposed underexposed "
+    "oversaturated discolored off-color lopsided crooked-looking "
+    "misaligned uneven rough coarse jagged scratchy sticky greasy "
+    "slimy slippery leaky drafty creaky squeaky rattling loose "
+    "expensive overpriced costly exorbitant extortionate unaffordable "
+    "uneconomical wasteful extravagant inflated steep pricey "
+    "underpowered underwhelming overhyped overrated oversold overblown "
+    "exaggerated inflated-sounding hollow empty vacuous shallow "
+    "superficial insubstantial thin meager scanty sparse insufficient "
+    "inadequate deficient lacking wanting incomplete unfinished partial "
+    "limited restricted constrained cramped tight narrow short-lived "
+    "fleeting ephemeral transient temporary stopgap makeshift "
+)
+
+_NEGATIVE_DOMAIN = (
+    "slow-focusing slow-charging battery-hungry power-hungry "
+    "short-battery glitch-ridden virus-prone insecure-feeling hackable "
+    "vulnerable exploitable outdated obsolete antiquated archaic "
+    "old-fashioned dated legacy-bound deprecated unsupported abandoned "
+    "discontinued orphaned incompatible nonstandard proprietary-locked "
+    "locked-down restrictive burdensome onerous oppressive draconian "
+    "punitive unfair unjust inequitable discriminatory biased partial "
+    "prejudiced one-sided slanted skewed distorted-sounding "
+    "troublesome problematic vexing annoying irritating exasperating "
+    "infuriating maddening aggravating frustrating irksome bothersome "
+    "tiresome wearisome taxing trying burdensome-feeling stressful "
+    "nerve-wracking worrying worrisome alarming disturbing distressing "
+    "upsetting unsettling disconcerting disquieting troubling ominous "
+    "menacing threatening sinister foreboding bleak dismal gloomy "
+    "depressing dispiriting disheartening discouraging demoralizing "
+    "hopeless desperate dismaying crushing devastating catastrophic "
+    "disastrous calamitous cataclysmic apocalyptic fatal deadly lethal "
+    "sick sickly ill unhealthy unwell ailing diseased infected "
+    "contaminated polluted tainted adulterated impure unsanitary "
+    "unhygienic germ-ridden pest-ridden infested defect-ridden "
+    "failure-prone fault-ridden recall-prone lawsuit-ridden scandal-hit "
+    "loss-making unprofitable insolvent bankrupt indebted cash-strapped "
+    "struggling failing floundering faltering declining shrinking "
+    "collapsing crumbling disintegrating imploding sinking doomed "
+    "troubled embattled beleaguered besieged criticized condemned "
+    "denounced censured blamed faulted accused indicted convicted "
+    "guilty culpable liable negligent-seeming reckless rash imprudent "
+    "ill-advised ill-conceived ill-considered misguided wrongheaded "
+    "counterproductive self-defeating short-sighted myopic blinkered "
+    "disgusting revolting repulsive repugnant repellent loathsome "
+    "odious abhorrent detestable despicable contemptible beneath-contempt "
+    "nauseating sickening stomach-turning distasteful unsavory "
+    "unpalatable unappetizing inedible undrinkable unwatchable "
+    "unlistenable unreadable unplayable regrettable unfortunate "
+    "unlucky hapless ill-fated star-crossed jinxed cursed "
+)
+
+NEGATIVE_ADJECTIVES: tuple[str, ...] = tuple(
+    sorted(
+        set(
+            (
+                _NEGATIVE_QUALITY
+                + _NEGATIVE_FUNCTION
+                + _NEGATIVE_DOMAIN
+                + _NEGATIVE_EMOTION
+                + _NEGATIVE_AESTHETIC
+            ).split()
+        )
+    )
+)
+
+
+def entries() -> list[tuple[str, str, str]]:
+    """All adjective lexicon entries as ``(term, POS, polarity)`` tuples."""
+    out = [(word, "JJ", "+") for word in POSITIVE_ADJECTIVES]
+    out.extend((word, "JJ", "-") for word in NEGATIVE_ADJECTIVES)
+    return out

@@ -1,0 +1,92 @@
+"""Sentiment adverbs, intensifiers and diminishers.
+
+Sentiment adverbs carry polarity themselves ("beautifully", "poorly").
+Intensifiers and diminishers do not; they modulate the strength of an
+adjacent sentiment word.  The paper's polarity model is binary, so
+intensity only matters for tie-breaking in the collocation baseline and
+for the extension scoring mode of :class:`repro.core.phrase`.
+"""
+
+from __future__ import annotations
+
+POSITIVE_ADVERBS: tuple[str, ...] = tuple(
+    sorted(
+        set(
+            (
+                "admirably amazingly beautifully brilliantly capably "
+                "cleanly cleverly comfortably commendably conveniently "
+                "correctly dependably effectively efficiently effortlessly "
+                "elegantly excellently exceptionally expertly faithfully "
+                "famously fantastically fast favorably flawlessly fluidly "
+                "gracefully handsomely happily harmoniously ideally "
+                "immaculately impeccably impressively intelligently "
+                "intuitively magnificently marvelously masterfully neatly "
+                "nicely perfectly pleasantly precisely professionally "
+                "promptly properly quickly quietly reliably remarkably "
+                "responsively richly robustly seamlessly securely sharply "
+                "smartly smoothly solidly splendidly successfully superbly "
+                "swiftly vividly warmly wonderfully well"
+            ).split()
+        )
+    )
+)
+
+NEGATIVE_ADVERBS: tuple[str, ...] = tuple(
+    sorted(
+        set(
+            (
+                "abysmally annoyingly awfully awkwardly badly carelessly "
+                "cheaply clumsily crudely disappointingly dishonestly "
+                "dismally dreadfully erratically excessively expensively "
+                "frustratingly horribly improperly inaccurately "
+                "inadequately incompetently inconsistently inconveniently "
+                "incorrectly ineffectively inefficiently infuriatingly "
+                "insufferably intolerably lamentably loudly miserably "
+                "noisily painfully pathetically poorly recklessly "
+                "regrettably roughly shabbily shamefully shoddily sloppily "
+                "sluggishly terribly unacceptably unbearably unevenly "
+                "unfairly unfortunately unpredictably unreliably weakly "
+                "woefully wretchedly wrongly"
+            ).split()
+        )
+    )
+)
+
+#: Degree adverbs that strengthen an adjacent sentiment word.
+INTENSIFIERS: tuple[str, ...] = tuple(
+    sorted(
+        set(
+            (
+                "absolutely amazingly awfully completely considerably "
+                "decidedly deeply distinctly downright enormously "
+                "especially exceedingly exceptionally extraordinarily "
+                "extremely genuinely highly hugely immensely incredibly "
+                "intensely outright particularly perfectly phenomenally "
+                "profoundly quite really remarkably seriously severely "
+                "significantly so strikingly strongly substantially "
+                "supremely terribly thoroughly totally truly utterly very "
+                "wildly"
+            ).split()
+        )
+    )
+)
+
+#: Degree adverbs that weaken an adjacent sentiment word.
+DIMINISHERS: tuple[str, ...] = tuple(
+    sorted(
+        set(
+            (
+                "somewhat slightly mildly marginally moderately fairly "
+                "reasonably relatively partially partly nominally vaguely "
+                "faintly barely scarcely hardly"
+            ).split()
+        )
+    )
+)
+
+
+def entries() -> list[tuple[str, str, str]]:
+    """All adverb lexicon entries as ``(term, POS, polarity)`` tuples."""
+    out = [(word, "RB", "+") for word in POSITIVE_ADVERBS]
+    out.extend((word, "RB", "-") for word in NEGATIVE_ADVERBS)
+    return out

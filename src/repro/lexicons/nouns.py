@@ -1,0 +1,99 @@
+"""Sentiment nouns.
+
+The paper's lexicon contained "less than 500 nouns" alongside the
+adjectives.  A sentiment noun carries polarity by itself ("bargain",
+"defect") and contributes to phrase polarity exactly like an adjective
+("a total failure" is negative because "failure" is).
+"""
+
+from __future__ import annotations
+
+POSITIVE_NOUNS: tuple[str, ...] = tuple(
+    sorted(
+        set(
+            (
+                "advantage asset bargain benefit bliss blessing bonus boon "
+                "breakthrough brilliance charm comfort confidence courage "
+                "craftsmanship creativity delight dependability durability "
+                "ease efficiency elegance excellence expertise finesse "
+                "flexibility fortune gain gem genius glory grace gratitude "
+                "happiness harmony honesty honor hope improvement ingenuity "
+                "innovation inspiration integrity joy luxury marvel mastery "
+                "masterpiece merit miracle optimism paradise passion "
+                "patience peace perfection pleasure polish praise precision "
+                "pride profit progress promise prosperity quality "
+                "refinement reliability relief resilience reward richness "
+                "robustness satisfaction savings security sharpness "
+                "simplicity sincerity skill smoothness speed splendor "
+                "stability standout steal strength success sturdiness "
+                "support sweetness talent thrill treasure triumph trust "
+                "upgrade usability value versatility victory virtue warmth "
+                "wealth winner wonder workmanship accolade applause "
+                "admiration affection appreciation approval endorsement "
+                "enthusiasm acclaim plus upside highlight strongpoint "
+                "goodwill kindness generosity loyalty dedication devotion "
+                "commitment accuracy clarity brightness vibrancy crispness "
+                "responsiveness convenience portability affordability "
+                "longevity endurance freshness purity authenticity "
+                "credibility reputation prestige distinction renown fame "
+                "favorite classic keeper must-have godsend lifesaver "
+                "powerhouse juggernaut champion champ ace standout-value "
+                "growth expansion recovery rebound rally surge boom upturn "
+                "windfall dividend surplus abundance plenty bounty"
+            ).split()
+        )
+    )
+)
+
+NEGATIVE_NOUNS: tuple[str, ...] = tuple(
+    sorted(
+        set(
+            (
+                "abuse accident agony annoyance anxiety atrocity betrayal "
+                "blame blemish blight blunder breakdown bug burden calamity "
+                "catastrophe chaos cheat complaint concern confusion "
+                "corruption cost-overrun crack crash crime crisis critic "
+                "criticism curse damage danger deadlock dearth debacle debt "
+                "decay deceit deception decline defeat defect deficiency "
+                "deficit delay demise despair destruction deterioration "
+                "detriment disadvantage disappointment disaster discomfort "
+                "disgrace disgust dishonesty dismay disorder dispute "
+                "disruption dissatisfaction distortion distress doubt "
+                "downfall downgrade downside downturn drag drain drawback "
+                "dread dud failing failure fatigue fault fear fiasco flaw "
+                "fraud frustration garbage glitch gloom grief grievance "
+                "grudge guilt handicap harm hassle hatred havoc hazard "
+                "headache horror hostility humiliation ignorance illness "
+                "imperfection inability inaccuracy inadequacy incompetence "
+                "inconsistency inconvenience indifference inefficiency "
+                "inferiority injury injustice insecurity instability insult "
+                "interference intrusion irritation jam jeopardy junk lag "
+                "lawsuit leak lemon letdown liability lie limitation loss "
+                "malfunction menace mess misconduct misery misfortune "
+                "mishap mistake mistrust misunderstanding negligence "
+                "nightmare noise nuisance objection obstacle obstruction "
+                "outage outrage overcharge overkill oversight panic penalty "
+                "peril pest pitfall plague poison pollution poverty problem "
+                "rant recall recession regret rejection rip-off risk ruin "
+                "rust scam scandal scar scarcity scratch setback shame "
+                "shortage shortcoming shortfall slowdown slump smear snag "
+                "sorrow stain stress struggle stumble suffering suspicion "
+                "threat trap trash trouble turmoil uncertainty unrest "
+                "vandalism vice victim violation vulnerability waste "
+                "weakness woe worry wreck wrongdoing eyesore deal-breaker "
+                "showstopper time-sink money-pit boondoggle quagmire "
+                "bottleneck chokepoint backlog bloat clutter cruft "
+                "contamination infestation erosion corrosion depletion "
+                "collapse implosion meltdown freefall bankruptcy insolvency "
+                "layoff downsizing shutdown closure default foreclosure"
+            ).split()
+        )
+    )
+)
+
+
+def entries() -> list[tuple[str, str, str]]:
+    """All noun lexicon entries as ``(term, POS, polarity)`` tuples."""
+    out = [(word, "NN", "+") for word in POSITIVE_NOUNS]
+    out.extend((word, "NN", "-") for word in NEGATIVE_NOUNS)
+    return out

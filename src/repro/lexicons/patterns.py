@@ -1,0 +1,171 @@
+"""Sentiment pattern database entries (predicate rules).
+
+The paper (Section 4.2) defines each entry as::
+
+    <predicate> <sent_category> <target>
+
+* ``predicate`` — a verb lemma;
+* ``sent_category`` — ``+`` or ``-`` for verbs with inherent polarity, or a
+  sentence component (``SP``/``OP``/``CP``/``PP(prep;...)``) whose phrase
+  polarity is transferred; a ``~`` prefix inverts the transferred polarity;
+* ``target`` — the component (``SP``/``OP``/``PP(prep;...)``) that receives
+  the sentiment.
+
+Entries for one predicate are ordered: the analyzer uses the first entry
+whose source and target components are present in the parsed clause
+("the best matching sentiment pattern").
+
+Paper examples reproduced verbatim below: ``impress + PP(by;with)``,
+``be CP SP``, ``offer OP SP``.
+
+Two verb classes generate families of entries:
+
+* **psych (stimulus-subject) verbs** — "The camera impressed me" assigns
+  the verb's polarity to its *subject*; in the passive, to the ``by``/
+  ``with`` phrase ("I am impressed by the flash").
+* **experiencer-subject verbs** — "I love the zoom" assigns the polarity
+  to the *object*; in the passive, to the subject.
+"""
+
+from __future__ import annotations
+
+from .verbs import NEGATIVE_VERBS, POSITIVE_VERBS
+
+#: Stimulus-subject psychological verbs: polarity lands on SP (active) or
+#: the by/with-PP (passive).
+PSYCH_VERBS_POSITIVE = (
+    "amaze astonish astound awe captivate charm dazzle delight enchant "
+    "energize enthrall entertain excite fascinate gratify impress inspire "
+    "invigorate please reassure refresh revitalize satisfy soothe thrill "
+    "uplift wow"
+).split()
+
+PSYCH_VERBS_NEGATIVE = (
+    "aggravate alarm anger annoy appall bore bother confuse disappoint "
+    "discourage disgust dishearten dismay displease dissatisfy distress "
+    "disturb dread enrage exasperate frighten frustrate humiliate "
+    "infuriate irritate offend panic provoke repel scare sicken torment "
+    "trouble underwhelm upset vex worry"
+).split()
+
+#: Experiencer-subject verbs: polarity lands on OP (active) or SP (passive).
+EXPERIENCER_VERBS_POSITIVE = (
+    "admire adore appreciate applaud approve celebrate cherish commend "
+    "compliment congratulate endorse enjoy honor laud like love praise "
+    "prefer recommend relish treasure trust value welcome"
+).split()
+
+EXPERIENCER_VERBS_NEGATIVE = (
+    "blame condemn criticize deplore despise dislike denounce fear hate "
+    "lament mistrust protest regret reject resent ridicule"
+).split()
+
+#: Copular verbs: complement polarity transfers to the subject.
+COPULAR_PATTERN_VERBS = (
+    "be seem look appear sound feel smell taste remain stay become get "
+    "turn prove"
+).split()
+
+#: Transfer verbs whose object polarity lands on the subject:
+#: "The company offers mediocre services" → company −.
+OBJECT_TO_SUBJECT_VERBS = (
+    "offer provide deliver give bring produce make take have show display "
+    "exhibit demonstrate feature include contain carry hold keep supply "
+    "yield present boast sport pack"
+).split()
+
+#: Function verbs: an adverbial complement transfers to the subject
+#: ("The zoom performs poorly"); a bare positive reading covers
+#: "it (just) works" and lets verb-phrase negation produce
+#: "does not work" → −.
+FUNCTION_VERBS = ("work perform operate function respond behave run handle").split()
+
+#: Transfer verbs whose with/from-PP polarity lands on the subject:
+#: "It comes with a generous warranty" → it +.
+PP_TO_SUBJECT_VERBS = {"come": ("with",), "ship": ("with",), "arrive": ("with",)}
+
+#: Inverting transfer verbs: fixing something bad is good.
+#: "The update fixes the annoying bug" → update +.
+INVERTING_VERBS = (
+    "fix solve eliminate resolve avoid prevent reduce cure correct remove "
+    "repair mitigate"
+).split()
+
+#: Plain transfer: causing something bad is bad.
+CAUSATIVE_VERBS = ("cause create introduce generate bring-about").split()
+
+#: Report verbs: the polarity of the object/complement clause reflects on
+#: the *object* itself, not the subject ("Analysts call the merger a
+#: disaster" → merger −).  Treated as OP←CP transfer.
+JUDGMENT_VERBS = ("call consider deem judge rate regard view find declare label").split()
+
+
+def pattern_lines() -> list[str]:
+    """All pattern DB entries, in priority order per predicate."""
+    lines: list[str] = []
+
+    # Copulas: complement → subject (paper: "be CP SP").
+    for verb in COPULAR_PATTERN_VERBS:
+        lines.append(f"{verb} CP SP")
+
+    # Object-polarity transfer (paper: "offer OP SP", "take OP SP").
+    for verb in OBJECT_TO_SUBJECT_VERBS:
+        lines.append(f"{verb} OP SP")
+
+    # Function verbs: adverbial complement first, then the bare reading.
+    for verb in FUNCTION_VERBS:
+        lines.append(f"{verb} CP SP")
+        lines.append(f"{verb} OP SP")
+        if verb in {"work", "function"}:
+            lines.append(f"{verb} + SP")
+
+    # PP transfer ("come with X").
+    for verb, preps in PP_TO_SUBJECT_VERBS.items():
+        plist = ";".join(preps)
+        lines.append(f"{verb} PP({plist}) SP")
+
+    # Inverting transfer.
+    for verb in INVERTING_VERBS:
+        lines.append(f"{verb} ~OP SP")
+
+    # Plain causative transfer.
+    for verb in CAUSATIVE_VERBS:
+        lines.append(f"{verb} OP SP")
+
+    # Judgment verbs: complement polarity lands on the object.
+    for verb in JUDGMENT_VERBS:
+        lines.append(f"{verb} CP OP")
+
+    # Psych verbs: passive first (paper: "impress + PP(by;with)"), then
+    # the active reading targeting the subject.
+    for verb in PSYCH_VERBS_POSITIVE:
+        lines.append(f"{verb} + PP(by;with)")
+        lines.append(f"{verb} + SP")
+    for verb in PSYCH_VERBS_NEGATIVE:
+        lines.append(f"{verb} - PP(by;with)")
+        lines.append(f"{verb} - SP")
+
+    # Experiencer verbs: active object first, passive subject second.
+    for verb in EXPERIENCER_VERBS_POSITIVE:
+        lines.append(f"{verb} + OP")
+        lines.append(f"{verb} + SP")
+    for verb in EXPERIENCER_VERBS_NEGATIVE:
+        lines.append(f"{verb} - OP")
+        lines.append(f"{verb} - SP")
+
+    # Remaining sentiment verbs default to subject-directed polarity:
+    # "The flash fails" → flash −; "The stock soared" → stock +.
+    covered = set(
+        PSYCH_VERBS_POSITIVE
+        + PSYCH_VERBS_NEGATIVE
+        + EXPERIENCER_VERBS_POSITIVE
+        + EXPERIENCER_VERBS_NEGATIVE
+    )
+    for verb in POSITIVE_VERBS:
+        if verb not in covered:
+            lines.append(f"{verb} + SP")
+    for verb in NEGATIVE_VERBS:
+        if verb not in covered:
+            lines.append(f"{verb} - SP")
+
+    return lines

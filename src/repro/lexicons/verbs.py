@@ -1,0 +1,91 @@
+"""Sentiment verbs and trans verbs.
+
+"Some verbs have positive or negative sentiment by themselves, but some
+verbs (we call them trans verb), such as *be* or *offer*, do not.  The
+sentiment of a subject in a sentence with a trans verb is determined by
+another component of the sentence." (paper Section 4.2)
+
+Sentiment verbs carry polarity ("love", "fail"); trans verbs transfer the
+polarity of a source phrase to a target phrase and are enumerated here so
+the pattern database (``lexicons.patterns``) can cover all of them.
+"""
+
+from __future__ import annotations
+
+POSITIVE_VERBS: tuple[str, ...] = tuple(
+    sorted(
+        set(
+            (
+                "admire adore amaze applaud appreciate approve astonish "
+                "astound awe benefit boost brighten captivate celebrate "
+                "charm cherish commend compliment congratulate dazzle "
+                "delight eclipse empower enchant encourage endorse energize "
+                "enhance enjoy enrich entertain enthrall excel excite "
+                "fascinate flourish gain glow grace gratify help honor "
+                "impress improve inspire invigorate love like laud "
+                "outperform outshine overdeliver please praise prefer "
+                "prosper protect recommend refine refresh rejoice relish "
+                "reassure revitalize reward satisfy shine soothe succeed "
+                "surpass thrill thrive treasure triumph trust uplift value "
+                "welcome win wow strengthen streamline simplify perfect "
+                "polish optimize stabilize secure save exceed"
+            ).split()
+        )
+    )
+)
+
+NEGATIVE_VERBS: tuple[str, ...] = tuple(
+    sorted(
+        set(
+            (
+                "abandon abuse aggravate alarm anger annoy appall "
+                "backfire betray blame bore bother break bungle burden "
+                "cheapen cheat collapse complain condemn confuse corrode "
+                "corrupt crack crash cripple criticize crumble damage "
+                "deceive decline decay defraud degrade demean demolish "
+                "denounce deplete deplore despise destroy deteriorate "
+                "disappoint discourage disgust dishearten dislike dismay "
+                "displease disrupt dissatisfy distort distress disturb "
+                "drain dread endanger enrage exasperate exaggerate fail "
+                "falter fear flounder freeze frighten frustrate fumble "
+                "grumble hamper harm hate hinder humiliate hurt impair "
+                "infest infuriate irritate jam jeopardize lack lag lament "
+                "languish leak lie lose malfunction mar mislead miss "
+                "mistreat nag neglect offend overcharge overheat overhype "
+                "overprice panic plague pollute protest provoke rant "
+                "regret reject repel resent ridicule ruin rust sabotage "
+                "scare scratch shatter shortchange shrink sicken sink "
+                "slump smear spoil stagnate stain stall struggle stumble "
+                "suffer sue tarnish threaten torment trouble undermine "
+                "underdeliver underperform underwhelm upset vex violate "
+                "wane warp waste weaken wear worry worsen wreck"
+            ).split()
+        )
+    )
+)
+
+#: Verbs with no sentiment of their own that *transfer* sentiment between
+#: sentence components.  The pattern database defines source/target roles
+#: for each.  (Paper's examples: "be", "offer".)
+TRANS_VERBS: tuple[str, ...] = tuple(
+    sorted(
+        set(
+            (
+                "be seem look appear sound feel remain stay become get "
+                "turn prove offer provide deliver give bring produce "
+                "make take have show display exhibit demonstrate feature "
+                "include contain carry come hold keep supply yield "
+                "present boast sport pack report describe call consider "
+                "find rate deem judge regard view see know mean say "
+                "use run work perform handle"
+            ).split()
+        )
+    )
+)
+
+
+def entries() -> list[tuple[str, str, str]]:
+    """All verb lexicon entries as ``(term, POS, polarity)`` tuples."""
+    out = [(word, "VB", "+") for word in POSITIVE_VERBS]
+    out.extend((word, "VB", "-") for word in NEGATIVE_VERBS)
+    return out

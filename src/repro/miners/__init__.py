@@ -1,0 +1,59 @@
+"""WebFountain adapter miners: the paper's miner inventory.
+
+Each miner adapts a :mod:`repro.core` algorithm to the platform's
+annotation-layer contract so pipelines can be deployed on the simulated
+cluster exactly as Figure 2 / Figure 3 describe.  The module also
+includes the other miners the paper names as platform examples:
+duplicate detection, aggregate statistics, and geographic context.
+"""
+
+from . import base
+from .clustering import ClusteringMiner, ClusterResult, cosine_similarity
+from .disambiguator import DisambiguatorMiner
+from .duplicates import (
+    DuplicateDetectionMiner,
+    DuplicatePair,
+    jaccard,
+    minhash_signature,
+    shingles,
+)
+from .feature_miner import FeaturePartial, FeatureTermMiner
+from .geographic import DEFAULT_GAZETTEER, GeographicContextMiner
+from .ne_spotter import NamedEntityMiner
+from .sentiment_miner import (
+    OpenSentimentEntityMiner,
+    SentimentEntityMiner,
+    judgments_from,
+)
+from .spotter import SpotterMiner
+from .statistics import AggregateStatisticsMiner, CorpusStatistics
+from .template_detection import TemplateDetectionMiner, TemplatePartial
+from .tokenizer_miner import PosTaggerMiner, TokenizerMiner
+
+__all__ = [
+    "AggregateStatisticsMiner",
+    "ClusterResult",
+    "ClusteringMiner",
+    "CorpusStatistics",
+    "DEFAULT_GAZETTEER",
+    "DisambiguatorMiner",
+    "DuplicateDetectionMiner",
+    "DuplicatePair",
+    "FeaturePartial",
+    "FeatureTermMiner",
+    "GeographicContextMiner",
+    "NamedEntityMiner",
+    "OpenSentimentEntityMiner",
+    "PosTaggerMiner",
+    "SentimentEntityMiner",
+    "SpotterMiner",
+    "TemplateDetectionMiner",
+    "TemplatePartial",
+    "TokenizerMiner",
+    "base",
+    "cosine_similarity",
+    "jaccard",
+    "judgments_from",
+    "minhash_signature",
+    "shingles",
+]

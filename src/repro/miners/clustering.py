@@ -1,0 +1,199 @@
+"""Corpus-level document clustering (k-means over TF-IDF).
+
+"Clustering" closes out the paper's list of corpus-level miner examples.
+Implementation: sparse TF-IDF document vectors, cosine distance, k-means
+with deterministic k-means++ seeding (seeded RNG, no global state).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from ..nlp.tokenizer import Tokenizer
+from ..platform.entity import Entity
+from ..platform.miners import CorpusMiner
+
+Vector = dict[str, float]
+
+
+def _normalise(vector: Vector) -> Vector:
+    norm = math.sqrt(sum(v * v for v in vector.values()))
+    if norm == 0:
+        return dict(vector)
+    return {k: v / norm for k, v in vector.items()}
+
+
+def cosine_similarity(a: Vector, b: Vector) -> float:
+    """Cosine similarity of two (not necessarily normalised) vectors."""
+    if not a or not b:
+        return 0.0
+    if len(b) < len(a):
+        a, b = b, a
+    dot = sum(value * b.get(key, 0.0) for key, value in a.items())
+    norm_a = math.sqrt(sum(v * v for v in a.values()))
+    norm_b = math.sqrt(sum(v * v for v in b.values()))
+    if norm_a == 0 or norm_b == 0:
+        return 0.0
+    return dot / (norm_a * norm_b)
+
+
+@dataclass
+class ClusteringPartial:
+    """Per-partition term counts: document id -> term frequencies."""
+
+    term_counts: dict[str, Counter] = field(default_factory=dict)
+
+
+@dataclass
+class ClusterResult:
+    """Final clustering: assignments plus descriptive labels."""
+
+    assignments: dict[str, int]
+    top_terms: list[list[str]]
+
+    @property
+    def num_clusters(self) -> int:
+        return len(self.top_terms)
+
+    def members(self, cluster: int) -> list[str]:
+        return sorted(eid for eid, c in self.assignments.items() if c == cluster)
+
+
+class ClusteringMiner(CorpusMiner[ClusteringPartial]):
+    """Map/reduce TF-IDF k-means clustering."""
+
+    name = "clustering"
+
+    def __init__(self, k: int = 2, seed: int = 2005, max_iterations: int = 25):
+        if k < 1:
+            raise ValueError("k must be positive")
+        self._k = k
+        self._seed = seed
+        self._max_iterations = max_iterations
+        self._tokenizer = Tokenizer()
+
+    # -- map/reduce ------------------------------------------------------------------
+
+    def map_partition(self, entities: Iterable[Entity]) -> ClusteringPartial:
+        partial = ClusteringPartial()
+        for entity in entities:
+            counts = Counter(
+                t.lower for t in self._tokenizer.tokenize(entity.content) if t.is_alpha
+            )
+            partial.term_counts[entity.entity_id] = counts
+        return partial
+
+    def reduce(self, partials: list[ClusteringPartial]) -> ClusteringPartial:
+        merged = ClusteringPartial()
+        for partial in partials:
+            merged.term_counts.update(partial.term_counts)
+        return merged
+
+    # -- clustering ---------------------------------------------------------------------
+
+    def cluster(self, merged: ClusteringPartial) -> ClusterResult:
+        """Run k-means on the merged counts."""
+        doc_ids = sorted(merged.term_counts)
+        if not doc_ids:
+            return ClusterResult(assignments={}, top_terms=[])
+        vectors = self._tfidf(merged, doc_ids)
+        k = min(self._k, len(doc_ids))
+        centroids = self._seed_centroids(vectors, doc_ids, k)
+        assignments: dict[str, int] = {}
+        for _ in range(self._max_iterations):
+            new_assignments = {
+                doc_id: self._nearest(vectors[doc_id], centroids) for doc_id in doc_ids
+            }
+            if new_assignments == assignments:
+                break
+            assignments = new_assignments
+            centroids = self._recompute(vectors, assignments, centroids, k)
+        top_terms = self._describe(centroids)
+        return ClusterResult(assignments=assignments, top_terms=top_terms)
+
+    # -- internals -------------------------------------------------------------------------
+
+    def _tfidf(self, merged: ClusteringPartial, doc_ids: list[str]) -> dict[str, Vector]:
+        df: Counter = Counter()
+        for doc_id in doc_ids:
+            df.update(set(merged.term_counts[doc_id]))
+        n = len(doc_ids)
+        vectors: dict[str, Vector] = {}
+        for doc_id in doc_ids:
+            counts = merged.term_counts[doc_id]
+            vectors[doc_id] = _normalise(
+                {
+                    term: count * (math.log(n / df[term]) + 1.0)
+                    for term, count in counts.items()
+                }
+            )
+        return vectors
+
+    def _seed_centroids(
+        self, vectors: dict[str, Vector], doc_ids: list[str], k: int
+    ) -> list[Vector]:
+        """k-means++ seeding with a deterministic RNG."""
+        rng = random.Random(self._seed)
+        centroids = [dict(vectors[rng.choice(doc_ids)])]
+        while len(centroids) < k:
+            distances = []
+            for doc_id in doc_ids:
+                best = max(cosine_similarity(vectors[doc_id], c) for c in centroids)
+                distances.append(max(0.0, 1.0 - best) ** 2)
+            total = sum(distances)
+            if total == 0:
+                centroids.append(dict(vectors[rng.choice(doc_ids)]))
+                continue
+            pick = rng.random() * total
+            acc = 0.0
+            for doc_id, distance in zip(doc_ids, distances):
+                acc += distance
+                if acc >= pick:
+                    centroids.append(dict(vectors[doc_id]))
+                    break
+        return centroids
+
+    @staticmethod
+    def _nearest(vector: Vector, centroids: list[Vector]) -> int:
+        best_index = 0
+        best_similarity = -1.0
+        for index, centroid in enumerate(centroids):
+            similarity = cosine_similarity(vector, centroid)
+            if similarity > best_similarity:
+                best_similarity = similarity
+                best_index = index
+        return best_index
+
+    @staticmethod
+    def _recompute(
+        vectors: dict[str, Vector],
+        assignments: dict[str, int],
+        old_centroids: list[Vector],
+        k: int,
+    ) -> list[Vector]:
+        sums: list[Vector] = [dict() for _ in range(k)]
+        sizes = [0] * k
+        for doc_id, cluster in assignments.items():
+            sizes[cluster] += 1
+            for term, value in vectors[doc_id].items():
+                sums[cluster][term] = sums[cluster].get(term, 0.0) + value
+        centroids = []
+        for index in range(k):
+            if sizes[index] == 0:
+                centroids.append(old_centroids[index])  # keep empty cluster seed
+            else:
+                centroids.append(
+                    _normalise({t: v / sizes[index] for t, v in sums[index].items()})
+                )
+        return centroids
+
+    @staticmethod
+    def _describe(centroids: list[Vector], top_n: int = 5) -> list[list[str]]:
+        return [
+            [term for term, _ in sorted(c.items(), key=lambda kv: -kv[1])[:top_n]]
+            for c in centroids
+        ]

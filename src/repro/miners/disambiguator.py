@@ -1,0 +1,35 @@
+"""The disambiguator miner: filter off-topic spots.
+
+Wraps :class:`repro.core.disambiguation.Disambiguator`: spots that fail
+the two-resolution test are *removed* from the ``spot`` layer (their
+original count is preserved in the ``spots_found`` metadata key so
+pipeline statistics survive).
+"""
+
+from __future__ import annotations
+
+from ..core.disambiguation import Disambiguator
+from ..platform.entity import Entity
+from ..platform.miners import EntityMiner
+from . import base
+
+
+class DisambiguatorMiner(EntityMiner):
+    """Rewrites the ``spot`` layer keeping only on-topic spots."""
+
+    name = "disambiguator"
+    requires = (base.TOKEN_LAYER, base.SENTENCE_LAYER, base.SPOT_LAYER)
+    provides = (base.SPOT_LAYER,)
+
+    def __init__(self, disambiguator: Disambiguator):
+        self._disambiguator = disambiguator
+
+    def process(self, entity: Entity) -> None:
+        sentences = base.sentences_from(entity)
+        spots = base.spots_from(entity)
+        result = self._disambiguator.disambiguate(sentences, spots)
+        entity.metadata["spots_found"] = len(spots)
+        entity.metadata["spots_on_topic"] = len(result.on_topic)
+        entity.clear_layer(base.SPOT_LAYER)
+        for spot in result.on_topic:
+            base.annotate_spot(entity, spot)

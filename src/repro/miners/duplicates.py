@@ -1,0 +1,132 @@
+"""Corpus-level duplicate detection (MinHash over shingles).
+
+The paper names "duplicate detection" among WebFountain's corpus-level
+miners.  This implementation is the standard near-duplicate pipeline:
+
+1. each document becomes a set of word *k*-shingles;
+2. a MinHash signature (``num_hashes`` permutations via salted md5)
+   sketches the shingle set;
+3. LSH banding proposes candidate pairs;
+4. candidates are verified against the exact Jaccard similarity of
+   their shingle sets.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from ..platform.entity import Entity
+from ..platform.miners import CorpusMiner
+
+
+def shingles(text: str, k: int = 3) -> set[str]:
+    """Lower-cased word k-shingles of *text* (the whole text if short)."""
+    words = text.lower().split()
+    if len(words) < k:
+        return {" ".join(words)} if words else set()
+    return {" ".join(words[i : i + k]) for i in range(len(words) - k + 1)}
+
+
+def _hash(value: str, salt: int) -> int:
+    digest = hashlib.md5(f"{salt}:{value}".encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+def minhash_signature(shingle_set: set[str], num_hashes: int = 48) -> tuple[int, ...]:
+    """MinHash signature; empty sets get an all-max sentinel signature."""
+    if not shingle_set:
+        return tuple([2**64 - 1] * num_hashes)
+    return tuple(
+        min(_hash(shingle, salt) for shingle in shingle_set)
+        for salt in range(num_hashes)
+    )
+
+
+def jaccard(a: set[str], b: set[str]) -> float:
+    """Exact Jaccard similarity; empty-vs-empty counts as 1.0."""
+    if not a and not b:
+        return 1.0
+    union = len(a | b)
+    return len(a & b) / union if union else 0.0
+
+
+@dataclass
+class DuplicatePartial:
+    """Per-partition sketch: document id -> (signature, shingles)."""
+
+    sketches: dict[str, tuple[tuple[int, ...], set[str]]] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class DuplicatePair:
+    """One verified near-duplicate pair."""
+
+    first: str
+    second: str
+    similarity: float
+
+
+class DuplicateDetectionMiner(CorpusMiner[DuplicatePartial]):
+    """Find near-duplicate entity pairs across the whole corpus."""
+
+    name = "duplicate-detector"
+
+    def __init__(
+        self,
+        shingle_size: int = 3,
+        num_hashes: int = 48,
+        bands: int = 12,
+        threshold: float = 0.8,
+    ):
+        if num_hashes % bands != 0:
+            raise ValueError("bands must divide num_hashes")
+        if not 0.0 < threshold <= 1.0:
+            raise ValueError("threshold must lie in (0, 1]")
+        self._shingle_size = shingle_size
+        self._num_hashes = num_hashes
+        self._bands = bands
+        self._rows = num_hashes // bands
+        self._threshold = threshold
+
+    # -- map/reduce --------------------------------------------------------------
+
+    def map_partition(self, entities: Iterable[Entity]) -> DuplicatePartial:
+        partial = DuplicatePartial()
+        for entity in entities:
+            shingle_set = shingles(entity.content, self._shingle_size)
+            signature = minhash_signature(shingle_set, self._num_hashes)
+            partial.sketches[entity.entity_id] = (signature, shingle_set)
+        return partial
+
+    def reduce(self, partials: list[DuplicatePartial]) -> DuplicatePartial:
+        merged = DuplicatePartial()
+        for partial in partials:
+            merged.sketches.update(partial.sketches)
+        return merged
+
+    # -- pair extraction ------------------------------------------------------------
+
+    def pairs(self, merged: DuplicatePartial) -> list[DuplicatePair]:
+        """Verified near-duplicate pairs above the threshold, sorted."""
+        buckets: dict[tuple[int, tuple[int, ...]], list[str]] = {}
+        for entity_id, (signature, _) in merged.sketches.items():
+            for band in range(self._bands):
+                key = (band, signature[band * self._rows : (band + 1) * self._rows])
+                buckets.setdefault(key, []).append(entity_id)
+        candidates: set[tuple[str, str]] = set()
+        for bucket in buckets.values():
+            if len(bucket) < 2:
+                continue
+            bucket.sort()
+            for i, first in enumerate(bucket):
+                for second in bucket[i + 1 :]:
+                    candidates.add((first, second))
+        out = []
+        for first, second in sorted(candidates):
+            similarity = jaccard(merged.sketches[first][1], merged.sketches[second][1])
+            if similarity >= self._threshold:
+                out.append(DuplicatePair(first, second, similarity))
+        out.sort(key=lambda p: (-p.similarity, p.first, p.second))
+        return out

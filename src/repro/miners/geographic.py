@@ -1,0 +1,112 @@
+"""Geographic context miner (gazetteer-based).
+
+The paper lists "geographic context extraction [McCurley 2002]" among the
+entity-level miners deployed on WebFountain.  This simplified substitute
+spots gazetteer place names (with a small disambiguation guard against
+person-name contexts), annotates a ``geo`` layer, and records the
+document's dominant region in metadata.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from ..platform.entity import Annotation, Entity
+from ..platform.miners import EntityMiner
+from . import base
+
+#: A small gazetteer: place -> (region, latitude, longitude).
+DEFAULT_GAZETTEER_COORDS: dict[str, tuple[str, float, float]] = {
+    "san jose": ("north-america", 37.34, -121.89),
+    "new york": ("north-america", 40.71, -74.01),
+    "chicago": ("north-america", 41.88, -87.63),
+    "seattle": ("north-america", 47.61, -122.33),
+    "toronto": ("north-america", 43.65, -79.38),
+    "london": ("europe", 51.51, -0.13),
+    "paris": ("europe", 48.86, 2.35),
+    "berlin": ("europe", 52.52, 13.41),
+    "zurich": ("europe", 47.37, 8.54),
+    "amsterdam": ("europe", 52.37, 4.90),
+    "tokyo": ("asia", 35.68, 139.69),
+    "osaka": ("asia", 34.69, 135.50),
+    "seoul": ("asia", 37.57, 126.98),
+    "singapore": ("asia", 1.35, 103.82),
+    "shanghai": ("asia", 31.23, 121.47),
+    "sydney": ("oceania", -33.87, 151.21),
+    "melbourne": ("oceania", -37.81, 144.96),
+    "sao paulo": ("south-america", -23.55, -46.63),
+    "buenos aires": ("south-america", -34.60, -58.38),
+    "cairo": ("africa", 30.04, 31.24),
+    "nairobi": ("africa", -1.29, 36.82),
+}
+
+#: Backwards-compatible place -> region view.
+DEFAULT_GAZETTEER: dict[str, str] = {
+    name: region for name, (region, _, _) in DEFAULT_GAZETTEER_COORDS.items()
+}
+
+#: Words that, directly before a hit, suggest a person rather than a place.
+_PERSON_CUES = frozenset({"mr.", "mrs.", "ms.", "dr.", "prof."})
+
+
+class GeographicContextMiner(EntityMiner):
+    """Annotate place mentions and the document's dominant region."""
+
+    name = "geo-context"
+    requires = (base.TOKEN_LAYER, base.SENTENCE_LAYER)
+    provides = ("geo",)
+
+    def __init__(self, gazetteer: dict[str, str] | None = None):
+        table = gazetteer if gazetteer is not None else DEFAULT_GAZETTEER
+        self._by_tokens = {tuple(name.split()): region for name, region in table.items()}
+        self._coords = {
+            tuple(name.split()): (lat, lon)
+            for name, (_, lat, lon) in DEFAULT_GAZETTEER_COORDS.items()
+            if name in table
+        }
+        self._max_len = max((len(k) for k in self._by_tokens), default=1)
+
+    def process(self, entity: Entity) -> None:
+        entity.clear_layer("geo")
+        regions: Counter[str] = Counter()
+        for sentence in base.sentences_from(entity):
+            tokens = sentence.tokens
+            i = 0
+            while i < len(tokens):
+                match = self._match(tokens, i)
+                if match is None:
+                    i += 1
+                    continue
+                length, region = match
+                if i > 0 and tokens[i - 1].lower in _PERSON_CUES:
+                    i += length  # "Dr. London" is a person, not a place
+                    continue
+                key = tuple(tokens[i + k].lower for k in range(length))
+                coords = self._coords.get(key)
+                attributes = {}
+                if coords is not None:
+                    attributes = {"lat": coords[0], "lon": coords[1]}
+                entity.annotate(
+                    Annotation.make(
+                        "geo",
+                        tokens[i].start,
+                        tokens[i + length - 1].end,
+                        label=region,
+                        **attributes,
+                    )
+                )
+                regions[region] += 1
+                i += length
+        if regions:
+            entity.metadata["geo_region"] = regions.most_common(1)[0][0]
+
+    def _match(self, tokens, i) -> tuple[int, str] | None:
+        limit = min(self._max_len, len(tokens) - i)
+        for length in range(limit, 0, -1):
+            if not tokens[i].is_capitalized:
+                return None
+            key = tuple(tokens[i + k].lower for k in range(length))
+            region = self._by_tokens.get(key)
+            if region is not None:
+                return length, region
+        return None

@@ -1,0 +1,37 @@
+"""The named-entity spotter miner (mode B's subject discovery).
+
+"We use a simple named entity spotter that detects all capitalized nouns
+... and extract a corresponding sentiment context."
+"""
+
+from __future__ import annotations
+
+from ..core.spotting import NamedEntitySpotter
+from ..platform.entity import Annotation, Entity
+from ..platform.miners import EntityMiner
+from . import base
+
+
+class NamedEntityMiner(EntityMiner):
+    """Writes the ``entity`` layer with capitalized-noun-phrase names."""
+
+    name = "ne-spotter"
+    requires = (base.TOKEN_LAYER, base.SENTENCE_LAYER, base.POS_LAYER)
+    provides = (base.ENTITY_LAYER,)
+
+    def __init__(self):
+        self._spotter = NamedEntitySpotter()
+
+    def process(self, entity: Entity) -> None:
+        entity.clear_layer(base.ENTITY_LAYER)
+        for tagged in base.tagged_sentences_from(entity):
+            for spot in self._spotter.spot_sentence(tagged, entity.entity_id):
+                entity.annotate(
+                    Annotation.make(
+                        base.ENTITY_LAYER,
+                        spot.start,
+                        spot.end,
+                        label=spot.subject.canonical,
+                        sentence=spot.sentence_index,
+                    )
+                )

@@ -1,0 +1,38 @@
+"""The spotter miner: subject-term occurrences as annotations.
+
+"The spotter is a general purpose miner that identifies occurrences of
+arbitrary terms or phrases within documents ... and tags documents that
+contain them with tokens specifying where the terms appear."
+"""
+
+from __future__ import annotations
+
+from ..core.model import Subject
+from ..core.spotting import SubjectSpotter
+from ..platform.entity import Entity
+from ..platform.miners import EntityMiner
+from . import base
+
+
+class SpotterMiner(EntityMiner):
+    """Writes the ``spot`` layer from a configured subject list."""
+
+    name = "spotter"
+    requires = (base.TOKEN_LAYER, base.SENTENCE_LAYER)
+    provides = (base.SPOT_LAYER,)
+
+    def __init__(self, subjects: list[Subject]):
+        if not subjects:
+            raise ValueError("the spotter needs at least one subject")
+        self._spotter = SubjectSpotter(subjects)
+        self._subjects_by_name = {s.canonical: s for s in subjects}
+
+    @property
+    def subjects_by_name(self) -> dict[str, Subject]:
+        return dict(self._subjects_by_name)
+
+    def process(self, entity: Entity) -> None:
+        entity.clear_layer(base.SPOT_LAYER)
+        sentences = base.sentences_from(entity)
+        for spot in self._spotter.spot_document(sentences, entity.entity_id):
+            base.annotate_spot(entity, spot)

@@ -1,0 +1,79 @@
+"""Corpus-level aggregate statistics miner.
+
+"Examples of [corpus]-level miners are computing aggregate statistics,
+duplicate detection, trending, and clustering."  This miner computes the
+aggregate statistics: document/source counts, token counts, vocabulary
+size and the most frequent terms — the numbers a platform operator
+watches.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from ..nlp.tokenizer import Tokenizer
+from ..platform.entity import Entity
+from ..platform.miners import CorpusMiner
+
+#: Very common words excluded from the top-terms report.
+_STOPWORDS = frozenset(
+    "the a an and or but of in on at to for with is are was were be i it "
+    "this that my your his her its our their not no".split()
+)
+
+
+@dataclass
+class CorpusStatistics:
+    """Aggregates over one partition or (after reduce) the whole corpus."""
+
+    documents: int = 0
+    tokens: int = 0
+    sentences_estimate: int = 0
+    per_source: Counter = field(default_factory=Counter)
+    term_frequency: Counter = field(default_factory=Counter)
+
+    @property
+    def vocabulary_size(self) -> int:
+        return len(self.term_frequency)
+
+    @property
+    def mean_tokens_per_document(self) -> float:
+        return self.tokens / self.documents if self.documents else 0.0
+
+    def top_terms(self, n: int = 10) -> list[tuple[str, int]]:
+        filtered = Counter(
+            {t: c for t, c in self.term_frequency.items() if t not in _STOPWORDS and t.isalpha()}
+        )
+        return filtered.most_common(n)
+
+
+class AggregateStatisticsMiner(CorpusMiner[CorpusStatistics]):
+    """Map/reduce corpus statistics."""
+
+    name = "aggregate-statistics"
+
+    def __init__(self):
+        self._tokenizer = Tokenizer()
+
+    def map_partition(self, entities: Iterable[Entity]) -> CorpusStatistics:
+        stats = CorpusStatistics()
+        for entity in entities:
+            stats.documents += 1
+            stats.per_source[entity.source] += 1
+            tokens = self._tokenizer.tokenize(entity.content)
+            stats.tokens += len(tokens)
+            stats.sentences_estimate += sum(1 for t in tokens if t.text in ".!?")
+            stats.term_frequency.update(t.lower for t in tokens)
+        return stats
+
+    def reduce(self, partials: list[CorpusStatistics]) -> CorpusStatistics:
+        merged = CorpusStatistics()
+        for partial in partials:
+            merged.documents += partial.documents
+            merged.tokens += partial.tokens
+            merged.sentences_estimate += partial.sentences_estimate
+            merged.per_source.update(partial.per_source)
+            merged.term_frequency.update(partial.term_frequency)
+        return merged

@@ -1,0 +1,119 @@
+"""Template (boilerplate) detection across same-site pages.
+
+The paper lists "template detection [Bar-Yossef & Rajagopalan 2002]"
+among the deployed miners.  Web pages from one site share navigation and
+footer boilerplate; sentiment mined from boilerplate is noise, so the
+miner finds sentences repeated verbatim across many pages of a site and
+marks them with a ``template`` annotation that downstream miners can
+skip.
+
+Two phases, matching the corpus-miner contract: the map/reduce pass
+counts sentence occurrences per site; :meth:`annotate_corpus` then marks
+the repeated sentences on each entity.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from ..nlp.sentences import SentenceSplitter
+from ..platform.entity import Annotation, Entity
+from ..platform.miners import CorpusMiner
+
+
+def _site_of(entity: Entity) -> str:
+    """Site key: the URL's host-ish prefix, else the entity source."""
+    url = entity.metadata.get("url", "")
+    if isinstance(url, str) and "/" in url:
+        return url.split("/")[2] if "://" in url else url.split("/")[0]
+    return entity.source
+
+
+def _fingerprint(sentence_text: str) -> str:
+    normalised = " ".join(sentence_text.lower().split())
+    return hashlib.md5(normalised.encode("utf-8")).hexdigest()[:16]
+
+
+@dataclass
+class TemplatePartial:
+    """Per-partition counts: (site, sentence fingerprint) -> page count."""
+
+    sentence_pages: Counter = field(default_factory=Counter)
+    site_pages: Counter = field(default_factory=Counter)
+
+
+class TemplateDetectionMiner(CorpusMiner[TemplatePartial]):
+    """Detect boilerplate sentences repeated across a site's pages.
+
+    A sentence is boilerplate when it appears on at least
+    ``min_pages`` pages and at least ``min_fraction`` of the site's
+    pages.
+    """
+
+    name = "template-detector"
+
+    def __init__(self, min_pages: int = 3, min_fraction: float = 0.5):
+        if min_pages < 2:
+            raise ValueError("min_pages must be at least 2")
+        if not 0.0 < min_fraction <= 1.0:
+            raise ValueError("min_fraction must lie in (0, 1]")
+        self._min_pages = min_pages
+        self._min_fraction = min_fraction
+        self._splitter = SentenceSplitter()
+
+    # -- map/reduce --------------------------------------------------------------------
+
+    def map_partition(self, entities: Iterable[Entity]) -> TemplatePartial:
+        partial = TemplatePartial()
+        for entity in entities:
+            site = _site_of(entity)
+            partial.site_pages[site] += 1
+            seen: set[str] = set()
+            for sentence in self._splitter.split_text(entity.content):
+                key = _fingerprint(sentence.text_of(entity.content))
+                if key not in seen:
+                    seen.add(key)
+                    partial.sentence_pages[(site, key)] += 1
+        return partial
+
+    def reduce(self, partials: list[TemplatePartial]) -> TemplatePartial:
+        merged = TemplatePartial()
+        for partial in partials:
+            merged.sentence_pages.update(partial.sentence_pages)
+            merged.site_pages.update(partial.site_pages)
+        return merged
+
+    # -- boilerplate decision -----------------------------------------------------------
+
+    def boilerplate_keys(self, merged: TemplatePartial) -> set[tuple[str, str]]:
+        """(site, fingerprint) pairs judged to be boilerplate."""
+        out = set()
+        for (site, key), pages in merged.sentence_pages.items():
+            site_total = merged.site_pages[site]
+            if pages >= self._min_pages and pages / site_total >= self._min_fraction:
+                out.add((site, key))
+        return out
+
+    def annotate_corpus(self, entities: Iterable[Entity], merged: TemplatePartial) -> int:
+        """Mark boilerplate sentences with ``template`` annotations.
+
+        Returns the number of annotations written.
+        """
+        boilerplate = self.boilerplate_keys(merged)
+        written = 0
+        for entity in entities:
+            entity.clear_layer("template")
+            site = _site_of(entity)
+            for sentence in self._splitter.split_text(entity.content):
+                key = _fingerprint(sentence.text_of(entity.content))
+                if (site, key) in boilerplate:
+                    entity.annotate(
+                        Annotation.make(
+                            "template", sentence.start, sentence.end, label="boilerplate"
+                        )
+                    )
+                    written += 1
+        return written

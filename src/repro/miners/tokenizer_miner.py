@@ -1,0 +1,60 @@
+"""Tokenization as an annotating entity miner.
+
+"The tokenizer produces a stream of tokens from the input text."  This
+adapter writes ``token`` and ``sentence`` layers; a separate
+:class:`PosTaggerMiner` adds the ``pos`` layer so downstream miners can
+reconstruct tagged sentences without re-running the tagger.
+"""
+
+from __future__ import annotations
+
+from ..nlp.postagger import PosTagger, default_tagger
+from ..nlp.sentences import SentenceSplitter
+from ..nlp.tokenizer import Tokenizer
+from ..platform.entity import Annotation, Entity
+from ..platform.miners import EntityMiner
+from . import base
+
+
+class TokenizerMiner(EntityMiner):
+    """Writes ``token`` and ``sentence`` annotation layers."""
+
+    name = "tokenizer"
+    requires = ()
+    provides = (base.TOKEN_LAYER, base.SENTENCE_LAYER)
+
+    def __init__(self, tokenizer: Tokenizer | None = None):
+        self._tokenizer = tokenizer or Tokenizer()
+        self._splitter = SentenceSplitter(self._tokenizer)
+
+    def process(self, entity: Entity) -> None:
+        entity.clear_layer(base.TOKEN_LAYER)
+        entity.clear_layer(base.SENTENCE_LAYER)
+        sentences = self._splitter.split_text(entity.content)
+        for sentence in sentences:
+            entity.annotate(
+                Annotation.make(
+                    base.SENTENCE_LAYER, sentence.start, sentence.end, label=str(sentence.index)
+                )
+            )
+            for token in sentence.tokens:
+                entity.annotate(Annotation.make(base.TOKEN_LAYER, token.start, token.end))
+
+
+class PosTaggerMiner(EntityMiner):
+    """Writes the ``pos`` layer (one annotation per token)."""
+
+    name = "pos-tagger"
+    requires = (base.TOKEN_LAYER, base.SENTENCE_LAYER)
+    provides = (base.POS_LAYER,)
+
+    def __init__(self, tagger: PosTagger | None = None):
+        self._tagger = tagger or default_tagger()
+
+    def process(self, entity: Entity) -> None:
+        entity.clear_layer(base.POS_LAYER)
+        for sentence in base.sentences_from(entity):
+            for tagged in self._tagger.tag(sentence):
+                entity.annotate(
+                    Annotation.make(base.POS_LAYER, tagged.start, tagged.end, label=tagged.tag)
+                )

@@ -1,0 +1,317 @@
+"""Part-of-speech word lists backing the tagger.
+
+The tagger resolves a token by, in order: closed-class lookup, open-class
+lexicon lookup, morphological suffix rules, then contextual repair rules.
+This module holds the static word lists.  Domain vocabularies and the
+sentiment lexicon extend the open-class lexicon at pipeline construction
+time (they are overwhelmingly nouns and adjectives).
+"""
+
+from __future__ import annotations
+
+# ---------------------------------------------------------------------------
+# Closed-class words (exhaustive for our purposes)
+# ---------------------------------------------------------------------------
+
+DETERMINERS = {
+    "the": "DT",
+    "a": "DT",
+    "an": "DT",
+    "this": "DT",
+    "that": "DT",
+    "these": "DT",
+    "those": "DT",
+    "each": "DT",
+    "every": "DT",
+    "some": "DT",
+    "any": "DT",
+    "no": "DT",
+    "either": "DT",
+    "neither": "DT",
+    "another": "DT",
+    "both": "DT",
+}
+
+PREDETERMINERS = {"all": "PDT", "such": "PDT", "half": "PDT", "quite": "PDT"}
+
+PREPOSITIONS = {
+    word: "IN"
+    for word in (
+        "about against along among around as at before behind below beneath "
+        "beside besides between beyond by despite down during except for from "
+        "in inside into like near of off on onto out outside over past per "
+        "since through throughout toward towards under underneath until unto "
+        "up upon via with within without although because if unless whereas "
+        "while after whether though unlike amid amidst atop concerning "
+        "regarding versus than"
+    ).split()
+}
+
+PRONOUNS = {
+    word: "PRP"
+    for word in (
+        "i you he she it we they me him her us them myself yourself himself "
+        "herself itself ourselves yourselves themselves mine yours hers ours "
+        "theirs one oneself everyone everybody everything anyone anybody "
+        "anything someone somebody something nobody"
+    ).split()
+}
+
+POSSESSIVE_PRONOUNS = {word: "PRP$" for word in "my your his its our their".split()}
+# "her" is PRP above; contextual rules promote it to PRP$ before a noun.
+
+CONJUNCTIONS = {word: "CC" for word in "and or but nor yet so plus".split()}
+
+MODALS = {word: "MD" for word in "can could may might must shall should will would".split()}
+
+WH_WORDS = {
+    "which": "WDT",
+    "what": "WDT",
+    "whatever": "WDT",
+    "who": "WP",
+    "whom": "WP",
+    "whoever": "WP",
+    "whose": "WP$",
+    "where": "WRB",
+    "when": "WRB",
+    "why": "WRB",
+    "how": "WRB",
+}
+
+EXISTENTIAL = {"there": "EX"}
+
+TO = {"to": "TO"}
+
+PARTICLES = {word: "RP" for word in "aboard apart aside away back".split()}
+
+NEGATORS = {"not": "RB", "n't": "RB", "never": "RB"}
+
+CLITICS = {"'s": "POS", "'ll": "MD", "'re": "VBP", "'ve": "VBP", "'d": "MD", "'m": "VBP"}
+
+CARDINALS = {
+    word: "CD"
+    for word in (
+        "zero one two three four five six seven eight nine ten eleven twelve "
+        "thirteen fourteen fifteen sixteen seventeen eighteen nineteen twenty "
+        "thirty forty fifty sixty seventy eighty ninety hundred thousand "
+        "million billion dozen"
+    ).split()
+}
+
+# ---------------------------------------------------------------------------
+# Irregular and high-frequency verbs, fully inflected
+# ---------------------------------------------------------------------------
+
+#: word -> tag for verb forms that suffix rules would mis-tag.
+VERB_FORMS: dict[str, str] = {}
+
+
+def _verb(base: str, vbz: str, vbg: str, vbd: str, vbn: str | None = None) -> None:
+    VERB_FORMS[base] = "VB"
+    VERB_FORMS[vbz] = "VBZ"
+    VERB_FORMS[vbg] = "VBG"
+    VERB_FORMS[vbd] = "VBD"
+    VERB_FORMS[vbn or vbd] = "VBN" if vbn else VERB_FORMS[vbd]
+
+
+# "be" is special-cased: its forms get distinct tags.
+VERB_FORMS.update(
+    {
+        "be": "VB",
+        "am": "VBP",
+        "are": "VBP",
+        "is": "VBZ",
+        "was": "VBD",
+        "were": "VBD",
+        "been": "VBN",
+        "being": "VBG",
+    }
+)
+
+_verb("have", "has", "having", "had")
+_verb("do", "does", "doing", "did", "done")
+_verb("go", "goes", "going", "went", "gone")
+_verb("get", "gets", "getting", "got", "gotten")
+_verb("make", "makes", "making", "made")
+_verb("take", "takes", "taking", "took", "taken")
+_verb("come", "comes", "coming", "came", "come")
+_verb("give", "gives", "giving", "gave", "given")
+_verb("find", "finds", "finding", "found")
+_verb("think", "thinks", "thinking", "thought")
+_verb("know", "knows", "knowing", "knew", "known")
+_verb("feel", "feels", "feeling", "felt")
+_verb("keep", "keeps", "keeping", "kept")
+_verb("hold", "holds", "holding", "held")
+_verb("buy", "buys", "buying", "bought")
+_verb("sell", "sells", "selling", "sold")
+_verb("say", "says", "saying", "said")
+_verb("tell", "tells", "telling", "told")
+_verb("see", "sees", "seeing", "saw", "seen")
+_verb("run", "runs", "running", "ran", "run")
+_verb("put", "puts", "putting", "put")
+_verb("let", "lets", "letting", "let")
+_verb("set", "sets", "setting", "set")
+_verb("cost", "costs", "costing", "cost")
+_verb("break", "breaks", "breaking", "broke", "broken")
+_verb("lose", "loses", "losing", "lost")
+_verb("win", "wins", "winning", "won")
+_verb("meet", "meets", "meeting", "met")
+_verb("leave", "leaves", "leaving", "left")
+_verb("write", "writes", "writing", "wrote", "written")
+_verb("read", "reads", "reading", "read")
+_verb("send", "sends", "sending", "sent")
+_verb("spend", "spends", "spending", "spent")
+_verb("build", "builds", "building", "built")
+_verb("bring", "brings", "bringing", "brought")
+_verb("fall", "falls", "falling", "fell", "fallen")
+_verb("rise", "rises", "rising", "rose", "risen")
+_verb("grow", "grows", "growing", "grew", "grown")
+_verb("become", "becomes", "becoming", "became", "become")
+_verb("seem", "seems", "seeming", "seemed")
+_verb("appear", "appears", "appearing", "appeared")
+_verb("remain", "remains", "remaining", "remained")
+_verb("stay", "stays", "staying", "stayed")
+_verb("look", "looks", "looking", "looked")
+_verb("sound", "sounds", "sounding", "sounded")
+_verb("prove", "proves", "proving", "proved", "proven")
+_verb("beat", "beats", "beating", "beat", "beaten")
+_verb("shoot", "shoots", "shooting", "shot")
+_verb("pay", "pays", "paying", "paid")
+_verb("mean", "means", "meaning", "meant")
+_verb("deal", "deals", "dealing", "dealt")
+_verb("hear", "hears", "hearing", "heard")
+_verb("wear", "wears", "wearing", "wore", "worn")
+_verb("stand", "stands", "standing", "stood")
+_verb("understand", "understands", "understanding", "understood")
+
+#: Regular verbs frequent in reviews whose base form could look nominal.
+REGULAR_VERB_BASES = frozenset(
+    (
+        "use work want need like love hate enjoy prefer recommend suggest "
+        "offer provide deliver produce perform handle support include lack "
+        "fail miss disappoint impress satisfy please annoy bother improve "
+        "upgrade return replace refund ship arrive charge drain last fit "
+        "focus zoom capture record store save transfer download upload "
+        "install operate release announce report claim state expect plan "
+        "try start stop continue help avoid consider compare review rate "
+        "test check notice mention complain praise criticize struggle "
+        "shine excel suffer crash freeze hang respond react turn press "
+        "click carry pack travel sync connect pair match cause require "
+        "allow enable ensure reduce increase boost cut drop exceed "
+        "surpass outperform underperform deteriorate degrade overheat"
+    ).split()
+)
+
+# ---------------------------------------------------------------------------
+# Common open-class words
+# ---------------------------------------------------------------------------
+
+COMMON_ADVERBS = frozenset(
+    (
+        "very really quite extremely incredibly remarkably exceptionally "
+        "particularly especially fairly rather pretty somewhat slightly "
+        "barely hardly scarcely seldom rarely often frequently usually "
+        "always sometimes occasionally again soon already still yet even "
+        "just only also too well badly poorly nicely quickly slowly easily "
+        "clearly simply truly highly deeply fully completely totally "
+        "absolutely definitely certainly probably perhaps maybe however "
+        "therefore moreover furthermore meanwhile instead otherwise "
+        "here now then once twice almost nearly exactly roughly "
+        "surprisingly unfortunately fortunately sadly happily honestly "
+        "frankly overall together apart forever ago away"
+    ).split()
+)
+
+COMMON_ADJECTIVES = frozenset(
+    (
+        "new old big small large little long short high low good bad great "
+        "poor fine early late young full empty hard soft easy difficult "
+        "heavy light fast slow hot cold warm cool cheap expensive free "
+        "major minor main primary secondary overall several many few much "
+        "more most less least own same other different similar various "
+        "digital optical electronic manual automatic compact portable "
+        "wireless rechargeable corporate financial industrial medical "
+        "pharmaceutical chemical technical global local national annual "
+        "quarterly monthly daily recent previous current next last first "
+        "second third final whole entire certain particular general "
+        "specific available standard professional commercial residential"
+    ).split()
+)
+
+COMMON_NOUNS = frozenset(
+    (
+        "time year day week month hour minute people person man woman "
+        "company business market industry product brand model series "
+        "device unit item part piece thing way place area world country "
+        "city state price cost value money dollar percent share stock "
+        "sales revenue profit loss growth report news article page site "
+        "review customer consumer user owner buyer seller maker "
+        "manufacturer analyst expert problem issue question answer "
+        "result effect impact change difference level rate amount number "
+        "size weight length width height range limit end start beginning "
+        "case example kind type sort group set list line point side "
+        "hand eye head face body life home family friend service quality "
+        "feature function design performance experience opinion view "
+        "idea plan decision choice option reason purpose goal need use "
+        "test study research development technology system process "
+        "information data detail fact story word name term sentence "
+        "camera phone computer software hardware screen display button "
+        "battery lens flash zoom memory card picture photo image video "
+        "movie music song album track sound audio band guitar piano "
+        "drum beat lyric orchestra chorus movement production mix "
+        "oil gas fuel energy petroleum refinery barrel drug medicine "
+        "treatment therapy patient trial dose tablet vaccine"
+    ).split()
+)
+
+# ---------------------------------------------------------------------------
+# Assembly
+# ---------------------------------------------------------------------------
+
+
+def closed_class_lexicon() -> dict[str, str]:
+    """The full closed-class word -> tag mapping (lowercased keys)."""
+    lexicon: dict[str, str] = {}
+    for table in (
+        PREPOSITIONS,
+        DETERMINERS,
+        PREDETERMINERS,
+        PRONOUNS,
+        POSSESSIVE_PRONOUNS,
+        CONJUNCTIONS,
+        MODALS,
+        WH_WORDS,
+        EXISTENTIAL,
+        TO,
+        PARTICLES,
+        NEGATORS,
+        CLITICS,
+        CARDINALS,
+    ):
+        lexicon.update(table)
+    return lexicon
+
+
+#: Irregular graded adjective forms.
+GRADED_FORMS = {"better": "JJR", "best": "JJS", "worse": "JJR", "worst": "JJS"}
+
+
+def open_class_lexicon() -> dict[str, str]:
+    """Built-in open-class word -> tag mapping (lowercased keys).
+
+    Verb forms take precedence over noun/adjective readings because the
+    contextual rules can demote a verb reading after a determiner, while
+    recovering a missed verb is harder.
+    """
+    lexicon: dict[str, str] = {}
+    for word in COMMON_NOUNS:
+        lexicon[word] = "NN"
+    for word in COMMON_ADJECTIVES:
+        lexicon[word] = "JJ"
+    for word in COMMON_ADVERBS:
+        lexicon[word] = "RB"
+    for word in REGULAR_VERB_BASES:
+        lexicon[word] = "VB"
+    lexicon.update(VERB_FORMS)
+    lexicon.update(GRADED_FORMS)
+    return lexicon

@@ -1,0 +1,122 @@
+"""Penn Treebank part-of-speech tagset.
+
+The paper's feature extractor (Section 4.1) defines base noun phrase
+patterns in terms of Penn Treebank tags (``NN``, ``JJ``, ``DT`` ...), so the
+whole NLP substrate standardises on this tagset.  This module holds the tag
+inventory plus small predicate helpers used by the tagger, chunker and
+parser.
+
+Reference: Marcus, Santorini, Marcinkiewicz, "Building a Large Annotated
+Corpus of English: the Penn Treebank", Computational Linguistics 19 (1993).
+"""
+
+from __future__ import annotations
+
+# ---------------------------------------------------------------------------
+# Tag inventory
+# ---------------------------------------------------------------------------
+
+#: Open-class tags: categories that freely accept new words.
+OPEN_CLASS_TAGS = frozenset(
+    {
+        "JJ",  # adjective
+        "JJR",  # adjective, comparative
+        "JJS",  # adjective, superlative
+        "NN",  # noun, singular or mass
+        "NNS",  # noun, plural
+        "NNP",  # proper noun, singular
+        "NNPS",  # proper noun, plural
+        "RB",  # adverb
+        "RBR",  # adverb, comparative
+        "RBS",  # adverb, superlative
+        "VB",  # verb, base form
+        "VBD",  # verb, past tense
+        "VBG",  # verb, gerund/present participle
+        "VBN",  # verb, past participle
+        "VBP",  # verb, non-3rd-person singular present
+        "VBZ",  # verb, 3rd-person singular present
+        "FW",  # foreign word
+        "UH",  # interjection
+    }
+)
+
+#: Closed-class tags: categories enumerable by word lists.
+CLOSED_CLASS_TAGS = frozenset(
+    {
+        "CC",  # coordinating conjunction
+        "CD",  # cardinal number
+        "DT",  # determiner
+        "EX",  # existential "there"
+        "IN",  # preposition / subordinating conjunction
+        "LS",  # list item marker
+        "MD",  # modal
+        "PDT",  # predeterminer
+        "POS",  # possessive ending
+        "PRP",  # personal pronoun
+        "PRP$",  # possessive pronoun
+        "RP",  # particle
+        "SYM",  # symbol
+        "TO",  # "to"
+        "WDT",  # wh-determiner
+        "WP",  # wh-pronoun
+        "WP$",  # possessive wh-pronoun
+        "WRB",  # wh-adverb
+    }
+)
+
+#: Punctuation tags used by the treebank.
+PUNCTUATION_TAGS = frozenset({".", ",", ":", "``", "''", "-LRB-", "-RRB-", "#", "$", "HYPH"})
+
+#: Every tag the tagger may emit.
+ALL_TAGS = OPEN_CLASS_TAGS | CLOSED_CLASS_TAGS | PUNCTUATION_TAGS
+
+# Groupings used throughout the pipeline -----------------------------------
+
+NOUN_TAGS = frozenset({"NN", "NNS", "NNP", "NNPS"})
+PROPER_NOUN_TAGS = frozenset({"NNP", "NNPS"})
+COMMON_NOUN_TAGS = frozenset({"NN", "NNS"})
+ADJECTIVE_TAGS = frozenset({"JJ", "JJR", "JJS"})
+ADVERB_TAGS = frozenset({"RB", "RBR", "RBS"})
+VERB_TAGS = frozenset({"VB", "VBD", "VBG", "VBN", "VBP", "VBZ"})
+FINITE_VERB_TAGS = frozenset({"VBD", "VBP", "VBZ"})
+WH_TAGS = frozenset({"WDT", "WP", "WP$", "WRB"})
+
+
+def is_noun(tag: str) -> bool:
+    """Return True for any noun tag (common or proper)."""
+    return tag in NOUN_TAGS
+
+
+def is_proper_noun(tag: str) -> bool:
+    """Return True for NNP/NNPS."""
+    return tag in PROPER_NOUN_TAGS
+
+
+def is_adjective(tag: str) -> bool:
+    """Return True for JJ/JJR/JJS."""
+    return tag in ADJECTIVE_TAGS
+
+
+def is_adverb(tag: str) -> bool:
+    """Return True for RB/RBR/RBS."""
+    return tag in ADVERB_TAGS
+
+
+def is_verb(tag: str) -> bool:
+    """Return True for any verb tag."""
+    return tag in VERB_TAGS
+
+
+def is_punctuation(tag: str) -> bool:
+    """Return True for punctuation tags."""
+    return tag in PUNCTUATION_TAGS
+
+
+def is_open_class(tag: str) -> bool:
+    """Return True when the tag admits unseen vocabulary."""
+    return tag in OPEN_CLASS_TAGS
+
+
+def is_valid_tag(tag: str) -> bool:
+    """Return True when *tag* belongs to the tagset."""
+    return tag in ALL_TAGS

@@ -1,0 +1,81 @@
+"""Sentence boundary detection over token streams.
+
+The sentiment miner works on "sentiment contexts" which generally consist of
+"the full sentence that contains a subject spot" (paper Section 3), so the
+splitter must be reliable on review-style prose: abbreviations, decimal
+numbers and quoted sentences must not create spurious boundaries.
+"""
+
+from __future__ import annotations
+
+from .tokenizer import Tokenizer
+from .tokens import Sentence, Token
+
+#: Tokens that terminate a sentence.
+_TERMINATORS = frozenset({".", "!", "?"})
+
+#: Tokens that may trail a terminator and still belong to the sentence.
+_CLOSERS = frozenset({'"', "'", ")", "]", "''"})
+
+
+class SentenceSplitter:
+    """Split a token stream into sentences.
+
+    The splitter is purely token-based: a sentence ends at ``.``, ``!`` or
+    ``?`` (plus any trailing close-quotes/brackets) unless the period
+    belongs to a known abbreviation token (the tokenizer keeps those
+    attached, e.g. ``Prof.``) or the next token starts with a lowercase
+    letter or digit (mid-sentence ellipsis / enumeration).
+    """
+
+    def __init__(self, tokenizer: Tokenizer | None = None):
+        self._tokenizer = tokenizer or Tokenizer()
+
+    def split(self, tokens: list[Token]) -> list[Sentence]:
+        """Group *tokens* into :class:`Sentence` objects."""
+        sentences: list[Sentence] = []
+        current: list[Token] = []
+        i = 0
+        n = len(tokens)
+        while i < n:
+            token = tokens[i]
+            current.append(token)
+            if self._ends_sentence(tokens, i):
+                # Absorb trailing closers (quotes, brackets).
+                while i + 1 < n and tokens[i + 1].text in _CLOSERS:
+                    i += 1
+                    current.append(tokens[i])
+                sentences.append(Sentence(current, index=len(sentences)))
+                current = []
+            i += 1
+        if current:
+            sentences.append(Sentence(current, index=len(sentences)))
+        return sentences
+
+    def split_text(self, text: str) -> list[Sentence]:
+        """Tokenize *text* and split into sentences in one call."""
+        return self.split(self._tokenizer.tokenize(text))
+
+    # -- internals ----------------------------------------------------------
+
+    def _ends_sentence(self, tokens: list[Token], i: int) -> bool:
+        token = tokens[i]
+        if token.text in _TERMINATORS:
+            nxt = tokens[i + 1] if i + 1 < len(tokens) else None
+            if nxt is not None and (nxt.text[0].islower() or nxt.text[0].isdigit()):
+                # "etc. and so on" / enumerations do not end the sentence.
+                return False
+            return True
+        # Abbreviation-final tokens like "Inc." end a sentence only when
+        # followed by a capitalised token that looks like a fresh start.
+        if token.text.endswith(".") and self._tokenizer.is_abbreviation(token.text):
+            return False
+        return False
+
+
+_DEFAULT = SentenceSplitter()
+
+
+def split_sentences(text: str) -> list[Sentence]:
+    """Split *text* into sentences with the default splitter."""
+    return _DEFAULT.split_text(text)

@@ -1,0 +1,105 @@
+"""WebFountain platform simulation.
+
+A laptop-scale substitute for the paper's 500-node analytics platform,
+preserving the contracts the sentiment miner depends on: entity storage,
+annotation layers, miner scheduling, indexing, and hosted services.  See
+DESIGN.md Section 2 for the substitution rationale.
+"""
+
+from .cluster import Cluster, ClusterRunReport, Node
+from .datastore import DataStore, Partition, Segment, default_partitioner
+from .entity import Annotation, Entity
+from .indexer import InvertedIndex, Posting, SentimentEntry, SentimentIndex, haversine_km
+from .ingestion import (
+    BulletinBoardIngestor,
+    CrawlPage,
+    CustomerDataIngestor,
+    IngestionManager,
+    IngestionReport,
+    NewsFeedIngestor,
+    Source,
+    WebCrawler,
+)
+from .miners import (
+    CorpusMiner,
+    EntityMiner,
+    MinerPipeline,
+    PipelineError,
+    PipelineReport,
+    run_corpus_miner,
+)
+from .ranking import link_graph, pagerank, rank_entities
+from .query import (
+    And,
+    Concept,
+    Near,
+    Not,
+    Or,
+    Phrase,
+    Query,
+    QueryParseError,
+    Range,
+    Regex,
+    Term,
+    parse_query,
+)
+from .services import (
+    SearchService,
+    SentimentQueryService,
+    StoreService,
+    register_services,
+)
+from .vinci import Envelope, VinciBus, VinciError
+
+__all__ = [
+    "And",
+    "Annotation",
+    "BulletinBoardIngestor",
+    "Cluster",
+    "ClusterRunReport",
+    "Concept",
+    "CorpusMiner",
+    "CrawlPage",
+    "CustomerDataIngestor",
+    "DataStore",
+    "Entity",
+    "EntityMiner",
+    "Envelope",
+    "IngestionManager",
+    "IngestionReport",
+    "InvertedIndex",
+    "MinerPipeline",
+    "Near",
+    "NewsFeedIngestor",
+    "Node",
+    "Not",
+    "Or",
+    "Partition",
+    "Phrase",
+    "PipelineError",
+    "PipelineReport",
+    "Posting",
+    "Query",
+    "QueryParseError",
+    "Range",
+    "rank_entities",
+    "Regex",
+    "SearchService",
+    "Segment",
+    "SentimentEntry",
+    "SentimentIndex",
+    "SentimentQueryService",
+    "Source",
+    "StoreService",
+    "Term",
+    "VinciBus",
+    "VinciError",
+    "WebCrawler",
+    "default_partitioner",
+    "haversine_km",
+    "link_graph",
+    "pagerank",
+    "parse_query",
+    "register_services",
+    "run_corpus_miner",
+]

@@ -1,0 +1,162 @@
+"""Shared-nothing cluster simulation.
+
+"The system is designed as a loosely coupled, shared-nothing parallel
+cluster of Intel-based Linux servers ... The WebFountain system achieves
+scalability of up to billions of documents by full parallelism."
+
+The simulation keeps WebFountain's decomposition at laptop scale: a
+cluster owns N nodes, the store's partitions are assigned round-robin,
+entity miners run per-node over the node's own partitions, and corpus
+miners map per node then reduce at the coordinator.
+
+Execution is sequential, but each node tracks *simulated work* (one cost
+unit per processed entity plus a per-message Vinci overhead), so the
+Figure-1 benchmark can report the cluster-scaling series —
+``makespan(N) = max over nodes of node work + reduce cost`` — and show
+the near-linear regime the paper claims, without pretending wall-clock
+parallelism.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TypeVar
+
+from .datastore import DataStore
+from .miners import CorpusMiner, MinerPipeline, PipelineReport
+from .vinci import VinciBus
+
+T = TypeVar("T")
+
+#: Simulated cost constants (arbitrary units).
+ENTITY_COST = 1.0
+MESSAGE_COST = 0.05
+REDUCE_COST_PER_PARTIAL = 0.5
+
+
+@dataclass
+class Node:
+    """One cluster node: owns partitions, accumulates simulated work."""
+
+    node_id: int
+    partition_ids: list[int] = field(default_factory=list)
+    work_units: float = 0.0
+    entities_processed: int = 0
+
+    def charge(self, entities: int) -> None:
+        self.entities_processed += entities
+        self.work_units += entities * ENTITY_COST
+
+
+@dataclass
+class ClusterRunReport:
+    """Outcome of one distributed run."""
+
+    pipeline: PipelineReport
+    makespan: float
+    total_work: float
+    messages: int
+    per_node_work: list[float]
+
+    @property
+    def speedup(self) -> float:
+        """Ideal-sequential work divided by simulated makespan."""
+        if self.makespan == 0:
+            return 1.0
+        return self.total_work / self.makespan
+
+
+class Cluster:
+    """A simulated WebFountain cluster around one partitioned store."""
+
+    def __init__(self, store: DataStore, num_nodes: int, bus: VinciBus | None = None):
+        if num_nodes < 1:
+            raise ValueError("a cluster needs at least one node")
+        if num_nodes > store.num_partitions:
+            raise ValueError(
+                f"cannot spread {store.num_partitions} partitions over {num_nodes} nodes"
+            )
+        self._store = store
+        self._bus = bus or VinciBus()
+        self._nodes = [Node(node_id=i) for i in range(num_nodes)]
+        for partition_id in range(store.num_partitions):
+            self._nodes[partition_id % num_nodes].partition_ids.append(partition_id)
+        self._messages = 0
+        self._bus.register("cluster.status", lambda _payload: self.status())
+
+    # -- introspection ----------------------------------------------------------------
+
+    @property
+    def nodes(self) -> list[Node]:
+        return list(self._nodes)
+
+    @property
+    def bus(self) -> VinciBus:
+        return self._bus
+
+    def status(self) -> dict:
+        return {
+            "nodes": len(self._nodes),
+            "partitions": self._store.num_partitions,
+            "entities": len(self._store),
+            "messages": self._messages,
+        }
+
+    # -- distributed entity mining ---------------------------------------------------------
+
+    def run_pipeline(self, pipeline: MinerPipeline) -> ClusterRunReport:
+        """Run an entity-miner pipeline on every node's partitions."""
+        total_report = PipelineReport()
+        for node in self._nodes:
+            node_report = PipelineReport()
+            for partition_id in node.partition_ids:
+                partition = self._store.partition(partition_id)
+                entities = list(partition.scan())
+                for entity in entities:
+                    pipeline.process_entity(entity, node_report)
+                    partition.put(entity)
+                node.charge(len(entities))
+            self._send_coordinator_message(node)
+            total_report.merge(node_report)
+        return self._report(total_report, reduce_partials=0)
+
+    # -- distributed corpus mining -----------------------------------------------------------
+
+    def run_corpus_miner(self, miner: CorpusMiner[T]) -> tuple[T, ClusterRunReport]:
+        """Map per node, reduce at the coordinator."""
+        partials: list[T] = []
+        total_report = PipelineReport()
+        for node in self._nodes:
+            entities = [
+                entity
+                for partition_id in node.partition_ids
+                for entity in self._store.partition(partition_id).scan()
+            ]
+            partials.append(miner.map_partition(entities))
+            node.charge(len(entities))
+            total_report.entities_processed += len(entities)
+            self._send_coordinator_message(node)
+        result = miner.reduce(partials)
+        return result, self._report(total_report, reduce_partials=len(partials))
+
+    # -- internals -------------------------------------------------------------------------------
+
+    def _send_coordinator_message(self, node: Node) -> None:
+        self._messages += 1
+        node.work_units += MESSAGE_COST
+
+    def _report(self, pipeline: PipelineReport, reduce_partials: int) -> ClusterRunReport:
+        per_node = [node.work_units for node in self._nodes]
+        makespan = max(per_node, default=0.0) + reduce_partials * REDUCE_COST_PER_PARTIAL
+        total = sum(per_node) + reduce_partials * REDUCE_COST_PER_PARTIAL
+        report = ClusterRunReport(
+            pipeline=pipeline,
+            makespan=makespan,
+            total_work=total,
+            messages=self._messages,
+            per_node_work=per_node,
+        )
+        # Work counters are per-run: reset after reporting.
+        for node in self._nodes:
+            node.work_units = 0.0
+        return report

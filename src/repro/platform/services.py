@@ -1,0 +1,140 @@
+"""Hosted application services.
+
+"It enables the deployment of a variety of document-level and
+corpus-level miners in a scalable manner, and feeds information that
+drives end-user applications through a set of hosted Web services."
+
+These services sit behind the Vinci bus and answer the queries the
+reputation-management GUI (paper Figures 4–5) issues: per-subject
+sentiment counts, sentiment-bearing sentence listings, and boolean/phrase
+document search.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..core.model import Polarity
+from .datastore import DataStore
+from .indexer import InvertedIndex, SentimentIndex
+from .query import QueryParseError
+from .vinci import VinciBus, VinciError
+
+
+class SentimentQueryService:
+    """Query-time access to the sentiment index (mode B's online half)."""
+
+    def __init__(self, sentiment_index: SentimentIndex, store: DataStore):
+        self._index = sentiment_index
+        self._store = store
+
+    def counts(self, payload: dict[str, Any]) -> dict[str, Any]:
+        """``{"subject": name}`` → polarity counts."""
+        subject = self._required(payload, "subject")
+        counts = self._index.counts(subject)
+        return {
+            "subject": subject,
+            "positive": counts[Polarity.POSITIVE],
+            "negative": counts[Polarity.NEGATIVE],
+        }
+
+    def sentences(self, payload: dict[str, Any]) -> dict[str, Any]:
+        """``{"subject": name, "polarity": "+"|"-"|None, "limit": n}`` →
+        sentiment-bearing sentences, the Figure-5 listing."""
+        subject = self._required(payload, "subject")
+        polarity = payload.get("polarity")
+        wanted = Polarity.from_symbol(polarity) if polarity else None
+        limit = int(payload.get("limit", 20))
+        rows = []
+        for entry in self._index.query(subject, wanted)[:limit]:
+            entity = self._store.get(entry.entity_id)
+            snippet = ""
+            if entity is not None:
+                snippet = _sentence_around(entity.content, entry.start, entry.end)
+            rows.append(
+                {
+                    "entity_id": entry.entity_id,
+                    "polarity": entry.polarity.value,
+                    "sentence": snippet,
+                }
+            )
+        return {"subject": subject, "rows": rows}
+
+    def subjects(self, payload: dict[str, Any]) -> dict[str, Any]:
+        limit = int(payload.get("limit", 50))
+        return {"subjects": self._index.subjects()[:limit]}
+
+    @staticmethod
+    def _required(payload: dict[str, Any], key: str) -> str:
+        value = payload.get(key)
+        if not value:
+            raise VinciError(f"missing required field {key!r}")
+        return str(value)
+
+
+class SearchService:
+    """Boolean/phrase/regex document search over the inverted index."""
+
+    def __init__(self, index: InvertedIndex):
+        self._index = index
+
+    def search(self, payload: dict[str, Any]) -> dict[str, Any]:
+        query = payload.get("q", "")
+        if not query:
+            raise VinciError("missing required field 'q'")
+        try:
+            ids = self._index.search(query)
+        except QueryParseError as exc:
+            raise VinciError(f"bad query: {exc}") from exc
+        limit = int(payload.get("limit", 100))
+        return {"q": query, "total": len(ids), "ids": sorted(ids)[:limit]}
+
+
+class StoreService:
+    """Entity retrieval for application front-ends."""
+
+    def __init__(self, store: DataStore):
+        self._store = store
+
+    def get(self, payload: dict[str, Any]) -> dict[str, Any]:
+        entity_id = payload.get("entity_id", "")
+        entity = self._store.get(entity_id)
+        if entity is None:
+            raise VinciError(f"no such entity: {entity_id!r}")
+        return entity.to_record()
+
+    def stats(self, _payload: dict[str, Any]) -> dict[str, Any]:
+        return dict(self._store.stats())
+
+
+def register_services(
+    bus: VinciBus,
+    store: DataStore,
+    index: InvertedIndex,
+    sentiment_index: SentimentIndex,
+) -> list[str]:
+    """Wire the standard application services onto the bus."""
+    sentiment = SentimentQueryService(sentiment_index, store)
+    search = SearchService(index)
+    storage = StoreService(store)
+    bindings = {
+        "sentiment.counts": sentiment.counts,
+        "sentiment.sentences": sentiment.sentences,
+        "sentiment.subjects": sentiment.subjects,
+        "search.query": search.search,
+        "store.get": storage.get,
+        "store.stats": storage.stats,
+    }
+    for name, handler in bindings.items():
+        bus.register(name, handler)
+    return sorted(bindings)
+
+
+def _sentence_around(content: str, start: int, end: int) -> str:
+    """Smallest period-bounded window around [start, end)."""
+    lo = max(content.rfind(".", 0, start), content.rfind("!", 0, start), content.rfind("?", 0, start))
+    lo = lo + 1 if lo >= 0 else 0
+    his = [content.find(ch, end) for ch in ".!?"]
+    his = [h for h in his if h >= 0]
+    hi = min(his) + 1 if his else len(content)
+    return content[lo:hi].strip()

@@ -1,0 +1,110 @@
+"""Vinci: the in-process service bus.
+
+"The nodes in the cluster communicate using a Web-service style,
+lightweight, high-speed communication protocol called Vinci, a derivative
+of SOAP."
+
+This simulation keeps Vinci's programming model — named services
+exchanging small request/response documents — without sockets: handlers
+register under a service name, callers send dict payloads, and the bus
+records traffic so the platform benchmarks can report message counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+Handler = Callable[[dict[str, Any]], dict[str, Any]]
+
+
+class VinciError(RuntimeError):
+    """Service-level failure (unknown service or handler exception)."""
+
+
+@dataclass
+class ServiceRecord:
+    """Registered service plus its traffic counters."""
+
+    name: str
+    handler: Handler
+    requests: int = 0
+    failures: int = 0
+
+
+@dataclass
+class Envelope:
+    """One request/response exchange, as recorded by the bus trace."""
+
+    service: str
+    request: dict[str, Any]
+    response: dict[str, Any] | None
+    ok: bool
+
+
+class VinciBus:
+    """The service registry and request router."""
+
+    def __init__(self, trace_limit: int = 1000):
+        self._services: dict[str, ServiceRecord] = {}
+        self._trace: list[Envelope] = []
+        self._trace_limit = trace_limit
+
+    # -- registration -----------------------------------------------------------------
+
+    def register(self, name: str, handler: Handler) -> None:
+        """Register (or replace) a service handler."""
+        if not name:
+            raise ValueError("service name must be non-empty")
+        self._services[name] = ServiceRecord(name=name, handler=handler)
+
+    def unregister(self, name: str) -> None:
+        self._services.pop(name, None)
+
+    def services(self) -> list[str]:
+        return sorted(self._services)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._services
+
+    # -- requests ----------------------------------------------------------------------
+
+    def request(self, service: str, payload: dict[str, Any] | None = None) -> dict[str, Any]:
+        """Send a request; raises :class:`VinciError` on failure."""
+        payload = payload or {}
+        record = self._services.get(service)
+        if record is None:
+            self._record(Envelope(service, payload, None, ok=False))
+            raise VinciError(f"no such service: {service!r}")
+        record.requests += 1
+        try:
+            response = record.handler(payload)
+        except VinciError:
+            record.failures += 1
+            self._record(Envelope(service, payload, None, ok=False))
+            raise
+        except Exception as exc:
+            record.failures += 1
+            self._record(Envelope(service, payload, None, ok=False))
+            raise VinciError(f"service {service!r} failed: {exc}") from exc
+        if not isinstance(response, dict):
+            record.failures += 1
+            raise VinciError(f"service {service!r} returned a non-document response")
+        self._record(Envelope(service, payload, response, ok=True))
+        return response
+
+    # -- introspection -------------------------------------------------------------------
+
+    def stats(self) -> dict[str, dict[str, int]]:
+        return {
+            name: {"requests": r.requests, "failures": r.failures}
+            for name, r in sorted(self._services.items())
+        }
+
+    def trace(self) -> list[Envelope]:
+        return list(self._trace)
+
+    def _record(self, envelope: Envelope) -> None:
+        self._trace.append(envelope)
+        if len(self._trace) > self._trace_limit:
+            del self._trace[: len(self._trace) - self._trace_limit]

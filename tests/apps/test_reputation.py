@@ -1,0 +1,133 @@
+"""Unit tests for the reputation-management application."""
+
+import pytest
+
+from repro.apps import ReputationManager
+from repro.core import Subject
+from repro.core.model import Polarity
+
+DOCS = [
+    ("d1", "The Canon takes excellent pictures. The Canon is superb."),
+    ("d2", "The Canon is terrible. I love the Nikon."),
+    ("d3", "The Nikon impressed everyone. The Nikon works really well."),
+    ("d4", "Nothing interesting happened on Monday."),
+]
+
+
+@pytest.fixture(scope="module")
+def manager():
+    mgr = ReputationManager([Subject("Canon"), Subject("Nikon")], num_partitions=4, num_nodes=2)
+    mgr.load_documents(DOCS)
+    mgr.build()
+    return mgr
+
+
+class TestBuild:
+    def test_requires_subjects(self):
+        with pytest.raises(ValueError):
+            ReputationManager([])
+
+    def test_query_before_build_raises(self):
+        mgr = ReputationManager([Subject("Canon")])
+        with pytest.raises(RuntimeError):
+            mgr.summary("Canon")
+
+    def test_loaded_documents_stored(self, manager):
+        assert len(manager.store) == 4
+
+
+class TestSummaries:
+    def test_summary_counts(self, manager):
+        canon = manager.summary("Canon")
+        assert canon.positive == 2
+        assert canon.negative == 1
+        assert canon.satisfaction == pytest.approx(2 / 3)
+
+    def test_summaries_sorted_by_mentions(self, manager):
+        summaries = manager.summaries()
+        assert summaries[0].total >= summaries[-1].total
+
+    def test_unknown_subject_zero(self, manager):
+        s = manager.summary("Kodak")
+        assert s.total == 0
+        assert s.satisfaction == 0.0
+
+
+class TestSentences:
+    def test_sentence_listing(self, manager):
+        rows = manager.sentences("Nikon")
+        assert len(rows) == 3
+        assert all(row["polarity"] in "+-" for row in rows)
+
+    def test_polarity_filter(self, manager):
+        rows = manager.sentences("Canon", polarity="-")
+        assert len(rows) == 1
+        assert "terrible" in rows[0]["sentence"]
+
+    def test_limit(self, manager):
+        assert len(manager.sentences("Nikon", limit=1)) == 1
+
+
+class TestRendering:
+    def test_product_summary_masked(self, manager):
+        out = manager.render_product_summary(mask_names=True)
+        assert "Product A" in out
+        assert "Canon" not in out
+
+    def test_product_summary_unmasked(self, manager):
+        out = manager.render_product_summary()
+        assert "Canon" in out and "Nikon" in out
+
+    def test_sentences_rendering(self, manager):
+        out = manager.render_sentences("Canon")
+        assert "Figure 5" in out
+
+    def test_satisfaction_chart(self, manager):
+        out = manager.render_satisfaction_chart(["Canon", "Nikon"])
+        assert "#" in out
+        assert "Canon" in out
+
+
+class TestServices:
+    def test_services_registered_on_bus(self, manager):
+        assert "sentiment.counts" in manager.bus
+        counts = manager.bus.request("sentiment.counts", {"subject": "Nikon"})
+        assert counts["positive"] == 3
+        assert counts["negative"] == 0
+
+    def test_search_service_works(self, manager):
+        out = manager.bus.request("search.query", {"q": "excellent AND pictures"})
+        assert out["ids"] == ["d1"]
+
+
+class TestFeatureDiscovery:
+    def test_discovered_features_become_subjects(self):
+        from repro.corpora import camera_reviews
+
+        dataset = camera_reviews(scale=0.02)
+        mgr = ReputationManager([Subject("Canon")], num_partitions=4, num_nodes=2)
+        mgr.load_documents((d.doc_id, d.text) for d in dataset.dplus)
+        added = mgr.discover_feature_subjects(dataset.dminus_texts(), top_n=10)
+        assert added
+        assert any(s.canonical in ("camera", "picture", "flash") for s in added)
+        mgr.build()
+        # The discovered features now accumulate sentiment.
+        assert any(mgr.summary(s.canonical).total > 0 for s in added)
+
+    def test_existing_subjects_not_duplicated(self):
+        from repro.corpora import camera_reviews
+
+        dataset = camera_reviews(scale=0.02)
+        mgr = ReputationManager([Subject("camera")], num_partitions=4, num_nodes=2)
+        mgr.load_documents((d.doc_id, d.text) for d in dataset.dplus)
+        added = mgr.discover_feature_subjects(dataset.dminus_texts(), top_n=5)
+        assert all(s.canonical != "camera" for s in added)
+
+    def test_discovery_after_build_rejected(self):
+        mgr = ReputationManager([Subject("Canon")], num_partitions=4, num_nodes=2)
+        mgr.load_documents([("d1", "The Canon is fine.")])
+        mgr.build()
+        import pytest as _pytest
+
+        with _pytest.raises(RuntimeError):
+            mgr.discover_feature_subjects([])

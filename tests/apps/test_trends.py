@@ -1,0 +1,110 @@
+"""Unit tests for market trend tracking."""
+
+import pytest
+
+from repro.apps.trends import TrendPoint, TrendSeries, TrendTracker
+from repro.core.model import Polarity, SentimentJudgment, Spot, Subject
+from repro.nlp.tokens import Span
+
+
+def judgment(subject="Canon", polarity=Polarity.POSITIVE):
+    spot = Spot(Subject(subject), subject, Span(0, len(subject)), 0, "d")
+    return SentimentJudgment(spot=spot, polarity=polarity)
+
+
+class TestTrendPoint:
+    def test_satisfaction(self):
+        point = TrendPoint("2004-06", positive=3, negative=1)
+        assert point.satisfaction == 0.75
+        assert point.total == 4
+
+    def test_empty_period(self):
+        assert TrendPoint("2004-06", 0, 0).satisfaction == 0.0
+
+
+class TestTrendTracker:
+    def test_period_truncation(self):
+        tracker = TrendTracker(period_length=7)
+        assert tracker.period_of("2004-06-15") == "2004-06"
+
+    def test_bad_period_length(self):
+        with pytest.raises(ValueError):
+            TrendTracker(period_length=0)
+
+    def test_add_and_series(self):
+        tracker = TrendTracker()
+        tracker.add(judgment(), "2004-05-10")
+        tracker.add(judgment(), "2004-05-20")
+        tracker.add(judgment(polarity=Polarity.NEGATIVE), "2004-06-01")
+        series = tracker.series("Canon")
+        assert [p.period for p in series.points] == ["2004-05", "2004-06"]
+        assert series.points[0].positive == 2
+        assert series.points[1].negative == 1
+
+    def test_neutral_ignored(self):
+        tracker = TrendTracker()
+        tracker.add(judgment(polarity=Polarity.NEUTRAL), "2004-05-01")
+        assert tracker.subjects() == []
+
+    def test_add_all_counts_polar_only(self):
+        tracker = TrendTracker()
+        n = tracker.add_all(
+            [
+                (judgment(), "2004-05-01"),
+                (judgment(polarity=Polarity.NEUTRAL), "2004-05-01"),
+            ]
+        )
+        assert n == 1
+
+    def test_unknown_subject_empty_series(self):
+        series = TrendTracker().series("Ghost")
+        assert series.points == []
+        assert series.direction == "flat"
+
+
+class TestDirection:
+    def build(self, month_buckets):
+        tracker = TrendTracker()
+        for month, (pos, neg) in month_buckets.items():
+            for _ in range(pos):
+                tracker.add(judgment(), f"2004-{month}-05")
+            for _ in range(neg):
+                tracker.add(judgment(polarity=Polarity.NEGATIVE), f"2004-{month}-05")
+        return tracker.series("Canon")
+
+    def test_improving(self):
+        series = self.build({"01": (1, 4), "02": (1, 3), "03": (4, 1), "04": (5, 1)})
+        assert series.direction == "improving"
+
+    def test_declining(self):
+        series = self.build({"01": (5, 1), "02": (4, 1), "03": (1, 4), "04": (1, 5)})
+        assert series.direction == "declining"
+
+    def test_flat(self):
+        series = self.build({"01": (2, 2), "02": (2, 2), "03": (2, 2), "04": (2, 2)})
+        assert series.direction == "flat"
+
+    def test_single_period_flat(self):
+        series = self.build({"01": (5, 0)})
+        assert series.direction == "flat"
+
+
+class TestRenderAndMovers:
+    def test_render_contains_chart_and_table(self):
+        tracker = TrendTracker()
+        tracker.add(judgment(), "2004-05-01")
+        tracker.add(judgment(polarity=Polarity.NEGATIVE), "2004-06-01")
+        out = tracker.series("Canon").render()
+        assert "satisfaction by period" in out
+        assert "2004-05" in out and "2004-06" in out
+
+    def test_movers(self):
+        tracker = TrendTracker()
+        for month in ("01", "02"):
+            tracker.add(judgment("Up", Polarity.NEGATIVE), f"2004-{month}-01")
+        for month in ("03", "04"):
+            tracker.add(judgment("Up", Polarity.POSITIVE), f"2004-{month}-01")
+        for month in ("01", "02", "03", "04"):
+            tracker.add(judgment("Steady", Polarity.POSITIVE), f"2004-{month}-01")
+        movers = dict(tracker.movers())
+        assert movers == {"Up": "improving"}

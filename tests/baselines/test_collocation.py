@@ -1,0 +1,65 @@
+"""Unit tests for the collocation baseline."""
+
+from repro.baselines import CollocationBaseline
+from repro.core.model import Polarity, Subject
+
+
+def judge(text, *names):
+    baseline = CollocationBaseline()
+    subjects = [Subject(n) for n in names]
+    return {j.subject_name: j.polarity for j in baseline.analyze_text(text, subjects)}
+
+
+class TestSentencePolarity:
+    def test_positive_majority(self):
+        out = judge("The camera is excellent and superb but heavy.", "camera")
+        assert out["camera"] is Polarity.POSITIVE
+
+    def test_negative_majority(self):
+        out = judge("The camera is terrible and awful but compact.", "camera")
+        assert out["camera"] is Polarity.NEGATIVE
+
+    def test_tie_is_neutral(self):
+        out = judge("The camera is excellent but terrible.", "camera")
+        assert out["camera"] is Polarity.NEUTRAL
+
+    def test_no_sentiment_words_neutral(self):
+        out = judge("The camera arrived on Monday.", "camera")
+        assert out["camera"] is Polarity.NEUTRAL
+
+
+class TestNoTargetAssociation:
+    def test_all_spots_get_same_polarity(self):
+        # The paper's NR70 example: collocation wrongly colours bystanders.
+        text = "Unlike the awful and dreadful flash, the zoom is superb."
+        out = judge(text, "zoom", "flash")
+        assert out["zoom"] == out["flash"]
+        assert out["zoom"] is Polarity.NEGATIVE  # 2 neg vs 1 pos
+
+    def test_stray_sentiment_false_positive(self):
+        text = "A friend with a wonderful job bought the camera."
+        out = judge(text, "camera")
+        assert out["camera"] is Polarity.POSITIVE  # false positive by design
+
+    def test_negation_ignored(self):
+        # No linguistic analysis: "not excellent" still counts positive.
+        out = judge("The camera is not excellent.", "camera")
+        assert out["camera"] is Polarity.POSITIVE
+
+
+class TestScope:
+    def test_per_sentence_scope(self):
+        text = "The zoom is superb. The flash is terrible."
+        out = judge(text, "zoom", "flash")
+        assert out["zoom"] is Polarity.POSITIVE
+        assert out["flash"] is Polarity.NEGATIVE
+
+    def test_no_spots_no_judgments(self):
+        baseline = CollocationBaseline()
+        assert baseline.analyze_text("Nothing here.", [Subject("camera")]) == []
+
+    def test_provenance_labelled(self):
+        baseline = CollocationBaseline()
+        (j,) = baseline.analyze_text("The camera is excellent.", [Subject("camera")])
+        assert j.provenance.pattern == "collocation"
+        assert "excellent" in j.provenance.sentiment_words

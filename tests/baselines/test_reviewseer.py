@@ -1,0 +1,98 @@
+"""Unit tests for the ReviewSeer-like Naive Bayes classifier."""
+
+import pytest
+
+from repro.baselines import ReviewSeerClassifier, extract_features
+from repro.core.model import Polarity
+
+POSITIVE_DOCS = [
+    "The camera is excellent. Superb pictures and a wonderful lens. I love it.",
+    "Fantastic zoom and flawless colors. The battery life is great. Highly recommended.",
+    "Wonderful camera. Excellent flash, superb screen, great value.",
+    "I love this camera. Sharp pictures, brilliant menu, excellent build.",
+]
+NEGATIVE_DOCS = [
+    "The camera is terrible. Awful pictures and a flimsy lens. I hate it.",
+    "Dreadful zoom and blurry colors. The battery life is awful. Disappointing.",
+    "Terrible camera. Mediocre flash, shoddy screen, poor value.",
+    "I hate this camera. Grainy pictures, sluggish menu, defective build.",
+]
+
+
+@pytest.fixture(scope="module")
+def trained():
+    classifier = ReviewSeerClassifier(neutral_margin=1.0)
+    classifier.train(POSITIVE_DOCS, NEGATIVE_DOCS)
+    return classifier
+
+
+class TestFeatureExtraction:
+    def test_unigrams_lowercased_and_stopword_filtered(self):
+        features = extract_features("The Camera is Excellent")
+        assert "camera" in features
+        assert "excellent" in features
+        assert "the" not in features
+
+    def test_bigrams_included(self):
+        features = extract_features("battery life")
+        assert "battery_life" in features
+
+    def test_punctuation_dropped(self):
+        features = extract_features("great!")
+        assert "!" not in features
+
+
+class TestTraining:
+    def test_untrained_raises(self):
+        with pytest.raises(RuntimeError):
+            ReviewSeerClassifier().scores("anything")
+
+    def test_one_sided_training_rejected(self):
+        classifier = ReviewSeerClassifier()
+        with pytest.raises(ValueError):
+            classifier.train(POSITIVE_DOCS, [])
+
+    def test_is_trained(self, trained):
+        assert trained.is_trained
+        assert trained.vocabulary_size > 20
+
+    def test_bad_hyperparameters(self):
+        with pytest.raises(ValueError):
+            ReviewSeerClassifier(neutral_margin=-1)
+        with pytest.raises(ValueError):
+            ReviewSeerClassifier(smoothing=0)
+
+
+class TestClassification:
+    def test_positive_document(self, trained):
+        text = "Excellent camera with superb pictures and a wonderful zoom."
+        assert trained.classify_document(text) is Polarity.POSITIVE
+
+    def test_negative_document(self, trained):
+        text = "Terrible camera with awful pictures and a dreadful zoom."
+        assert trained.classify_document(text) is Polarity.NEGATIVE
+
+    def test_neutral_band_abstains_without_evidence(self, trained):
+        assert trained.classify("It arrived on a weekday.") is Polarity.NEUTRAL
+
+    def test_sentence_with_sentiment_fires(self, trained):
+        assert trained.classify_sentence("A superb excellent lens.") is Polarity.POSITIVE
+
+    def test_no_target_awareness(self, trained):
+        # Sentiment about a *different* target still colours the decision —
+        # the failure mode the paper demonstrates on general web text.
+        text = "A friend with an excellent wonderful job bought the camera."
+        assert trained.classify_sentence(text) is Polarity.POSITIVE
+
+    def test_margin_sign_matches_decision(self, trained):
+        scores = trained.scores("excellent superb wonderful")
+        assert scores.margin > 0
+
+    def test_document_accuracy_on_training_distribution(self, trained):
+        correct = sum(
+            1 for d in POSITIVE_DOCS if trained.classify_document(d) is Polarity.POSITIVE
+        )
+        correct += sum(
+            1 for d in NEGATIVE_DOCS if trained.classify_document(d) is Polarity.NEGATIVE
+        )
+        assert correct == len(POSITIVE_DOCS) + len(NEGATIVE_DOCS)

@@ -1,0 +1,168 @@
+"""Unit tests for the sentiment analyzer — the paper's worked examples."""
+
+import pytest
+
+from repro.core.analyzer import SentimentAnalyzer
+from repro.core.model import Polarity, Subject
+
+
+@pytest.fixture(scope="module")
+def analyzer():
+    return SentimentAnalyzer()
+
+
+def judge(analyzer, text, *names):
+    subjects = [Subject(n) for n in names]
+    return {j.subject_name: j.polarity for j in analyzer.analyze_text(text, subjects)}
+
+
+class TestPaperExamples:
+    def test_impress_passive_pp(self, analyzer):
+        # Paper: "I am impressed by the flash capabilities." → (flash capability, +)
+        out = judge(analyzer, "I am impressed by the flash capabilities.", "flash capabilities")
+        assert out["flash capabilities"] is Polarity.POSITIVE
+
+    def test_take_op_sp(self, analyzer):
+        # Paper: "This camera takes excellent pictures." → (camera, +)
+        out = judge(analyzer, "This camera takes excellent pictures.", "camera")
+        assert out["camera"] is Polarity.POSITIVE
+
+    def test_be_cp_sp(self, analyzer):
+        # Paper: "The colors are vibrant." → colors +
+        out = judge(analyzer, "The colors are vibrant.", "colors")
+        assert out["colors"] is Polarity.POSITIVE
+
+    def test_offer_positive(self, analyzer):
+        out = judge(analyzer, "The company offers high quality products.", "company")
+        assert out["company"] is Polarity.POSITIVE
+
+    def test_offer_negative(self, analyzer):
+        out = judge(analyzer, "The company offers mediocre services.", "company")
+        assert out["company"] is Polarity.NEGATIVE
+
+    def test_picture_is_flawless(self, analyzer):
+        # Paper's positive-polarity example sentence.
+        out = judge(analyzer, "The picture is flawless.", "picture")
+        assert out["picture"] is Polarity.POSITIVE
+
+    def test_product_fails_to_meet(self, analyzer):
+        # Paper's negative-polarity example sentence.
+        out = judge(
+            analyzer, "The product fails to meet our quality expectations.", "product"
+        )
+        assert out["product"] is Polarity.NEGATIVE
+
+
+class TestNegationHandling:
+    def test_verb_phrase_negation_reverses(self, analyzer):
+        out = judge(analyzer, "The camera does not take excellent pictures.", "camera")
+        assert out["camera"] is Polarity.NEGATIVE
+
+    def test_negated_copula(self, analyzer):
+        out = judge(analyzer, "The colors are not vibrant.", "colors")
+        assert out["colors"] is Polarity.NEGATIVE
+
+    def test_never_disappoints(self, analyzer):
+        out = judge(analyzer, "The camera never disappoints.", "camera")
+        assert out["camera"] is Polarity.POSITIVE
+
+    def test_negation_verb_fails_to(self, analyzer):
+        out = judge(analyzer, "The camera fails to impress.", "camera")
+        assert out["camera"] is Polarity.NEGATIVE
+
+    def test_stopped_working(self, analyzer):
+        out = judge(analyzer, "The camera stopped working.", "camera")
+        assert out["camera"] is Polarity.NEGATIVE
+
+    def test_negation_off_ablation(self):
+        plain = SentimentAnalyzer(handle_negation=False)
+        out = judge(plain, "The camera does not take excellent pictures.", "camera")
+        assert out["camera"] is Polarity.POSITIVE  # wrong on purpose
+
+
+class TestTargetAssociation:
+    def test_multiple_subjects_distinct_polarity(self, analyzer):
+        text = "Unlike the T series CLIEs, the NR70 offers superb playback."
+        out = judge(analyzer, text, "NR70", "T series CLIEs")
+        assert out["NR70"] is Polarity.POSITIVE
+        assert out["T series CLIEs"] is Polarity.NEGATIVE
+
+    def test_subject_in_other_clause_not_contaminated(self, analyzer):
+        text = "The zoom is superb, but the flash is terrible."
+        out = judge(analyzer, text, "zoom", "flash")
+        assert out["zoom"] is Polarity.POSITIVE
+        assert out["flash"] is Polarity.NEGATIVE
+
+    def test_bystander_subject_is_neutral(self, analyzer):
+        # "software" is mentioned but the sentiment targets "update".
+        text = "The update fixes the annoying bug in the software."
+        out = judge(analyzer, text, "update", "software")
+        assert out["update"] is Polarity.POSITIVE
+        assert out["software"] is Polarity.NEUTRAL
+
+    def test_subject_with_pp_attachment_covered(self, analyzer):
+        text = "The support in the NR70 series is functional."
+        out = judge(analyzer, text, "NR70 series", "support")
+        assert out["NR70 series"] is Polarity.POSITIVE
+        assert out["support"] is Polarity.POSITIVE
+
+    def test_experiencer_object_target(self, analyzer):
+        out = judge(analyzer, "Reviewers recommend the camera.", "camera")
+        assert out["camera"] is Polarity.POSITIVE
+
+    def test_psych_verb_active_subject_target(self, analyzer):
+        out = judge(analyzer, "The battery life disappointed everyone.", "battery life")
+        assert out["battery life"] is Polarity.NEGATIVE
+
+
+class TestNeutralCases:
+    def test_factual_sentence_neutral(self, analyzer):
+        out = judge(analyzer, "The camera is black.", "camera")
+        assert out["camera"] is Polarity.NEUTRAL
+
+    def test_unknown_predicate_neutral(self, analyzer):
+        out = judge(analyzer, "The camera weighs ten ounces.", "camera")
+        assert out["camera"] is Polarity.NEUTRAL
+
+    def test_no_spot_no_judgment(self, analyzer):
+        assert analyzer.analyze_text("The zoom is great.", [Subject("flash")]) == []
+
+
+class TestAblations:
+    def test_patterns_off_uses_whole_sentence(self):
+        lexicon_only = SentimentAnalyzer(use_patterns=False)
+        # Collocation-style behaviour: any sentiment word colours all spots.
+        text = "The update fixes the annoying bug in the software."
+        out = judge(lexicon_only, text, "software")
+        assert out["software"] is Polarity.NEGATIVE  # "annoying"+"bug" dominate
+
+    def test_patterns_off_neutral_without_sentiment(self):
+        lexicon_only = SentimentAnalyzer(use_patterns=False)
+        out = judge(lexicon_only, "The camera is black.", "camera")
+        assert out["camera"] is Polarity.NEUTRAL
+
+
+class TestBearsSentiment:
+    def test_sentiment_word_detected(self, analyzer):
+        from repro.nlp.sentences import split_sentences
+
+        (s,) = split_sentences("The camera is excellent.")
+        assert analyzer.bears_sentiment(analyzer.tag(s))
+
+    def test_plain_factual_sentence(self, analyzer):
+        from repro.nlp.sentences import split_sentences
+
+        (s,) = split_sentences("The camera has a 3x zoom.")
+        assert not analyzer.bears_sentiment(analyzer.tag(s))
+
+
+class TestProvenance:
+    def test_pattern_recorded(self, analyzer):
+        (j,) = analyzer.analyze_text("The colors are vibrant.", [Subject("colors")])
+        assert j.provenance.pattern == "be CP SP"
+        assert j.provenance.predicate == "be"
+        assert "vibrant" in j.provenance.sentiment_words
+
+    def test_negation_recorded(self, analyzer):
+        (j,) = analyzer.analyze_text("The colors are not vibrant.", [Subject("colors")])
+        assert j.provenance.negated

@@ -1,0 +1,125 @@
+"""Analyzer tests for the harder linguistic constructions."""
+
+import pytest
+
+from repro.core.analyzer import SentimentAnalyzer
+from repro.core.model import Polarity, Subject
+
+
+@pytest.fixture(scope="module")
+def analyzer():
+    return SentimentAnalyzer()
+
+
+def judge(analyzer, text, *names):
+    subjects = [Subject(n) for n in names]
+    return {j.subject_name: j.polarity for j in analyzer.analyze_text(text, subjects)}
+
+
+class TestComparatives:
+    def test_better_than(self, analyzer):
+        out = judge(analyzer, "The zoom is better than the flash.", "zoom", "flash")
+        assert out["zoom"] is Polarity.POSITIVE
+        assert out["flash"] is Polarity.NEGATIVE
+
+    def test_worse_than(self, analyzer):
+        out = judge(analyzer, "The zoom is worse than the flash.", "zoom", "flash")
+        assert out["zoom"] is Polarity.NEGATIVE
+        assert out["flash"] is Polarity.POSITIVE
+
+    def test_regular_comparative(self, analyzer):
+        out = judge(analyzer, "The zoom is sharper than the flash.", "zoom", "flash")
+        assert out["zoom"] is Polarity.POSITIVE
+        assert out["flash"] is Polarity.NEGATIVE
+
+    def test_graded_lexicon_fallback(self, analyzer):
+        assert analyzer.lexicon.polarity("better", "JJR") is Polarity.POSITIVE
+        assert analyzer.lexicon.polarity("worst", "JJS") is Polarity.NEGATIVE
+        assert analyzer.lexicon.polarity("sharpest", "JJS") is Polarity.POSITIVE
+
+    def test_comparative_without_than_is_plain(self, analyzer):
+        out = judge(analyzer, "The zoom is better.", "zoom")
+        assert out["zoom"] is Polarity.POSITIVE
+
+
+class TestQuestions:
+    def test_polar_question_abstains(self, analyzer):
+        out = judge(analyzer, "Is the zoom good?", "zoom")
+        assert out["zoom"] is Polarity.NEUTRAL
+
+    def test_wh_question_abstains(self, analyzer):
+        out = judge(analyzer, "Why is the battery life so terrible?", "battery life")
+        assert out["battery life"] is Polarity.NEUTRAL
+
+    def test_statement_still_fires(self, analyzer):
+        out = judge(analyzer, "The zoom is good.", "zoom")
+        assert out["zoom"] is Polarity.POSITIVE
+
+
+class TestConditionals:
+    def test_if_clause_abstains(self, analyzer):
+        out = judge(analyzer, "If the zoom were better, I would buy it.", "zoom")
+        assert out["zoom"] is Polarity.NEUTRAL
+
+    def test_unless_clause_abstains(self, analyzer):
+        out = judge(analyzer, "Unless the battery improves, skip it.", "battery")
+        assert out["battery"] is Polarity.NEUTRAL
+
+    def test_main_clause_after_conditional_still_fires(self, analyzer):
+        text = "If the weather holds, the zoom takes excellent pictures."
+        out = judge(analyzer, text, "zoom")
+        assert out["zoom"] is Polarity.POSITIVE
+
+
+class TestVerblessConstructions:
+    def test_exclamative_abstains(self, analyzer):
+        out = judge(analyzer, "What a superb zoom!", "zoom")
+        assert out["zoom"] is Polarity.NEUTRAL
+
+    def test_fragment_abstains(self, analyzer):
+        out = judge(analyzer, "The best camera ever.", "camera")
+        assert out["camera"] is Polarity.NEUTRAL
+
+
+class TestCoordinationAndScope:
+    def test_both_conjuncts_assigned(self, analyzer):
+        out = judge(analyzer, "The zoom is superb and works beautifully.", "zoom")
+        assert out["zoom"] is Polarity.POSITIVE
+
+    def test_but_clause_keeps_scopes_apart(self, analyzer):
+        text = "The camera is excellent, but the price is outrageous."
+        out = judge(analyzer, text, "camera", "price")
+        assert out["camera"] is Polarity.POSITIVE
+        assert out["price"] is Polarity.NEGATIVE
+
+    def test_double_negation_style(self, analyzer):
+        out = judge(analyzer, "The zoom never fails.", "zoom")
+        assert out["zoom"] is Polarity.POSITIVE
+
+
+class TestOpinionHolder:
+    def test_third_person_holder(self, analyzer):
+        (j,) = analyzer.analyze_text("Analysts criticized the merger.", [Subject("merger")])
+        assert j.provenance.holder == "Analysts"
+
+    def test_first_person_is_writer(self, analyzer):
+        (j,) = analyzer.analyze_text("I love the zoom.", [Subject("zoom")])
+        assert j.provenance.holder == "writer"
+
+    def test_we_is_writer(self, analyzer):
+        (j,) = analyzer.analyze_text("We recommend the camera.", [Subject("camera")])
+        assert j.provenance.holder == "writer"
+
+    def test_named_person_holder(self, analyzer):
+        (j,) = analyzer.analyze_text(
+            "Prof. Wilson recommends the camera.", [Subject("camera")]
+        )
+        assert j.provenance.holder == "Prof. Wilson"
+
+    def test_copular_sentence_is_writer(self, analyzer):
+        (j,) = analyzer.analyze_text("The colors are vibrant.", [Subject("colors")])
+        assert j.provenance.holder == "writer"
+
+    def test_holder_in_description(self, analyzer):
+        (j,) = analyzer.analyze_text("Analysts criticized the merger.", [Subject("merger")])
+        assert "holder[Analysts]" in j.provenance.describe()

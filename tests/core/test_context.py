@@ -1,0 +1,76 @@
+"""Unit tests for sentiment context window formation."""
+
+import pytest
+
+from repro.core.context import ContextBuilder, ContextWindowRule
+from repro.core.model import Spot, Subject
+from repro.nlp.sentences import split_sentences
+from repro.nlp.tokens import Span
+
+DOC = "First sentence here. The camera is great. Final words follow."
+
+
+def camera_spot(document=DOC):
+    start = document.index("camera")
+    return Spot(
+        subject=Subject("camera"),
+        term="camera",
+        span=Span(start, start + len("camera")),
+        sentence_index=1,
+    )
+
+
+class TestContextWindowRule:
+    def test_defaults_zero(self):
+        rule = ContextWindowRule()
+        assert rule.sentences_before == 0 and rule.sentences_after == 0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            ContextWindowRule(sentences_before=-1)
+
+
+class TestContextBuilder:
+    def test_default_window_is_single_sentence(self):
+        builder = ContextBuilder()
+        ctx = builder.build(split_sentences(DOC), camera_spot())
+        assert ctx.text_of(DOC) == "The camera is great."
+
+    def test_focus_sentence(self):
+        builder = ContextBuilder(ContextWindowRule(1, 1))
+        ctx = builder.build(split_sentences(DOC), camera_spot())
+        assert ctx.focus_sentence.index == 1
+
+    def test_wider_window(self):
+        builder = ContextBuilder(ContextWindowRule(1, 1))
+        ctx = builder.build(split_sentences(DOC), camera_spot())
+        assert ctx.text_of(DOC) == DOC
+        assert len(ctx.sentences) == 3
+
+    def test_window_clamped_at_document_edges(self):
+        builder = ContextBuilder(ContextWindowRule(5, 5))
+        ctx = builder.build(split_sentences(DOC), camera_spot())
+        assert len(ctx.sentences) == 3
+
+    def test_spot_outside_sentences_rejected(self):
+        builder = ContextBuilder()
+        bad = Spot(Subject("x"), "x", Span(5000, 5001), sentence_index=0)
+        with pytest.raises(ValueError):
+            builder.build(split_sentences(DOC), bad)
+
+    def test_empty_document_rejected(self):
+        with pytest.raises(ValueError):
+            ContextBuilder().build([], camera_spot())
+
+
+class TestMarkedText:
+    def test_xml_tag_wraps_spot(self):
+        builder = ContextBuilder()
+        ctx = builder.build(split_sentences(DOC), camera_spot())
+        marked = ctx.marked_text(DOC)
+        assert marked == 'The <subject id="camera">camera</subject> is great.'
+
+    def test_custom_tag_name(self):
+        builder = ContextBuilder()
+        ctx = builder.build(split_sentences(DOC), camera_spot())
+        assert "<topic" in ctx.marked_text(DOC, tag="topic")

@@ -1,0 +1,163 @@
+"""Unit tests for feature term extraction (bBNP + likelihood ratio)."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.features import (
+    CHI2_CRITICAL,
+    FeatureExtractionConfig,
+    FeatureExtractor,
+    likelihood_ratio,
+)
+
+
+class TestLikelihoodRatio:
+    def test_strong_association_scores_high(self):
+        # Candidate in 40/50 D+ docs, 1/500 D- docs.
+        assert likelihood_ratio(40, 1, 10, 499) > 100
+
+    def test_no_association_scores_zero(self):
+        # Same rate in both collections.
+        assert likelihood_ratio(10, 100, 90, 900) == 0.0
+
+    def test_negative_association_guarded(self):
+        # More frequent in D- than D+: the r2 >= r1 guard zeroes it.
+        assert likelihood_ratio(1, 400, 49, 100) == 0.0
+
+    def test_zero_table(self):
+        assert likelihood_ratio(0, 0, 0, 0) == 0.0
+
+    def test_all_containing(self):
+        assert likelihood_ratio(5, 5, 0, 0) == 0.0
+
+    def test_negative_counts_rejected(self):
+        with pytest.raises(ValueError):
+            likelihood_ratio(-1, 0, 0, 0)
+
+    def test_monotone_in_dplus_count(self):
+        scores = [likelihood_ratio(c, 2, 100 - c, 998) for c in (5, 20, 50)]
+        assert scores == sorted(scores)
+
+    def test_always_finite_and_nonnegative(self):
+        for c11, c12, c21, c22 in [(1, 0, 0, 1), (0, 1, 1, 0), (3, 3, 3, 3), (100, 0, 0, 100)]:
+            score = likelihood_ratio(c11, c12, c21, c22)
+            assert score >= 0.0
+            assert math.isfinite(score)
+
+    @given(st.integers(0, 200), st.integers(0, 200), st.integers(0, 200), st.integers(0, 200))
+    def test_property_nonnegative_finite(self, c11, c12, c21, c22):
+        score = likelihood_ratio(c11, c12, c21, c22)
+        assert score >= 0.0
+        assert math.isfinite(score)
+
+
+class TestConfigValidation:
+    def test_defaults(self):
+        config = FeatureExtractionConfig()
+        assert config.heuristic == "bbnp"
+        assert config.ranker == "likelihood"
+
+    def test_bad_heuristic(self):
+        with pytest.raises(ValueError):
+            FeatureExtractionConfig(heuristic="magic")
+
+    def test_bad_ranker(self):
+        with pytest.raises(ValueError):
+            FeatureExtractionConfig(ranker="random")
+
+    def test_bad_confidence(self):
+        with pytest.raises(ValueError):
+            FeatureExtractionConfig(confidence=0.5)
+
+    def test_bad_top_n(self):
+        with pytest.raises(ValueError):
+            FeatureExtractionConfig(top_n=0)
+
+    def test_chi2_table_sane(self):
+        assert CHI2_CRITICAL[0.95] == pytest.approx(3.841, abs=0.01)
+
+
+# A miniature D+ corpus where "battery" and "picture quality" are recurring
+# bBNP features and D- never mentions them.
+DPLUS = [
+    "The battery lasts all day. I love this camera.",
+    "The battery drains fast. The picture quality impresses everyone.",
+    "The picture quality amazes reviewers. The battery charges quickly.",
+    "The battery works well. The zoom performs nicely.",
+    "The picture quality shines outdoors. The battery holds a charge.",
+]
+DMINUS = [
+    "The election results surprised analysts in the capital.",
+    "The highway project continues despite the funding dispute.",
+    "The orchestra performed a new symphony last night.",
+    "The committee approved the annual budget yesterday.",
+    "The museum opened a new exhibition about rivers.",
+    "The bakery sells bread and pastries every morning.",
+]
+
+
+class TestFeatureExtractor:
+    def test_bbnp_candidates_from_document(self):
+        extractor = FeatureExtractor()
+        phrases = extractor.candidate_phrases("The battery lasts all day. It is fine.")
+        assert phrases == ["battery"]
+
+    def test_candidate_normalisation_folds_plurals(self):
+        extractor = FeatureExtractor()
+        phrases = extractor.candidate_phrases("The batteries drain quickly.")
+        assert phrases == ["battery"]
+
+    def test_extract_finds_topic_features(self):
+        extractor = FeatureExtractor(FeatureExtractionConfig(min_support=2))
+        features = extractor.extract(DPLUS, DMINUS)
+        terms = [f.term for f in features]
+        assert "battery" in terms
+        assert "picture quality" in terms
+
+    def test_extract_scores_sorted_descending(self):
+        extractor = FeatureExtractor(FeatureExtractionConfig(min_support=2))
+        features = extractor.extract(DPLUS, DMINUS)
+        scores = [f.score for f in features]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_counts_are_document_frequencies(self):
+        extractor = FeatureExtractor(FeatureExtractionConfig(min_support=2))
+        features = {f.term: f for f in extractor.extract(DPLUS, DMINUS)}
+        assert features["battery"].dplus_count == 5
+        assert features["battery"].dminus_count == 0
+
+    def test_top_n_selection(self):
+        extractor = FeatureExtractor(FeatureExtractionConfig(min_support=1, top_n=1))
+        features = extractor.extract(DPLUS, DMINUS)
+        assert len(features) == 1
+
+    def test_min_support_filters(self):
+        extractor = FeatureExtractor(FeatureExtractionConfig(min_support=5))
+        features = extractor.extract(DPLUS, DMINUS)
+        assert all(f.dplus_count >= 5 for f in features)
+
+    def test_frequency_ranker(self):
+        extractor = FeatureExtractor(
+            FeatureExtractionConfig(min_support=1, ranker="frequency")
+        )
+        features = extractor.extract(DPLUS, DMINUS)
+        for feature in features:
+            assert feature.score == feature.dplus_count
+
+    def test_bnp_heuristic_catches_more_candidates(self):
+        bbnp = FeatureExtractor(FeatureExtractionConfig(heuristic="bbnp"))
+        bnp = FeatureExtractor(FeatureExtractionConfig(heuristic="bnp"))
+        doc = "I like the sharp lens on this camera."
+        assert len(bnp.candidate_phrases(doc)) > len(bbnp.candidate_phrases(doc))
+
+    def test_empty_corpora(self):
+        extractor = FeatureExtractor()
+        assert extractor.extract([], []) == []
+        assert extractor.extract([], DMINUS) == []
+
+    def test_deterministic(self):
+        extractor = FeatureExtractor(FeatureExtractionConfig(min_support=2))
+        assert extractor.extract(DPLUS, DMINUS) == extractor.extract(DPLUS, DMINUS)

@@ -1,0 +1,175 @@
+"""Unit tests for the sentiment lexicon."""
+
+import io
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.lexicon import LexiconEntry, SentimentLexicon, coarse_pos, default_lexicon
+from repro.core.model import Polarity
+
+
+@pytest.fixture(scope="module")
+def lexicon():
+    return default_lexicon()
+
+
+class TestCoarsePos:
+    def test_adjectives(self):
+        assert coarse_pos("JJ") == "JJ"
+        assert coarse_pos("JJR") == "JJ"
+        assert coarse_pos("JJS") == "JJ"
+
+    def test_participles_count_as_adjectives(self):
+        assert coarse_pos("VBN") == "JJ"
+        assert coarse_pos("VBG") == "JJ"
+
+    def test_nouns_verbs_adverbs(self):
+        assert coarse_pos("NNS") == "NN"
+        assert coarse_pos("VBZ") == "VB"
+        assert coarse_pos("RBR") == "RB"
+
+    def test_non_sentiment_tags(self):
+        assert coarse_pos("DT") is None
+        assert coarse_pos("IN") is None
+        assert coarse_pos(".") is None
+
+
+class TestLookups:
+    def test_paper_example_entry(self, lexicon):
+        # The paper's worked example: "excellent" JJ +
+        assert lexicon.polarity("excellent", "JJ") is Polarity.POSITIVE
+
+    def test_negative_adjective(self, lexicon):
+        assert lexicon.polarity("mediocre", "JJ") is Polarity.NEGATIVE
+
+    def test_unknown_word_is_neutral(self, lexicon):
+        assert lexicon.polarity("chartreuse", "JJ") is Polarity.NEUTRAL
+
+    def test_case_insensitive(self, lexicon):
+        assert lexicon.polarity("Excellent", "JJ") is Polarity.POSITIVE
+
+    def test_noun_plural_falls_back_to_lemma(self, lexicon):
+        assert lexicon.polarity("defects", "NNS") is Polarity.NEGATIVE
+
+    def test_verb_inflection_falls_back_to_lemma(self, lexicon):
+        assert lexicon.polarity("impresses", "VBZ") is Polarity.POSITIVE
+        assert lexicon.polarity("disappointed", "VBD") is Polarity.NEGATIVE
+
+    def test_participial_adjectives_derived(self, lexicon):
+        assert lexicon.polarity("disappointing", "JJ") is Polarity.NEGATIVE
+        assert lexicon.polarity("disappointing", "VBG") is Polarity.NEGATIVE
+
+    def test_adverbs(self, lexicon):
+        assert lexicon.polarity("poorly", "RB") is Polarity.NEGATIVE
+        assert lexicon.polarity("beautifully", "RB") is Polarity.POSITIVE
+
+    def test_wrong_pos_misses(self, lexicon):
+        # "excellent" is only a JJ entry; a (hypothetical) noun reading misses.
+        assert lexicon.polarity("excellent", "DT") is Polarity.NEUTRAL
+
+
+class TestMutation:
+    def test_add_and_lookup(self):
+        lex = SentimentLexicon()
+        lex.add_term("snazzy", "JJ", "+")
+        assert lex.polarity("snazzy", "JJ") is Polarity.POSITIVE
+
+    def test_add_overwrites(self):
+        lex = SentimentLexicon()
+        lex.add_term("sick", "JJ", "-")
+        lex.add_term("sick", "JJ", "+")  # slang flip
+        assert lex.polarity("sick", "JJ") is Polarity.POSITIVE
+        assert len(lex) == 1
+
+    def test_invalid_pos_rejected(self):
+        lex = SentimentLexicon()
+        with pytest.raises(ValueError):
+            lex.add(LexiconEntry("blorp", "DT", Polarity.POSITIVE))
+
+    def test_merge(self):
+        a = SentimentLexicon()
+        a.add_term("alpha", "JJ", "+")
+        b = SentimentLexicon()
+        b.add_term("beta", "JJ", "-")
+        a.merge(b)
+        assert a.polarity("beta", "JJ") is Polarity.NEGATIVE
+        assert len(a) == 2
+
+    def test_contains(self):
+        lex = SentimentLexicon()
+        lex.add_term("fine", "JJ", "+")
+        assert lex.contains("FINE", "JJ")
+        assert not lex.contains("fine", "NN")
+
+
+class TestScale:
+    def test_roughly_paper_scale(self, lexicon):
+        # "about 3000 sentiment term entries including about 2500 adjectives"
+        counts = lexicon.counts_by_pos()
+        assert 2000 <= len(lexicon) <= 4000
+        assert counts["JJ"] >= 1500
+        assert counts["JJ"] > counts["NN"] > 0
+
+    def test_iteration_sorted_and_complete(self, lexicon):
+        entries = list(lexicon)
+        assert len(entries) == len(lexicon)
+        keys = [(e.term, e.pos) for e in entries]
+        assert keys == sorted(keys)
+
+
+class TestFileFormat:
+    def test_entry_format_matches_paper(self):
+        entry = LexiconEntry("excellent", "JJ", Polarity.POSITIVE)
+        assert entry.format() == '"excellent" JJ +'
+
+    def test_dump_load_roundtrip(self):
+        lex = SentimentLexicon()
+        lex.add_term("excellent", "JJ", "+")
+        lex.add_term("battery drain", "NN", "-")
+        buffer = io.StringIO()
+        lex.dump(buffer)
+        buffer.seek(0)
+        loaded = SentimentLexicon.load(buffer)
+        assert loaded.polarity("excellent", "JJ") is Polarity.POSITIVE
+        assert loaded.polarity("battery drain", "NN") is Polarity.NEGATIVE
+        assert len(loaded) == len(lex)
+
+    def test_load_skips_comments_and_blanks(self):
+        text = '# comment\n\n"fine" JJ +\n'
+        loaded = SentimentLexicon.load(io.StringIO(text))
+        assert len(loaded) == 1
+
+    def test_load_rejects_malformed(self):
+        with pytest.raises(ValueError):
+            SentimentLexicon.load(io.StringIO("not a lexicon line\n"))
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.text(alphabet="abcdefghij", min_size=1, max_size=8),
+                st.sampled_from(["JJ", "NN", "VB", "RB"]),
+                st.sampled_from(["+", "-"]),
+            ),
+            max_size=30,
+        )
+    )
+    def test_roundtrip_property(self, rows):
+        lex = SentimentLexicon()
+        for term, pos, symbol in rows:
+            lex.add_term(term, pos, symbol)
+        buffer = io.StringIO()
+        lex.dump(buffer)
+        buffer.seek(0)
+        loaded = SentimentLexicon.load(buffer)
+        assert list(loaded) == list(lex)
+
+
+class TestTaggerEntries:
+    def test_single_words_only(self, lexicon):
+        entries = lexicon.tagger_entries()
+        assert all(" " not in word for word in entries)
+
+    def test_known_adjective_present(self, lexicon):
+        assert lexicon.tagger_entries()["excellent"] == "JJ"

@@ -1,0 +1,126 @@
+"""Unit tests for the core data model."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.model import (
+    FeatureTerm,
+    Polarity,
+    Provenance,
+    SentimentJudgment,
+    Spot,
+    Subject,
+)
+from repro.nlp.tokens import Span
+
+
+class TestPolarity:
+    def test_symbols(self):
+        assert Polarity.POSITIVE.value == "+"
+        assert Polarity.NEGATIVE.value == "-"
+        assert Polarity.NEUTRAL.value == "0"
+
+    def test_invert(self):
+        assert Polarity.POSITIVE.invert() is Polarity.NEGATIVE
+        assert Polarity.NEGATIVE.invert() is Polarity.POSITIVE
+        assert Polarity.NEUTRAL.invert() is Polarity.NEUTRAL
+
+    def test_double_invert_is_identity(self):
+        for polarity in Polarity:
+            assert polarity.invert().invert() is polarity
+
+    def test_is_polar(self):
+        assert Polarity.POSITIVE.is_polar
+        assert Polarity.NEGATIVE.is_polar
+        assert not Polarity.NEUTRAL.is_polar
+
+    def test_from_symbol(self):
+        assert Polarity.from_symbol("+") is Polarity.POSITIVE
+        assert Polarity.from_symbol("-") is Polarity.NEGATIVE
+        assert Polarity.from_symbol("0") is Polarity.NEUTRAL
+
+    def test_from_symbol_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            Polarity.from_symbol("positive")
+
+    def test_str(self):
+        assert str(Polarity.POSITIVE) == "+"
+
+
+class TestSubject:
+    def test_all_terms_includes_canonical_first(self):
+        s = Subject("NR70", ("NR70 series", "the NR70"))
+        assert s.all_terms[0] == "NR70"
+        assert "NR70 series" in s.all_terms
+
+    def test_all_terms_dedupes_case_insensitively(self):
+        s = Subject("Sony", ("sony", "SONY", "Sony Corp"))
+        assert len(s.all_terms) == 2
+
+    def test_empty_canonical_rejected(self):
+        with pytest.raises(ValueError):
+            Subject("  ")
+
+    def test_no_synonyms(self):
+        assert Subject("camera").all_terms == ("camera",)
+
+
+def make_spot(term="camera", start=0, subject=None):
+    subject = subject or Subject(term)
+    return Spot(subject=subject, term=term, span=Span(start, start + len(term)), sentence_index=0)
+
+
+class TestSpot:
+    def test_accessors(self):
+        spot = make_spot("camera", start=4)
+        assert spot.start == 4
+        assert spot.end == 10
+        assert spot.term == "camera"
+
+
+class TestProvenance:
+    def test_describe_with_pattern(self):
+        p = Provenance(pattern="be CP SP", sentiment_words=("vibrant",))
+        assert "be CP SP" in p.describe()
+        assert "vibrant" in p.describe()
+
+    def test_describe_negated(self):
+        p = Provenance(pattern="take OP SP", negated=True)
+        assert "negated" in p.describe()
+
+    def test_describe_empty(self):
+        assert Provenance().describe() == "lexicon"
+
+
+class TestSentimentJudgment:
+    def test_as_pair(self):
+        j = SentimentJudgment(spot=make_spot("NR70"), polarity=Polarity.POSITIVE)
+        assert j.as_pair() == ("NR70", "+")
+
+    def test_subject_name_uses_canonical(self):
+        subject = Subject("NR70", ("NR70 series",))
+        spot = Spot(subject=subject, term="NR70 series", span=Span(0, 11), sentence_index=0)
+        j = SentimentJudgment(spot=spot, polarity=Polarity.NEGATIVE)
+        assert j.subject_name == "NR70"
+        assert j.as_pair() == ("NR70", "-")
+
+
+class TestFeatureTerm:
+    def test_valid(self):
+        f = FeatureTerm(term="battery life", score=42.0, dplus_count=10, dminus_count=1)
+        assert f.term == "battery life"
+
+    def test_negative_counts_rejected(self):
+        with pytest.raises(ValueError):
+            FeatureTerm(term="x", score=0.0, dplus_count=-1, dminus_count=0)
+
+
+class TestPolarityProperties:
+    @given(st.sampled_from(list(Polarity)))
+    def test_invert_preserves_polar_status(self, polarity):
+        assert polarity.invert().is_polar == polarity.is_polar
+
+    @given(st.sampled_from(list(Polarity)))
+    def test_symbol_roundtrip(self, polarity):
+        assert Polarity.from_symbol(polarity.value) is polarity

@@ -1,0 +1,223 @@
+"""Unit tests for the sentiment pattern database and its DSL."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.model import Polarity
+from repro.core.patterns import (
+    ComponentRef,
+    SentimentPattern,
+    SentimentPatternDB,
+    default_pattern_db,
+    parse_pattern_line,
+)
+
+
+class TestComponentRef:
+    def test_parse_simple_role(self):
+        ref = ComponentRef.parse("SP")
+        assert ref.role == "SP"
+        assert not ref.invert
+        assert ref.prepositions == ()
+
+    def test_parse_inverted(self):
+        ref = ComponentRef.parse("~OP")
+        assert ref.role == "OP"
+        assert ref.invert
+
+    def test_parse_pp_with_prepositions(self):
+        ref = ComponentRef.parse("PP(by;with)")
+        assert ref.role == "PP"
+        assert ref.prepositions == ("by", "with")
+
+    def test_pp_requires_prepositions(self):
+        with pytest.raises(ValueError):
+            ComponentRef.parse("PP")
+
+    def test_non_pp_rejects_prepositions(self):
+        with pytest.raises(ValueError):
+            ComponentRef(role="SP", prepositions=("by",))
+
+    def test_unknown_role_rejected(self):
+        with pytest.raises(ValueError):
+            ComponentRef.parse("XP")
+
+    def test_format_roundtrip(self):
+        for text in ["SP", "~OP", "PP(by;with)", "~PP(from)", "CP"]:
+            assert ComponentRef.parse(text).format() == text
+
+
+class TestParsePatternLine:
+    def test_paper_example_impress(self):
+        p = parse_pattern_line("impress + PP(by;with)")
+        assert p.predicate == "impress"
+        assert p.polarity is Polarity.POSITIVE
+        assert p.source is None
+        assert p.target.role == "PP"
+        assert p.target.prepositions == ("by", "with")
+
+    def test_paper_example_be(self):
+        p = parse_pattern_line("be CP SP")
+        assert p.predicate == "be"
+        assert p.is_transfer
+        assert p.source.role == "CP"
+        assert p.target.role == "SP"
+
+    def test_paper_example_offer(self):
+        p = parse_pattern_line("offer OP SP")
+        assert p.source.role == "OP"
+        assert p.target.role == "SP"
+
+    def test_inverted_source(self):
+        p = parse_pattern_line("fix ~OP SP")
+        assert p.source.invert
+
+    def test_wrong_field_count(self):
+        with pytest.raises(ValueError):
+            parse_pattern_line("be CP")
+        with pytest.raises(ValueError):
+            parse_pattern_line("be CP SP extra")
+
+    def test_format_roundtrip(self):
+        for line in ["impress + PP(by;with)", "be CP SP", "offer OP SP", "fix ~OP SP", "hate - OP"]:
+            assert parse_pattern_line(line).format() == line
+
+    def test_predicate_lowercased(self):
+        assert parse_pattern_line("Impress + SP").predicate == "impress"
+
+
+class TestSentimentPatternValidation:
+    def test_needs_exactly_one_category(self):
+        target = ComponentRef.parse("SP")
+        with pytest.raises(ValueError):
+            SentimentPattern(predicate="be", target=target)
+        with pytest.raises(ValueError):
+            SentimentPattern(
+                predicate="be",
+                target=target,
+                polarity=Polarity.POSITIVE,
+                source=ComponentRef.parse("CP"),
+            )
+
+    def test_inverted_target_rejected(self):
+        with pytest.raises(ValueError):
+            SentimentPattern(
+                predicate="be",
+                target=ComponentRef(role="SP", invert=True),
+                polarity=Polarity.POSITIVE,
+            )
+
+
+class TestSentimentPatternDB:
+    def test_ordering_preserved(self):
+        db = SentimentPatternDB()
+        db.add_line("impress + PP(by;with)")
+        db.add_line("impress + SP")
+        rules = db.for_predicate("impress")
+        assert [r.target.role for r in rules] == ["PP", "SP"]
+
+    def test_unknown_predicate_empty(self):
+        assert SentimentPatternDB().for_predicate("flurble") == []
+
+    def test_contains_and_len(self):
+        db = SentimentPatternDB()
+        db.add_line("be CP SP")
+        assert "be" in db
+        assert "BE" in db
+        assert len(db) == 1
+
+    def test_iteration_sorted_by_predicate(self):
+        db = SentimentPatternDB()
+        db.add_line("offer OP SP")
+        db.add_line("be CP SP")
+        assert [p.predicate for p in db] == ["be", "offer"]
+
+
+class TestDefaultDB:
+    @pytest.fixture(scope="class")
+    def db(self):
+        return default_pattern_db()
+
+    def test_paper_examples_present(self, db):
+        impress = db.for_predicate("impress")
+        assert any(
+            p.polarity is Polarity.POSITIVE and p.target.role == "PP" and "by" in p.target.prepositions
+            for p in impress
+        )
+        be = db.for_predicate("be")
+        assert any(p.source and p.source.role == "CP" and p.target.role == "SP" for p in be)
+        offer = db.for_predicate("offer")
+        assert any(p.source and p.source.role == "OP" and p.target.role == "SP" for p in offer)
+
+    def test_psych_verbs_prefer_passive_pp(self, db):
+        rules = db.for_predicate("disappoint")
+        assert rules[0].target.role == "PP"
+        assert rules[0].polarity is Polarity.NEGATIVE
+
+    def test_experiencer_verbs_prefer_object(self, db):
+        rules = db.for_predicate("love")
+        assert rules[0].target.role == "OP"
+        assert rules[0].polarity is Polarity.POSITIVE
+
+    def test_inverting_verbs(self, db):
+        rules = db.for_predicate("fix")
+        assert rules[0].source.invert
+
+    def test_sentiment_verbs_have_fallback_sp(self, db):
+        assert any(p.target.role == "SP" for p in db.for_predicate("fail"))
+
+    def test_scale(self, db):
+        assert len(db) > 300
+        assert len(db.predicates) > 250
+
+
+class TestDslProperty:
+    roles = st.sampled_from(["SP", "OP", "CP", "PP(by)", "PP(by;with;from)", "~SP", "~OP"])
+    targets = st.sampled_from(["SP", "OP", "PP(by)", "PP(with;of)"])
+    categories = st.one_of(st.sampled_from(["+", "-"]), roles)
+    predicates = st.text(alphabet="abcdefgh", min_size=2, max_size=10)
+
+    @given(predicates, categories, targets)
+    def test_parse_format_roundtrip(self, predicate, category, target):
+        line = f"{predicate} {category} {target}"
+        assert parse_pattern_line(line).format() == line
+
+
+class TestFileFormat:
+    def test_dump_load_roundtrip(self):
+        import io
+
+        db = SentimentPatternDB()
+        for line in ["impress + PP(by;with)", "impress + SP", "be CP SP", "fix ~OP SP"]:
+            db.add_line(line)
+        buffer = io.StringIO()
+        db.dump(buffer)
+        buffer.seek(0)
+        loaded = SentimentPatternDB.load(buffer)
+        assert [p.format() for p in loaded] == [p.format() for p in db]
+        # Priority order preserved within a predicate.
+        assert [p.target.role for p in loaded.for_predicate("impress")] == ["PP", "SP"]
+
+    def test_load_skips_comments(self):
+        import io
+
+        loaded = SentimentPatternDB.load(io.StringIO("# rules\n\nbe CP SP\n"))
+        assert len(loaded) == 1
+
+    def test_load_reports_line_number(self):
+        import io
+
+        with pytest.raises(ValueError, match="line 2"):
+            SentimentPatternDB.load(io.StringIO("be CP SP\nbroken line here extra\n"))
+
+    def test_default_db_roundtrips(self):
+        import io
+
+        db = default_pattern_db()
+        buffer = io.StringIO()
+        db.dump(buffer)
+        buffer.seek(0)
+        loaded = SentimentPatternDB.load(buffer)
+        assert len(loaded) == len(db)
+        assert loaded.predicates == db.predicates

@@ -1,0 +1,122 @@
+"""Unit tests for the subject spotter and named-entity spotter."""
+
+import pytest
+
+from repro.core.model import Subject
+from repro.core.spotting import NamedEntitySpotter, SubjectSpotter
+from repro.nlp.postagger import default_tagger
+from repro.nlp.sentences import split_sentences
+
+
+def spot_terms(text, subjects):
+    spotter = SubjectSpotter(subjects)
+    sentences = split_sentences(text)
+    return [(s.term, s.subject.canonical) for s in spotter.spot_document(sentences)]
+
+
+class TestSubjectSpotter:
+    def test_single_term(self):
+        out = spot_terms("The camera works.", [Subject("camera")])
+        assert out == [("camera", "camera")]
+
+    def test_case_insensitive(self):
+        out = spot_terms("CAMERA and Camera.", [Subject("camera")])
+        assert len(out) == 2
+
+    def test_multiword_term(self):
+        out = spot_terms("The battery life is short.", [Subject("battery life")])
+        assert out == [("battery life", "battery life")]
+
+    def test_longest_match_wins(self):
+        subjects = [Subject("Sony"), Subject("Sony PDA")]
+        out = spot_terms("Every Sony PDA sold.", subjects)
+        assert out == [("Sony PDA", "Sony PDA")]
+
+    def test_synonym_maps_to_canonical(self):
+        subject = Subject("NR70", ("NR70 series",))
+        out = spot_terms("The NR70 series shipped.", [subject])
+        assert ("NR70 series", "NR70") in out
+
+    def test_overlapping_synonyms_greedy_left_to_right(self):
+        # Matching is greedy at each position; an earlier-starting synonym
+        # wins over a longer one starting later — both map to the subject.
+        subject = Subject("NR70", ("NR70 series", "the NR70"))
+        out = spot_terms("The NR70 series shipped.", [subject])
+        assert out == [("The NR70", "NR70")]
+
+    def test_multiple_subjects_same_sentence(self):
+        subjects = [Subject("zoom"), Subject("flash")]
+        out = spot_terms("The zoom beats the flash.", subjects)
+        assert {c for _, c in out} == {"zoom", "flash"}
+
+    def test_no_partial_word_match(self):
+        out = spot_terms("The cameraman left.", [Subject("camera")])
+        assert out == []
+
+    def test_spot_offsets_are_exact(self):
+        text = "I love the camera."
+        spotter = SubjectSpotter([Subject("camera")])
+        (spot,) = spotter.spot_document(split_sentences(text))
+        assert text[spot.start : spot.end] == "camera"
+
+    def test_sentence_index_recorded(self):
+        text = "Nothing here. The camera works."
+        spotter = SubjectSpotter([Subject("camera")])
+        (spot,) = spotter.spot_document(split_sentences(text))
+        assert spot.sentence_index == 1
+
+    def test_empty_subject_list(self):
+        assert spot_terms("The camera works.", []) == []
+
+
+def ne_names(text):
+    spotter = NamedEntitySpotter()
+    tagger = default_tagger()
+    names = []
+    for sentence in split_sentences(text):
+        for spot in spotter.spot_sentence(tagger.tag(sentence)):
+            names.append(spot.term)
+    return names
+
+
+class TestNamedEntitySpotter:
+    def test_simple_entity(self):
+        assert ne_names("We bought a Nikon yesterday.") == ["Nikon"]
+
+    def test_multiword_entity(self):
+        assert ne_names("We tested the Canon PowerShot today.") == ["Canon PowerShot"]
+
+    def test_paper_split_example(self):
+        # "Prof. Wilson of American University" splits into two entities.
+        names = ne_names("We met Prof. Wilson of American University.")
+        assert "Prof. Wilson" in names
+        assert "American University" in names
+
+    def test_conjunction_splits(self):
+        names = ne_names("They compared Canon and Nikon yesterday.")
+        assert "Canon" in names and "Nikon" in names
+        assert all("and" not in n for n in names)
+
+    def test_sentence_initial_common_word_not_entity(self):
+        assert ne_names("The camera works.") == []
+        assert ne_names("It works.") == []
+
+    def test_sentence_initial_name_detected(self):
+        names = ne_names("Nikon shipped a new camera.")
+        assert "Nikon" in names
+
+    def test_trailing_connector_dropped(self):
+        names = ne_names("We prefer Sony and the rest.")
+        assert names == ["Sony"]
+
+    def test_model_number_entity(self):
+        names = ne_names("We reviewed the NR70 today.")
+        assert "NR70" in names
+
+    def test_document_spotting_collects_all(self):
+        spotter = NamedEntitySpotter()
+        tagger = default_tagger()
+        text = "Nikon excels. Canon struggles."
+        sentences = [tagger.tag(s) for s in split_sentences(text)]
+        spots = spotter.spot_document(sentences)
+        assert {s.term for s in spots} == {"Nikon", "Canon"}

@@ -1,0 +1,44 @@
+"""Tests for the ambiguous-subject corpus generator."""
+
+from repro.core import Disambiguator, SentimentMiner, Subject
+from repro.corpora.ambiguous import generate_ambiguous_corpus
+
+
+class TestGeneration:
+    def test_balanced_corpus(self):
+        corpus = generate_ambiguous_corpus(on_topic_docs=5, off_topic_docs=7)
+        assert len(corpus.on_topic_documents()) == 5
+        assert len(corpus.off_topic_documents()) == 7
+
+    def test_subject_appears_in_every_document(self):
+        corpus = generate_ambiguous_corpus(on_topic_docs=4, off_topic_docs=4)
+        assert all("Apex" in d.text for d in corpus.documents)
+
+    def test_term_sets_disjoint(self):
+        corpus = generate_ambiguous_corpus()
+        assert corpus.term_set.on_topic & corpus.term_set.off_topic == set()
+
+    def test_deterministic(self):
+        a = generate_ambiguous_corpus(seed=3)
+        b = generate_ambiguous_corpus(seed=3)
+        assert [d.text for d in a.documents] == [d.text for d in b.documents]
+
+    def test_custom_subject(self):
+        corpus = generate_ambiguous_corpus(subject="Summit")
+        assert corpus.subject == "Summit"
+        assert all("Summit" in d.text for d in corpus.documents)
+
+
+class TestDisambiguationBehaviour:
+    def test_disambiguator_separates_readings(self):
+        corpus = generate_ambiguous_corpus(on_topic_docs=8, off_topic_docs=8, seed=9)
+        miner = SentimentMiner(
+            subjects=[Subject(corpus.subject)],
+            disambiguator=Disambiguator(corpus.term_set),
+        )
+        for document in corpus.on_topic_documents():
+            result = miner.mine_document(document.text, document.doc_id)
+            assert result.stats.spots_on_topic > 0, document.text
+        for document in corpus.off_topic_documents():
+            result = miner.mine_document(document.text, document.doc_id)
+            assert result.stats.spots_on_topic == 0, document.text

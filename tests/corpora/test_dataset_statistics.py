@@ -1,0 +1,74 @@
+"""Statistical invariants of the generated datasets.
+
+The experiment design (DESIGN.md §4-5) depends on specific corpus
+statistics: these tests pin them so innocent-looking generator edits
+cannot silently invalidate the reproduced tables.
+"""
+
+import pytest
+
+from repro.core.model import Polarity
+from repro.corpora import camera_reviews, petroleum_web
+from repro.corpora.gold import I_CLASS_KINDS
+
+
+@pytest.fixture(scope="module")
+def camera():
+    return camera_reviews(seed=2005, scale=0.06)
+
+
+@pytest.fixture(scope="module")
+def web():
+    return petroleum_web(seed=2005, scale=0.06)
+
+
+class TestReviewStatistics:
+    def test_neutral_majority(self, camera):
+        """Most mentions must be neutral — the paper's accuracy>precision
+        phenomenon depends on it."""
+        mentions = [m for d in camera.dplus for m in d.mentions]
+        neutral = [m for m in mentions if not m.polarity.is_polar]
+        assert 0.5 <= len(neutral) / len(mentions) <= 0.75
+
+    def test_stray_dominates_neutrals(self, camera):
+        counts = camera.mention_counts_by_kind()
+        assert counts["stray"] > counts["neutral"]
+
+    def test_polar_class_proportions(self, camera):
+        """direct+mixed ≈ recall numerator; slang+trap+anaphora the rest."""
+        counts = camera.mention_counts_by_kind()
+        catchable = counts["direct"] + counts["mixed"]
+        missed = counts["slang"] + counts["trap"] + counts["anaphora"]
+        assert 0.4 <= catchable / (catchable + missed) <= 0.75
+
+    def test_doc_polarity_split_roughly_60_40(self, camera):
+        positive = sum(1 for d in camera.dplus if d.doc_polarity is Polarity.POSITIVE)
+        assert 0.4 <= positive / len(camera.dplus) <= 0.8
+
+    def test_dminus_larger_than_dplus(self, camera):
+        assert len(camera.dminus) > 3 * len(camera.dplus)
+
+    def test_every_review_mentions_a_product(self, camera):
+        from repro.corpora.vocab import DIGITAL_CAMERA
+
+        products = set(DIGITAL_CAMERA.products)
+        for document in camera.dplus:
+            assert any(m.subject in products for m in document.mentions)
+
+
+class TestWebStatistics:
+    def test_i_class_fraction_in_paper_band(self, web):
+        mentions = [m for d in web.dplus for m in d.mentions]
+        i_class = [m for m in mentions if m.kind in I_CLASS_KINDS]
+        assert 0.6 <= len(i_class) / len(mentions) <= 0.9
+
+    def test_pages_are_multi_subject(self, web):
+        multi = sum(1 for d in web.dplus if len({m.subject for m in d.mentions}) >= 3)
+        assert multi / len(web.dplus) >= 0.7
+
+    def test_sentiment_sparser_than_reviews(self, web, camera):
+        def polar_fraction(dataset):
+            mentions = [m for d in dataset.dplus for m in d.mentions]
+            return sum(1 for m in mentions if m.polarity.is_polar) / len(mentions)
+
+        assert polar_fraction(web) < polar_fraction(camera)

@@ -1,0 +1,141 @@
+"""Tests for the review/webpage generators and dataset assembly."""
+
+import pytest
+
+from repro.core.model import Polarity
+from repro.corpora import (
+    DIGITAL_CAMERA,
+    PETROLEUM,
+    ReviewGenerator,
+    WebPageGenerator,
+    camera_reviews,
+    music_reviews,
+    petroleum_news,
+    petroleum_web,
+    pharmaceutical_web,
+)
+from repro.corpora.gold import I_CLASS_KINDS
+from repro.corpora.reviews import zipf_choice
+from repro.nlp.sentences import split_sentences
+
+
+class TestReviewGenerator:
+    def test_deterministic(self):
+        a = ReviewGenerator(DIGITAL_CAMERA, seed=5).generate_dplus(3)
+        b = ReviewGenerator(DIGITAL_CAMERA, seed=5).generate_dplus(3)
+        assert [d.text for d in a] == [d.text for d in b]
+
+    def test_different_seeds_differ(self):
+        a = ReviewGenerator(DIGITAL_CAMERA, seed=5).generate_review("x")
+        b = ReviewGenerator(DIGITAL_CAMERA, seed=6).generate_review("x")
+        assert a.text != b.text
+
+    def test_review_has_doc_polarity(self):
+        docs = ReviewGenerator(DIGITAL_CAMERA, seed=1).generate_dplus(20)
+        polarities = {d.doc_polarity for d in docs}
+        assert polarities == {Polarity.POSITIVE, Polarity.NEGATIVE}
+
+    def test_mentions_align_with_sentences(self):
+        for doc in ReviewGenerator(DIGITAL_CAMERA, seed=2).generate_dplus(5):
+            n_sentences = len(split_sentences(doc.text))
+            for mention in doc.mentions:
+                assert 0 <= mention.sentence_index < n_sentences
+
+    def test_mention_subjects_appear_in_their_sentence(self):
+        for doc in ReviewGenerator(DIGITAL_CAMERA, seed=3).generate_dplus(5):
+            sentences = split_sentences(doc.text)
+            for mention in doc.mentions:
+                text = sentences[mention.sentence_index].text_of(doc.text).lower()
+                assert mention.subject.lower() in text
+
+    def test_offtopic_docs_have_no_mentions(self):
+        docs = ReviewGenerator(DIGITAL_CAMERA, seed=4).generate_dminus(10)
+        assert all(not d.mentions for d in docs)
+        assert all(not d.on_topic for d in docs)
+
+    def test_doc_polarity_biases_sentence_polarity(self):
+        docs = ReviewGenerator(DIGITAL_CAMERA, seed=7).generate_dplus(30)
+        agree = 0
+        total = 0
+        for doc in docs:
+            for mention in doc.polar_mentions():
+                total += 1
+                if mention.polarity is doc.doc_polarity:
+                    agree += 1
+        assert agree / total > 0.65
+
+
+class TestWebPageGenerator:
+    def test_i_class_dominates(self):
+        docs = WebPageGenerator(PETROLEUM, seed=9).generate_pages(20)
+        mentions = [m for d in docs for m in d.mentions]
+        i_class = [m for m in mentions if m.kind in I_CLASS_KINDS]
+        assert 0.6 <= len(i_class) / len(mentions) <= 0.9
+
+    def test_multi_subject_pages(self):
+        docs = WebPageGenerator(PETROLEUM, seed=9).generate_pages(10)
+        multi = [d for d in docs if len({m.subject for m in d.mentions}) >= 3]
+        assert len(multi) >= 5
+
+    def test_news_style_headline(self):
+        doc = WebPageGenerator(PETROLEUM, seed=9, news_style=True).generate_page("n")
+        first = split_sentences(doc.text)[0].text_of(doc.text)
+        assert any(company in first for company in PETROLEUM.products)
+
+    def test_deterministic(self):
+        a = WebPageGenerator(PETROLEUM, seed=3).generate_pages(2)
+        b = WebPageGenerator(PETROLEUM, seed=3).generate_pages(2)
+        assert [d.text for d in a] == [d.text for d in b]
+
+
+class TestDatasets:
+    def test_camera_paper_sizes_at_scale_one(self):
+        # Only check the arithmetic, not a full-size build.
+        from repro.corpora.datasets import CAMERA_DPLUS, CAMERA_DMINUS, _scaled
+
+        assert _scaled(CAMERA_DPLUS, 1.0) == 485
+        assert _scaled(CAMERA_DMINUS, 1.0) == 1838
+
+    def test_scaled_dataset_counts(self):
+        ds = camera_reviews(scale=0.02)
+        assert len(ds.dplus) == round(485 * 0.02)
+        assert len(ds.dminus) == round(1838 * 0.02)
+
+    def test_music_dataset(self):
+        ds = music_reviews(scale=0.02)
+        assert len(ds.dplus) == round(250 * 0.02)
+        assert ds.name == "music_reviews"
+
+    def test_web_datasets_have_no_dminus(self):
+        for builder in (petroleum_web, pharmaceutical_web, petroleum_news):
+            ds = builder(scale=0.02)
+            assert ds.dminus == []
+            assert len(ds.dplus) >= 1
+
+    def test_kind_counts_cover_all_kinds(self):
+        ds = camera_reviews(scale=0.02)
+        counts = ds.mention_counts_by_kind()
+        assert all(counts[k] > 0 for k in ("direct", "mixed", "slang", "neutral", "stray"))
+
+    def test_gold_by_key_lookup(self):
+        ds = camera_reviews(scale=0.01)
+        doc = ds.dplus[0]
+        table = doc.gold_by_key()
+        mention = doc.mentions[0]
+        assert table[(mention.subject.lower(), mention.sentence_index)] is mention
+
+    def test_unknown_domain_rejected(self):
+        from repro.corpora import review_dataset_for
+
+        with pytest.raises(ValueError):
+            review_dataset_for("cuisine")
+
+
+class TestZipfChoice:
+    def test_early_items_dominate(self):
+        import random
+
+        rng = random.Random(0)
+        items = tuple("abcdef")
+        picks = [zipf_choice(rng, items) for _ in range(2000)]
+        assert picks.count("a") > picks.count("f") * 3

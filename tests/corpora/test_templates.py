@@ -1,0 +1,183 @@
+"""Tests pinning each template class's behaviour against the analyzer.
+
+The experiment design in DESIGN.md depends on these contracts: if a
+template class drifts (e.g. the analyzer learns to handle slang), the
+corpora must be retuned, so these tests fail loudly.
+"""
+
+import random
+
+import pytest
+
+from repro.core import SentimentAnalyzer, Subject
+from repro.core.model import Polarity
+from repro.corpora.gold import GoldMention, LabeledSentence
+from repro.corpora.templates import SentenceFactory
+from repro.corpora.vocab import DIGITAL_CAMERA
+
+ANALYZER = SentimentAnalyzer()
+
+
+def factory(seed=11):
+    return SentenceFactory(DIGITAL_CAMERA, random.Random(seed))
+
+
+def sm_polarity(sentence: LabeledSentence, subject: str) -> Polarity:
+    judgments = ANALYZER.analyze_text(sentence.text, [Subject(subject)])
+    return judgments[0].polarity if judgments else Polarity.NEUTRAL
+
+
+def sample(kind, polarity, n=25, seed=11):
+    f = factory(seed)
+    rng = random.Random(seed + 1)
+    out = []
+    for _ in range(n):
+        subject = rng.choice(DIGITAL_CAMERA.features)
+        out.append((subject, f.of_kind(kind, subject, polarity)))
+    return out
+
+
+class TestDirectTemplates:
+    @pytest.mark.parametrize("polarity", [Polarity.POSITIVE, Polarity.NEGATIVE])
+    def test_analyzer_agrees_with_gold(self, polarity):
+        hits = 0
+        cases = sample("direct", polarity)
+        for subject, sentence in cases:
+            if sm_polarity(sentence, subject) is polarity:
+                hits += 1
+        assert hits / len(cases) >= 0.95
+
+    def test_single_gold_mention(self):
+        (subject, sentence), = sample("direct", Polarity.POSITIVE, n=1)
+        assert len(sentence.mentions) == 1
+        assert sentence.mentions[0].kind == "direct"
+
+
+class TestMixedTemplates:
+    @pytest.mark.parametrize("polarity", [Polarity.POSITIVE, Polarity.NEGATIVE])
+    def test_analyzer_right_on_subject(self, polarity):
+        hits = 0
+        cases = sample("mixed", polarity)
+        for subject, sentence in cases:
+            if sm_polarity(sentence, subject) is polarity:
+                hits += 1
+        assert hits / len(cases) >= 0.9
+
+    def test_two_gold_mentions_opposite_polarity(self):
+        (subject, sentence), = sample("mixed", Polarity.POSITIVE, n=1)
+        assert len(sentence.mentions) == 2
+        polarities = {m.subject: m.polarity for m in sentence.mentions}
+        assert polarities[subject] is Polarity.POSITIVE
+        other = next(s for s in polarities if s != subject)
+        assert polarities[other] is Polarity.NEGATIVE
+
+    def test_collocation_votes_wrong(self):
+        from repro.baselines import CollocationBaseline
+
+        baseline = CollocationBaseline()
+        wrong = 0
+        cases = sample("mixed", Polarity.POSITIVE)
+        for subject, sentence in cases:
+            judgments = baseline.analyze_text(sentence.text, [Subject(subject)])
+            if judgments and judgments[0].polarity is Polarity.NEGATIVE:
+                wrong += 1
+        # Slightly under 0.9: feature names containing lexicon words
+        # ("picture quality") occasionally tie the vote to neutral.
+        assert wrong / len(cases) >= 0.75
+
+
+class TestSlangTemplates:
+    @pytest.mark.parametrize("polarity", [Polarity.POSITIVE, Polarity.NEGATIVE])
+    def test_analyzer_abstains(self, polarity):
+        abstained = 0
+        cases = sample("slang", polarity)
+        for subject, sentence in cases:
+            if not sm_polarity(sentence, subject).is_polar:
+                abstained += 1
+        assert abstained / len(cases) >= 0.9
+
+    def test_collocation_fires_correctly(self):
+        from repro.baselines import CollocationBaseline
+
+        baseline = CollocationBaseline()
+        right = 0
+        cases = sample("slang", Polarity.POSITIVE)
+        for subject, sentence in cases:
+            judgments = baseline.analyze_text(sentence.text, [Subject(subject)])
+            if judgments and judgments[0].polarity is Polarity.POSITIVE:
+                right += 1
+        assert right / len(cases) >= 0.9
+
+
+class TestTrapTemplates:
+    @pytest.mark.parametrize("polarity", [Polarity.POSITIVE, Polarity.NEGATIVE])
+    def test_analyzer_wrong_polar(self, polarity):
+        wrong_polar = 0
+        cases = sample("trap", polarity)
+        for subject, sentence in cases:
+            got = sm_polarity(sentence, subject)
+            if got.is_polar and got is not polarity:
+                wrong_polar += 1
+        assert wrong_polar / len(cases) >= 0.9
+
+
+class TestNeutralAndStray:
+    def test_neutral_has_no_sentiment_words_outside_subject(self):
+        # The subject term itself may be a lexicon word ("picture
+        # quality"); the neutral contract is that no *other* token
+        # carries sentiment.
+        from repro.nlp import split_sentences
+
+        lexicon = ANALYZER.lexicon
+        for subject, sentence in sample("neutral", Polarity.NEUTRAL):
+            subject_words = set(subject.lower().split())
+            for s in split_sentences(sentence.text):
+                for token in ANALYZER.tag(s):
+                    if token.lower in subject_words:
+                        continue
+                    assert not lexicon.polarity(token.text, token.tag).is_polar, (
+                        sentence.text,
+                        token.text,
+                    )
+
+    def test_analyzer_neutral_on_stray(self):
+        ok = 0
+        cases = sample("stray", Polarity.NEUTRAL)
+        for subject, sentence in cases:
+            if not sm_polarity(sentence, subject).is_polar:
+                ok += 1
+        assert ok / len(cases) >= 0.9
+
+    def test_stray_contains_sentiment_word(self):
+        from repro.nlp import split_sentences
+
+        lexicon = ANALYZER.lexicon
+        polar_found = 0
+        cases = sample("stray", Polarity.NEUTRAL)
+        for subject, sentence in cases:
+            for s in split_sentences(sentence.text):
+                if any(
+                    lexicon.polarity(t.text, t.tag).is_polar for t in ANALYZER.tag(s)
+                ):
+                    polar_found += 1
+                    break
+        assert polar_found == len(cases)
+
+
+class TestFactoryMisc:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            factory().of_kind("sonnet", "zoom", Polarity.POSITIVE)
+
+    def test_filler_has_no_mentions(self):
+        sentence = factory().filler()
+        assert sentence.mentions == ()
+
+    def test_gold_mention_kind_validated(self):
+        with pytest.raises(ValueError):
+            GoldMention("x", Polarity.NEUTRAL, kind="bogus")
+
+    def test_deterministic_given_seed(self):
+        a = factory(3).direct("zoom", Polarity.POSITIVE)
+        b = factory(3).direct("zoom", Polarity.POSITIVE)
+        assert a.text == b.text

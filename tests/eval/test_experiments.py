@@ -1,0 +1,164 @@
+"""Integration-level tests for the experiment harness (small scales).
+
+These pin the *shape* of the paper's results — who wins, by roughly what
+factor — on miniature corpora, so a regression in any subsystem surfaces
+here before the full benchmark run.
+"""
+
+import pytest
+
+from repro.eval import (
+    feature_precision,
+    figure1_scaling,
+    figure2_satisfaction,
+    figure3_open_subjects,
+    table2,
+    table3,
+    table4,
+    table5,
+)
+
+SCALE = 0.08
+SEED = 2005
+
+
+@pytest.fixture(scope="module")
+def t4():
+    return table4(seed=SEED, scale=SCALE)
+
+
+@pytest.fixture(scope="module")
+def t5():
+    return table5(seed=SEED, scale=SCALE)
+
+
+class TestFeaturePrecision:
+    def test_camera_precision_high(self):
+        result = feature_precision("digital_camera", seed=SEED, scale=0.06)
+        assert result.precision >= 0.85
+        assert len(result.extracted) >= 10
+
+    def test_music_precision_high(self):
+        result = feature_precision("music", seed=SEED, scale=0.06)
+        assert result.precision >= 0.85
+
+    def test_render_mentions_paper_numbers(self):
+        result = feature_precision("digital_camera", seed=SEED, scale=0.06)
+        assert "97%" in result.render()
+
+
+class TestTable2:
+    def test_top20_overlap_with_paper(self):
+        result = table2(seed=SEED, scale=0.06)
+        assert result.camera_overlap >= 0.6
+        assert result.music_overlap >= 0.5
+
+    def test_render_has_20_ranks(self):
+        result = table2(seed=SEED, scale=0.06)
+        assert "20" in result.render().splitlines()[-2]
+
+
+class TestTable3:
+    def test_features_dominate_products(self):
+        result = table3(seed=SEED, scale=SCALE)
+        # Paper: ~12.4x more feature references than product references.
+        assert result.ratio > 5
+
+    def test_product_counts_positive(self):
+        result = table3(seed=SEED, scale=SCALE)
+        assert result.total_product_refs > 0
+        assert all(c > 0 for _, c in result.product_counts)
+
+
+class TestTable4:
+    def test_sm_precision_beats_collocation_by_wide_margin(self, t4):
+        assert t4.sm.precision > 2 * t4.collocation.precision
+
+    def test_collocation_recall_beats_sm(self, t4):
+        assert t4.collocation.recall > t4.sm.recall
+
+    def test_sm_shape_near_paper(self, t4):
+        assert 0.80 <= t4.sm.precision <= 0.97
+        assert 0.45 <= t4.sm.recall <= 0.70
+        assert 0.75 <= t4.sm.accuracy <= 0.95
+
+    def test_sm_accuracy_exceeds_nothing_weird(self, t4):
+        assert t4.sm.accuracy >= t4.sm.recall
+
+    def test_reviewseer_competitive_on_reviews(self, t4):
+        # Paper: ReviewSeer 88.4% vs SM 85.6% — comparable on reviews.
+        assert t4.reviewseer_accuracy >= 0.7
+
+    def test_render(self, t4):
+        out = t4.render()
+        assert "SM" in out and "Collocation" in out and "ReviewSeer" in out
+
+
+class TestTable5:
+    def test_sm_holds_up_on_general_web(self, t5):
+        for row in t5.rows:
+            assert row.sm_precision >= 0.75
+            assert row.sm_accuracy >= 0.80
+
+    def test_reviewseer_collapses_on_web(self, t5):
+        # Paper: 38% vs SM's 90-93%.
+        assert t5.reviewseer_accuracy < 0.6
+        for row in t5.rows:
+            assert row.sm_accuracy > t5.reviewseer_accuracy + 0.25
+
+    def test_removing_i_class_helps_reviewseer(self, t5):
+        assert t5.reviewseer_accuracy_no_i > t5.reviewseer_accuracy
+
+    def test_i_class_majority(self, t5):
+        assert 0.6 <= t5.i_class_fraction <= 0.9
+
+    def test_three_rows(self, t5):
+        assert [r.label for r in t5.rows] == [
+            "SM (Petroleum, Web)",
+            "SM (Pharmaceutical, Web)",
+            "SM (Petroleum, News)",
+        ]
+
+
+class TestFigures:
+    def test_figure1_speedup_monotone(self):
+        result = figure1_scaling(seed=SEED, scale=0.05)
+        speedups = [s for _, _, s in result.scaling]
+        assert speedups == sorted(speedups)
+        assert speedups[-1] > 2.0
+
+    def test_figure1_ingestion_multi_source(self):
+        result = figure1_scaling(seed=SEED, scale=0.05)
+        assert set(result.ingestion_per_source) == {"newsfeed", "bboard", "customer"}
+
+    def test_figure2_satisfaction_table(self):
+        result = figure2_satisfaction(seed=SEED, scale=0.08)
+        assert result.satisfaction
+        for by_feature in result.satisfaction.values():
+            for value in by_feature.values():
+                assert 0.0 <= value <= 1.0
+        assert "%" in result.render()
+
+    def test_figure3_index_populated(self):
+        result = figure3_open_subjects(seed=SEED, scale=0.08)
+        assert result.indexed_judgments > 0
+        assert result.subjects_discovered >= 3
+        assert result.top_subjects
+
+
+class TestErrorAnalysis:
+    def test_kinds_fail_for_designed_reasons(self):
+        from repro.eval import error_analysis
+
+        result = error_analysis(seed=SEED, scale=0.04)
+        assert result.rate("direct", "correct") >= 0.9
+        assert result.rate("trap", "wrong_polar") >= 0.8
+        assert result.rate("slang", "missed") >= 0.9
+        assert result.rate("neutral", "neutral_ok") >= 0.95
+
+    def test_render_lists_all_kinds(self):
+        from repro.eval import error_analysis
+
+        out = error_analysis(seed=SEED, scale=0.04).render()
+        for kind in ("direct", "mixed", "slang", "trap", "neutral", "stray"):
+            assert kind in out

@@ -1,0 +1,135 @@
+"""Unit tests for the paper's metric definitions."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.model import Polarity
+from repro.corpora.gold import GoldMention
+from repro.eval.metrics import EvaluationCounts, document_accuracy, evaluate_cases
+
+P, N, O = Polarity.POSITIVE, Polarity.NEGATIVE, Polarity.NEUTRAL
+
+
+class TestEvaluationCounts:
+    def test_correct_polar(self):
+        c = EvaluationCounts()
+        c.record(P, P)
+        assert c.precision == 1.0 and c.recall == 1.0 and c.accuracy == 1.0
+
+    def test_wrong_sign_counts_against_both(self):
+        c = EvaluationCounts()
+        c.record(P, N)
+        assert c.precision == 0.0
+        assert c.recall == 0.0
+        assert c.gold_polar == 1
+        assert c.predicted_polar == 1
+
+    def test_false_positive_on_neutral_gold(self):
+        c = EvaluationCounts()
+        c.record(O, P)
+        assert c.precision == 0.0
+        assert c.gold_polar == 0  # not a recall case
+        assert c.accuracy == 0.0
+
+    def test_missed_polar(self):
+        c = EvaluationCounts()
+        c.record(P, O)
+        assert c.recall == 0.0
+        assert c.predicted_polar == 0
+        assert c.precision == 0.0  # vacuous
+
+    def test_correct_neutral_counts_in_accuracy_only(self):
+        c = EvaluationCounts()
+        c.record(O, O)
+        assert c.accuracy == 1.0
+        assert c.predicted_polar == 0
+        assert c.gold_polar == 0
+
+    def test_accuracy_exceeds_precision_with_many_neutrals(self):
+        # The paper's phenomenon: "the sentiment miner's accuracy is
+        # higher than the precision, because the majority of the test
+        # cases have neutral sentiment."
+        c = EvaluationCounts()
+        for _ in range(6):
+            c.record(P, P)
+        c.record(P, N)  # one polar error
+        for _ in range(20):
+            c.record(O, O)
+        assert c.accuracy > c.precision
+
+    def test_f1(self):
+        c = EvaluationCounts()
+        c.record(P, P)
+        c.record(P, O)
+        assert c.f1 == pytest.approx(2 * 1.0 * 0.5 / 1.5)
+
+    def test_merge(self):
+        a = EvaluationCounts()
+        a.record(P, P)
+        b = EvaluationCounts()
+        b.record(N, P)
+        a.merge(b)
+        assert a.predicted_polar == 2
+        assert a.gold_polar == 2
+        assert a.precision == 0.5
+
+    def test_empty_metrics_zero(self):
+        c = EvaluationCounts()
+        assert c.precision == 0.0 and c.recall == 0.0 and c.accuracy == 0.0 and c.f1 == 0.0
+
+    @given(st.lists(st.tuples(st.sampled_from([P, N, O]), st.sampled_from([P, N, O])), max_size=50))
+    def test_invariants(self, cases):
+        c = EvaluationCounts()
+        for gold, predicted in cases:
+            c.record(gold, predicted)
+        assert c.total == len(cases)
+        assert 0.0 <= c.precision <= 1.0
+        assert 0.0 <= c.recall <= 1.0
+        assert 0.0 <= c.accuracy <= 1.0
+        assert c.correct_polar <= c.predicted_polar
+        assert c.correct_polar <= c.gold_polar
+
+
+def mention(subject, polarity, kind="direct", index=0):
+    return GoldMention(subject=subject, polarity=polarity, kind=kind, sentence_index=index)
+
+
+class TestEvaluateCases:
+    def test_matching_prediction(self):
+        gold = [mention("zoom", P)]
+        counts = evaluate_cases(gold, {("zoom", 0): P})
+        assert counts.correct_polar == 1
+
+    def test_missing_prediction_counts_as_neutral(self):
+        gold = [mention("zoom", P)]
+        counts = evaluate_cases(gold, {})
+        assert counts.missed_polar == 1
+
+    def test_case_key_is_lowercased(self):
+        gold = [mention("Zoom", P)]
+        counts = evaluate_cases(gold, {("zoom", 0): P})
+        assert counts.correct_polar == 1
+
+    def test_exclude_kinds(self):
+        gold = [mention("zoom", P, kind="slang"), mention("flash", N, kind="direct")]
+        counts = evaluate_cases(gold, {("flash", 0): N}, exclude_kinds={"slang"})
+        assert counts.total == 1
+        assert counts.correct_polar == 1
+
+    def test_sentence_index_distinguishes_cases(self):
+        gold = [mention("zoom", P, index=0), mention("zoom", N, index=1)]
+        counts = evaluate_cases(gold, {("zoom", 0): P, ("zoom", 1): N})
+        assert counts.correct_polar == 2
+
+
+class TestDocumentAccuracy:
+    def test_basic(self):
+        assert document_accuracy([P, N, P], [P, N, N]) == pytest.approx(2 / 3)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            document_accuracy([P], [])
+
+    def test_empty(self):
+        assert document_accuracy([], []) == 0.0

@@ -1,0 +1,69 @@
+"""Rendering contracts for every experiment result object."""
+
+import pytest
+
+from repro.eval import (
+    error_analysis,
+    feature_precision,
+    figure1_scaling,
+    figure2_satisfaction,
+    figure3_open_subjects,
+    subjects_for,
+    table2,
+    table3,
+    table4,
+    table5,
+)
+
+SCALE = 0.03
+SEED = 2005
+
+
+class TestEveryResultRenders:
+    @pytest.mark.parametrize(
+        "runner",
+        [
+            lambda: feature_precision("digital_camera", seed=SEED, scale=SCALE),
+            lambda: table2(seed=SEED, scale=SCALE),
+            lambda: table3(seed=SEED, scale=SCALE),
+            lambda: table4(seed=SEED, scale=SCALE),
+            lambda: table5(seed=SEED, scale=SCALE),
+            lambda: figure1_scaling(seed=SEED, scale=SCALE),
+            lambda: figure2_satisfaction(seed=SEED, scale=SCALE),
+            lambda: figure3_open_subjects(seed=SEED, scale=SCALE),
+            lambda: error_analysis(seed=SEED, scale=SCALE),
+        ],
+        ids=[
+            "feature_precision",
+            "table2",
+            "table3",
+            "table4",
+            "table5",
+            "figure1",
+            "figure2",
+            "figure3",
+            "error_analysis",
+        ],
+    )
+    def test_render_returns_nonempty_multiline_text(self, runner):
+        output = runner().render()
+        assert isinstance(output, str)
+        assert len(output.splitlines()) >= 2
+        assert output == output.rstrip("\n")
+
+
+class TestSubjectsFor:
+    def test_covers_every_gold_subject(self):
+        from repro.corpora import camera_reviews
+
+        dataset = camera_reviews(seed=SEED, scale=0.01)
+        names = {s.canonical for s in subjects_for(dataset)}
+        gold = {m.subject for d in dataset.dplus for m in d.mentions}
+        assert gold <= names
+
+    def test_sorted_and_unique(self):
+        from repro.corpora import camera_reviews
+
+        dataset = camera_reviews(seed=SEED, scale=0.01)
+        names = [s.canonical for s in subjects_for(dataset)]
+        assert names == sorted(set(names))

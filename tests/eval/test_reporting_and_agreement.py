@@ -1,0 +1,97 @@
+"""Unit tests for reporting helpers and the two-judge simulation."""
+
+import pytest
+
+from repro.corpora.vocab import DIGITAL_CAMERA
+from repro.eval.agreement import FeatureJudgePanel
+from repro.eval.reporting import ascii_bar_chart, format_percent, format_table
+
+
+class TestFormatPercent:
+    def test_basic(self):
+        assert format_percent(0.856) == "85.6%"
+
+    def test_digits(self):
+        assert format_percent(0.5, digits=0) == "50%"
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        out = format_table(["name", "n"], [["alpha", 1], ["b", 22]])
+        lines = out.splitlines()
+        assert lines[0].startswith("name")
+        assert "-" in lines[1]
+        assert len({len(l) for l in lines if l.strip()}) <= 2  # consistent width
+
+    def test_title(self):
+        out = format_table(["a"], [["x"]], title="My Table")
+        assert out.splitlines()[0] == "My Table"
+
+    def test_numeric_right_alignment(self):
+        out = format_table(["label", "count"], [["x", 5], ["yyyy", 123]])
+        rows = out.splitlines()[-2:]
+        assert rows[0].endswith("  5") or rows[0].endswith("5")
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [["only one"]])
+
+    def test_empty_rows(self):
+        out = format_table(["a", "b"], [])
+        assert "a" in out
+
+
+class TestAsciiBarChart:
+    def test_bars_scale(self):
+        out = ascii_bar_chart([("x", 1.0), ("y", 2.0)], width=10)
+        x_line, y_line = out.splitlines()
+        assert y_line.count("#") == 10
+        assert x_line.count("#") == 5
+
+    def test_max_value_override(self):
+        out = ascii_bar_chart([("x", 50.0)], width=10, max_value=100.0)
+        assert out.count("#") == 5
+
+    def test_zero_width_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_bar_chart([("x", 1.0)], width=0)
+
+    def test_title_line(self):
+        out = ascii_bar_chart([("x", 1.0)], title="Chart")
+        assert out.splitlines()[0] == "Chart"
+
+
+class TestFeatureJudgePanel:
+    def test_true_features_mostly_accepted(self):
+        panel = FeatureJudgePanel(DIGITAL_CAMERA, seed=1)
+        terms = list(DIGITAL_CAMERA.features[:30])
+        assert panel.precision(terms) >= 0.9
+
+    def test_non_features_mostly_rejected(self):
+        panel = FeatureJudgePanel(DIGITAL_CAMERA, seed=1)
+        terms = ["asparagus", "sidewalk", "parliament", "teacup"] * 5
+        assert panel.precision(terms) <= 0.05
+
+    def test_plural_folding_accepted(self):
+        panel = FeatureJudgePanel(DIGITAL_CAMERA, seed=1, miss_rate=0.0)
+        assert panel.is_true_feature("batteries") or panel.is_true_feature("battery")
+
+    def test_empty_terms(self):
+        panel = FeatureJudgePanel(DIGITAL_CAMERA)
+        assert panel.precision([]) == 0.0
+        assert panel.agreement_rate([]) == 1.0
+
+    def test_agreement_high_with_low_error(self):
+        panel = FeatureJudgePanel(DIGITAL_CAMERA, seed=1)
+        terms = list(DIGITAL_CAMERA.features) + ["asparagus", "sidewalk"]
+        assert panel.agreement_rate(terms) >= 0.9
+
+    def test_bad_rates_rejected(self):
+        with pytest.raises(ValueError):
+            FeatureJudgePanel(DIGITAL_CAMERA, miss_rate=1.5)
+
+    def test_deterministic(self):
+        terms = list(DIGITAL_CAMERA.features[:10])
+        a = FeatureJudgePanel(DIGITAL_CAMERA, seed=9).judge(terms)
+        b = FeatureJudgePanel(DIGITAL_CAMERA, seed=9).judge(terms)
+        assert a == b

@@ -1,0 +1,95 @@
+"""Cross-module property-based tests: invariants that span subsystems."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import SentimentAnalyzer, Subject, SubjectSpotter
+from repro.core.model import Polarity
+from repro.nlp.sentences import split_sentences
+from repro.platform import DataStore, Entity, InvertedIndex
+
+ANALYZER = SentimentAnalyzer()
+
+# Sentence fragments mixing subjects, sentiment and junk.
+_WORDS = st.lists(
+    st.sampled_from(
+        "the a camera zoom flash is was takes excellent terrible not and "
+        "but I it pictures never really arrived Monday with by".split()
+    ),
+    min_size=1,
+    max_size=14,
+)
+
+
+class TestAnalyzerProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(_WORDS)
+    def test_analyzer_never_crashes_and_judges_every_spot(self, words):
+        text = " ".join(words) + "."
+        subjects = [Subject("camera"), Subject("zoom"), Subject("flash")]
+        judgments = ANALYZER.analyze_text(text, subjects)
+        spotter = SubjectSpotter(subjects)
+        spots = []
+        for sentence in split_sentences(text):
+            spots.extend(spotter.spot_sentence(sentence))
+        assert len(judgments) == len(spots)
+
+    @settings(max_examples=60, deadline=None)
+    @given(_WORDS)
+    def test_polar_judgment_implies_sentiment_evidence(self, words):
+        text = " ".join(words) + "."
+        judgments = ANALYZER.analyze_text(text, [Subject("camera")])
+        for judgment in judgments:
+            if judgment.polarity.is_polar:
+                assert judgment.provenance.pattern  # never polar without a rule
+
+    @settings(max_examples=40, deadline=None)
+    @given(_WORDS)
+    def test_analysis_deterministic(self, words):
+        text = " ".join(words) + "."
+        subjects = [Subject("camera")]
+        a = [j.as_pair() for j in ANALYZER.analyze_text(text, subjects)]
+        b = [j.as_pair() for j in ANALYZER.analyze_text(text, subjects)]
+        assert a == b
+
+
+class TestSpotterIndexAgreement:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(
+            st.sampled_from(
+                [
+                    "The camera works.",
+                    "I love the zoom here.",
+                    "Nothing relevant.",
+                    "The flash and the camera arrived.",
+                ]
+            ),
+            min_size=1,
+            max_size=6,
+        )
+    )
+    def test_index_term_search_matches_spotter(self, sentences):
+        """A document matches Term("camera") iff the spotter finds a spot."""
+        store = DataStore(num_partitions=2)
+        index = InvertedIndex()
+        spotter = SubjectSpotter([Subject("camera")])
+        expected = set()
+        for i, text in enumerate(sentences):
+            entity = Entity(entity_id=f"d{i}", content=text)
+            store.store(entity)
+            index.add_entity(entity)
+            if spotter.spot_document(split_sentences(text)):
+                expected.add(f"d{i}")
+        assert index.search("camera") == expected
+
+
+class TestNegationInvolution:
+    @settings(max_examples=50, deadline=None)
+    @given(st.sampled_from(["excellent", "terrible", "superb", "awful", "reliable", "flimsy"]))
+    def test_negating_a_copular_sentence_inverts_judgment(self, adjective):
+        base = ANALYZER.analyze_text(f"The camera is {adjective}.", [Subject("camera")])
+        negated = ANALYZER.analyze_text(
+            f"The camera is not {adjective}.", [Subject("camera")]
+        )
+        assert base[0].polarity is negated[0].polarity.invert()

@@ -1,0 +1,98 @@
+"""Cross-validation of our from-scratch numerics against scipy/networkx.
+
+The library itself has zero third-party dependencies; these tests use the
+scientific stack available in the test environment to independently
+verify the statistics implementations.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.features import likelihood_ratio
+from repro.platform.indexer import haversine_km
+from repro.platform.ranking import pagerank
+
+
+class TestLikelihoodRatioAgainstScipy:
+    @staticmethod
+    def _scipy_g_statistic(c11, c12, c21, c22):
+        """G-test statistic on the 2x2 table (independence expected)."""
+        observed = np.array([[c11, c12], [c21, c22]], dtype=float)
+        total = observed.sum()
+        row = observed.sum(axis=1, keepdims=True)
+        col = observed.sum(axis=0, keepdims=True)
+        expected = row @ col / total
+        mask = observed > 0
+        return float(2.0 * (observed[mask] * np.log(observed[mask] / expected[mask])).sum())
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        st.integers(1, 500), st.integers(0, 500), st.integers(1, 500), st.integers(1, 500)
+    )
+    def test_matches_g_test_when_positively_associated(self, c11, c12, c21, c22):
+        containing = c11 + c12
+        missing = c21 + c22
+        r1 = c11 / containing
+        r2 = c21 / missing
+        ours = likelihood_ratio(c11, c12, c21, c22)
+        if r2 >= r1:
+            assert ours == 0.0  # the paper's guard
+        else:
+            expected = self._scipy_g_statistic(c11, c12, c21, c22)
+            assert ours == pytest.approx(expected, rel=1e-9, abs=1e-9)
+
+    def test_chi2_critical_values_match_scipy(self):
+        from scipy.stats import chi2
+
+        from repro.core.features import CHI2_CRITICAL
+
+        for confidence, critical in CHI2_CRITICAL.items():
+            assert critical == pytest.approx(chi2.ppf(confidence, df=1), abs=5e-3)
+
+
+class TestPageRankAgainstNetworkx:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 7), st.integers(0, 7)), min_size=1, max_size=25
+        )
+    )
+    def test_matches_networkx(self, edges):
+        import networkx as nx
+
+        nodes = sorted({n for e in edges for n in e})
+        graph = {str(n): [] for n in nodes}
+        nx_graph = nx.DiGraph()
+        nx_graph.add_nodes_from(str(n) for n in nodes)
+        for src, dst in edges:
+            if str(dst) not in graph[str(src)]:
+                graph[str(src)].append(str(dst))
+                nx_graph.add_edge(str(src), str(dst))
+        ours = pagerank(graph, damping=0.85, max_iterations=200, tolerance=1e-12)
+        reference = nx.pagerank(nx_graph, alpha=0.85, tol=1e-12, max_iter=500)
+        for node in graph:
+            assert ours[node] == pytest.approx(reference[node], abs=1e-6)
+
+
+class TestHaversineAgainstNumpy:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.floats(-89, 89), st.floats(-179, 179), st.floats(-89, 89), st.floats(-179, 179)
+    )
+    def test_matches_vectorised_formula(self, lat1, lon1, lat2, lon2):
+        phi1, phi2 = np.radians([lat1, lat2])
+        dphi = np.radians(lat2 - lat1)
+        dlam = np.radians(lon2 - lon1)
+        a = np.sin(dphi / 2) ** 2 + np.cos(phi1) * np.cos(phi2) * np.sin(dlam / 2) ** 2
+        reference = float(2 * 6371.0 * np.arcsin(np.sqrt(a)))
+        assert haversine_km(lat1, lon1, lat2, lon2) == pytest.approx(reference, abs=1e-6)
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.floats(-89, 89), st.floats(-179, 179))
+    def test_triangle_inequality_through_origin(self, lat, lon):
+        direct = haversine_km(lat, lon, 0.0, 0.0)
+        assert direct <= math.pi * 6371.0 + 1e-6

@@ -1,0 +1,62 @@
+"""Integration: trend tracking over a drifting synthetic news stream."""
+
+import pytest
+
+from repro.apps.trends import TrendTracker
+from repro.core import SentimentMiner, Subject
+from repro.corpora.trending import TrendingNewsGenerator, TrendScenario, default_scenario
+from repro.corpora.vocab import PETROLEUM
+
+
+@pytest.fixture(scope="module")
+def tracked():
+    scenario = default_scenario()
+    stream = TrendingNewsGenerator(seed=11).generate(scenario)
+    miner = SentimentMiner(subjects=[Subject(p) for p in PETROLEUM.products])
+    tracker = TrendTracker()
+    for document, date in stream:
+        result = miner.mine_document(document.text, document.doc_id)
+        for judgment in result.polar_judgments():
+            tracker.add(judgment, date)
+    return scenario, tracker
+
+
+class TestTrendPipeline:
+    def test_declining_company_detected(self, tracked):
+        scenario, tracker = tracked
+        assert tracker.series(scenario.declining).direction == "declining"
+
+    def test_improving_company_detected(self, tracked):
+        scenario, tracker = tracked
+        assert tracker.series(scenario.improving).direction == "improving"
+
+    def test_movers_report(self, tracked):
+        scenario, tracker = tracked
+        movers = dict(tracker.movers())
+        assert movers.get(scenario.declining) == "declining"
+        assert movers.get(scenario.improving) == "improving"
+
+    def test_series_spans_all_months(self, tracked):
+        scenario, tracker = tracked
+        series = tracker.series(scenario.declining)
+        assert len(series.points) >= scenario.months - 1
+
+    def test_render(self, tracked):
+        scenario, tracker = tracked
+        out = tracker.series(scenario.declining).render()
+        assert "declining" in out
+
+
+class TestScenarioValidation:
+    def test_bad_months(self):
+        with pytest.raises(ValueError):
+            TrendScenario(declining="A", improving="B", months=1)
+
+    def test_bad_docs_per_month(self):
+        with pytest.raises(ValueError):
+            TrendScenario(declining="A", improving="B", documents_per_month=0)
+
+    def test_generator_deterministic(self):
+        a = TrendingNewsGenerator(seed=5).generate()
+        b = TrendingNewsGenerator(seed=5).generate()
+        assert [(d.text, date) for d, date in a] == [(d.text, date) for d, date in b]

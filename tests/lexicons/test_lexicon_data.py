@@ -1,0 +1,102 @@
+"""Sanity tests over the raw lexicon data modules."""
+
+from repro.lexicons import adjectives, adverbs, negation, nouns, patterns, verbs
+from repro.core.patterns import parse_pattern_line
+
+
+class TestAdjectives:
+    def test_no_overlap_between_polarities(self):
+        overlap = set(adjectives.POSITIVE_ADJECTIVES) & set(adjectives.NEGATIVE_ADJECTIVES)
+        assert overlap == set()
+
+    def test_scale(self):
+        assert len(adjectives.POSITIVE_ADJECTIVES) >= 500
+        assert len(adjectives.NEGATIVE_ADJECTIVES) >= 500
+
+    def test_all_lowercase_no_spaces(self):
+        for word in adjectives.POSITIVE_ADJECTIVES + adjectives.NEGATIVE_ADJECTIVES:
+            assert word == word.lower()
+            assert " " not in word
+
+    def test_entries_shape(self):
+        for term, pos, symbol in adjectives.entries():
+            assert pos == "JJ"
+            assert symbol in "+-"
+
+
+class TestNouns:
+    def test_no_overlap(self):
+        assert set(nouns.POSITIVE_NOUNS) & set(nouns.NEGATIVE_NOUNS) == set()
+
+    def test_scale_below_500(self):
+        # Paper: "less than 500 nouns".
+        total = len(nouns.POSITIVE_NOUNS) + len(nouns.NEGATIVE_NOUNS)
+        assert 100 <= total <= 500
+
+
+class TestVerbs:
+    def test_no_overlap(self):
+        assert set(verbs.POSITIVE_VERBS) & set(verbs.NEGATIVE_VERBS) == set()
+
+    def test_trans_verbs_carry_no_polarity(self):
+        trans = set(verbs.TRANS_VERBS)
+        assert trans & set(verbs.POSITIVE_VERBS) == set()
+        assert trans & set(verbs.NEGATIVE_VERBS) == set()
+
+    def test_paper_trans_examples_present(self):
+        assert "be" in verbs.TRANS_VERBS
+        assert "offer" in verbs.TRANS_VERBS
+
+
+class TestAdverbs:
+    def test_no_overlap(self):
+        assert set(adverbs.POSITIVE_ADVERBS) & set(adverbs.NEGATIVE_ADVERBS) == set()
+
+    def test_intensifiers_not_polar(self):
+        polar = set(adverbs.POSITIVE_ADVERBS) | set(adverbs.NEGATIVE_ADVERBS)
+        # A handful of words legitimately live in both worlds ("terribly
+        # good"); the core scorer resolves polarity first, so only check
+        # the bulk are disjoint.
+        assert len(set(adverbs.INTENSIFIERS) & polar) <= 8
+
+
+class TestNegation:
+    def test_paper_negators_present(self):
+        # "not, no, never, hardly, seldom, or little"
+        assert "not" in negation.NEGATION_ADVERBS
+        assert "never" in negation.NEGATION_ADVERBS
+        assert "hardly" in negation.NEGATION_ADVERBS
+        assert "seldom" in negation.NEGATION_ADVERBS
+        assert "no" in negation.NEGATION_DETERMINERS
+        assert "little" in negation.NEGATION_QUANTIFIERS
+
+    def test_is_negator(self):
+        assert negation.is_negator("Not")
+        assert negation.is_negator("n't")
+        assert not negation.is_negator("very")
+
+
+class TestPatternData:
+    def test_all_lines_parse(self):
+        for line in patterns.pattern_lines():
+            parse_pattern_line(line)
+
+    def test_no_duplicate_lines(self):
+        lines = patterns.pattern_lines()
+        assert len(lines) == len(set(lines))
+
+    def test_verb_class_disjointness(self):
+        classes = [
+            set(patterns.PSYCH_VERBS_POSITIVE),
+            set(patterns.PSYCH_VERBS_NEGATIVE),
+            set(patterns.EXPERIENCER_VERBS_POSITIVE),
+            set(patterns.EXPERIENCER_VERBS_NEGATIVE),
+        ]
+        for i, a in enumerate(classes):
+            for b in classes[i + 1 :]:
+                assert a & b == set()
+
+    def test_psych_verbs_are_sentiment_verbs(self):
+        known = set(verbs.POSITIVE_VERBS) | set(verbs.NEGATIVE_VERBS)
+        for verb in patterns.PSYCH_VERBS_POSITIVE + patterns.PSYCH_VERBS_NEGATIVE:
+            assert verb in known, verb

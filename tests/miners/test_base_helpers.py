@@ -1,0 +1,65 @@
+"""Unit tests for the annotation-layer reconstruction helpers."""
+
+from repro.core import Subject
+from repro.miners import TokenizerMiner, base
+from repro.platform.entity import Annotation, Entity
+
+TEXT = "The camera works. The flash fails."
+
+
+def entity_with_layers():
+    entity = Entity(entity_id="d", content=TEXT)
+    TokenizerMiner().process(entity)
+    return entity
+
+
+class TestReconstruction:
+    def test_tokens_roundtrip_offsets(self):
+        entity = entity_with_layers()
+        for token in base.tokens_from(entity):
+            assert TEXT[token.start : token.end] == token.text
+
+    def test_sentences_preserve_indexes(self):
+        entity = entity_with_layers()
+        sentences = base.sentences_from(entity)
+        assert [s.index for s in sentences] == [0, 1]
+
+    def test_tagged_sentences_default_tag(self):
+        # Without a pos layer, tokens default to NN rather than crashing.
+        entity = entity_with_layers()
+        tagged = base.tagged_sentences_from(entity)
+        assert all(t.tag == "NN" for sentence in tagged for t in sentence)
+
+    def test_spots_from_uses_subject_mapping(self):
+        entity = entity_with_layers()
+        start = TEXT.index("camera")
+        entity.annotate(
+            Annotation.make(base.SPOT_LAYER, start, start + 6, label="Canon X", sentence=0)
+        )
+        subject = Subject("Canon X", ("camera",))
+        (spot,) = base.spots_from(entity, {"Canon X": subject})
+        assert spot.subject is subject
+        assert spot.term == "camera"
+        assert spot.document_id == "d"
+
+    def test_spots_from_without_mapping_builds_subject(self):
+        entity = entity_with_layers()
+        start = TEXT.index("flash")
+        entity.annotate(
+            Annotation.make(base.SPOT_LAYER, start, start + 5, label="flash", sentence=1)
+        )
+        (spot,) = base.spots_from(entity)
+        assert spot.subject.canonical == "flash"
+        assert spot.sentence_index == 1
+
+    def test_annotate_spot_roundtrip(self):
+        entity = entity_with_layers()
+        start = TEXT.index("camera")
+        from repro.core.model import Spot
+        from repro.nlp.tokens import Span
+
+        spot = Spot(Subject("camera"), "camera", Span(start, start + 6), 0, "d")
+        base.annotate_spot(entity, spot)
+        (restored,) = base.spots_from(entity)
+        assert restored.span == spot.span
+        assert restored.sentence_index == 0

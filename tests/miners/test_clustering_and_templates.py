@@ -1,0 +1,162 @@
+"""Unit tests for the clustering and template-detection miners."""
+
+import pytest
+
+from repro.miners.clustering import ClusteringMiner, cosine_similarity
+from repro.miners.template_detection import TemplateDetectionMiner
+from repro.platform import DataStore, Entity, run_corpus_miner
+
+CAMERA_DOCS = [
+    "camera lens flash pictures zoom battery camera pictures",
+    "camera flash zoom lens pictures camera battery viewfinder",
+    "pictures camera zoom lens flash sensor camera images",
+]
+MUSIC_DOCS = [
+    "album song track melody guitar chorus album lyrics",
+    "song album melody track guitar piano album chorus",
+    "track song album lyrics melody orchestra album beat",
+]
+
+
+def store_of(docs):
+    store = DataStore(num_partitions=2)
+    for i, text in enumerate(docs):
+        store.store(Entity(entity_id=f"d{i}", content=text))
+    return store
+
+
+class TestCosine:
+    def test_identical(self):
+        v = {"a": 1.0, "b": 2.0}
+        assert cosine_similarity(v, v) == pytest.approx(1.0)
+
+    def test_orthogonal(self):
+        assert cosine_similarity({"a": 1.0}, {"b": 1.0}) == 0.0
+
+    def test_empty(self):
+        assert cosine_similarity({}, {"a": 1.0}) == 0.0
+
+
+class TestClustering:
+    def test_two_topics_separate(self):
+        store = store_of(CAMERA_DOCS + MUSIC_DOCS)
+        miner = ClusteringMiner(k=2, seed=7)
+        result = miner.cluster(run_corpus_miner(miner, store))
+        camera_clusters = {result.assignments[f"d{i}"] for i in range(3)}
+        music_clusters = {result.assignments[f"d{i}"] for i in range(3, 6)}
+        assert len(camera_clusters) == 1
+        assert len(music_clusters) == 1
+        assert camera_clusters != music_clusters
+
+    def test_cluster_labels_describe_topics(self):
+        store = store_of(CAMERA_DOCS + MUSIC_DOCS)
+        miner = ClusteringMiner(k=2, seed=7)
+        result = miner.cluster(run_corpus_miner(miner, store))
+        all_terms = {t for terms in result.top_terms for t in terms}
+        assert "camera" in all_terms
+        assert "album" in all_terms
+
+    def test_members(self):
+        store = store_of(CAMERA_DOCS + MUSIC_DOCS)
+        miner = ClusteringMiner(k=2, seed=7)
+        result = miner.cluster(run_corpus_miner(miner, store))
+        cluster_of_d0 = result.assignments["d0"]
+        assert "d0" in result.members(cluster_of_d0)
+
+    def test_deterministic(self):
+        store = store_of(CAMERA_DOCS + MUSIC_DOCS)
+        miner = ClusteringMiner(k=2, seed=3)
+        a = miner.cluster(run_corpus_miner(miner, store)).assignments
+        b = miner.cluster(run_corpus_miner(miner, store)).assignments
+        assert a == b
+
+    def test_k_larger_than_corpus_clamped(self):
+        store = store_of(CAMERA_DOCS[:2])
+        miner = ClusteringMiner(k=10, seed=1)
+        result = miner.cluster(run_corpus_miner(miner, store))
+        assert result.num_clusters <= 2
+
+    def test_empty_corpus(self):
+        miner = ClusteringMiner(k=2)
+        result = miner.cluster(run_corpus_miner(miner, DataStore(num_partitions=2)))
+        assert result.assignments == {}
+
+    def test_bad_k(self):
+        with pytest.raises(ValueError):
+            ClusteringMiner(k=0)
+
+
+BOILER = "Welcome to CameraShop, your trusted photo source."
+PAGES = [
+    f"{BOILER} The Canon excels in daylight. Visit us daily.",
+    f"{BOILER} The Nikon struggles indoors. Visit us daily.",
+    f"{BOILER} Battery prices fell again this month. Visit us daily.",
+]
+
+
+def crawl_store(pages, host="camerashop.example"):
+    store = DataStore(num_partitions=2)
+    for i, text in enumerate(pages):
+        store.store(
+            Entity(
+                entity_id=f"w{i}",
+                content=text,
+                metadata={"url": f"http://{host}/page{i}"},
+            )
+        )
+    return store
+
+
+class TestTemplateDetection:
+    def test_boilerplate_detected(self):
+        store = crawl_store(PAGES)
+        miner = TemplateDetectionMiner(min_pages=3, min_fraction=0.9)
+        merged = run_corpus_miner(miner, store)
+        written = miner.annotate_corpus(list(store.scan()), merged)
+        assert written == 6  # two boilerplate sentences on three pages
+
+    def test_unique_content_not_marked(self):
+        store = crawl_store(PAGES)
+        miner = TemplateDetectionMiner(min_pages=3, min_fraction=0.9)
+        merged = run_corpus_miner(miner, store)
+        miner.annotate_corpus(list(store.scan()), merged)
+        for entity in store.scan():
+            marked = {entity.text_of(a) for a in entity.layer("template")}
+            assert all("Canon" not in m and "Nikon" not in m for m in marked)
+
+    def test_sites_isolated(self):
+        # Same sentence on two different sites, below threshold per site.
+        store = DataStore(num_partitions=2)
+        for i, host in enumerate(["a.example", "b.example"]):
+            store.store(
+                Entity(
+                    entity_id=f"s{i}",
+                    content=BOILER,
+                    metadata={"url": f"http://{host}/p"},
+                )
+            )
+        miner = TemplateDetectionMiner(min_pages=2, min_fraction=0.5)
+        merged = run_corpus_miner(miner, store)
+        assert miner.boilerplate_keys(merged) == set()
+
+    def test_min_fraction_gate(self):
+        pages = PAGES + ["Totally unique page content here."] * 4
+        store = crawl_store(pages)
+        miner = TemplateDetectionMiner(min_pages=3, min_fraction=0.9)
+        merged = run_corpus_miner(miner, store)
+        # Boilerplate appears on 3/7 pages < 90%: not marked.
+        assert miner.boilerplate_keys(merged) == set()
+
+    def test_bad_config(self):
+        with pytest.raises(ValueError):
+            TemplateDetectionMiner(min_pages=1)
+        with pytest.raises(ValueError):
+            TemplateDetectionMiner(min_fraction=0.0)
+
+    def test_entities_without_url_use_source(self):
+        store = DataStore(num_partitions=2)
+        for i in range(3):
+            store.store(Entity(entity_id=f"n{i}", content=BOILER, source="newsfeed"))
+        miner = TemplateDetectionMiner(min_pages=3, min_fraction=0.9)
+        merged = run_corpus_miner(miner, store)
+        assert len(miner.boilerplate_keys(merged)) == 1

@@ -1,0 +1,124 @@
+"""Unit and property tests for MinHash duplicate detection."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.miners.duplicates import (
+    DuplicateDetectionMiner,
+    jaccard,
+    minhash_signature,
+    shingles,
+)
+from repro.platform import DataStore, Entity, run_corpus_miner
+
+
+class TestShingles:
+    def test_basic_trigrams(self):
+        out = shingles("a b c d", k=3)
+        assert out == {"a b c", "b c d"}
+
+    def test_short_text_single_shingle(self):
+        assert shingles("a b", k=3) == {"a b"}
+
+    def test_empty_text(self):
+        assert shingles("", k=3) == set()
+
+    def test_case_folded(self):
+        assert shingles("A B C", k=3) == shingles("a b c", k=3)
+
+
+class TestJaccard:
+    def test_identical(self):
+        assert jaccard({"a", "b"}, {"a", "b"}) == 1.0
+
+    def test_disjoint(self):
+        assert jaccard({"a"}, {"b"}) == 0.0
+
+    def test_partial(self):
+        assert jaccard({"a", "b", "c"}, {"b", "c", "d"}) == pytest.approx(0.5)
+
+    def test_both_empty(self):
+        assert jaccard(set(), set()) == 1.0
+
+
+class TestMinhash:
+    def test_signature_length(self):
+        assert len(minhash_signature({"x"}, num_hashes=16)) == 16
+
+    def test_deterministic(self):
+        s = {"a b c", "b c d"}
+        assert minhash_signature(s) == minhash_signature(s)
+
+    def test_identical_sets_identical_signatures(self):
+        assert minhash_signature({"a", "b"}) == minhash_signature({"b", "a"})
+
+    def test_empty_set_sentinel(self):
+        sig = minhash_signature(set(), num_hashes=4)
+        assert sig == tuple([2**64 - 1] * 4)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.sets(st.text(alphabet="abcdef", min_size=1, max_size=4), min_size=5, max_size=30))
+    def test_signature_agreement_tracks_jaccard(self, base):
+        """Signature agreement approximates Jaccard within a loose band."""
+        other = set(list(base)[: len(base) // 2]) | {"zz"}
+        sig_a = minhash_signature(base, num_hashes=64)
+        sig_b = minhash_signature(other, num_hashes=64)
+        agreement = sum(1 for x, y in zip(sig_a, sig_b) if x == y) / 64
+        true = jaccard(base, other)
+        assert abs(agreement - true) < 0.35
+
+
+class TestMinerConfig:
+    def test_bands_must_divide(self):
+        with pytest.raises(ValueError):
+            DuplicateDetectionMiner(num_hashes=48, bands=7)
+
+    def test_threshold_bounds(self):
+        with pytest.raises(ValueError):
+            DuplicateDetectionMiner(threshold=0.0)
+
+
+class TestDetection:
+    def _store(self, docs):
+        store = DataStore(num_partitions=2)
+        for eid, text in docs.items():
+            store.store(Entity(entity_id=eid, content=text))
+        return store
+
+    def test_near_duplicates_found(self):
+        base = "the quick brown fox jumps over the lazy dog by the river today"
+        store = self._store(
+            {"a": base, "b": base + "!", "c": "something else entirely different here now"}
+        )
+        miner = DuplicateDetectionMiner(threshold=0.7)
+        pairs = miner.pairs(run_corpus_miner(miner, store))
+        assert [(p.first, p.second) for p in pairs] == [("a", "b")]
+        assert pairs[0].similarity > 0.7
+
+    def test_exact_duplicates_similarity_one(self):
+        text = "identical content in every respect across both documents here"
+        store = self._store({"x": text, "y": text})
+        miner = DuplicateDetectionMiner()
+        pairs = miner.pairs(run_corpus_miner(miner, store))
+        assert pairs[0].similarity == 1.0
+
+    def test_no_duplicates(self):
+        store = self._store(
+            {
+                "a": "cameras take pictures of mountains in the north",
+                "b": "orchestras perform symphonies in concert halls nightly",
+            }
+        )
+        miner = DuplicateDetectionMiner()
+        assert miner.pairs(run_corpus_miner(miner, store)) == []
+
+    def test_cross_partition_pairs_found(self):
+        # Duplicates land in different partitions; reduce must join them.
+        text = "the very same words repeated in all of these documents today"
+        store = DataStore(num_partitions=8)
+        for i in range(6):
+            store.store(Entity(entity_id=f"dup{i}", content=text))
+        miner = DuplicateDetectionMiner()
+        pairs = miner.pairs(run_corpus_miner(miner, store))
+        assert len(pairs) == 15  # C(6,2)

@@ -1,0 +1,129 @@
+"""Unit tests for NP/VG chunking and the paper's definite-bNP patterns."""
+
+from repro.nlp.chunker import Chunker, DEFINITE_BNP_PATTERNS
+from repro.nlp.postagger import PosTagger
+from repro.nlp.sentences import split_sentences
+
+_TAGGER = PosTagger(extra_lexicon={"excellent": "JJ", "vibrant": "JJ", "sharp": "JJ", "definite": "JJ"})
+_CHUNKER = Chunker()
+
+
+def tagged(text):
+    (sentence,) = split_sentences(text)
+    return _TAGGER.tag(sentence)
+
+
+def nps(text):
+    return [c.text for c in _CHUNKER.noun_phrases(tagged(text))]
+
+
+def vgs(text):
+    return [c.text for c in _CHUNKER.verb_groups(tagged(text))]
+
+
+def bbnps(text):
+    return [c.text for c in _CHUNKER.beginning_definite_bnps(tagged(text))]
+
+
+class TestNounPhrases:
+    def test_simple_np(self):
+        assert nps("The camera works.") == ["The camera"]
+
+    def test_np_with_adjective(self):
+        assert "excellent pictures" in nps("It takes excellent pictures.")
+
+    def test_compound_noun(self):
+        assert nps("The battery life is short.")[0] == "The battery life"
+
+    def test_pronoun_is_np(self):
+        assert nps("I love it.") == ["I", "it"]
+
+    def test_multiple_nps(self):
+        out = nps("The company offers high quality products.")
+        assert out == ["The company", "high quality products"]
+
+    def test_possessive_determiner(self):
+        assert nps("My camera broke.")[0] == "My camera"
+
+    def test_no_np(self):
+        assert nps("Quickly!") == []
+
+    def test_base_noun_phrases_strip_determiner(self):
+        chunks = _CHUNKER.base_noun_phrases(tagged("The battery life is short."))
+        assert chunks[0].text == "battery life"
+
+
+class TestVerbGroups:
+    def test_simple_verb(self):
+        assert vgs("The camera works.") == ["works"]
+
+    def test_modal_chain(self):
+        assert vgs("It will not work.") == ["will not work"]
+
+    def test_auxiliary_chain(self):
+        assert vgs("The design has been improved.") == ["has been improved"]
+
+    def test_negated_contraction(self):
+        out = vgs("It doesn't work.")
+        assert out == ["does n't work"]
+
+    def test_two_predicates(self):
+        out = vgs("The camera works and the flash fails.")
+        assert out == ["works", "fails"]
+
+    def test_adverb_inside_group(self):
+        assert vgs("It has really improved.") == ["has really improved"]
+
+
+class TestDefiniteBnps:
+    def test_patterns_are_the_papers_six(self):
+        assert set(DEFINITE_BNP_PATTERNS) == {
+            ("NN",),
+            ("NN", "NN"),
+            ("JJ", "NN"),
+            ("NN", "NN", "NN"),
+            ("JJ", "NN", "NN"),
+            ("JJ", "JJ", "NN"),
+        }
+
+    def test_simple_definite(self):
+        chunks = _CHUNKER.definite_bnps(tagged("The battery drains fast."))
+        assert [c.text for c in chunks] == ["battery"]
+
+    def test_nn_nn(self):
+        chunks = _CHUNKER.definite_bnps(tagged("The battery life is short."))
+        assert [c.text for c in chunks] == ["battery life"]
+
+    def test_indefinite_not_matched(self):
+        assert _CHUNKER.definite_bnps(tagged("A battery drains fast.")) == []
+
+    def test_mid_sentence_definite(self):
+        chunks = _CHUNKER.definite_bnps(tagged("I like the picture quality."))
+        assert [c.text for c in chunks] == ["picture quality"]
+
+
+class TestBeginningDefiniteBnps:
+    def test_bbnp_at_sentence_start(self):
+        assert bbnps("The battery lasts all day.") == ["battery"]
+
+    def test_bbnp_compound(self):
+        assert bbnps("The picture quality impressed me.") == ["picture quality"]
+
+    def test_bbnp_with_adjective(self):
+        assert bbnps("The optical zoom works well.") == ["optical zoom"]
+
+    def test_requires_following_verb(self):
+        # "The battery of the camera" — definite NP with a PP, not a bBNP.
+        assert bbnps("The battery of the camera.") == []
+
+    def test_not_at_start_rejected(self):
+        assert bbnps("Overall the battery lasts.") == []
+
+    def test_indefinite_start_rejected(self):
+        assert bbnps("A battery lasts all day.") == []
+
+    def test_adverb_between_np_and_verb_ok(self):
+        assert bbnps("The battery really lasts.") == ["battery"]
+
+    def test_pronoun_start_rejected(self):
+        assert bbnps("It lasts all day.") == []

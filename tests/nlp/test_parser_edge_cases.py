@@ -1,0 +1,113 @@
+"""Shallow-parser edge cases beyond the core role-assignment tests."""
+
+import pytest
+
+from repro.nlp.parser import ShallowParser
+from repro.nlp.postagger import PosTagger
+from repro.nlp.sentences import split_sentences
+
+_TAGGER = PosTagger(
+    extra_lexicon={
+        "superb": "JJ",
+        "excellent": "JJ",
+        "vibrant": "JJ",
+        "impressed": "JJ",
+        "praised": "JJ",
+    }
+)
+_PARSER = ShallowParser()
+
+
+def parse_one(text):
+    (sentence,) = split_sentences(text)
+    return _PARSER.parse(_TAGGER.tag(sentence))
+
+
+class TestPassiveVoice:
+    def test_passive_with_by_agent(self):
+        clause = parse_one("The camera was praised by reviewers.").main_clause
+        assert clause.predicate_lemma == "praise"
+        assert clause.subject.text == "The camera"
+        pp = clause.prep_phrase("by")
+        assert pp.noun_phrase.text == "reviewers"
+
+    def test_passive_without_agent(self):
+        clause = parse_one("The camera was praised.").main_clause
+        assert clause.predicate_lemma == "praise"
+        assert clause.subject.text == "The camera"
+
+    def test_aux_chain_passive(self):
+        clause = parse_one("The design has been improved.").main_clause
+        assert clause.predicate_lemma == "improve"
+
+
+class TestPossessives:
+    def test_possessive_np_stays_whole(self):
+        clause = parse_one("Sony's camera impressed everyone.").main_clause
+        assert "camera" in clause.subject.text
+
+    def test_possessive_object(self):
+        clause = parse_one("I love Sony's zoom.").main_clause
+        assert clause.object is not None
+        assert "zoom" in clause.object.text
+
+
+class TestOrphanPrepositionalPhrases:
+    def test_leading_pp_attaches_forward(self):
+        clause = parse_one("Unlike the old model, the camera is superb.").main_clause
+        pp = clause.prep_phrase("unlike")
+        assert pp is not None
+        assert "old model" in pp.noun_phrase.text
+
+    def test_leading_temporal_pp(self):
+        clause = parse_one("After the update, the camera works.").main_clause
+        pp = clause.prep_phrase("after")
+        assert pp is not None
+
+    def test_verbless_fragment_yields_no_clause(self):
+        assert parse_one("Into the valley of shadows.").clauses == []
+
+
+class TestImperativesAndInversions:
+    def test_imperative_has_no_subject(self):
+        clause = parse_one("Buy the camera.").main_clause
+        assert clause.subject is None
+        assert clause.object.text == "the camera"
+
+    def test_existential_there(self):
+        clause = parse_one("There is a problem.").main_clause
+        assert clause.predicate_lemma == "be"
+
+
+class TestMultiClauseChains:
+    def test_three_clauses(self):
+        parsed = parse_one("The zoom is superb, the flash is vibrant, and the menu works.")
+        assert len(parsed.clauses) == 3
+
+    def test_subject_inheritance_chain(self):
+        parsed = parse_one("The zoom is superb and works and impresses everyone.")
+        assert all(
+            c.subject is not None and "zoom" in c.subject.text for c in parsed.clauses
+        )
+
+
+class TestNegationPlacement:
+    def test_negation_in_second_clause_only(self):
+        parsed = parse_one("The zoom works, but the flash does not work.")
+        assert not parsed.clauses[0].negated
+        assert parsed.clauses[1].negated
+
+    def test_never_before_verb(self):
+        clause = parse_one("The flash never works.").main_clause
+        assert clause.negated
+
+
+class TestHypotheticalFlag:
+    def test_if_clause_flagged(self):
+        parsed = parse_one("If the zoom works, I will buy it.")
+        flags = [c.hypothetical for c in parsed.clauses]
+        assert flags[0] is True
+        assert flags[1] is False
+
+    def test_plain_clause_not_flagged(self):
+        assert not parse_one("The zoom works.").main_clause.hypothetical

@@ -1,0 +1,158 @@
+"""Unit tests for the POS tagger."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.nlp import penn
+from repro.nlp.postagger import PosTagger, default_tagger
+from repro.nlp.sentences import split_sentences
+
+
+def tag_pairs(text, tagger=None):
+    tagger = tagger or default_tagger()
+    (sentence,) = split_sentences(text)
+    return [(t.text, t.tag) for t in tagger.tag(sentence)]
+
+
+def tags_of(text, tagger=None):
+    return [tag for _, tag in tag_pairs(text, tagger)]
+
+
+class TestClosedClass:
+    def test_determiners_and_nouns(self):
+        assert tag_pairs("The camera works.")[:2] == [("The", "DT"), ("camera", "NN")]
+
+    def test_pronouns(self):
+        pairs = tag_pairs("I love it.")
+        assert pairs[0] == ("I", "PRP")
+        assert pairs[2] == ("it", "PRP")
+
+    def test_modal_plus_verb(self):
+        pairs = dict(tag_pairs("It can work."))
+        assert pairs["can"] == "MD"
+        assert pairs["work"] == "VB"
+
+    def test_preposition(self):
+        assert ("with", "IN") in tag_pairs("It comes with a lens.")
+
+    def test_numbers(self):
+        assert ("3.5", "CD") in tag_pairs("It scored 3.5 stars.")
+        assert ("three", "CD") in tag_pairs("It has three modes.")
+
+
+class TestVerbMorphology:
+    def test_be_forms(self):
+        assert ("is", "VBZ") in tag_pairs("The picture is sharp.")
+        assert ("were", "VBD") in tag_pairs("The pictures were sharp.")
+
+    def test_regular_inflections(self):
+        assert ("impressed", "VBN") in tag_pairs("I am impressed by it.")
+        assert ("works", "VBZ") in tag_pairs("The camera works.")
+        assert ("working", "VBG") in tag_pairs("It keeps working.")
+
+    def test_irregular_past(self):
+        assert ("took", "VBD") in tag_pairs("He took pictures.")
+        assert ("broke", "VBD") in tag_pairs("The lens broke.")
+
+    def test_vbn_after_auxiliary(self):
+        pairs = dict(tag_pairs("The design has improved."))
+        assert pairs["improved"] == "VBN"
+
+    def test_vbd_without_auxiliary(self):
+        pairs = dict(tag_pairs("The design improved."))
+        assert pairs["improved"] == "VBD"
+
+
+class TestContextRules:
+    def test_noun_after_determiner_not_verb(self):
+        pairs = dict(tag_pairs("The work is done."))
+        assert pairs["work"] == "NN"
+
+    def test_base_verb_after_to(self):
+        pairs = dict(tag_pairs("I want to work."))
+        assert pairs["work"] == "VB"
+
+    def test_her_possessive(self):
+        pairs = dict(tag_pairs("She loves her camera."))
+        assert pairs["her"] == "PRP$"
+
+    def test_like_as_verb_after_pronoun(self):
+        pairs = dict(tag_pairs("I like the flash."))
+        assert pairs["like"] in {"VBP", "VB"}
+
+    def test_like_as_verb_after_negation(self):
+        pairs = dict(tag_pairs("It doesn't like water."))
+        assert pairs["like"] == "VB"
+
+    def test_like_as_preposition(self):
+        pairs = dict(tag_pairs("It looks like a toy."))
+        assert pairs["like"] == "IN"
+
+    def test_gerund_after_determiner_is_noun(self):
+        pairs = dict(tag_pairs("The pricing is fair."))
+        assert pairs["pricing"] == "NN"
+
+
+class TestUnknownWords:
+    def test_ly_adverb(self):
+        pairs = dict(tag_pairs("It zooms smoothlike and quixotically."))
+        assert pairs["quixotically"] == "RB"
+
+    def test_ness_noun(self):
+        pairs = dict(tag_pairs("The blurriness annoyed me."))
+        assert pairs["blurriness"] == "NN"
+
+    def test_able_adjective(self):
+        pairs = dict(tag_pairs("It seems quite pluggable."))
+        assert pairs["pluggable"] == "JJ"
+
+    def test_capitalized_mid_sentence_is_proper(self):
+        pairs = dict(tag_pairs("We tested the Zorblax camera."))
+        assert pairs["Zorblax"] == "NNP"
+
+    def test_alphanumeric_model_is_proper(self):
+        pairs = dict(tag_pairs("We reviewed the NR70 today."))
+        assert pairs["NR70"] == "NNP"
+
+    def test_unknown_plural(self):
+        pairs = dict(tag_pairs("Some gizmotrons failed."))
+        assert pairs["gizmotrons"] == "NNS"
+
+
+class TestExtraLexicon:
+    def test_extra_entries_override_suffix_rules(self):
+        tagger = PosTagger(extra_lexicon={"vibrant": "JJ", "excellent": "JJ"})
+        pairs = dict(tag_pairs("The colors are vibrant.", tagger))
+        assert pairs["vibrant"] == "JJ"
+
+    def test_extra_entries_cannot_shadow_closed_class(self):
+        tagger = PosTagger(extra_lexicon={"the": "NN"})
+        assert tag_pairs("The camera.", tagger)[0] == ("The", "DT")
+
+    def test_invalid_tag_rejected(self):
+        with pytest.raises(ValueError):
+            PosTagger(extra_lexicon={"blorp": "XX"})
+
+    def test_multiword_entries_ignored(self):
+        tagger = PosTagger(extra_lexicon={"battery life": "NN"})
+        assert dict(tag_pairs("The battery life is fine.", tagger))["battery"] == "NN"
+
+
+class TestInvariants:
+    @given(st.text(alphabet=st.characters(min_codepoint=32, max_codepoint=126), max_size=120))
+    def test_all_emitted_tags_valid(self, text):
+        tagger = default_tagger()
+        for sentence in split_sentences(text):
+            for tt in tagger.tag(sentence):
+                assert penn.is_valid_tag(tt.tag), (tt.text, tt.tag)
+
+    @given(st.lists(st.sampled_from(
+        "the a camera battery is was takes excellent pictures not and it I".split()
+    ), min_size=1, max_size=15))
+    def test_tagging_is_deterministic(self, words):
+        text = " ".join(words) + "."
+        assert tags_of(text) == tags_of(text)
+
+    def test_tag_tokens_empty(self):
+        assert default_tagger().tag_tokens([]) == []

@@ -1,0 +1,89 @@
+"""Unit tests for sentence boundary detection."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.nlp.sentences import SentenceSplitter, split_sentences
+
+
+def texts(document):
+    return [s.text_of(document) for s in split_sentences(document)]
+
+
+class TestBasicSplitting:
+    def test_two_sentences(self):
+        doc = "The camera is great. The battery is weak."
+        assert texts(doc) == ["The camera is great.", "The battery is weak."]
+
+    def test_exclamation_and_question(self):
+        doc = "It failed! Why did it fail? Nobody knows."
+        assert len(texts(doc)) == 3
+
+    def test_single_sentence_no_terminator(self):
+        doc = "no final period here"
+        assert texts(doc) == [doc]
+
+    def test_empty_document(self):
+        assert split_sentences("") == []
+
+    def test_indexes_are_sequential(self):
+        doc = "One. Two. Three."
+        assert [s.index for s in split_sentences(doc)] == [0, 1, 2]
+
+
+class TestAbbreviationHandling:
+    def test_title_does_not_split(self):
+        doc = "Prof. Wilson praised the NR70. It sold well."
+        out = texts(doc)
+        assert len(out) == 2
+        assert out[0].startswith("Prof. Wilson")
+
+    def test_acronym_mid_sentence(self):
+        doc = "The U.S. market grew. Sales rose."
+        assert len(texts(doc)) == 2
+
+    def test_decimal_number_not_a_boundary(self):
+        doc = "It scored 4.5 stars. Reviewers agreed."
+        assert len(texts(doc)) == 2
+
+
+class TestTrailingClosers:
+    def test_quote_after_period_stays(self):
+        doc = 'He said "It is great." Then he left.'
+        out = texts(doc)
+        assert len(out) == 2
+        assert out[0].endswith('."')
+
+    def test_paren_after_period(self):
+        doc = "It works (mostly.) The rest fails."
+        assert len(texts(doc)) == 2
+
+
+class TestLowercaseContinuation:
+    def test_ellipsis_like_period_before_lowercase(self):
+        doc = "The camera etc. and accessories arrived."
+        assert len(texts(doc)) == 1
+
+
+class TestProperties:
+    @given(st.lists(st.sampled_from(["The camera is great.", "It failed!", "Why?", "Prof. Wilson agreed."]), min_size=1, max_size=10))
+    def test_every_token_lands_in_exactly_one_sentence(self, parts):
+        doc = " ".join(parts)
+        sentences = split_sentences(doc)
+        spans = [(s.start, s.end) for s in sentences]
+        for (s1, e1), (s2, e2) in zip(spans, spans[1:]):
+            assert e1 <= s2
+
+    @given(st.text(max_size=200))
+    def test_splitter_never_crashes(self, doc):
+        sentences = split_sentences(doc)
+        assert all(len(s) >= 1 for s in sentences)
+
+    def test_split_text_equals_split_of_tokens(self):
+        from repro.nlp.tokenizer import tokenize
+
+        doc = "One works. Two fails."
+        splitter = SentenceSplitter()
+        assert [s.span for s in splitter.split(tokenize(doc))] == [
+            s.span for s in splitter.split_text(doc)
+        ]

@@ -1,0 +1,101 @@
+"""Unit tests for the shared-nothing cluster simulation."""
+
+import pytest
+
+from repro.platform.cluster import Cluster
+from repro.platform.datastore import DataStore
+from repro.platform.entity import Annotation, Entity
+from repro.platform.miners import CorpusMiner, EntityMiner, MinerPipeline
+
+
+class Marker(EntityMiner):
+    name = "marker"
+    provides = ("mark",)
+
+    def process(self, entity):
+        entity.annotate(Annotation.make("mark", 0, 0, label="x"))
+
+
+class Summer(CorpusMiner):
+    name = "summer"
+
+    def map_partition(self, entities):
+        return sum(1 for _ in entities)
+
+    def reduce(self, partials):
+        return sum(partials)
+
+
+def loaded_store(n=64, partitions=8):
+    store = DataStore(num_partitions=partitions)
+    store.store_all(Entity(entity_id=f"d{i}", content=f"doc {i}") for i in range(n))
+    return store
+
+
+class TestConstruction:
+    def test_partitions_assigned_round_robin(self):
+        cluster = Cluster(loaded_store(partitions=8), num_nodes=4)
+        for node in cluster.nodes:
+            assert len(node.partition_ids) == 2
+
+    def test_more_nodes_than_partitions_rejected(self):
+        with pytest.raises(ValueError):
+            Cluster(loaded_store(partitions=2), num_nodes=4)
+
+    def test_zero_nodes_rejected(self):
+        with pytest.raises(ValueError):
+            Cluster(loaded_store(), num_nodes=0)
+
+    def test_status_service_registered(self):
+        cluster = Cluster(loaded_store(), num_nodes=2)
+        status = cluster.bus.request("cluster.status")
+        assert status["nodes"] == 2
+        assert status["entities"] == 64
+
+
+class TestPipelineRuns:
+    def test_all_entities_processed(self):
+        store = loaded_store()
+        cluster = Cluster(store, num_nodes=4)
+        report = cluster.run_pipeline(MinerPipeline([Marker()]))
+        assert report.pipeline.entities_processed == 64
+        assert all(e.has_layer("mark") for e in store.scan())
+
+    def test_makespan_decreases_with_more_nodes(self):
+        def makespan(nodes):
+            cluster = Cluster(loaded_store(), num_nodes=nodes)
+            return cluster.run_pipeline(MinerPipeline([Marker()])).makespan
+
+        assert makespan(8) < makespan(2) < makespan(1)
+
+    def test_speedup_near_linear(self):
+        cluster = Cluster(loaded_store(n=256), num_nodes=8)
+        report = cluster.run_pipeline(MinerPipeline([Marker()]))
+        assert report.speedup > 4  # 8 nodes, allowing overhead
+
+    def test_work_split_across_nodes(self):
+        cluster = Cluster(loaded_store(n=128), num_nodes=4)
+        report = cluster.run_pipeline(MinerPipeline([Marker()]))
+        assert len(report.per_node_work) == 4
+        assert all(w > 0 for w in report.per_node_work)
+
+    def test_messages_counted(self):
+        cluster = Cluster(loaded_store(), num_nodes=4)
+        report = cluster.run_pipeline(MinerPipeline([Marker()]))
+        assert report.messages == 4
+
+
+class TestCorpusRuns:
+    def test_corpus_miner_result_matches_sequential(self):
+        store = loaded_store(n=100)
+        cluster = Cluster(store, num_nodes=4)
+        result, report = cluster.run_corpus_miner(Summer())
+        assert result == 100
+        assert report.pipeline.entities_processed == 100
+
+    def test_reduce_cost_included_in_makespan(self):
+        store = loaded_store(n=16)
+        only_map = Cluster(store, num_nodes=4).run_pipeline(MinerPipeline([Marker()]))
+        _, with_reduce = Cluster(store, num_nodes=4).run_corpus_miner(Summer())
+        assert with_reduce.makespan > 0
+        assert with_reduce.makespan >= only_map.makespan - 1e-9

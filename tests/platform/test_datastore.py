@@ -1,0 +1,184 @@
+"""Unit and property tests for the partitioned data store."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.platform.datastore import DataStore, Partition, default_partitioner
+from repro.platform.entity import Entity
+
+
+def doc(entity_id, content="text"):
+    return Entity(entity_id=entity_id, content=content)
+
+
+class TestPartitioner:
+    def test_stable(self):
+        assert default_partitioner("abc", 8) == default_partitioner("abc", 8)
+
+    def test_in_range(self):
+        for i in range(100):
+            assert 0 <= default_partitioner(f"id{i}", 7) < 7
+
+    def test_spreads_keys(self):
+        hits = {default_partitioner(f"id{i}", 8) for i in range(200)}
+        assert len(hits) == 8
+
+
+class TestPartition:
+    def test_put_get(self):
+        p = Partition(0)
+        p.put(doc("a", "one"))
+        assert p.get("a").content == "one"
+
+    def test_overwrite(self):
+        p = Partition(0)
+        p.put(doc("a", "one"))
+        p.put(doc("a", "two"))
+        assert p.get("a").content == "two"
+
+    def test_delete_tombstone(self):
+        p = Partition(0)
+        p.put(doc("a"))
+        p.flush()
+        p.delete("a")
+        assert p.get("a") is None
+        assert list(p.scan()) == []
+
+    def test_flush_creates_segments(self):
+        p = Partition(0, memtable_limit=100)
+        p.put(doc("a"))
+        assert p.segment_count == 0
+        p.flush()
+        assert p.segment_count == 1
+
+    def test_auto_flush_at_limit(self):
+        p = Partition(0, memtable_limit=2)
+        p.put(doc("a"))
+        p.put(doc("b"))
+        assert p.segment_count == 1
+
+    def test_read_spans_memtable_and_segments(self):
+        p = Partition(0)
+        p.put(doc("a", "segment version"))
+        p.flush()
+        p.put(doc("b", "memtable version"))
+        assert p.get("a").content == "segment version"
+        assert p.get("b").content == "memtable version"
+
+    def test_newest_segment_wins(self):
+        p = Partition(0)
+        p.put(doc("a", "v1"))
+        p.flush()
+        p.put(doc("a", "v2"))
+        p.flush()
+        assert p.get("a").content == "v2"
+
+    def test_compact_drops_shadowed_and_tombstones(self):
+        p = Partition(0)
+        p.put(doc("a", "v1"))
+        p.flush()
+        p.put(doc("a", "v2"))
+        p.put(doc("b"))
+        p.flush()
+        p.delete("b")
+        p.flush()
+        dropped = p.compact()
+        assert dropped == 3  # v1, old b, tombstone
+        assert p.segment_count == 1
+        assert p.get("a").content == "v2"
+        assert p.get("b") is None
+
+    def test_scan_sorted(self):
+        p = Partition(0)
+        for eid in ["c", "a", "b"]:
+            p.put(doc(eid))
+        assert [e.entity_id for e in p.scan()] == ["a", "b", "c"]
+
+    def test_bad_memtable_limit(self):
+        with pytest.raises(ValueError):
+            Partition(0, memtable_limit=0)
+
+
+class TestDataStore:
+    def test_store_get_roundtrip(self):
+        store = DataStore(num_partitions=4)
+        store.store(doc("x", "hello"))
+        assert store.get("x").content == "hello"
+        assert "x" in store
+
+    def test_missing_returns_none(self):
+        assert DataStore().get("nope") is None
+
+    def test_len_counts_live_entities(self):
+        store = DataStore(num_partitions=3)
+        store.store_all(doc(f"id{i}") for i in range(10))
+        assert len(store) == 10
+        store.delete("id3")
+        assert len(store) == 9
+
+    def test_scan_covers_all_partitions(self):
+        store = DataStore(num_partitions=5)
+        ids = {f"id{i}" for i in range(30)}
+        store.store_all(doc(i) for i in ids)
+        assert {e.entity_id for e in store.scan()} == ids
+
+    def test_modify(self):
+        store = DataStore()
+        store.store(doc("x"))
+        store.modify("x", lambda e: e.metadata.update(score=3))
+        assert store.get("x").metadata["score"] == 3
+
+    def test_modify_missing_raises(self):
+        with pytest.raises(KeyError):
+            DataStore().modify("nope", lambda e: None)
+
+    def test_compaction_reduces_segments(self):
+        store = DataStore(num_partitions=2, memtable_limit=4)
+        for round_ in range(3):
+            store.store_all(doc(f"id{i}", f"v{round_}") for i in range(8))
+        store.flush()
+        before = store.stats()["segments"]
+        store.compact()
+        after = store.stats()["segments"]
+        assert after <= before
+        assert all(store.get(f"id{i}").content == "v2" for i in range(8))
+
+    def test_bad_partition_count(self):
+        with pytest.raises(ValueError):
+            DataStore(num_partitions=0)
+
+    def test_stats_shape(self):
+        stats = DataStore(num_partitions=2).stats()
+        assert set(stats) == {"entities", "partitions", "segments"}
+
+
+class TestStoreProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["put", "delete"]),
+                st.integers(0, 9),
+                st.text(max_size=5),
+            ),
+            max_size=40,
+        )
+    )
+    def test_store_matches_dict_model(self, operations):
+        """The store behaves like a dict under put/delete/flush/compact."""
+        store = DataStore(num_partitions=3, memtable_limit=5)
+        model: dict[str, str] = {}
+        for op, key_num, content in operations:
+            key = f"k{key_num}"
+            if op == "put":
+                store.store(doc(key, content))
+                model[key] = content
+            else:
+                store.delete(key)
+                model.pop(key, None)
+        store.flush()
+        store.compact()
+        assert len(store) == len(model)
+        for key, content in model.items():
+            assert store.get(key).content == content

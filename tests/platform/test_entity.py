@@ -1,0 +1,83 @@
+"""Unit tests for entities and annotations."""
+
+import pytest
+
+from repro.platform.entity import Annotation, Entity
+
+
+def make_entity(content="The camera works well."):
+    return Entity(entity_id="doc1", content=content, source="webcrawl", metadata={"url": "http://x"})
+
+
+class TestAnnotation:
+    def test_make_sorts_attributes(self):
+        a = Annotation.make("spot", 0, 3, label="x", zeta=1, alpha=2)
+        assert a.attributes == (("alpha", 2), ("zeta", 1))
+
+    def test_attribute_lookup(self):
+        a = Annotation.make("spot", 0, 3, label="x", sentence=4)
+        assert a.attribute("sentence") == 4
+        assert a.attribute("missing", "d") == "d"
+
+
+class TestEntityBasics:
+    def test_empty_id_rejected(self):
+        with pytest.raises(ValueError):
+            Entity(entity_id="", content="x")
+
+    def test_annotate_and_read_layer(self):
+        e = make_entity()
+        e.annotate(Annotation.make("token", 0, 3))
+        e.annotate(Annotation.make("token", 4, 10))
+        assert len(e.layer("token")) == 2
+        assert e.layers() == ["token"]
+
+    def test_annotation_beyond_content_rejected(self):
+        e = make_entity("short")
+        with pytest.raises(ValueError):
+            e.annotate(Annotation.make("token", 0, 100))
+
+    def test_text_of(self):
+        e = make_entity()
+        a = Annotation.make("spot", 4, 10, label="camera")
+        e.annotate(a)
+        assert e.text_of(a) == "camera"
+
+    def test_clear_layer(self):
+        e = make_entity()
+        e.annotate(Annotation.make("token", 0, 3))
+        e.clear_layer("token")
+        assert not e.has_layer("token")
+
+    def test_missing_layer_empty(self):
+        assert make_entity().layer("nope") == []
+
+
+class TestSerialisation:
+    def test_json_roundtrip(self):
+        e = make_entity()
+        e.annotate(Annotation.make("spot", 4, 10, label="camera", sentence=0))
+        restored = Entity.from_json(e.to_json())
+        assert restored.entity_id == e.entity_id
+        assert restored.content == e.content
+        assert restored.metadata == e.metadata
+        (a,) = restored.layer("spot")
+        assert a.label == "camera"
+        assert a.attribute("sentence") == 0
+
+    def test_record_roundtrip_preserves_layers(self):
+        e = make_entity()
+        e.annotate(Annotation.make("token", 0, 3))
+        e.annotate(Annotation.make("sentence", 0, 22, label="0"))
+        restored = Entity.from_record(e.to_record())
+        assert restored.layers() == ["sentence", "token"]
+
+    def test_to_xml_escapes(self):
+        e = Entity(entity_id="x", content="a < b & c")
+        xml = e.to_xml()
+        assert "&lt;" in xml and "&amp;" in xml
+        assert '<entity id="x"' in xml
+
+    def test_xml_includes_metadata(self):
+        xml = make_entity().to_xml()
+        assert '<meta name="url">http://x</meta>' in xml

@@ -1,0 +1,85 @@
+"""Property test: the inverted index agrees with a naive reference scan.
+
+For random corpora and random query ASTs, evaluating through the
+positional index must return exactly the ids a brute-force document scan
+returns.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nlp.tokenizer import tokenize
+from repro.platform.entity import Entity
+from repro.platform.indexer import InvertedIndex
+from repro.platform.query import And, Not, Or, Phrase, Query, Term
+
+_VOCAB = ["camera", "flash", "zoom", "battery", "lens", "menu"]
+
+_documents = st.lists(
+    st.lists(st.sampled_from(_VOCAB), min_size=1, max_size=12).map(" ".join),
+    min_size=1,
+    max_size=10,
+)
+
+
+def _queries(depth=2):
+    leaf = st.one_of(
+        st.sampled_from(_VOCAB).map(Term),
+        st.tuples(st.sampled_from(_VOCAB), st.sampled_from(_VOCAB)).map(
+            lambda pair: Phrase(pair)
+        ),
+    )
+    if depth == 0:
+        return leaf
+    sub = _queries(depth - 1)
+    return st.one_of(
+        leaf,
+        st.tuples(sub, sub).map(lambda pair: And(*pair)),
+        st.tuples(sub, sub).map(lambda pair: Or(*pair)),
+        sub.map(Not),
+    )
+
+
+def _naive_eval(query: Query, docs: dict[str, list[str]]) -> set[str]:
+    if isinstance(query, Term):
+        return {eid for eid, words in docs.items() if query.token in words}
+    if isinstance(query, Phrase):
+        out = set()
+        for eid, words in docs.items():
+            for i in range(len(words) - len(query.tokens) + 1):
+                if tuple(words[i : i + len(query.tokens)]) == query.tokens:
+                    out.add(eid)
+                    break
+        return out
+    if isinstance(query, And):
+        return _naive_eval(query.left, docs) & _naive_eval(query.right, docs)
+    if isinstance(query, Or):
+        return _naive_eval(query.left, docs) | _naive_eval(query.right, docs)
+    if isinstance(query, Not):
+        return set(docs) - _naive_eval(query.operand, docs)
+    raise TypeError(type(query))
+
+
+class TestIndexMatchesReference:
+    @settings(max_examples=150, deadline=None)
+    @given(_documents, _queries())
+    def test_search_equals_naive_scan(self, texts, query):
+        index = InvertedIndex()
+        docs = {}
+        for i, text in enumerate(texts):
+            eid = f"d{i}"
+            index.add_entity(Entity(entity_id=eid, content=text))
+            docs[eid] = [t.lower for t in tokenize(text)]
+        assert index.search(query) == _naive_eval(query, docs)
+
+    @settings(max_examples=50, deadline=None)
+    @given(_documents)
+    def test_reindexing_is_idempotent(self, texts):
+        index = InvertedIndex()
+        entities = [Entity(entity_id=f"d{i}", content=t) for i, t in enumerate(texts)]
+        index.add_all(entities)
+        before = {w: index.search(Term(w)) for w in _VOCAB}
+        index.add_all(entities)  # re-add everything
+        after = {w: index.search(Term(w)) for w in _VOCAB}
+        assert before == after
+        assert index.document_count == len(entities)

@@ -1,0 +1,100 @@
+"""Unit tests for the hosted application services."""
+
+import pytest
+
+from repro.core.model import Polarity, SentimentJudgment, Spot, Subject
+from repro.nlp.tokens import Span
+from repro.platform.datastore import DataStore
+from repro.platform.entity import Entity
+from repro.platform.indexer import InvertedIndex, SentimentIndex
+from repro.platform.services import register_services
+from repro.platform.vinci import VinciBus, VinciError
+
+CONTENT = "Intro sentence. The NR70 takes excellent pictures. Outro here."
+
+
+@pytest.fixture()
+def stack():
+    store = DataStore(num_partitions=2)
+    entity = Entity(entity_id="d1", content=CONTENT)
+    store.store(entity)
+    index = InvertedIndex()
+    index.add_entity(entity)
+    sidx = SentimentIndex()
+    start = CONTENT.index("NR70")
+    sidx.add_judgment(
+        SentimentJudgment(
+            spot=Spot(Subject("NR70"), "NR70", Span(start, start + 4), 1, "d1"),
+            polarity=Polarity.POSITIVE,
+        )
+    )
+    bus = VinciBus()
+    register_services(bus, store, index, sidx)
+    return bus
+
+
+class TestSentimentServices:
+    def test_counts(self, stack):
+        out = stack.request("sentiment.counts", {"subject": "NR70"})
+        assert out == {"subject": "NR70", "positive": 1, "negative": 0}
+
+    def test_counts_requires_subject(self, stack):
+        with pytest.raises(VinciError, match="subject"):
+            stack.request("sentiment.counts", {})
+
+    def test_sentences_listing(self, stack):
+        out = stack.request("sentiment.sentences", {"subject": "NR70"})
+        (row,) = out["rows"]
+        assert row["sentence"] == "The NR70 takes excellent pictures."
+        assert row["polarity"] == "+"
+        assert row["entity_id"] == "d1"
+
+    def test_sentences_polarity_filter(self, stack):
+        out = stack.request("sentiment.sentences", {"subject": "NR70", "polarity": "-"})
+        assert out["rows"] == []
+
+    def test_subjects(self, stack):
+        out = stack.request("sentiment.subjects", {})
+        assert out["subjects"] == ["nr70"]
+
+
+class TestSearchService:
+    def test_query(self, stack):
+        out = stack.request("search.query", {"q": '"excellent pictures"'})
+        assert out["total"] == 1
+        assert out["ids"] == ["d1"]
+
+    def test_bad_query_wrapped(self, stack):
+        with pytest.raises(VinciError, match="bad query"):
+            stack.request("search.query", {"q": "(broken"})
+
+    def test_missing_q(self, stack):
+        with pytest.raises(VinciError):
+            stack.request("search.query", {})
+
+
+class TestStoreService:
+    def test_get(self, stack):
+        out = stack.request("store.get", {"entity_id": "d1"})
+        assert out["content"] == CONTENT
+
+    def test_get_missing(self, stack):
+        with pytest.raises(VinciError, match="no such entity"):
+            stack.request("store.get", {"entity_id": "ghost"})
+
+    def test_stats(self, stack):
+        out = stack.request("store.stats", {})
+        assert out["entities"] == 1
+
+
+class TestRegistration:
+    def test_all_services_registered(self, stack):
+        expected = {
+            "search.query",
+            "sentiment.counts",
+            "sentiment.sentences",
+            "sentiment.subjects",
+            "store.get",
+            "store.stats",
+        }
+        assert expected <= set(stack.services())

@@ -1,0 +1,91 @@
+"""Tests for spherical (geospatial) queries — a paper-named query type."""
+
+import pytest
+
+from repro.miners import GeographicContextMiner, TokenizerMiner
+from repro.platform import Entity, InvertedIndex
+from repro.platform.indexer import haversine_km
+from repro.platform.query import Near, QueryParseError, parse_query
+
+
+class TestHaversine:
+    def test_zero_distance(self):
+        assert haversine_km(48.86, 2.35, 48.86, 2.35) == 0.0
+
+    def test_known_distance_paris_london(self):
+        # ~344 km great-circle.
+        distance = haversine_km(48.86, 2.35, 51.51, -0.13)
+        assert 320 <= distance <= 370
+
+    def test_symmetry(self):
+        a = haversine_km(35.68, 139.69, 40.71, -74.01)
+        b = haversine_km(40.71, -74.01, 35.68, 139.69)
+        assert a == pytest.approx(b)
+
+    def test_antipodal_half_circumference(self):
+        distance = haversine_km(0, 0, 0, 180)
+        assert distance == pytest.approx(3.14159265 * 6371, rel=1e-3)
+
+
+class TestNearParsing:
+    def test_parse(self):
+        node = parse_query("near:[48.86,2.35,500]")
+        assert node == Near(48.86, 2.35, 500.0)
+
+    def test_wrong_arity(self):
+        with pytest.raises(QueryParseError):
+            parse_query("near:[1,2]")
+
+    def test_non_numeric(self):
+        with pytest.raises(QueryParseError):
+            parse_query("near:[a,b,c]")
+
+    def test_bad_latitude(self):
+        with pytest.raises(QueryParseError):
+            parse_query("near:[99,0,10]")
+
+    def test_bad_radius(self):
+        with pytest.raises(ValueError):
+            Near(0, 0, -5)
+
+    def test_combinable_with_boolean(self):
+        node = parse_query("camera AND near:[0,0,100]")
+        assert "Near" in repr(node)
+
+
+@pytest.fixture()
+def geo_index():
+    docs = {
+        "paris": "The launch event in Paris drew crowds.",
+        "tokyo": "Our Tokyo office expanded this year.",
+        "nyc": "The New York branch closed early.",
+        "nowhere": "No places are mentioned here at all.",
+    }
+    index = InvertedIndex()
+    for eid, text in docs.items():
+        entity = Entity(entity_id=eid, content=text)
+        TokenizerMiner().process(entity)
+        GeographicContextMiner().process(entity)
+        index.add_entity(entity)
+    return index
+
+
+class TestNearEvaluation:
+    def test_radius_hits_one_city(self, geo_index):
+        assert geo_index.search("near:[48.86,2.35,500]") == {"paris"}
+
+    def test_radius_covers_continent(self, geo_index):
+        hits = geo_index.search("near:[48.86,2.35,6000]")
+        assert "paris" in hits and "nyc" in hits
+        assert "tokyo" not in hits
+
+    def test_unlocated_documents_never_match(self, geo_index):
+        assert "nowhere" not in geo_index.search("near:[0,0,20000]")
+
+    def test_combined_with_terms(self, geo_index):
+        assert geo_index.search("near:[48.86,2.35,500] AND crowds") == {"paris"}
+        assert geo_index.search("near:[48.86,2.35,500] AND office") == set()
+
+    def test_remove_entity_clears_locations(self, geo_index):
+        geo_index.remove_entity("paris")
+        assert geo_index.search("near:[48.86,2.35,500]") == set()

@@ -1,0 +1,101 @@
+"""Unit tests for the Vinci service bus."""
+
+import pytest
+
+from repro.platform.vinci import VinciBus, VinciError
+
+
+def echo(payload):
+    return {"echo": payload}
+
+
+class TestRegistration:
+    def test_register_and_call(self):
+        bus = VinciBus()
+        bus.register("echo", echo)
+        assert bus.request("echo", {"x": 1}) == {"echo": {"x": 1}}
+
+    def test_services_listed_sorted(self):
+        bus = VinciBus()
+        bus.register("zeta", echo)
+        bus.register("alpha", echo)
+        assert bus.services() == ["alpha", "zeta"]
+
+    def test_contains(self):
+        bus = VinciBus()
+        bus.register("echo", echo)
+        assert "echo" in bus
+        assert "nope" not in bus
+
+    def test_unregister(self):
+        bus = VinciBus()
+        bus.register("echo", echo)
+        bus.unregister("echo")
+        with pytest.raises(VinciError):
+            bus.request("echo")
+
+    def test_replace_handler(self):
+        bus = VinciBus()
+        bus.register("svc", lambda p: {"v": 1})
+        bus.register("svc", lambda p: {"v": 2})
+        assert bus.request("svc")["v"] == 2
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            VinciBus().register("", echo)
+
+
+class TestErrors:
+    def test_unknown_service(self):
+        with pytest.raises(VinciError, match="no such service"):
+            VinciBus().request("ghost")
+
+    def test_handler_exception_wrapped(self):
+        bus = VinciBus()
+
+        def boom(payload):
+            raise RuntimeError("kaput")
+
+        bus.register("boom", boom)
+        with pytest.raises(VinciError, match="kaput"):
+            bus.request("boom")
+
+    def test_non_dict_response_rejected(self):
+        bus = VinciBus()
+        bus.register("bad", lambda p: "not a document")
+        with pytest.raises(VinciError, match="non-document"):
+            bus.request("bad")
+
+
+class TestStatsAndTrace:
+    def test_request_counters(self):
+        bus = VinciBus()
+        bus.register("echo", echo)
+        bus.request("echo")
+        bus.request("echo")
+        assert bus.stats()["echo"]["requests"] == 2
+        assert bus.stats()["echo"]["failures"] == 0
+
+    def test_failure_counter(self):
+        bus = VinciBus()
+        bus.register("boom", lambda p: 1 / 0)
+        with pytest.raises(VinciError):
+            bus.request("boom")
+        assert bus.stats()["boom"]["failures"] == 1
+
+    def test_trace_records_envelopes(self):
+        bus = VinciBus()
+        bus.register("echo", echo)
+        bus.request("echo", {"n": 1})
+        (envelope,) = bus.trace()
+        assert envelope.service == "echo"
+        assert envelope.ok
+
+    def test_trace_bounded(self):
+        bus = VinciBus(trace_limit=5)
+        bus.register("echo", echo)
+        for i in range(20):
+            bus.request("echo", {"n": i})
+        trace = bus.trace()
+        assert len(trace) == 5
+        assert trace[-1].request == {"n": 19}

@@ -1,0 +1,130 @@
+"""Unit tests for the command-line interface."""
+
+import io
+
+import pytest
+
+from repro.cli import main
+
+
+def run_cli(*argv, stdin_text=""):
+    out = io.StringIO()
+    code = main(list(argv), out=out, stdin=io.StringIO(stdin_text))
+    return code, out.getvalue()
+
+
+class TestAnalyze:
+    def test_with_subjects(self):
+        code, out = run_cli(
+            "analyze", "The camera takes excellent pictures.", "--subject", "camera"
+        )
+        assert code == 0
+        assert "camera" in out
+        assert "+" in out
+
+    def test_subject_with_synonyms(self):
+        code, out = run_cli(
+            "analyze",
+            "The NR70 series is superb.",
+            "--subject",
+            "NR70=NR70 series,the NR70",
+        )
+        assert code == 0
+        assert out.startswith("NR70")
+
+    def test_stdin_input(self):
+        code, out = run_cli(
+            "analyze", "--subject", "zoom", stdin_text="The zoom is terrible."
+        )
+        assert code == 0
+        assert "-" in out
+
+    def test_open_mode_without_subjects(self):
+        code, out = run_cli("analyze", "Zorblax impressed the reviewers.")
+        assert code == 0
+        assert "Zorblax" in out
+
+    def test_no_mentions(self):
+        code, out = run_cli("analyze", "Nothing relevant here.", "--subject", "camera")
+        assert code == 0
+        assert "no subject mentions" in out
+
+    def test_empty_input_fails(self):
+        code, _ = run_cli("analyze", stdin_text="   ")
+        assert code == 2
+
+
+class TestExperiment:
+    def test_table3(self):
+        code, out = run_cli("experiment", "table3", "--scale", "0.02")
+        assert code == 0
+        assert "Table 3" in out
+
+    def test_figure2(self):
+        code, out = run_cli("experiment", "figure2", "--scale", "0.04")
+        assert code == 0
+        assert "Customer Satisfaction" in out
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            run_cli("experiment", "table9")
+
+
+class TestLexiconAndPatterns:
+    def test_lexicon_dump_format(self):
+        code, out = run_cli("lexicon")
+        assert code == 0
+        assert '"excellent" JJ +' in out
+        assert len(out.splitlines()) > 2000
+
+    def test_lexicon_pos_filter(self):
+        code, out = run_cli("lexicon", "--pos", "NN")
+        assert code == 0
+        assert all(" NN " in line for line in out.splitlines())
+
+    def test_patterns_listing(self):
+        code, out = run_cli("patterns")
+        assert code == 0
+        assert "be CP SP" in out
+        assert "impress + PP(by;with)" in out
+
+
+class TestMine:
+    def test_mine_summary(self):
+        code, out = run_cli("mine", "--docs", "3")
+        assert code == 0
+        assert "polar judgments" in out
+
+    def test_mine_other_domain(self):
+        code, out = run_cli("mine", "--domain", "music", "--docs", "2")
+        assert code == 0
+
+
+class TestTopLevel:
+    def test_version(self):
+        with pytest.raises(SystemExit) as excinfo:
+            run_cli("--version")
+        assert excinfo.value.code == 0
+
+    def test_missing_command(self):
+        with pytest.raises(SystemExit):
+            run_cli()
+
+
+class TestReport:
+    def test_report_to_stdout(self):
+        code, out = run_cli("report", "--scale", "0.02")
+        assert code == 0
+        assert "# Sentiment Mining in WebFountain — experiment report" in out
+        assert "Table 4" in out and "Figure 3" in out
+
+    def test_report_to_file(self, tmp_path=None):
+        import tempfile, os, pathlib
+
+        with tempfile.TemporaryDirectory() as d:
+            path = os.path.join(d, "report.md")
+            code, out = run_cli("report", "--scale", "0.02", "--out", path)
+            assert code == 0
+            assert "wrote" in out
+            text = pathlib.Path(path).read_text()
+            assert "Table 5" in text

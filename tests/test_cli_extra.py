@@ -1,0 +1,66 @@
+"""Additional CLI coverage: remaining subcommand paths."""
+
+import io
+
+from repro.cli import main
+
+
+def run_cli(*argv, stdin_text=""):
+    out = io.StringIO()
+    code = main(list(argv), out=out, stdin=io.StringIO(stdin_text))
+    return code, out.getvalue()
+
+
+class TestMineDomains:
+    def test_petroleum(self):
+        code, out = run_cli("mine", "--domain", "petroleum", "--docs", "2")
+        assert code == 0
+        assert "polar judgments" in out
+
+    def test_pharmaceutical(self):
+        code, out = run_cli("mine", "--domain", "pharmaceutical", "--docs", "2")
+        assert code == 0
+
+    def test_seed_changes_output(self):
+        _, a = run_cli("mine", "--docs", "2", "--seed", "1")
+        _, b = run_cli("mine", "--docs", "2", "--seed", "2")
+        assert a != b
+
+
+class TestExperimentCoverage:
+    def test_feature_precision(self):
+        code, out = run_cli("experiment", "feature_precision", "--scale", "0.04")
+        assert code == 0
+        assert "precision" in out
+
+    def test_table2(self):
+        code, out = run_cli("experiment", "table2", "--scale", "0.04")
+        assert code == 0
+        assert "Table 2" in out
+
+    def test_table5(self):
+        code, out = run_cli("experiment", "table5", "--scale", "0.03")
+        assert code == 0
+        assert "ReviewSeer" in out
+
+    def test_figure1(self):
+        code, out = run_cli("experiment", "figure1", "--scale", "0.03")
+        assert code == 0
+        assert "nodes" in out
+
+    def test_figure3(self):
+        code, out = run_cli("experiment", "figure3", "--scale", "0.04")
+        assert code == 0
+        assert "sentiment index" in out
+
+
+class TestLexiconFilters:
+    def test_verb_filter(self):
+        code, out = run_cli("lexicon", "--pos", "VB")
+        assert code == 0
+        assert '"impress" VB +' in out
+
+    def test_adverb_filter(self):
+        code, out = run_cli("lexicon", "--pos", "RB")
+        assert code == 0
+        assert all(" RB " in line for line in out.splitlines())

@@ -1,0 +1,130 @@
+"""The paper's own worked examples, executed end to end.
+
+Each test quotes a sentence (or output) that appears verbatim in the
+paper and asserts this reproduction produces the documented behaviour.
+Where the reproduction intentionally diverges, the test documents how.
+"""
+
+import pytest
+
+from repro.core import SentimentAnalyzer, Subject
+from repro.core.model import Polarity
+
+ANALYZER = SentimentAnalyzer()
+
+
+def judge(text, *names):
+    subjects = [Subject(n) for n in names]
+    return {j.subject_name: j.polarity for j in ANALYZER.analyze_text(text, subjects)}
+
+
+class TestSection12NR70Examples:
+    """The three NR70 sentences from Section 1.2."""
+
+    def test_sentence_two_output(self):
+        # Paper output: "2. T series CLIEs - negative / NR70 - positive"
+        # (we simplify the MP3 clause to one our pattern DB covers).
+        text = (
+            "Unlike the more recent T series CLIEs, the NR70 offers "
+            "superb MP3 playback."
+        )
+        out = judge(text, "NR70", "T series CLIEs")
+        assert out["NR70"] is Polarity.POSITIVE
+        assert out["T series CLIEs"] is Polarity.NEGATIVE
+
+    def test_sentence_three_primary_phrase(self):
+        # Paper output for sentence 3 includes "NR70 - positive" from the
+        # primary phrase "The Memory Stick support in the NR70 series is
+        # well implemented and functional".
+        text = "The Memory Stick support in the NR70 series is well implemented and functional."
+        out = judge(text, "NR70 series")
+        assert out["NR70 series"] is Polarity.POSITIVE
+
+    def test_sentence_three_negative_aspect_divergence(self):
+        # The paper also derives "NR70 - negative" from "there is still a
+        # lack of non-memory Memory Sticks" — an associative step our
+        # clause-local analyzer intentionally does not take (DESIGN.md §6).
+        text = "There is still a lack of non-memory Memory Sticks."
+        out = judge(text, "Memory Sticks")
+        assert out["Memory Sticks"] in (Polarity.NEGATIVE, Polarity.NEUTRAL)
+
+
+class TestSection42LexiconExamples:
+    def test_excellent_entry(self):
+        # '"excellent" JJ +' is the paper's example lexicon entry.
+        assert ANALYZER.lexicon.polarity("excellent", "JJ") is Polarity.POSITIVE
+
+    def test_picture_is_flawless(self):
+        # "Sentiment that expresses a desirable state (e.g., 'The picture
+        # is flawless.') has positive polarity"
+        assert judge("The picture is flawless.", "picture")["picture"] is Polarity.POSITIVE
+
+    def test_product_fails_expectations(self):
+        # "...while one representing an undesirable state (e.g., 'The
+        # product fails to meet our quality expectations.') has negative"
+        text = "The product fails to meet our quality expectations."
+        assert judge(text, "product")["product"] is Polarity.NEGATIVE
+
+
+class TestSection42PatternExamples:
+    def test_impressed_by_picture_quality(self):
+        # Pattern "impress + PP(by;with)": "I am impressed by the picture
+        # quality."
+        out = judge("I am impressed by the picture quality.", "picture quality")
+        assert out["picture quality"] is Polarity.POSITIVE
+
+    def test_colors_are_vibrant(self):
+        # Pattern "be CP SP": "The colors are vibrant."
+        assert judge("The colors are vibrant.", "colors")["colors"] is Polarity.POSITIVE
+
+    def test_offer_both_polarities(self):
+        # Pattern "offer OP SP" with both example sentences.
+        positive = judge("The company offers high quality products.", "company")
+        negative = judge("The company offers mediocre services.", "company")
+        assert positive["company"] is Polarity.POSITIVE
+        assert negative["company"] is Polarity.NEGATIVE
+
+    def test_impressed_by_flash_capabilities(self):
+        # Worked example: "I am impressed by the flash capabilities."
+        # → (flash capability, +)
+        out = judge("I am impressed by the flash capabilities.", "flash capabilities")
+        assert out["flash capabilities"] is Polarity.POSITIVE
+
+    def test_camera_takes_excellent_pictures(self):
+        # Worked example: <"take" OP SP> → (camera, +).
+        out = judge("This camera takes excellent pictures.", "camera")
+        assert out["camera"] is Polarity.POSITIVE
+
+
+class TestSection3SunDisambiguation:
+    def test_sun_microsystems_vs_sunday(self):
+        # "The disambiguator determines if an occurrence of text token SUN
+        # refers to the subject (on topic), or something else like Sunday."
+        from repro.core import Disambiguator, SentimentMiner, TopicTermSet
+
+        terms = TopicTermSet.build(
+            on_topic=["server", "java", "workstation"],
+            off_topic=["sunday", "weather", "beach"],
+        )
+        miner = SentimentMiner(
+            subjects=[Subject("SUN")], disambiguator=Disambiguator(terms)
+        )
+        on_topic = "SUN shipped a java server for the workstation market."
+        off_topic = "The SUN shone brightly last sunday at the beach."
+        assert miner.mine_document(on_topic).stats.spots_on_topic == 1
+        assert miner.mine_document(off_topic).stats.spots_on_topic == 0
+
+
+class TestSection3NamedEntityExample:
+    def test_prof_wilson_split(self):
+        # "Prof. Wilson of American University is split into two different
+        # named entities Prof. Wilson and American University."
+        from repro.core import NamedEntitySpotter
+        from repro.nlp import split_sentences
+
+        (sentence,) = split_sentences("We met Prof. Wilson of American University.")
+        spots = NamedEntitySpotter().spot_sentence(ANALYZER.tag(sentence))
+        names = {s.term for s in spots}
+        assert "Prof. Wilson" in names
+        assert "American University" in names
+        assert "Prof. Wilson of American University" not in names
