@@ -1,0 +1,18 @@
+# Convenience targets; all tests run with the src layout on PYTHONPATH.
+PYTHONPATH := src
+export PYTHONPATH
+
+.PHONY: test chaos bench lint
+
+test:
+	python -m pytest -x -q
+
+# Deterministic fault-injection suite only (seeded chaos schedules).
+chaos:
+	python -m pytest -q -m chaos
+
+bench:
+	cd benchmarks && PYTHONPATH=../src python -m pytest -q
+
+lint:
+	python -m compileall -q src

@@ -1,0 +1,96 @@
+"""Benchmark: makespan inflation vs. injected failure rate.
+
+The paper's platform treats node loss as routine; the cost of surviving
+it is extra work on the replica owners plus retry backoff.  This
+benchmark sweeps the chaos failure rate and reports, per rate, the mean
+simulated makespan, coverage, failovers, and retries across a fixed set
+of seeds — the recovery-cost curve the fault-injection subsystem is
+designed to expose.
+"""
+
+from conftest import run_once
+
+from repro.corpora import DIGITAL_CAMERA, ReviewGenerator
+from repro.eval.reporting import format_table
+from repro.miners import AggregateStatisticsMiner
+from repro.platform import Cluster, DataStore, Entity, FaultPlan, RetryPolicy
+
+NODES = 4
+PARTITIONS = 8
+DOCS = 48
+SEEDS = range(100, 106)
+RATES = (0.0, 0.1, 0.25, 0.5)
+
+
+def _store() -> DataStore:
+    docs = ReviewGenerator(DIGITAL_CAMERA, seed=2005).generate_dplus(DOCS)
+    store = DataStore(num_partitions=PARTITIONS)
+    store.store_all(Entity(entity_id=d.doc_id, content=d.text) for d in docs)
+    return store
+
+
+def _run(rate: float, seed: int):
+    store = _store()
+    plan = (
+        FaultPlan.scheduled(
+            seed,
+            services=("cluster.coordinator",),
+            num_nodes=NODES,
+            num_partitions=PARTITIONS,
+            service_failure_rate=rate,
+            node_death_rate=rate,
+        )
+        if rate > 0
+        else None
+    )
+    cluster = Cluster(
+        store,
+        num_nodes=NODES,
+        replication=2,
+        fault_plan=plan,
+        retry_policy=RetryPolicy(max_attempts=4, base_backoff=0.1),
+    )
+    _, report = cluster.run_corpus_miner(AggregateStatisticsMiner())
+    return report
+
+
+def _sweep():
+    rows = []
+    baseline = None
+    for rate in RATES:
+        reports = [_run(rate, seed) for seed in SEEDS]
+        makespan = sum(r.makespan for r in reports) / len(reports)
+        if baseline is None:
+            baseline = makespan
+        rows.append(
+            [
+                f"{rate:.2f}",
+                f"{makespan:.2f}",
+                f"{makespan / baseline:.3f}x",
+                f"{sum(r.coverage for r in reports) / len(reports):.3f}",
+                sum(r.failovers for r in reports),
+                sum(r.retries for r in reports),
+                sum(len(r.dead_nodes) for r in reports),
+            ]
+        )
+    return rows
+
+
+def test_fault_recovery_makespan_inflation(benchmark, report):
+    rows = run_once(benchmark, _sweep)
+    report(
+        format_table(
+            ["rate", "makespan", "inflation", "coverage", "failovers", "retries", "deaths"],
+            rows,
+            title=f"fault recovery (R=2, {NODES} nodes, {len(SEEDS)} seeds/rate)",
+        )
+    )
+    # Fault-free runs are complete; rising failure rates only erode
+    # coverage (R=2 guarantees single-node loss, not correlated loss).
+    coverages = [float(row[3]) for row in rows]
+    assert coverages[0] == 1.0
+    assert coverages == sorted(coverages, reverse=True)
+    # Faults cost work: the faultiest sweep is no cheaper than fault-free.
+    inflations = [float(row[2].rstrip("x")) for row in rows]
+    assert inflations[0] == 1.0
+    assert inflations[-1] >= 1.0 - 1e-9

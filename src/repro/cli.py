@@ -7,7 +7,10 @@ Commands
 ``experiment``  run one of the paper's table/figure reproductions;
 ``lexicon``     dump the sentiment lexicon in the paper's file format;
 ``patterns``    list the sentiment pattern database;
-``mine``        mine a synthetic domain corpus and print a summary.
+``mine``        mine a synthetic domain corpus and print a summary;
+``platform``    run the simulated cluster over a synthetic corpus,
+                optionally under a seeded chaos fault plan
+                (``--chaos-seed``).
 """
 
 from __future__ import annotations
@@ -75,6 +78,32 @@ def build_parser() -> argparse.ArgumentParser:
     )
     mine.add_argument("--docs", type=int, default=10)
     mine.add_argument("--seed", type=int, default=2005)
+
+    platform = sub.add_parser(
+        "platform", help="run the simulated cluster (optionally under chaos)"
+    )
+    platform.add_argument(
+        "--domain",
+        choices=["digital_camera", "music", "petroleum", "pharmaceutical"],
+        default="digital_camera",
+    )
+    platform.add_argument("--docs", type=int, default=24)
+    platform.add_argument("--seed", type=int, default=2005)
+    platform.add_argument("--nodes", type=int, default=4)
+    platform.add_argument("--partitions", type=int, default=8)
+    platform.add_argument("--replication", type=int, default=2)
+    platform.add_argument(
+        "--chaos-seed",
+        type=int,
+        default=None,
+        help="inject a deterministic fault schedule derived from this seed",
+    )
+    platform.add_argument(
+        "--failure-rate",
+        type=float,
+        default=0.25,
+        help="per-node/per-service fault probability for the chaos schedule",
+    )
     return parser
 
 
@@ -209,6 +238,77 @@ def cmd_mine(args: argparse.Namespace, out: IO[str]) -> int:
     return 0
 
 
+def cmd_platform(args: argparse.Namespace, out: IO[str]) -> int:
+    """Run the simulated cluster end-to-end, optionally under chaos."""
+    from .corpora import DOMAINS, ReviewGenerator
+    from .eval.reporting import format_table
+    from .miners import (
+        PosTaggerMiner,
+        SentimentEntityMiner,
+        SpotterMiner,
+        TokenizerMiner,
+    )
+    from .platform import (
+        Cluster,
+        DataStore,
+        Entity,
+        FaultPlan,
+        MinerPipeline,
+        RetryPolicy,
+    )
+
+    vocab = DOMAINS[args.domain]
+    documents = ReviewGenerator(vocab, seed=args.seed).generate_dplus(args.docs)
+    store = DataStore(num_partitions=args.partitions)
+    store.store_all(Entity(entity_id=d.doc_id, content=d.text) for d in documents)
+
+    plan = None
+    retry_policy = None
+    if args.chaos_seed is not None:
+        plan = FaultPlan.scheduled(
+            args.chaos_seed,
+            services=("cluster.coordinator",),
+            num_nodes=args.nodes,
+            num_partitions=args.partitions,
+            service_failure_rate=args.failure_rate,
+            node_death_rate=args.failure_rate,
+        )
+        retry_policy = RetryPolicy(max_attempts=4, base_backoff=0.1)
+
+    subjects = [Subject(p) for p in vocab.products] + [Subject(f) for f in vocab.features]
+    pipeline = MinerPipeline(
+        [TokenizerMiner(), PosTaggerMiner(), SpotterMiner(subjects), SentimentEntityMiner()]
+    )
+    cluster = Cluster(
+        store,
+        num_nodes=args.nodes,
+        replication=min(args.replication, args.nodes),
+        fault_plan=plan,
+        retry_policy=retry_policy,
+    )
+    report = cluster.run_pipeline(pipeline)
+
+    rows = [
+        ["entities", len(store)],
+        ["nodes", args.nodes],
+        ["replication", cluster.replication],
+        ["coverage", f"{report.coverage:.3f}"],
+        ["degraded", report.degraded],
+        ["dead nodes", ",".join(map(str, report.dead_nodes)) or "-"],
+        ["lost partitions", ",".join(map(str, report.lost_partitions)) or "-"],
+        ["failovers", report.failovers],
+        ["retries", report.retries],
+        ["messages", report.messages],
+        ["makespan", f"{report.makespan:.2f}"],
+        ["total work", f"{report.total_work:.2f}"],
+    ]
+    title = "platform run"
+    if plan is not None:
+        title += f" under chaos seed {args.chaos_seed} (rate {args.failure_rate})"
+    out.write(format_table(["metric", "value"], rows, title=title) + "\n")
+    return 0
+
+
 def main(argv: list[str] | None = None, out: IO[str] | None = None, stdin: IO[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     out = out or sys.stdout
@@ -226,4 +326,6 @@ def main(argv: list[str] | None = None, out: IO[str] | None = None, stdin: IO[st
         return cmd_patterns(out)
     if args.command == "mine":
         return cmd_mine(args, out)
+    if args.command == "platform":
+        return cmd_platform(args, out)
     raise AssertionError(f"unhandled command {args.command!r}")

@@ -198,6 +198,8 @@ class Lemmatizer:
             return lower[:-2]
         if lower.endswith("ss"):
             return lower
+        if len(lower) == 1:
+            return lower  # a bare "s" has nothing left to strip
         return lower[:-1]
 
     # -- gradable adjectives / adverbs ---------------------------------------

@@ -6,9 +6,12 @@ annotation layers, miner scheduling, indexing, and hosted services.  See
 DESIGN.md Section 2 for the substitution rationale.
 """
 
-from .cluster import Cluster, ClusterRunReport, Node
+from . import chaos
+from .cluster import COORDINATOR_SERVICE, Cluster, ClusterRunReport, Node
 from .datastore import DataStore, Partition, Segment, default_partitioner
 from .entity import Annotation, Entity
+from .faults import FaultEvent, FaultPlan
+from .retry import NO_RETRY, RetryPolicy, RetryStats
 from .indexer import InvertedIndex, Posting, SentimentEntry, SentimentIndex, haversine_km
 from .ingestion import (
     BulletinBoardIngestor,
@@ -49,16 +52,24 @@ from .services import (
     StoreService,
     register_services,
 )
-from .vinci import Envelope, VinciBus, VinciError
+from .vinci import Envelope, VinciBus, VinciError, VinciTimeout
 
 __all__ = [
     "And",
     "Annotation",
     "BulletinBoardIngestor",
+    "COORDINATOR_SERVICE",
     "Cluster",
     "ClusterRunReport",
     "Concept",
     "CorpusMiner",
+    "chaos",
+    "FaultEvent",
+    "FaultPlan",
+    "NO_RETRY",
+    "RetryPolicy",
+    "RetryStats",
+    "VinciTimeout",
     "CrawlPage",
     "CustomerDataIngestor",
     "DataStore",

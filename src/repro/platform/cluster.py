@@ -7,7 +7,7 @@ scalability of up to billions of documents by full parallelism."
 The simulation keeps WebFountain's decomposition at laptop scale: a
 cluster owns N nodes, the store's partitions are assigned round-robin,
 entity miners run per-node over the node's own partitions, and corpus
-miners map per node then reduce at the coordinator.
+miners map per partition then reduce at the coordinator.
 
 Execution is sequential, but each node tracks *simulated work* (one cost
 unit per processed entity plus a per-message Vinci overhead), so the
@@ -15,6 +15,20 @@ Figure-1 benchmark can report the cluster-scaling series —
 ``makespan(N) = max over nodes of node work + reduce cost`` — and show
 the near-linear regime the paper claims, without pretending wall-clock
 parallelism.
+
+Failure model (DESIGN.md "Failure model")
+-----------------------------------------
+A cluster may carry a seeded :class:`~repro.platform.faults.FaultPlan`:
+nodes can die mid-run (after completing K of their partitions), Vinci
+services can fail or time out, and partition writes can be dropped or
+corrupted.  With ``replication`` R ≥ 2 each partition has R owners
+(primary round-robin, replicas on the following nodes); partitions
+orphaned by a node death *fail over* to their first live replica owner
+and the extra work is charged to that node.  When every owner is dead
+the partition is lost: instead of raising, runs return a **degraded**
+report — ``coverage`` is the fraction of entities actually processed,
+``degraded`` flags any loss, and corpus miners reduce over the
+surviving per-partition partials.
 """
 
 from __future__ import annotations
@@ -23,8 +37,10 @@ from dataclasses import dataclass, field
 from typing import TypeVar
 
 from .datastore import DataStore
+from .faults import FaultPlan
 from .miners import CorpusMiner, MinerPipeline, PipelineReport
-from .vinci import VinciBus
+from .retry import RetryPolicy
+from .vinci import VinciBus, VinciError
 
 T = TypeVar("T")
 
@@ -32,6 +48,9 @@ T = TypeVar("T")
 ENTITY_COST = 1.0
 MESSAGE_COST = 0.05
 REDUCE_COST_PER_PARTIAL = 0.5
+
+#: The coordinator-ack service every node calls at end of run.
+COORDINATOR_SERVICE = "cluster.coordinator"
 
 
 @dataclass
@@ -50,13 +69,28 @@ class Node:
 
 @dataclass
 class ClusterRunReport:
-    """Outcome of one distributed run."""
+    """Outcome of one distributed run.
+
+    ``messages`` counts this run's coordinator messages (not bus
+    lifetime totals); the degradation fields describe what the fault
+    plan did to the run: ``retries`` is Vinci retry attempts, each
+    ``failover`` is one partition re-run on a replica owner,
+    ``dead_nodes`` lists nodes that died, ``coverage`` is the fraction
+    of stored entities actually processed, and ``degraded`` is true
+    exactly when coverage fell short of 1.0.
+    """
 
     pipeline: PipelineReport
     makespan: float
     total_work: float
     messages: int
     per_node_work: list[float]
+    retries: int = 0
+    failovers: int = 0
+    dead_nodes: tuple[int, ...] = ()
+    lost_partitions: tuple[int, ...] = ()
+    coverage: float = 1.0
+    degraded: bool = False
 
     @property
     def speedup(self) -> float:
@@ -66,23 +100,60 @@ class ClusterRunReport:
         return self.total_work / self.makespan
 
 
+@dataclass
+class _RunPlan:
+    """Partition→node assignments for one run, after applying faults."""
+
+    #: (node, partition_id, is_failover) in processing order.
+    assignments: list[tuple[Node, int, bool]]
+    dead_nodes: tuple[int, ...]
+    lost_partitions: tuple[int, ...]
+    failovers: int
+
+
 class Cluster:
     """A simulated WebFountain cluster around one partitioned store."""
 
-    def __init__(self, store: DataStore, num_nodes: int, bus: VinciBus | None = None):
+    def __init__(
+        self,
+        store: DataStore,
+        num_nodes: int,
+        bus: VinciBus | None = None,
+        replication: int = 1,
+        fault_plan: FaultPlan | None = None,
+        retry_policy: RetryPolicy | None = None,
+    ):
         if num_nodes < 1:
             raise ValueError("a cluster needs at least one node")
         if num_nodes > store.num_partitions:
             raise ValueError(
                 f"cannot spread {store.num_partitions} partitions over {num_nodes} nodes"
             )
+        if not 1 <= replication <= num_nodes:
+            raise ValueError(
+                f"replication must lie in [1, {num_nodes}], got {replication}"
+            )
         self._store = store
-        self._bus = bus or VinciBus()
+        self._fault_plan = fault_plan
+        self._bus = bus or VinciBus(retry_policy=retry_policy, fault_plan=fault_plan)
         self._nodes = [Node(node_id=i) for i in range(num_nodes)]
+        self._replication = replication
+        # Primary assignment stays round-robin; replica owners are the
+        # next R-1 nodes, so losing any single node leaves R-1 owners.
+        self._owners: dict[int, list[int]] = {}
         for partition_id in range(store.num_partitions):
-            self._nodes[partition_id % num_nodes].partition_ids.append(partition_id)
-        self._messages = 0
+            primary = partition_id % num_nodes
+            self._nodes[primary].partition_ids.append(partition_id)
+            self._owners[partition_id] = [
+                (primary + offset) % num_nodes for offset in range(replication)
+            ]
+        if fault_plan is not None:
+            store.attach_fault_plan(fault_plan)
+        self._messages = 0  # bus-lifetime total (status())
+        self._run_messages = 0  # reset per run (reports)
+        self._lost_acks = 0
         self._bus.register("cluster.status", lambda _payload: self.status())
+        self._bus.register(COORDINATOR_SERVICE, lambda payload: {"ack": payload.get("node")})
 
     # -- introspection ----------------------------------------------------------------
 
@@ -94,69 +165,196 @@ class Cluster:
     def bus(self) -> VinciBus:
         return self._bus
 
+    @property
+    def replication(self) -> int:
+        return self._replication
+
+    @property
+    def fault_plan(self) -> FaultPlan | None:
+        return self._fault_plan
+
+    def owners(self, partition_id: int) -> list[int]:
+        """Node ids owning a partition (primary first, then replicas)."""
+        return list(self._owners[partition_id])
+
     def status(self) -> dict:
         return {
             "nodes": len(self._nodes),
             "partitions": self._store.num_partitions,
             "entities": len(self._store),
             "messages": self._messages,
+            "replication": self._replication,
         }
 
     # -- distributed entity mining ---------------------------------------------------------
 
     def run_pipeline(self, pipeline: MinerPipeline) -> ClusterRunReport:
-        """Run an entity-miner pipeline on every node's partitions."""
+        """Run an entity-miner pipeline on every node's partitions.
+
+        Under a fault plan, partitions owned by dead nodes fail over to
+        live replica owners; partitions with no surviving owner are left
+        unprocessed and reported as lost (degraded coverage), never
+        raised.
+        """
+        run_plan = self._plan_run()
+        total_entities = len(self._store)
+        retries_before = self._bus.retry_stats.retries
+        backoff_before = self._bus.retry_stats.backoff_cost
         total_report = PipelineReport()
-        for node in self._nodes:
-            node_report = PipelineReport()
-            for partition_id in node.partition_ids:
-                partition = self._store.partition(partition_id)
-                entities = list(partition.scan())
-                for entity in entities:
-                    pipeline.process_entity(entity, node_report)
-                    partition.put(entity)
-                node.charge(len(entities))
+        processed_entities = 0
+        senders: list[Node] = []
+        for node, partition_id, _failover in run_plan.assignments:
+            partition = self._store.partition(partition_id)
+            entities = list(partition.scan())
+            for entity in entities:
+                pipeline.process_entity(entity, total_report)
+                partition.put(entity)
+            node.charge(len(entities))
+            processed_entities += len(entities)
+            if node not in senders:
+                senders.append(node)
+        for node in senders:
             self._send_coordinator_message(node)
-            total_report.merge(node_report)
-        return self._report(total_report, reduce_partials=0)
+        return self._report(
+            total_report,
+            reduce_partials=0,
+            run_plan=run_plan,
+            processed_entities=processed_entities,
+            total_entities=total_entities,
+            retries=self._bus.retry_stats.retries - retries_before,
+            backoff_cost=self._bus.retry_stats.backoff_cost - backoff_before,
+        )
 
     # -- distributed corpus mining -----------------------------------------------------------
 
     def run_corpus_miner(self, miner: CorpusMiner[T]) -> tuple[T, ClusterRunReport]:
-        """Map per node, reduce at the coordinator."""
-        partials: list[T] = []
+        """Map per partition, reduce at the coordinator.
+
+        Partials are keyed by partition and reduced in partition order,
+        so the reduce result is byte-identical no matter *which* node
+        ran a partition — a failover changes work accounting, never the
+        answer.  Lost partitions are simply absent from the reduce, and
+        the report's ``coverage`` says how much of the corpus survived.
+        """
+        run_plan = self._plan_run()
+        total_entities = len(self._store)
+        retries_before = self._bus.retry_stats.retries
+        backoff_before = self._bus.retry_stats.backoff_cost
+        partials_by_partition: dict[int, T] = {}
         total_report = PipelineReport()
-        for node in self._nodes:
-            entities = [
-                entity
-                for partition_id in node.partition_ids
-                for entity in self._store.partition(partition_id).scan()
-            ]
-            partials.append(miner.map_partition(entities))
+        processed_entities = 0
+        senders: list[Node] = []
+        for node, partition_id, _failover in run_plan.assignments:
+            entities = list(self._store.partition(partition_id).scan())
+            partials_by_partition[partition_id] = miner.map_partition(entities)
             node.charge(len(entities))
+            processed_entities += len(entities)
             total_report.entities_processed += len(entities)
+            if node not in senders:
+                senders.append(node)
+        for node in senders:
             self._send_coordinator_message(node)
+        partials = [partials_by_partition[pid] for pid in sorted(partials_by_partition)]
         result = miner.reduce(partials)
-        return result, self._report(total_report, reduce_partials=len(partials))
+        report = self._report(
+            total_report,
+            reduce_partials=len(partials),
+            run_plan=run_plan,
+            processed_entities=processed_entities,
+            total_entities=total_entities,
+            retries=self._bus.retry_stats.retries - retries_before,
+            backoff_cost=self._bus.retry_stats.backoff_cost - backoff_before,
+        )
+        return result, report
 
     # -- internals -------------------------------------------------------------------------------
 
+    def _plan_run(self) -> _RunPlan:
+        """Apply the fault plan's node deaths to this run's assignments."""
+        deaths: dict[int, int] = {}
+        if self._fault_plan is not None:
+            for node in self._nodes:
+                death = self._fault_plan.node_death(node.node_id)
+                if death is not None:
+                    deaths[node.node_id] = death
+        assignments: list[tuple[Node, int, bool]] = []
+        orphaned: list[int] = []
+        for node in self._nodes:
+            completed_before_death = deaths.get(node.node_id)
+            for position, partition_id in enumerate(node.partition_ids):
+                if completed_before_death is not None and position >= completed_before_death:
+                    orphaned.append(partition_id)
+                else:
+                    assignments.append((node, partition_id, False))
+        lost: list[int] = []
+        failovers = 0
+        for partition_id in sorted(orphaned):
+            survivor = next(
+                (
+                    self._nodes[owner]
+                    for owner in self._owners[partition_id]
+                    if owner not in deaths
+                ),
+                None,
+            )
+            if survivor is None:
+                lost.append(partition_id)
+            else:
+                assignments.append((survivor, partition_id, True))
+                failovers += 1
+        return _RunPlan(
+            assignments=assignments,
+            dead_nodes=tuple(sorted(deaths)),
+            lost_partitions=tuple(lost),
+            failovers=failovers,
+        )
+
     def _send_coordinator_message(self, node: Node) -> None:
         self._messages += 1
+        self._run_messages += 1
         node.work_units += MESSAGE_COST
+        try:
+            self._bus.request(COORDINATOR_SERVICE, {"node": node.node_id})
+        except VinciError:
+            # The ack is bookkeeping; the node's results already live in
+            # the store, so a lost ack degrades nothing.
+            self._lost_acks += 1
 
-    def _report(self, pipeline: PipelineReport, reduce_partials: int) -> ClusterRunReport:
+    def _report(
+        self,
+        pipeline: PipelineReport,
+        reduce_partials: int,
+        run_plan: _RunPlan | None = None,
+        processed_entities: int | None = None,
+        total_entities: int | None = None,
+        retries: int = 0,
+        backoff_cost: float = 0.0,
+    ) -> ClusterRunReport:
         per_node = [node.work_units for node in self._nodes]
-        makespan = max(per_node, default=0.0) + reduce_partials * REDUCE_COST_PER_PARTIAL
-        total = sum(per_node) + reduce_partials * REDUCE_COST_PER_PARTIAL
+        reduce_cost = reduce_partials * REDUCE_COST_PER_PARTIAL
+        # Retry backoff serialises at the coordinator, so it stretches
+        # the critical path as well as the total.
+        makespan = max(per_node, default=0.0) + reduce_cost + backoff_cost
+        total = sum(per_node) + reduce_cost + backoff_cost
+        if total_entities:
+            coverage = (processed_entities or 0) / total_entities
+        else:
+            coverage = 1.0
         report = ClusterRunReport(
             pipeline=pipeline,
             makespan=makespan,
             total_work=total,
-            messages=self._messages,
+            messages=self._run_messages,
             per_node_work=per_node,
+            retries=retries,
+            failovers=run_plan.failovers if run_plan else 0,
+            dead_nodes=run_plan.dead_nodes if run_plan else (),
+            lost_partitions=run_plan.lost_partitions if run_plan else (),
+            coverage=coverage,
+            degraded=coverage < 1.0,
         )
-        # Work counters are per-run: reset after reporting.
+        # Work and message counters are per-run: reset after reporting.
         for node in self._nodes:
             node.work_units = 0.0
+        self._run_messages = 0
         return report

@@ -58,10 +58,23 @@ class Partition:
         self._segments: list[Segment] = []
         self._memtable_limit = memtable_limit
         self._next_segment_id = 0
+        #: Chaos hook (see repro.platform.faults): consulted on every
+        #: write; may drop the write or substitute a corrupted entity.
+        self.fault_plan = None
+        self.dropped_writes = 0
+        self.corrupted_writes = 0
 
     # -- writes -------------------------------------------------------------------
 
     def put(self, entity: Entity) -> None:
+        if self.fault_plan is not None:
+            intercepted = self.fault_plan.intercept_write(self.partition_id, entity)
+            if intercepted is None:
+                self.dropped_writes += 1
+                return
+            if intercepted is not entity:
+                self.corrupted_writes += 1
+            entity = intercepted
         self._memtable[entity.entity_id] = entity
         if len(self._memtable) >= self._memtable_limit:
             self.flush()
@@ -131,11 +144,31 @@ class DataStore:
         num_partitions: int = 8,
         memtable_limit: int = 256,
         partitioner: Callable[[str, int], int] = default_partitioner,
+        fault_plan=None,
     ):
         if num_partitions < 1:
             raise ValueError("num_partitions must be positive")
         self._partitions = [Partition(i, memtable_limit) for i in range(num_partitions)]
         self._partitioner = partitioner
+        if fault_plan is not None:
+            self.attach_fault_plan(fault_plan)
+
+    def attach_fault_plan(self, fault_plan) -> None:
+        """Route every partition write through *fault_plan* (chaos mode)."""
+        for partition in self._partitions:
+            partition.fault_plan = fault_plan
+
+    def detach_fault_plan(self) -> None:
+        for partition in self._partitions:
+            partition.fault_plan = None
+
+    @property
+    def write_fault_counts(self) -> dict[str, int]:
+        """Dropped/corrupted write totals across partitions."""
+        return {
+            "dropped": sum(p.dropped_writes for p in self._partitions),
+            "corrupted": sum(p.corrupted_writes for p in self._partitions),
+        }
 
     # -- public API ------------------------------------------------------------------
 

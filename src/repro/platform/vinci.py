@@ -12,14 +12,22 @@ records traffic so the platform benchmarks can report message counts.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import random
+from dataclasses import dataclass
 from typing import Any, Callable
+
+from .faults import TIMEOUT, FaultPlan
+from .retry import RetryPolicy, RetryStats
 
 Handler = Callable[[dict[str, Any]], dict[str, Any]]
 
 
 class VinciError(RuntimeError):
     """Service-level failure (unknown service or handler exception)."""
+
+
+class VinciTimeout(VinciError):
+    """An injected service timeout (the handler never ran)."""
 
 
 @dataclass
@@ -34,21 +42,45 @@ class ServiceRecord:
 
 @dataclass
 class Envelope:
-    """One request/response exchange, as recorded by the bus trace."""
+    """One request/response exchange, as recorded by the bus trace.
+
+    ``attempt`` is 1 for a first try and counts up across retries of the
+    same logical request; ``fault`` names an injected fault kind when
+    the exchange failed because of one ("error", "timeout").
+    """
 
     service: str
     request: dict[str, Any]
     response: dict[str, Any] | None
     ok: bool
+    attempt: int = 1
+    fault: str = ""
 
 
 class VinciBus:
-    """The service registry and request router."""
+    """The service registry and request router.
 
-    def __init__(self, trace_limit: int = 1000):
+    A bus optionally carries a :class:`~repro.platform.retry.RetryPolicy`
+    (transient failures are retried with simulated-cost backoff) and a
+    :class:`~repro.platform.faults.FaultPlan` (scheduled faults fire
+    before the handler runs).  Without either, behaviour is identical to
+    the original fail-fast bus.
+    """
+
+    def __init__(
+        self,
+        trace_limit: int = 1000,
+        retry_policy: RetryPolicy | None = None,
+        fault_plan: FaultPlan | None = None,
+    ):
         self._services: dict[str, ServiceRecord] = {}
         self._trace: list[Envelope] = []
         self._trace_limit = trace_limit
+        self._retry_policy = retry_policy
+        self._fault_plan = fault_plan
+        self._retry_stats = RetryStats()
+        # Jitter stream: seeded from the plan so runs are reproducible.
+        self._rng = random.Random(fault_plan.seed if fault_plan is not None else 0)
 
     # -- registration -----------------------------------------------------------------
 
@@ -70,27 +102,68 @@ class VinciBus:
     # -- requests ----------------------------------------------------------------------
 
     def request(self, service: str, payload: dict[str, Any] | None = None) -> dict[str, Any]:
-        """Send a request; raises :class:`VinciError` on failure."""
+        """Send a request; raises :class:`VinciError` on failure.
+
+        An unknown service is a permanent error and is never retried.
+        Handler failures, injected faults, and malformed responses are
+        transient: with a retry policy the bus re-sends, charging the
+        policy's backoff into :attr:`retry_stats` in simulated cost
+        units, until an attempt succeeds or attempts run out.
+        """
         payload = payload or {}
         record = self._services.get(service)
         if record is None:
             self._record(Envelope(service, payload, None, ok=False))
             raise VinciError(f"no such service: {service!r}")
+        policy = self._retry_policy
+        attempt = 0
+        while True:
+            attempt += 1
+            try:
+                response = self._attempt(record, payload, attempt)
+            except VinciError:
+                if policy is not None and policy.allows_retry(attempt):
+                    cost = policy.backoff(attempt, self._rng)
+                    self._retry_stats.record_retry(service, cost)
+                    continue
+                self._retry_stats.exhausted += 1
+                raise
+            if attempt > 1:
+                self._retry_stats.recovered += 1
+            return response
+
+    def _attempt(
+        self, record: ServiceRecord, payload: dict[str, Any], attempt: int
+    ) -> dict[str, Any]:
+        """One try at one service: inject faults, run handler, validate."""
+        service = record.name
         record.requests += 1
+        fault = (
+            self._fault_plan.consume_service_fault(service)
+            if self._fault_plan is not None
+            else None
+        )
+        if fault is not None:
+            record.failures += 1
+            self._record(Envelope(service, payload, None, ok=False, attempt=attempt, fault=fault))
+            if fault == TIMEOUT:
+                raise VinciTimeout(f"service {service!r} timed out (injected)")
+            raise VinciError(f"service {service!r} failed (injected)")
         try:
             response = record.handler(payload)
         except VinciError:
             record.failures += 1
-            self._record(Envelope(service, payload, None, ok=False))
+            self._record(Envelope(service, payload, None, ok=False, attempt=attempt))
             raise
         except Exception as exc:
             record.failures += 1
-            self._record(Envelope(service, payload, None, ok=False))
+            self._record(Envelope(service, payload, None, ok=False, attempt=attempt))
             raise VinciError(f"service {service!r} failed: {exc}") from exc
         if not isinstance(response, dict):
             record.failures += 1
+            self._record(Envelope(service, payload, None, ok=False, attempt=attempt))
             raise VinciError(f"service {service!r} returned a non-document response")
-        self._record(Envelope(service, payload, response, ok=True))
+        self._record(Envelope(service, payload, response, ok=True, attempt=attempt))
         return response
 
     # -- introspection -------------------------------------------------------------------
@@ -103,6 +176,18 @@ class VinciBus:
 
     def trace(self) -> list[Envelope]:
         return list(self._trace)
+
+    @property
+    def retry_stats(self) -> RetryStats:
+        return self._retry_stats
+
+    @property
+    def fault_plan(self) -> FaultPlan | None:
+        return self._fault_plan
+
+    @property
+    def retry_policy(self) -> RetryPolicy | None:
+        return self._retry_policy
 
     def _record(self, envelope: Envelope) -> None:
         self._trace.append(envelope)

@@ -85,6 +85,78 @@ class TestPipelineRuns:
         assert report.messages == 4
 
 
+class TestPerRunAccounting:
+    def test_messages_reset_between_runs(self):
+        # Regression: report.messages used to be the bus-lifetime
+        # cumulative count, so a second run reported double.
+        cluster = Cluster(loaded_store(), num_nodes=4)
+        first = cluster.run_pipeline(MinerPipeline([Marker()]))
+        second = cluster.run_pipeline(MinerPipeline([Marker()]))
+        assert first.messages == second.messages == 4
+
+    def test_corpus_runs_also_reset_messages(self):
+        cluster = Cluster(loaded_store(), num_nodes=4)
+        _, first = cluster.run_corpus_miner(Summer())
+        _, second = cluster.run_corpus_miner(Summer())
+        assert first.messages == second.messages == 4
+
+    def test_status_keeps_lifetime_total(self):
+        cluster = Cluster(loaded_store(), num_nodes=4)
+        cluster.run_pipeline(MinerPipeline([Marker()]))
+        cluster.run_pipeline(MinerPipeline([Marker()]))
+        assert cluster.status()["messages"] == 8
+
+
+class TestReplication:
+    def test_owner_lists_have_replication_size(self):
+        cluster = Cluster(loaded_store(partitions=8), num_nodes=4, replication=2)
+        for pid in range(8):
+            owners = cluster.owners(pid)
+            assert len(owners) == 2
+            assert owners[0] == pid % 4  # primary stays round-robin
+            assert len(set(owners)) == 2
+
+    def test_replication_must_fit_cluster(self):
+        with pytest.raises(ValueError):
+            Cluster(loaded_store(), num_nodes=4, replication=5)
+        with pytest.raises(ValueError):
+            Cluster(loaded_store(), num_nodes=4, replication=0)
+
+    def test_failover_charges_replica_owner(self):
+        from repro.platform.faults import FaultPlan
+
+        store = loaded_store(n=64, partitions=8)
+        plan = FaultPlan().kill_node(0, after_partitions=0)
+        cluster = Cluster(store, num_nodes=4, replication=2, fault_plan=plan)
+        report = cluster.run_pipeline(MinerPipeline([Marker()]))
+        assert report.coverage == 1.0
+        assert report.failovers == 2  # node 0's two partitions
+        assert report.dead_nodes == (0,)
+        assert report.per_node_work[0] == 0.0
+        assert report.per_node_work[1] > report.per_node_work[2]  # took the orphans
+
+    def test_unreplicated_death_degrades(self):
+        from repro.platform.faults import FaultPlan
+
+        store = loaded_store(n=64, partitions=8)
+        plan = FaultPlan().kill_node(1, after_partitions=0)
+        cluster = Cluster(store, num_nodes=4, replication=1, fault_plan=plan)
+        report = cluster.run_pipeline(MinerPipeline([Marker()]))
+        assert report.degraded
+        assert report.coverage < 1.0
+        assert set(report.lost_partitions) == {1, 5}
+
+    def test_fault_free_report_has_clean_degradation_fields(self):
+        report = Cluster(loaded_store(), num_nodes=4).run_pipeline(
+            MinerPipeline([Marker()])
+        )
+        assert report.retries == 0
+        assert report.failovers == 0
+        assert report.dead_nodes == ()
+        assert report.coverage == 1.0
+        assert not report.degraded
+
+
 class TestCorpusRuns:
     def test_corpus_miner_result_matches_sequential(self):
         store = loaded_store(n=100)

@@ -1,0 +1,146 @@
+"""Unit tests for the deterministic fault-injection plan."""
+
+import pytest
+
+from repro.platform.entity import Annotation, Entity
+from repro.platform.faults import CORRUPT, DROP, FAIL, TIMEOUT, FaultPlan
+from repro.platform.vinci import VinciBus, VinciError, VinciTimeout
+
+pytestmark = pytest.mark.chaos
+
+
+def entity(eid="e1", content="The camera takes excellent pictures."):
+    return Entity(entity_id=eid, content=content)
+
+
+class TestScheduling:
+    def test_fail_service_consumed_fifo(self):
+        plan = FaultPlan().fail_service("svc", count=2)
+        assert plan.consume_service_fault("svc") == FAIL
+        assert plan.consume_service_fault("svc") == FAIL
+        assert plan.consume_service_fault("svc") is None
+
+    def test_timeout_kind(self):
+        plan = FaultPlan().fail_service("svc", kind=TIMEOUT)
+        assert plan.consume_service_fault("svc") == TIMEOUT
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            FaultPlan().fail_service("svc", kind="meltdown")
+
+    def test_nonpositive_count_rejected(self):
+        with pytest.raises(ValueError):
+            FaultPlan().fail_service("svc", count=0)
+        with pytest.raises(ValueError):
+            FaultPlan().drop_write(0, count=0)
+
+    def test_kill_node_schedule(self):
+        plan = FaultPlan().kill_node(2, after_partitions=1)
+        assert plan.node_death(2) == 1
+        assert plan.node_death(0) is None
+        assert plan.dead_nodes == {2: 1}
+
+    def test_negative_death_point_rejected(self):
+        with pytest.raises(ValueError):
+            FaultPlan().kill_node(0, after_partitions=-1)
+
+    def test_pending_counts(self):
+        plan = FaultPlan().fail_service("a", count=3).drop_write(1, count=2)
+        assert plan.pending_service_faults("a") == 3
+        assert plan.pending_write_faults(1) == 2
+        assert plan.pending_write_faults(9) == 0
+
+
+class TestDeterminism:
+    def test_same_seed_same_schedule(self):
+        kwargs = dict(
+            services=("x", "y", "z"),
+            num_nodes=6,
+            num_partitions=12,
+            service_failure_rate=0.5,
+            node_death_rate=0.5,
+            write_drop_rate=0.3,
+            write_corrupt_rate=0.3,
+        )
+        a = FaultPlan.scheduled(42, **kwargs)
+        b = FaultPlan.scheduled(42, **kwargs)
+        assert a.dead_nodes == b.dead_nodes
+        for name in ("x", "y", "z"):
+            assert a.pending_service_faults(name) == b.pending_service_faults(name)
+        for pid in range(12):
+            assert a.pending_write_faults(pid) == b.pending_write_faults(pid)
+
+    def test_different_seeds_differ_somewhere(self):
+        plans = [
+            FaultPlan.scheduled(
+                seed, num_nodes=8, num_partitions=16, node_death_rate=0.5
+            ).dead_nodes
+            for seed in range(6)
+        ]
+        assert len({tuple(sorted(p.items())) for p in plans}) > 1
+
+    def test_corruption_modes_cycle_deterministically(self):
+        plan = FaultPlan(seed=1)
+        modes = [plan.corrupt_entity(entity()).metadata["corruption"] for _ in range(5)]
+        assert modes == ["empty", "punctuation", "reversed", "truncated", "empty"]
+
+
+class TestWriteInterception:
+    def test_drop_returns_none_and_ledgers(self):
+        plan = FaultPlan().drop_write(3)
+        assert plan.intercept_write(3, entity()) is None
+        later = entity("e2")
+        assert plan.intercept_write(3, later) is later  # queue drained
+        assert plan.summary()[DROP] == 1
+
+    def test_corrupt_discards_annotations_and_flags(self):
+        doc = entity()
+        doc.annotate(Annotation.make("token", 0, 3))
+        plan = FaultPlan().corrupt_write(0)
+        out = plan.intercept_write(0, doc)
+        assert out is not doc
+        assert out.entity_id == doc.entity_id
+        assert out.metadata["corrupted"] is True
+        assert out.layers() == []
+        assert plan.summary()[CORRUPT] == 1
+
+    def test_no_fault_passes_entity_through(self):
+        plan = FaultPlan()
+        doc = entity()
+        assert plan.intercept_write(0, doc) is doc
+
+    def test_ledger_records_injection_order(self):
+        plan = FaultPlan().fail_service("svc").drop_write(1)
+        plan.consume_service_fault("svc")
+        plan.intercept_write(1, entity())
+        kinds = [event.kind for event in plan.ledger()]
+        assert kinds == ["service", "write"]
+        assert plan.faults_injected == 2
+
+
+class TestBusIntegration:
+    def test_injected_error_raises_and_counts(self):
+        plan = FaultPlan().fail_service("svc")
+        bus = VinciBus(fault_plan=plan)
+        bus.register("svc", lambda p: {"ok": True})
+        with pytest.raises(VinciError, match="injected"):
+            bus.request("svc")
+        assert bus.stats()["svc"] == {"requests": 1, "failures": 1}
+        assert bus.request("svc") == {"ok": True}  # fault consumed
+
+    def test_injected_timeout_is_timeout_subclass(self):
+        plan = FaultPlan().fail_service("svc", kind=TIMEOUT)
+        bus = VinciBus(fault_plan=plan)
+        bus.register("svc", lambda p: {"ok": True})
+        with pytest.raises(VinciTimeout):
+            bus.request("svc")
+
+    def test_fault_envelope_recorded_with_kind(self):
+        plan = FaultPlan().fail_service("svc", kind=TIMEOUT)
+        bus = VinciBus(fault_plan=plan)
+        bus.register("svc", lambda p: {"ok": True})
+        with pytest.raises(VinciError):
+            bus.request("svc")
+        (envelope,) = bus.trace()
+        assert not envelope.ok
+        assert envelope.fault == TIMEOUT

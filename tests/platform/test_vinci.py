@@ -66,6 +66,31 @@ class TestErrors:
         with pytest.raises(VinciError, match="non-document"):
             bus.request("bad")
 
+    def test_non_dict_response_recorded_in_trace(self):
+        # Regression: the failure used to raise without recording an
+        # Envelope, so trace() undercounted failures vs stats().
+        bus = VinciBus()
+        bus.register("bad", lambda p: "not a document")
+        with pytest.raises(VinciError):
+            bus.request("bad")
+        (envelope,) = bus.trace()
+        assert envelope.service == "bad"
+        assert not envelope.ok
+        assert bus.stats()["bad"]["failures"] == 1
+
+    def test_trace_failure_count_matches_stats(self):
+        bus = VinciBus()
+        bus.register("bad", lambda p: "nope")
+        bus.register("boom", lambda p: 1 / 0)
+        bus.register("ok", lambda p: {})
+        for service in ("bad", "boom", "ok", "ghost"):
+            try:
+                bus.request(service)
+            except VinciError:
+                pass
+        failures = sum(1 for e in bus.trace() if not e.ok)
+        assert failures == sum(s["failures"] for s in bus.stats().values()) + 1  # +ghost
+
 
 class TestStatsAndTrace:
     def test_request_counters(self):

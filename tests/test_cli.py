@@ -128,3 +128,32 @@ class TestReport:
             assert "wrote" in out
             text = pathlib.Path(path).read_text()
             assert "Table 5" in text
+
+
+class TestPlatform:
+    def test_fault_free_run(self):
+        code, out = run_cli("platform", "--docs", "12")
+        assert code == 0
+        assert "coverage" in out and "1.000" in out
+        assert "degraded" in out and "False" in out
+
+    def test_chaos_seed_is_deterministic(self):
+        argv = ["platform", "--docs", "12", "--chaos-seed", "7", "--failure-rate", "0.5"]
+        code_a, out_a = run_cli(*argv)
+        code_b, out_b = run_cli(*argv)
+        assert code_a == code_b == 0
+        assert out_a == out_b
+        assert "chaos seed 7" in out_a
+
+    def test_unreplicated_chaos_reports_degradation_fields(self):
+        code, out = run_cli(
+            "platform",
+            "--docs", "12",
+            "--replication", "1",
+            "--chaos-seed", "3",
+            "--failure-rate", "0.5",
+        )
+        assert code == 0
+        assert "dead nodes" in out
+        assert "lost partitions" in out
+        assert "retries" in out
