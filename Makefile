@@ -2,7 +2,7 @@
 PYTHONPATH := src
 export PYTHONPATH
 
-.PHONY: test chaos bench lint
+.PHONY: test chaos bench bench-obs lint
 
 test:
 	python -m pytest -x -q
@@ -11,8 +11,13 @@ test:
 chaos:
 	python -m pytest -q -m chaos
 
-bench:
+bench: bench-obs
 	cd benchmarks && PYTHONPATH=../src python -m pytest -q
+
+# Instrumentation overhead guard: tracing on vs. off on the same corpus
+# mine; writes BENCH_obs_overhead.json and fails if overhead >= 10%.
+bench-obs:
+	cd benchmarks && PYTHONPATH=../src python -m pytest -q bench_obs_overhead.py
 
 lint:
 	python -m compileall -q src

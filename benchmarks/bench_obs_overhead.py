@@ -1,0 +1,109 @@
+"""Benchmark: instrumentation overhead, tracing on vs. off.
+
+Runs the same mode-A corpus mine twice — once with the zero-cost default
+observability context (no-op tracer/audit, live metrics) and once fully
+enabled (spans + audit trail) — and asserts the enabled run stays within
+``MAX_OVERHEAD`` of the disabled one.  Results are written to
+``BENCH_obs_overhead.json`` so CI can track the ratio over time.
+
+The guarantee under test is the design's central claim: observability is
+cheap enough to leave compiled in, and free when switched off.
+"""
+
+import json
+import os
+import time
+
+from conftest import emit
+
+from repro.core import SentimentMiner, Subject
+from repro.corpora import DIGITAL_CAMERA, ReviewGenerator
+from repro.eval.reporting import format_table
+from repro.obs import Obs
+
+DOCS = 30
+#: Interleaved rounds per mode; the minimum is compared, so more rounds
+#: means more chances for each mode to hit an uncontended time slice.
+ROUNDS = 9
+#: Enabled-mode overhead budget (fraction of the disabled-mode best time).
+MAX_OVERHEAD = 0.10
+OUT_PATH = os.path.join(os.path.dirname(__file__), "..", "BENCH_obs_overhead.json")
+
+
+def _corpus():
+    docs = ReviewGenerator(DIGITAL_CAMERA, seed=1).generate_dplus(DOCS)
+    return [(d.doc_id, d.text) for d in docs]
+
+
+def _subjects():
+    return [Subject(p) for p in DIGITAL_CAMERA.products] + [
+        Subject(f) for f in DIGITAL_CAMERA.features
+    ]
+
+
+def _one_run(obs_factory, documents, subjects) -> tuple[float, object]:
+    miner = SentimentMiner(subjects=subjects, obs=obs_factory())
+    start = time.perf_counter()
+    result = miner.mine_corpus(iter(documents))
+    return time.perf_counter() - start, result
+
+
+def test_bench_obs_overhead():
+    documents = _corpus()
+    subjects = _subjects()
+
+    # Warm-up, then interleaved off/on pairs: a noisy neighbour slows
+    # both halves of a pair roughly equally, so the per-pair on/off ratio
+    # is far more stable than either absolute time.  The overhead under
+    # test is the median paired ratio.
+    _one_run(Obs.default, documents, subjects)
+    _one_run(Obs.enabled, documents, subjects)
+    off_time = on_time = float("inf")
+    off_result = on_result = None
+    ratios = []
+    for _ in range(ROUNDS):
+        off_elapsed, off_result = _one_run(Obs.default, documents, subjects)
+        on_elapsed, on_result = _one_run(Obs.enabled, documents, subjects)
+        off_time = min(off_time, off_elapsed)
+        on_time = min(on_time, on_elapsed)
+        ratios.append(on_elapsed / off_elapsed)
+    ratios.sort()
+    median_ratio = ratios[len(ratios) // 2]
+
+    # Same pipeline either way: identical judgments, only extra telemetry.
+    assert [j.as_pair() for j in on_result.judgments] == [
+        j.as_pair() for j in off_result.judgments
+    ]
+    assert off_result.audit == []
+    assert len(on_result.audit) >= len(on_result.judgments)
+
+    overhead = median_ratio - 1.0
+    payload = {
+        "documents": DOCS,
+        "rounds": ROUNDS,
+        "tracing_off_best_seconds": off_time,
+        "tracing_on_best_seconds": on_time,
+        "paired_ratios": ratios,
+        "overhead_fraction": overhead,
+        "max_overhead_fraction": MAX_OVERHEAD,
+        "judgments": len(on_result.judgments),
+        "audit_entries": len(on_result.audit),
+    }
+    with open(OUT_PATH, "w", encoding="utf-8") as stream:
+        json.dump(payload, stream, indent=2, sort_keys=True)
+        stream.write("\n")
+
+    emit(
+        format_table(
+            ["mode", "best seconds"],
+            [
+                ["tracing off", f"{off_time:.4f}"],
+                ["tracing on", f"{on_time:.4f}"],
+                ["overhead", f"{overhead:+.1%}"],
+            ],
+            title=f"observability overhead ({DOCS} docs, best of {ROUNDS})",
+        )
+    )
+    assert overhead < MAX_OVERHEAD, (
+        f"instrumentation overhead {overhead:.1%} exceeds {MAX_OVERHEAD:.0%}"
+    )

@@ -10,17 +10,26 @@ Commands
 ``mine``        mine a synthetic domain corpus and print a summary;
 ``platform``    run the simulated cluster over a synthetic corpus,
                 optionally under a seeded chaos fault plan
-                (``--chaos-seed``).
+                (``--chaos-seed``); ``--json`` for machine-readable
+                output;
+``trace``       render a JSONL observability dump written by
+                ``--trace-out``.
+
+``analyze``, ``mine`` and ``platform`` accept ``--metrics`` (print the
+metrics registry after the run) and ``--trace-out PATH`` (write the
+span/metric/audit JSONL dump); either flag turns full tracing on.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import IO
 
 from . import __version__
 from .core import SentimentAnalyzer, Subject, default_lexicon, default_pattern_db
+from .obs import Obs
 
 #: Experiment name -> callable(seed, scale) (resolved lazily to keep
 #: ``--help`` fast).
@@ -34,6 +43,35 @@ EXPERIMENTS = (
     "figure2",
     "figure3",
 )
+
+
+def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--metrics",
+        action="store_true",
+        help="print the metrics registry after the run",
+    )
+    parser.add_argument(
+        "--trace-out",
+        metavar="PATH",
+        default=None,
+        help="write the span/metric/audit JSONL dump to PATH (enables tracing)",
+    )
+
+
+def _obs_from_args(args: argparse.Namespace) -> Obs:
+    """Full tracing when any observability flag asks for output."""
+    if getattr(args, "metrics", False) or getattr(args, "trace_out", None):
+        return Obs.enabled()
+    return Obs.default()
+
+
+def _emit_obs(args: argparse.Namespace, obs: Obs, out: IO[str]) -> None:
+    if args.trace_out:
+        count = obs.write(args.trace_out)
+        out.write(f"wrote {count} trace records to {args.trace_out}\n")
+    if args.metrics:
+        out.write("\nmetrics:\n" + obs.metrics.render() + "\n")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -54,6 +92,7 @@ def build_parser() -> argparse.ArgumentParser:
         required=False,
         help="subject term to track (repeatable); synonyms with 'name=syn1,syn2'",
     )
+    _add_obs_flags(analyze)
 
     experiment = sub.add_parser("experiment", help="run a paper experiment")
     experiment.add_argument("name", choices=EXPERIMENTS)
@@ -78,6 +117,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     mine.add_argument("--docs", type=int, default=10)
     mine.add_argument("--seed", type=int, default=2005)
+    _add_obs_flags(mine)
 
     platform = sub.add_parser(
         "platform", help="run the simulated cluster (optionally under chaos)"
@@ -104,6 +144,20 @@ def build_parser() -> argparse.ArgumentParser:
         default=0.25,
         help="per-node/per-service fault probability for the chaos schedule",
     )
+    platform.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the run report (and metrics) as JSON instead of a table",
+    )
+    _add_obs_flags(platform)
+
+    trace = sub.add_parser("trace", help="render a JSONL observability dump")
+    trace.add_argument("path", help="JSONL file written by --trace-out")
+    trace.add_argument(
+        "--spans-only",
+        action="store_true",
+        help="render only the span tree",
+    )
     return parser
 
 
@@ -120,22 +174,25 @@ def cmd_analyze(args: argparse.Namespace, out: IO[str], stdin: IO[str]) -> int:
         print("no input text", file=sys.stderr)
         return 2
     subjects = [_parse_subject(s) for s in args.subject]
-    analyzer = SentimentAnalyzer()
+    obs = _obs_from_args(args)
+    analyzer = SentimentAnalyzer(obs=obs)
     if not subjects:
         # No subjects: run mode B over the text.
         from .core import SentimentMiner
 
-        result = SentimentMiner(analyzer=analyzer).mine_open_document(text)
+        result = SentimentMiner(analyzer=analyzer, obs=obs).mine_open_document(text)
         judgments = result.judgments
     else:
         judgments = analyzer.analyze_text(text, subjects)
     if not judgments:
         out.write("(no subject mentions found)\n")
+        _emit_obs(args, obs, out)
         return 0
     width = max(len(j.subject_name) for j in judgments)
     for judgment in judgments:
         subject, polarity = judgment.as_pair()
         out.write(f"{subject:<{width}}  {polarity}  {judgment.provenance.describe()}\n")
+    _emit_obs(args, obs, out)
     return 0
 
 
@@ -216,7 +273,8 @@ def cmd_mine(args: argparse.Namespace, out: IO[str]) -> int:
     vocab = DOMAINS[args.domain]
     documents = ReviewGenerator(vocab, seed=args.seed).generate_dplus(args.docs)
     subjects = [Subject(p) for p in vocab.products] + [Subject(f) for f in vocab.features]
-    miner = SentimentMiner(subjects=subjects)
+    obs = _obs_from_args(args)
+    miner = SentimentMiner(subjects=subjects, obs=obs)
     result = miner.mine_corpus((d.doc_id, d.text) for d in documents)
     by_subject: dict[str, list[int]] = {}
     for judgment in result.polar_judgments():
@@ -235,6 +293,7 @@ def cmd_mine(args: argparse.Namespace, out: IO[str]) -> int:
         )
         + "\n"
     )
+    _emit_obs(args, obs, out)
     return 0
 
 
@@ -275,9 +334,15 @@ def cmd_platform(args: argparse.Namespace, out: IO[str]) -> int:
         )
         retry_policy = RetryPolicy(max_attempts=4, base_backoff=0.1)
 
+    obs = _obs_from_args(args)
     subjects = [Subject(p) for p in vocab.products] + [Subject(f) for f in vocab.features]
     pipeline = MinerPipeline(
-        [TokenizerMiner(), PosTaggerMiner(), SpotterMiner(subjects), SentimentEntityMiner()]
+        [
+            TokenizerMiner(),
+            PosTaggerMiner(),
+            SpotterMiner(subjects),
+            SentimentEntityMiner(obs=obs),
+        ]
     )
     cluster = Cluster(
         store,
@@ -285,8 +350,22 @@ def cmd_platform(args: argparse.Namespace, out: IO[str]) -> int:
         replication=min(args.replication, args.nodes),
         fault_plan=plan,
         retry_policy=retry_policy,
+        obs=obs,
     )
     report = cluster.run_pipeline(pipeline)
+
+    if args.json:
+        payload = {
+            "report": report.to_dict(),
+            "entities": len(store),
+            "nodes": args.nodes,
+            "replication": cluster.replication,
+            "chaos_seed": args.chaos_seed,
+            "metrics": obs.metrics.snapshot(),
+        }
+        out.write(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        _emit_obs(args, obs, out)
+        return 0
 
     rows = [
         ["entities", len(store)],
@@ -306,6 +385,23 @@ def cmd_platform(args: argparse.Namespace, out: IO[str]) -> int:
     if plan is not None:
         title += f" under chaos seed {args.chaos_seed} (rate {args.failure_rate})"
     out.write(format_table(["metric", "value"], rows, title=title) + "\n")
+    _emit_obs(args, obs, out)
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace, out: IO[str]) -> int:
+    """Re-render a JSONL observability dump on the console."""
+    from .obs import read_trace, render_dump, render_span_tree
+
+    try:
+        dump = read_trace(args.path)
+    except OSError as exc:
+        print(f"cannot read {args.path}: {exc}", file=sys.stderr)
+        return 2
+    if args.spans_only:
+        out.write(render_span_tree(dump.spans) + "\n")
+    else:
+        out.write(render_dump(dump) + "\n")
     return 0
 
 
@@ -328,4 +424,6 @@ def main(argv: list[str] | None = None, out: IO[str] | None = None, stdin: IO[st
         return cmd_mine(args, out)
     if args.command == "platform":
         return cmd_platform(args, out)
+    if args.command == "trace":
+        return cmd_trace(args, out)
     raise AssertionError(f"unhandled command {args.command!r}")

@@ -25,6 +25,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..lexicons.negation import NEGATION_VERBS
+from ..obs import Obs
 from ..nlp import penn
 from ..nlp.parser import Clause, SentenceParse, ShallowParser
 from ..nlp.postagger import PosTagger
@@ -61,7 +62,9 @@ class SentimentAnalyzer:
         weighted_phrases: bool = False,
         use_patterns: bool = True,
         handle_negation: bool = True,
+        obs: Obs | None = None,
     ):
+        self._obs = obs if obs is not None else Obs.default()
         self._lexicon = lexicon if lexicon is not None else default_lexicon()
         self._patterns = pattern_db if pattern_db is not None else default_pattern_db()
         # The tagger and lemmatizer must know every pattern predicate as a
@@ -99,14 +102,19 @@ class SentimentAnalyzer:
 
     def analyze_sentence(self, tagged: TaggedSentence) -> list[ClauseAssignment]:
         """All polarity assignments the sentence's clauses yield."""
+        metrics = self._obs.metrics
+        metrics.counter("analyzer.sentences").inc()
         if tagged.tokens[-1].text == "?":
             # Questions ask about sentiment; they do not assert it.
+            metrics.counter("analyzer.questions_skipped").inc()
             return []
         parse = self._parser.parse(tagged)
         assignments: list[ClauseAssignment] = []
         for clause in parse.clauses:
+            metrics.counter("analyzer.clauses").inc()
             if clause.hypothetical:
                 # "If the zoom were better ..." asserts nothing.
+                metrics.counter("analyzer.hypothetical_skipped").inc()
                 continue
             assignment = self._analyze_clause(clause)
             if assignment is not None:
@@ -116,6 +124,7 @@ class SentimentAnalyzer:
                     assignments.append(contrast)
         if not self._use_patterns:
             assignments = self._lexicon_only_assignments(tagged)
+        metrics.counter("analyzer.assignments").inc(len(assignments))
         return assignments
 
     def judge_spots(self, tagged: TaggedSentence, spots: list[Spot]) -> list[SentimentJudgment]:
@@ -146,16 +155,39 @@ class SentimentAnalyzer:
 
     def analyze_text(self, text: str, subjects: list[Subject], document_id: str = "") -> list[SentimentJudgment]:
         """Full pipeline on raw text: tokenize, spot, tag, judge."""
-        sentences = self._splitter.split_text(text)
-        spotter = SubjectSpotter(subjects)
-        judgments: list[SentimentJudgment] = []
-        for sentence in sentences:
-            spots = spotter.spot_sentence(sentence, document_id)
-            if not spots:
-                continue
-            tagged = self.tag(sentence)
-            judgments.extend(self.judge_spots(tagged, spots))
-        return judgments
+        with self._obs.tracer.span(
+            "analyze.text", document_id=document_id, subjects=len(subjects)
+        ) as span:
+            sentences = self._splitter.split_text(text)
+            spotter = SubjectSpotter(subjects)
+            judgments: list[SentimentJudgment] = []
+            for sentence in sentences:
+                spots = spotter.spot_sentence(sentence, document_id)
+                if not spots:
+                    continue
+                tagged = self.tag(sentence)
+                judgments.extend(self.judge_spots(tagged, spots))
+            span.set_attribute("sentences", len(sentences))
+            span.set_attribute("judgments", len(judgments))
+            if self._obs.audit.enabled:
+                for judgment in judgments:
+                    self._audit_judgment(judgment)
+            return judgments
+
+    def _audit_judgment(self, judgment: SentimentJudgment) -> None:
+        provenance = judgment.provenance
+        matched = provenance is not None and provenance.pattern
+        self._obs.audit.record_sentiment(
+            judgment.subject_name,
+            judgment.polarity.value,
+            "pattern-match" if matched else "no-match",
+            document_id=judgment.spot.document_id,
+            sentence_index=judgment.spot.sentence_index,
+            pattern=provenance.pattern if provenance else "",
+            predicate=provenance.predicate if provenance else "",
+            lexicon_entries=tuple(provenance.sentiment_words) if provenance else (),
+            negated=bool(provenance.negated) if provenance else False,
+        )
 
     # -- clause analysis ---------------------------------------------------------
 
@@ -193,6 +225,10 @@ class SentimentAnalyzer:
                 continue
             if negated and self._handle_negation:
                 polarity = polarity.invert()
+                self._obs.metrics.counter("analyzer.negations_applied").inc()
+            self._obs.metrics.counter(
+                "analyzer.pattern_matches", pattern=pattern.format()
+            ).inc()
             provenance = Provenance(
                 predicate=lemma,
                 pattern=pattern.format(),

@@ -18,6 +18,7 @@ import math
 from dataclasses import dataclass, field
 from typing import Iterable
 
+from ..obs.audit import FILTERED, KEPT, NULL_AUDIT, AuditTrail, NullAuditTrail
 from ..nlp.tokens import Sentence, Token
 from .model import Spot
 
@@ -99,21 +100,60 @@ class Disambiguator:
 
     # -- public API --------------------------------------------------------------
 
-    def disambiguate(self, sentences: list[Sentence], spots: list[Spot]) -> DisambiguationResult:
-        """Partition *spots* given the document's sentences."""
+    def disambiguate(
+        self,
+        sentences: list[Sentence],
+        spots: list[Spot],
+        audit: AuditTrail | NullAuditTrail | None = None,
+    ) -> DisambiguationResult:
+        """Partition *spots* given the document's sentences.
+
+        When an :class:`~repro.obs.audit.AuditTrail` is supplied, every
+        spot's keep/filter decision is recorded with the resolution that
+        made it (``global-pass``, ``combined-pass``, ``combined-fail``)
+        and the scores involved.
+        """
+        audit = audit if audit is not None else NULL_AUDIT
         tokens = [t for s in sentences for t in s.tokens]
         result = DisambiguationResult()
         result.global_score = self._score(tokens)
         if result.global_score >= self._config.global_threshold:
             result.on_topic = list(spots)
+            if audit.enabled:
+                for spot in spots:
+                    audit.record_spot(
+                        spot.subject.canonical,
+                        KEPT,
+                        "global-pass",
+                        document_id=spot.document_id,
+                        sentence_index=spot.sentence_index,
+                        term=spot.term,
+                        global_score=result.global_score,
+                        threshold=self._config.global_threshold,
+                    )
             return result
         for spot in spots:
             local = self._local_tokens(tokens, spot)
-            combined = self._score(local) + result.global_score
-            if combined >= self._config.combined_threshold:
+            local_score = self._score(local)
+            combined = local_score + result.global_score
+            kept = combined >= self._config.combined_threshold
+            if kept:
                 result.on_topic.append(spot)
             else:
                 result.off_topic.append(spot)
+            if audit.enabled:
+                audit.record_spot(
+                    spot.subject.canonical,
+                    KEPT if kept else FILTERED,
+                    "combined-pass" if kept else "combined-fail",
+                    document_id=spot.document_id,
+                    sentence_index=spot.sentence_index,
+                    term=spot.term,
+                    global_score=result.global_score,
+                    local_score=local_score,
+                    combined_score=combined,
+                    threshold=self._config.combined_threshold,
+                )
         return result
 
     # -- scoring -------------------------------------------------------------------

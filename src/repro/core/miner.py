@@ -13,6 +13,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator
 
+from ..obs import Obs
+from ..obs.audit import CONTEXT_WINDOW, NO_MATCH, PATTERN_MATCH, AuditEntry
 from ..nlp.sentences import SentenceSplitter
 from ..nlp.tokenizer import Tokenizer
 from .analyzer import SentimentAnalyzer
@@ -20,6 +22,11 @@ from .context import ContextBuilder, ContextWindowRule
 from .disambiguation import Disambiguator
 from .model import Polarity, SentimentJudgment, Spot, Subject
 from .spotting import NamedEntitySpotter, SubjectSpotter
+
+#: Nominal simulated cost one pipeline stage charges per document —
+#: keeps standalone-miner span durations in the same currency the
+#: cluster uses (one entity ≈ 1.0 units across its stages).
+STAGE_COST = 0.25
 
 
 @dataclass
@@ -44,10 +51,17 @@ class MiningStats:
 
 @dataclass
 class MiningResult:
-    """Judgments plus run statistics."""
+    """Judgments plus run statistics.
+
+    ``audit`` carries the decision audit trail for the run — one entry
+    per disambiguator keep/filter and per sentiment judgment — when the
+    miner was built with an auditing :class:`~repro.obs.Obs` context;
+    it stays empty under the zero-cost default.
+    """
 
     judgments: list[SentimentJudgment] = field(default_factory=list)
     stats: MiningStats = field(default_factory=MiningStats)
+    audit: list[AuditEntry] = field(default_factory=list)
 
     def polar_judgments(self) -> list[SentimentJudgment]:
         return [j for j in self.judgments if j.polarity.is_polar]
@@ -68,9 +82,11 @@ class SentimentMiner:
         analyzer: SentimentAnalyzer | None = None,
         disambiguator: Disambiguator | None = None,
         context_rule: ContextWindowRule | None = None,
+        obs: Obs | None = None,
     ):
+        self._obs = obs if obs is not None else Obs.default()
         self._subjects = list(subjects or [])
-        self._analyzer = analyzer or SentimentAnalyzer()
+        self._analyzer = analyzer or SentimentAnalyzer(obs=self._obs)
         self._disambiguator = disambiguator
         self._context_builder = ContextBuilder(context_rule)
         self._spotter = SubjectSpotter(self._subjects) if self._subjects else None
@@ -92,25 +108,46 @@ class SentimentMiner:
         """Run the Fig. 2 pipeline on one document."""
         if self._spotter is None:
             raise ValueError("mode A requires a predefined subject list")
+        obs = self._obs
+        tracer = obs.tracer
+        audit_mark = obs.audit.mark()
         result = MiningResult()
         result.stats.documents = 1
-        sentences = self._splitter.split_text(text)
-        result.stats.sentences = len(sentences)
-        spots = self._spotter.spot_document(sentences, document_id)
-        result.stats.spots_found = len(spots)
-        if self._disambiguator is not None:
-            spots = self._disambiguator.disambiguate(sentences, spots).on_topic
-        result.stats.spots_on_topic = len(spots)
+        with tracer.span("mine.document", document_id=document_id, mode="A") as doc_span:
+            sentences = self._splitter.split_text(text)
+            result.stats.sentences = len(sentences)
+            with tracer.span("stage.spot", sentences=len(sentences)) as span:
+                obs.clock.advance(STAGE_COST)
+                spots = self._spotter.spot_document(sentences, document_id)
+                span.set_attribute("spots", len(spots))
+            result.stats.spots_found = len(spots)
+            if self._disambiguator is not None:
+                with tracer.span("stage.disambiguate", spots=len(spots)) as span:
+                    obs.clock.advance(STAGE_COST)
+                    spots = self._disambiguator.disambiguate(
+                        sentences, spots, audit=obs.audit
+                    ).on_topic
+                    span.set_attribute("on_topic", len(spots))
+            result.stats.spots_on_topic = len(spots)
 
-        spots_by_sentence: dict[int, list[Spot]] = {}
-        for spot in spots:
-            spots_by_sentence.setdefault(spot.sentence_index, []).append(spot)
-        for index, sentence_spots in sorted(spots_by_sentence.items()):
-            sentence = sentences[index]
-            tagged = self._analyzer.tag(sentence)
-            judgments = self._analyzer.judge_spots(tagged, sentence_spots)
-            judgments = self._widen_with_context(sentences, index, judgments)
-            self._record(result, judgments)
+            spots_by_sentence: dict[int, list[Spot]] = {}
+            for spot in spots:
+                spots_by_sentence.setdefault(spot.sentence_index, []).append(spot)
+            with tracer.span(
+                "stage.analyze", sentences_with_spots=len(spots_by_sentence)
+            ):
+                obs.clock.advance(STAGE_COST)
+                for index, sentence_spots in sorted(spots_by_sentence.items()):
+                    sentence = sentences[index]
+                    tagged = self._analyzer.tag(sentence)
+                    judgments = self._analyzer.judge_spots(tagged, sentence_spots)
+                    judgments, inherited = self._widen_with_context(
+                        sentences, index, judgments
+                    )
+                    self._record(result, judgments, context_inherited=inherited)
+            doc_span.set_attribute("judgments", len(result.judgments))
+        self._publish(result)
+        result.audit = obs.audit.since(audit_mark)
         return result
 
     def _widen_with_context(
@@ -118,7 +155,7 @@ class SentimentMiner:
         sentences: list,
         index: int,
         judgments: list[SentimentJudgment],
-    ) -> list[SentimentJudgment]:
+    ) -> tuple[list[SentimentJudgment], frozenset[int]]:
         """Context-window attribution for anaphora.
 
         When the window rule includes neighbouring sentences, a spot left
@@ -127,12 +164,17 @@ class SentimentMiner:
         superb.") — the paper's "possibly some surrounding text of the
         sentence determined by the sentiment context window formation
         rule".
+
+        Returns the (possibly rewritten) judgments plus the positions
+        that inherited their polarity from the window, so the audit
+        trail can label them ``context-window`` rather than
+        ``pattern-match``.
         """
         rule = self._context_builder.rule
         if rule.sentences_after == 0 and rule.sentences_before == 0:
-            return judgments
+            return judgments, frozenset()
         if all(j.polarity.is_polar for j in judgments):
-            return judgments
+            return judgments, frozenset()
         neighbor_indices = [
             i
             for i in range(index - rule.sentences_before, index + rule.sentences_after + 1)
@@ -148,12 +190,14 @@ class SentimentMiner:
                 provenance = assignment.provenance
                 break
         if inherited is None:
-            return judgments
+            return judgments, frozenset()
         widened = []
-        for judgment in judgments:
+        inherited_positions = set()
+        for position, judgment in enumerate(judgments):
             if judgment.polarity.is_polar:
                 widened.append(judgment)
             else:
+                inherited_positions.add(position)
                 widened.append(
                     SentimentJudgment(
                         spot=judgment.spot,
@@ -162,17 +206,21 @@ class SentimentMiner:
                         sentence_span=judgment.sentence_span,
                     )
                 )
-        return widened
+        return widened, frozenset(inherited_positions)
 
     def mine_corpus(
         self, documents: Iterable[tuple[str, str]]
     ) -> MiningResult:
         """Mine ``(document_id, text)`` pairs; results are concatenated."""
         total = MiningResult()
-        for document_id, text in documents:
-            result = self.mine_document(text, document_id)
-            total.judgments.extend(result.judgments)
-            total.stats.merge(result.stats)
+        with self._obs.tracer.span("mine.corpus", mode="A") as span:
+            for document_id, text in documents:
+                result = self.mine_document(text, document_id)
+                total.judgments.extend(result.judgments)
+                total.stats.merge(result.stats)
+                total.audit.extend(result.audit)
+            span.set_attribute("documents", total.stats.documents)
+            span.set_attribute("judgments", len(total.judgments))
         return total
 
     def contexts(self, text: str, document_id: str = "") -> Iterator:
@@ -191,37 +239,87 @@ class SentimentMiner:
         Only sentiment-bearing sentences are analyzed, mirroring the
         paper's offline whole-corpus pass that feeds the sentiment index.
         """
+        obs = self._obs
+        audit_mark = obs.audit.mark()
         result = MiningResult()
         result.stats.documents = 1
-        sentences = self._splitter.split_text(text)
-        result.stats.sentences = len(sentences)
-        for sentence in sentences:
-            tagged = self._analyzer.tag(sentence)
-            spots = self._ne_spotter.spot_sentence(tagged, document_id)
-            result.stats.spots_found += len(spots)
-            if not spots or not self._analyzer.bears_sentiment(tagged):
-                continue
-            result.stats.spots_on_topic += len(spots)
-            judgments = self._analyzer.judge_spots(tagged, spots)
-            self._record(result, judgments)
+        with obs.tracer.span(
+            "mine.document", document_id=document_id, mode="B"
+        ) as doc_span:
+            sentences = self._splitter.split_text(text)
+            result.stats.sentences = len(sentences)
+            obs.clock.advance(STAGE_COST)
+            for sentence in sentences:
+                tagged = self._analyzer.tag(sentence)
+                spots = self._ne_spotter.spot_sentence(tagged, document_id)
+                result.stats.spots_found += len(spots)
+                if not spots or not self._analyzer.bears_sentiment(tagged):
+                    continue
+                result.stats.spots_on_topic += len(spots)
+                judgments = self._analyzer.judge_spots(tagged, spots)
+                self._record(result, judgments)
+            doc_span.set_attribute("judgments", len(result.judgments))
+        self._publish(result)
+        result.audit = obs.audit.since(audit_mark)
         return result
 
     def mine_open_corpus(self, documents: Iterable[tuple[str, str]]) -> MiningResult:
         """Mode B over ``(document_id, text)`` pairs."""
         total = MiningResult()
-        for document_id, text in documents:
-            result = self.mine_open_document(text, document_id)
-            total.judgments.extend(result.judgments)
-            total.stats.merge(result.stats)
+        with self._obs.tracer.span("mine.corpus", mode="B") as span:
+            for document_id, text in documents:
+                result = self.mine_open_document(text, document_id)
+                total.judgments.extend(result.judgments)
+                total.stats.merge(result.stats)
+                total.audit.extend(result.audit)
+            span.set_attribute("documents", total.stats.documents)
+            span.set_attribute("judgments", len(total.judgments))
         return total
 
     # -- shared ------------------------------------------------------------------------
 
-    @staticmethod
-    def _record(result: MiningResult, judgments: list[SentimentJudgment]) -> None:
-        for judgment in judgments:
+    def _record(
+        self,
+        result: MiningResult,
+        judgments: list[SentimentJudgment],
+        context_inherited: frozenset[int] = frozenset(),
+    ) -> None:
+        """Accumulate judgments into *result*, auditing each decision."""
+        audit = self._obs.audit
+        for position, judgment in enumerate(judgments):
             result.judgments.append(judgment)
             if judgment.polarity is Polarity.NEUTRAL:
                 result.stats.judgments_neutral += 1
             else:
                 result.stats.judgments_polar += 1
+            if not audit.enabled:
+                continue
+            provenance = judgment.provenance
+            if position in context_inherited:
+                reason = CONTEXT_WINDOW
+            elif provenance is not None and provenance.pattern:
+                reason = PATTERN_MATCH
+            else:
+                reason = NO_MATCH
+            audit.record_sentiment(
+                judgment.subject_name,
+                judgment.polarity.value,
+                reason,
+                document_id=judgment.spot.document_id,
+                sentence_index=judgment.spot.sentence_index,
+                pattern=provenance.pattern if provenance else "",
+                predicate=provenance.predicate if provenance else "",
+                lexicon_entries=tuple(provenance.sentiment_words) if provenance else (),
+                negated=bool(provenance.negated) if provenance else False,
+            )
+
+    def _publish(self, result: MiningResult) -> None:
+        """Mirror the run's :class:`MiningStats` into the metrics registry."""
+        metrics = self._obs.metrics
+        stats = result.stats
+        metrics.counter("miner.documents").inc(stats.documents)
+        metrics.counter("miner.sentences").inc(stats.sentences)
+        metrics.counter("miner.spots_found").inc(stats.spots_found)
+        metrics.counter("miner.spots_on_topic").inc(stats.spots_on_topic)
+        metrics.counter("miner.judgments_polar").inc(stats.judgments_polar)
+        metrics.counter("miner.judgments_neutral").inc(stats.judgments_neutral)

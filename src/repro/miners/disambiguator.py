@@ -9,6 +9,7 @@ pipeline statistics survive).
 from __future__ import annotations
 
 from ..core.disambiguation import Disambiguator
+from ..obs import Obs
 from ..platform.entity import Entity
 from ..platform.miners import EntityMiner
 from . import base
@@ -21,15 +22,20 @@ class DisambiguatorMiner(EntityMiner):
     requires = (base.TOKEN_LAYER, base.SENTENCE_LAYER, base.SPOT_LAYER)
     provides = (base.SPOT_LAYER,)
 
-    def __init__(self, disambiguator: Disambiguator):
+    def __init__(self, disambiguator: Disambiguator, obs: Obs | None = None):
         self._disambiguator = disambiguator
+        self._obs = obs if obs is not None else Obs.default()
 
     def process(self, entity: Entity) -> None:
         sentences = base.sentences_from(entity)
         spots = base.spots_from(entity)
-        result = self._disambiguator.disambiguate(sentences, spots)
+        result = self._disambiguator.disambiguate(
+            sentences, spots, audit=self._obs.audit
+        )
         entity.metadata["spots_found"] = len(spots)
         entity.metadata["spots_on_topic"] = len(result.on_topic)
+        self._obs.metrics.counter("miner.spots_found").inc(len(spots))
+        self._obs.metrics.counter("miner.spots_on_topic").inc(len(result.on_topic))
         entity.clear_layer(base.SPOT_LAYER)
         for spot in result.on_topic:
             base.annotate_spot(entity, spot)

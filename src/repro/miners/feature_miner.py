@@ -15,6 +15,7 @@ from typing import Iterable
 
 from ..core.features import FeatureExtractionConfig, FeatureExtractor, likelihood_ratio
 from ..core.model import FeatureTerm
+from ..obs import Obs
 from ..platform.entity import Entity
 from ..platform.miners import CorpusMiner
 
@@ -43,11 +44,13 @@ class FeatureTermMiner(CorpusMiner[FeaturePartial]):
         topic: str,
         config: FeatureExtractionConfig | None = None,
         domain_field: str = "domain",
+        obs: Obs | None = None,
     ):
         self._topic = topic
         self._config = config or FeatureExtractionConfig()
         self._domain_field = domain_field
         self._extractor = FeatureExtractor(self._config)
+        self._obs = obs if obs is not None else Obs.default()
 
     # -- map -----------------------------------------------------------------------------
 
@@ -62,14 +65,26 @@ class FeatureTermMiner(CorpusMiner[FeaturePartial]):
                 dminus_texts.append(entity.content)
         partial.dplus_docs = len(dplus_texts)
         partial.dminus_docs = len(dminus_texts)
-        # Candidates come from D+ only (the paper extracts from reviews).
-        candidate_sets = [set(self._extractor.candidate_phrases(t)) for t in dplus_texts]
-        candidates = set().union(*candidate_sets) if candidate_sets else set()
-        for doc_candidates in candidate_sets:
-            partial.dplus_df.update(doc_candidates)
-        for text in dminus_texts:
-            present = self._present_in(text, candidates)
-            partial.dminus_df.update(present)
+        with self._obs.tracer.span(
+            "stage.extract_features",
+            dplus=partial.dplus_docs,
+            dminus=partial.dminus_docs,
+        ) as span:
+            # Candidates come from D+ only (the paper extracts from reviews).
+            candidate_sets = [
+                set(self._extractor.candidate_phrases(t)) for t in dplus_texts
+            ]
+            candidates = set().union(*candidate_sets) if candidate_sets else set()
+            for doc_candidates in candidate_sets:
+                partial.dplus_df.update(doc_candidates)
+            for text in dminus_texts:
+                present = self._present_in(text, candidates)
+                partial.dminus_df.update(present)
+            span.set_attribute("candidates", len(candidates))
+        self._obs.metrics.counter("features.documents").inc(
+            partial.dplus_docs + partial.dminus_docs
+        )
+        self._obs.metrics.counter("features.candidates").inc(len(partial.dplus_df))
         return partial
 
     def _present_in(self, text: str, candidates: set[str]) -> set[str]:

@@ -17,9 +17,29 @@ from __future__ import annotations
 
 from ..core.analyzer import SentimentAnalyzer
 from ..core.model import Polarity, SentimentJudgment, Spot, Subject
+from ..obs import Obs
+from ..obs.audit import NO_MATCH, PATTERN_MATCH
 from ..platform.entity import Annotation, Entity
 from ..platform.miners import EntityMiner
 from . import base
+
+
+def _audit_judgment(obs: Obs, judgment: SentimentJudgment) -> None:
+    """Record why a judgment resolved the way it did."""
+    if not obs.audit.enabled:
+        return
+    provenance = judgment.provenance
+    obs.audit.record_sentiment(
+        judgment.subject_name,
+        judgment.polarity.value,
+        PATTERN_MATCH if provenance is not None and provenance.pattern else NO_MATCH,
+        document_id=judgment.spot.document_id,
+        sentence_index=judgment.spot.sentence_index,
+        pattern=provenance.pattern if provenance else "",
+        predicate=provenance.predicate if provenance else "",
+        lexicon_entries=tuple(provenance.sentiment_words) if provenance else (),
+        negated=bool(provenance.negated) if provenance else False,
+    )
 
 
 def _annotate_judgment(entity: Entity, judgment: SentimentJudgment) -> None:
@@ -62,8 +82,14 @@ class SentimentEntityMiner(EntityMiner):
     requires = (base.TOKEN_LAYER, base.SENTENCE_LAYER, base.SPOT_LAYER)
     provides = (base.SENTIMENT_LAYER,)
 
-    def __init__(self, analyzer: SentimentAnalyzer | None = None, polar_only: bool = False):
-        self._analyzer = analyzer or SentimentAnalyzer()
+    def __init__(
+        self,
+        analyzer: SentimentAnalyzer | None = None,
+        polar_only: bool = False,
+        obs: Obs | None = None,
+    ):
+        self._obs = obs if obs is not None else Obs.default()
+        self._analyzer = analyzer or SentimentAnalyzer(obs=self._obs)
         self._polar_only = polar_only
 
     @property
@@ -86,6 +112,7 @@ class SentimentEntityMiner(EntityMiner):
             for judgment in self._analyzer.judge_spots(tagged, sentence_spots):
                 if self._polar_only and not judgment.polarity.is_polar:
                     continue
+                _audit_judgment(self._obs, judgment)
                 _annotate_judgment(entity, judgment)
 
 
@@ -96,8 +123,9 @@ class OpenSentimentEntityMiner(EntityMiner):
     requires = (base.TOKEN_LAYER, base.SENTENCE_LAYER, base.POS_LAYER, base.ENTITY_LAYER)
     provides = (base.SENTIMENT_LAYER,)
 
-    def __init__(self, analyzer: SentimentAnalyzer | None = None):
-        self._analyzer = analyzer or SentimentAnalyzer()
+    def __init__(self, analyzer: SentimentAnalyzer | None = None, obs: Obs | None = None):
+        self._obs = obs if obs is not None else Obs.default()
+        self._analyzer = analyzer or SentimentAnalyzer(obs=self._obs)
 
     def process(self, entity: Entity) -> None:
         entity.clear_layer(base.SENTIMENT_LAYER)
@@ -122,4 +150,5 @@ class OpenSentimentEntityMiner(EntityMiner):
                 continue
             for judgment in self._analyzer.judge_spots(tagged, sentence_spots):
                 if judgment.polarity.is_polar:
+                    _audit_judgment(self._obs, judgment)
                     _annotate_judgment(entity, judgment)

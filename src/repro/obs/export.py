@@ -1,0 +1,167 @@
+"""Exporters: JSONL dumps and the pretty console span tree.
+
+One JSONL file carries the whole observability picture of a run — span
+records, metric series, and audit entries interleaved, one JSON object
+per line with a ``type`` discriminator — so ``repro trace run.jsonl``
+can re-render everything offline and benchmarks can parse it.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import IO, Any, Iterable
+
+from .audit import AuditEntry
+from .metrics import MetricsRegistry, format_series
+from .tracer import Span, walk
+
+
+@dataclass
+class TraceDump:
+    """A parsed JSONL observability dump."""
+
+    spans: list[Span] = field(default_factory=list)
+    metrics: list[dict[str, Any]] = field(default_factory=list)
+    audit: list[AuditEntry] = field(default_factory=list)
+
+    @property
+    def empty(self) -> bool:
+        return not (self.spans or self.metrics or self.audit)
+
+
+def write_records(stream: IO[str], records: Iterable[dict[str, Any]]) -> int:
+    """Write records as JSONL; returns the number of lines written."""
+    count = 0
+    for record in records:
+        stream.write(json.dumps(record, sort_keys=True, default=str) + "\n")
+        count += 1
+    return count
+
+
+def dump_records(
+    spans: Iterable[Span] = (),
+    metrics: MetricsRegistry | None = None,
+    audit: Iterable[AuditEntry] = (),
+) -> list[dict[str, Any]]:
+    """Assemble the JSONL record stream for one run."""
+    records: list[dict[str, Any]] = [s.to_record() for s in spans]
+    if metrics is not None:
+        records.extend(metrics.to_records())
+    records.extend(e.to_record() for e in audit)
+    return records
+
+
+def write_trace(
+    path: str,
+    spans: Iterable[Span] = (),
+    metrics: MetricsRegistry | None = None,
+    audit: Iterable[AuditEntry] = (),
+) -> int:
+    """Write one run's spans/metrics/audit to *path*; returns line count."""
+    with open(path, "w", encoding="utf-8") as stream:
+        return write_records(stream, dump_records(spans, metrics, audit))
+
+
+def read_trace(path: str) -> TraceDump:
+    """Parse a JSONL dump back into spans, metric records, audit entries."""
+    dump = TraceDump()
+    with open(path, "r", encoding="utf-8") as stream:
+        for line in stream:
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            kind = record.get("type")
+            if kind == "span":
+                dump.spans.append(Span.from_record(record))
+            elif kind == "metric":
+                dump.metrics.append(record)
+            elif kind == "audit":
+                dump.audit.append(AuditEntry.from_record(record))
+    return dump
+
+
+# -- console rendering ------------------------------------------------------------
+
+
+def _format_attrs(attributes: dict[str, Any]) -> str:
+    if not attributes:
+        return ""
+    inner = " ".join(f"{k}={v}" for k, v in attributes.items())
+    return f"  [{inner}]"
+
+
+def render_span_tree(spans: list[Span]) -> str:
+    """Indented tree of a span forest, with simulated durations."""
+    if not spans:
+        return "(no spans)"
+    lines: list[str] = []
+    entries = list(walk(spans))
+    for position, (span, depth) in enumerate(entries):
+        # Box-drawing guides: is this span the last child at its depth?
+        later_depths = [d for _, d in entries[position + 1 :]]
+        has_later_sibling = False
+        for d in later_depths:
+            if d < depth:
+                break
+            if d == depth:
+                has_later_sibling = True
+                break
+        if depth == 0:
+            prefix = ""
+        else:
+            prefix = "   " * (depth - 1) + ("├─ " if has_later_sibling else "└─ ")
+        status = "" if span.status == "ok" else f" !{span.status}"
+        duration = f" ({span.duration:.3f}u)" if span.finished else " (open)"
+        lines.append(f"{prefix}{span.name}{duration}{status}{_format_attrs(span.attributes)}")
+    return "\n".join(lines)
+
+
+def render_metric_records(records: list[dict[str, Any]]) -> str:
+    """One line per metric series, matching ``MetricsRegistry.render``."""
+    lines = []
+    for record in records:
+        labels = tuple(sorted((k, str(v)) for k, v in record.get("labels", {}).items()))
+        key = format_series(record["name"], labels)
+        if record.get("kind") == "histogram":
+            lines.append(f"{key}  count={record['count']:g} sum={record['sum']:g}")
+        else:
+            lines.append(f"{key}  {record['value']:g}")
+    return "\n".join(lines)
+
+
+def render_audit(entries: list[AuditEntry], limit: int | None = None) -> str:
+    """Compact per-decision listing of an audit trail."""
+    shown = entries if limit is None else entries[:limit]
+    lines = []
+    for entry in shown:
+        bits = [f"{entry.kind}:{entry.subject}", f"-> {entry.decision}", f"({entry.reason})"]
+        if entry.pattern:
+            bits.append(f"pattern[{entry.pattern}]")
+        if entry.lexicon_entries:
+            bits.append("words[" + ", ".join(entry.lexicon_entries) + "]")
+        if entry.negated:
+            bits.append("negated")
+        if entry.document_id:
+            bits.append(f"doc={entry.document_id}")
+        lines.append(" ".join(bits))
+    if limit is not None and len(entries) > limit:
+        lines.append(f"... {len(entries) - limit} more")
+    return "\n".join(lines) if lines else "(no audit entries)"
+
+
+def render_dump(dump: TraceDump) -> str:
+    """Full console rendering of a parsed JSONL dump."""
+    sections = []
+    if dump.spans:
+        sections.append(
+            f"spans ({len(dump.spans)}):\n{render_span_tree(dump.spans)}"
+        )
+    if dump.audit:
+        sections.append(f"audit ({len(dump.audit)}):\n{render_audit(dump.audit, limit=40)}")
+    if dump.metrics:
+        sections.append(
+            f"metrics ({len(dump.metrics)}):\n{render_metric_records(dump.metrics)}"
+        )
+    return "\n\n".join(sections) if sections else "(empty trace)"

@@ -1,0 +1,237 @@
+"""Hierarchical spans over the simulated clock.
+
+A :class:`Tracer` produces a tree of :class:`Span` objects: a root span
+per document (or per cluster run), child spans per pipeline stage and
+per Vinci request.  Timestamps come from a :class:`~repro.obs.clock.SimClock`
+so durations are *simulated cost*, not wall time, and traces are
+deterministic.
+
+Instrumentation sites write ``with tracer.span("stage", key=value):``.
+The default tracer everywhere is :data:`NULL_TRACER`, whose ``span()``
+returns one shared inert object — no allocation, no bookkeeping — which
+is what makes tracing zero-cost when disabled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+from .clock import SimClock
+
+#: Span status values.
+OK = "ok"
+ERROR = "error"
+
+
+@dataclass
+class Span:
+    """One timed operation; ``parent_id`` links spans into a tree."""
+
+    name: str
+    span_id: int
+    parent_id: int | None
+    start: float
+    end: float | None = None
+    status: str = OK
+    error: str = ""
+    attributes: dict[str, Any] = field(default_factory=dict)
+
+    def set_attribute(self, key: str, value: Any) -> None:
+        self.attributes[key] = value
+
+    @property
+    def duration(self) -> float:
+        return (self.end - self.start) if self.end is not None else 0.0
+
+    @property
+    def finished(self) -> bool:
+        return self.end is not None
+
+    def to_record(self) -> dict[str, Any]:
+        return {
+            "type": "span",
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "start": self.start,
+            "end": self.end,
+            "status": self.status,
+            "error": self.error,
+            "attributes": dict(self.attributes),
+        }
+
+    @classmethod
+    def from_record(cls, record: dict[str, Any]) -> "Span":
+        return cls(
+            name=record["name"],
+            span_id=record["span_id"],
+            parent_id=record.get("parent_id"),
+            start=record.get("start", 0.0),
+            end=record.get("end"),
+            status=record.get("status", OK),
+            error=record.get("error", ""),
+            attributes=dict(record.get("attributes", {})),
+        )
+
+
+class _SpanContext:
+    """Context manager binding one live span to its tracer's stack."""
+
+    __slots__ = ("_tracer", "span")
+
+    def __init__(self, tracer: "Tracer", span: Span):
+        self._tracer = tracer
+        self.span = span
+
+    def __enter__(self) -> Span:
+        return self.span
+
+    def __exit__(self, exc_type, exc, _tb) -> bool:
+        if exc_type is not None:
+            self.span.status = ERROR
+            self.span.error = f"{exc_type.__name__}: {exc}"
+        self._tracer._finish(self.span)
+        return False
+
+
+class Tracer:
+    """Collects spans into a forest ordered by start time."""
+
+    enabled = True
+
+    def __init__(self, clock: SimClock | None = None):
+        self.clock = clock or SimClock()
+        self._spans: list[Span] = []
+        self._stack: list[Span] = []
+        self._next_id = 1
+
+    # -- span lifecycle ---------------------------------------------------------
+
+    def span(self, name: str, **attributes: Any) -> _SpanContext:
+        """Open a child of the current span (or a new root)."""
+        self.clock.tick()
+        span = Span(
+            name=name,
+            span_id=self._next_id,
+            parent_id=self._stack[-1].span_id if self._stack else None,
+            start=self.clock.now,
+            attributes=attributes,
+        )
+        self._next_id += 1
+        self._spans.append(span)
+        self._stack.append(span)
+        return _SpanContext(self, span)
+
+    def _finish(self, span: Span) -> None:
+        span.end = self.clock.now
+        # Pop through abandoned children so an exception cannot leave the
+        # stack pointing at a finished span.
+        while self._stack:
+            top = self._stack.pop()
+            if top is span:
+                break
+
+    @property
+    def current(self) -> Span | None:
+        return self._stack[-1] if self._stack else None
+
+    # -- introspection ----------------------------------------------------------
+
+    def spans(self) -> list[Span]:
+        """Every span started so far, in start order."""
+        return list(self._spans)
+
+    def roots(self) -> list[Span]:
+        return [s for s in self._spans if s.parent_id is None]
+
+    def children(self, span: Span) -> list[Span]:
+        return [s for s in self._spans if s.parent_id == span.span_id]
+
+    def find(self, name: str) -> list[Span]:
+        return [s for s in self._spans if s.name == name]
+
+    def clear(self) -> None:
+        self._spans.clear()
+        self._stack.clear()
+        self._next_id = 1
+
+
+class _NullSpan:
+    """Shared inert span: accepts the Span surface, records nothing."""
+
+    __slots__ = ()
+    name = ""
+    span_id = 0
+    parent_id = None
+    start = 0.0
+    end = 0.0
+    status = OK
+    error = ""
+    duration = 0.0
+    finished = True
+
+    @property
+    def attributes(self) -> dict[str, Any]:
+        return {}
+
+    def set_attribute(self, key: str, value: Any) -> None:
+        pass
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """The zero-cost default: every ``span()`` is the same inert object."""
+
+    enabled = False
+    clock = SimClock()
+
+    def span(self, name: str, **attributes: Any) -> _NullSpan:
+        return NULL_SPAN
+
+    @property
+    def current(self) -> None:
+        return None
+
+    def spans(self) -> list[Span]:
+        return []
+
+    def roots(self) -> list[Span]:
+        return []
+
+    def find(self, name: str) -> list[Span]:
+        return []
+
+    def clear(self) -> None:
+        pass
+
+
+NULL_TRACER = NullTracer()
+
+
+def walk(spans: list[Span]) -> Iterator[tuple[Span, int]]:
+    """Depth-first (span, depth) traversal of a span forest.
+
+    Children are visited in start order; orphans (parent missing from the
+    list, e.g. a truncated dump) are promoted to roots rather than lost.
+    """
+    by_parent: dict[int | None, list[Span]] = {}
+    ids = {s.span_id for s in spans}
+    for span in spans:
+        parent = span.parent_id if span.parent_id in ids else None
+        by_parent.setdefault(parent, []).append(span)
+
+    def visit(parent: int | None, depth: int) -> Iterator[tuple[Span, int]]:
+        for span in by_parent.get(parent, ()):
+            yield span, depth
+            yield from visit(span.span_id, depth + 1)
+
+    yield from visit(None, 0)

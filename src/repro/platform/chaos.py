@@ -36,6 +36,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Iterator, TypeVar
 
+from ..obs import Obs
 from .cluster import Cluster, ClusterRunReport
 from .datastore import DataStore
 from .faults import FaultPlan
@@ -146,6 +147,7 @@ def run_pipeline_chaos(
     plan: FaultPlan | None = None,
     node_death_rate: float = 0.25,
     service_failure_rate: float = 0.3,
+    obs: Obs | None = None,
 ) -> ChaosOutcome:
     """One seeded chaos run of an entity-miner pipeline."""
     store = store_factory()
@@ -163,6 +165,7 @@ def run_pipeline_chaos(
         replication=replication,
         fault_plan=plan,
         retry_policy=retry_policy,
+        obs=obs,
     )
     total = len(store)
     report = cluster.run_pipeline(pipeline_factory())
@@ -185,6 +188,7 @@ def run_corpus_chaos(
     plan: FaultPlan | None = None,
     node_death_rate: float = 0.25,
     service_failure_rate: float = 0.3,
+    obs: Obs | None = None,
 ) -> ChaosOutcome:
     """One seeded chaos run of a corpus miner (map per partition, reduce)."""
     store = store_factory()
@@ -202,6 +206,7 @@ def run_corpus_chaos(
         replication=replication,
         fault_plan=plan,
         retry_policy=retry_policy,
+        obs=obs,
     )
     total = len(store)
     result, report = cluster.run_corpus_miner(miner_factory())

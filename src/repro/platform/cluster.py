@@ -36,6 +36,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TypeVar
 
+from ..obs import Obs
 from .datastore import DataStore
 from .faults import FaultPlan
 from .miners import CorpusMiner, MinerPipeline, PipelineReport
@@ -99,6 +100,27 @@ class ClusterRunReport:
             return 1.0
         return self.total_work / self.makespan
 
+    def to_dict(self) -> dict:
+        """JSON-ready view of the report (``repro platform --json``)."""
+        return {
+            "makespan": self.makespan,
+            "total_work": self.total_work,
+            "speedup": self.speedup,
+            "messages": self.messages,
+            "per_node_work": list(self.per_node_work),
+            "retries": self.retries,
+            "failovers": self.failovers,
+            "dead_nodes": list(self.dead_nodes),
+            "lost_partitions": list(self.lost_partitions),
+            "coverage": self.coverage,
+            "degraded": self.degraded,
+            "pipeline": {
+                "entities_processed": self.pipeline.entities_processed,
+                "miner_runs": dict(self.pipeline.miner_runs),
+                "errors": [list(e) for e in self.pipeline.errors],
+            },
+        }
+
 
 @dataclass
 class _RunPlan:
@@ -122,6 +144,7 @@ class Cluster:
         replication: int = 1,
         fault_plan: FaultPlan | None = None,
         retry_policy: RetryPolicy | None = None,
+        obs: Obs | None = None,
     ):
         if num_nodes < 1:
             raise ValueError("a cluster needs at least one node")
@@ -135,7 +158,16 @@ class Cluster:
             )
         self._store = store
         self._fault_plan = fault_plan
-        self._bus = bus or VinciBus(retry_policy=retry_policy, fault_plan=fault_plan)
+        # The cluster, its bus, and every instrumented component below
+        # share one Obs context (tracer + metrics + simulated clock).
+        if bus is not None:
+            self._obs = obs if obs is not None else bus.obs
+            self._bus = bus
+        else:
+            self._obs = obs if obs is not None else Obs.default()
+            self._bus = VinciBus(
+                retry_policy=retry_policy, fault_plan=fault_plan, obs=self._obs
+            )
         self._nodes = [Node(node_id=i) for i in range(num_nodes)]
         self._replication = replication
         # Primary assignment stays round-robin; replica owners are the
@@ -164,6 +196,10 @@ class Cluster:
     @property
     def bus(self) -> VinciBus:
         return self._bus
+
+    @property
+    def obs(self) -> Obs:
+        return self._obs
 
     @property
     def replication(self) -> int:
@@ -203,27 +239,43 @@ class Cluster:
         total_report = PipelineReport()
         processed_entities = 0
         senders: list[Node] = []
-        for node, partition_id, _failover in run_plan.assignments:
-            partition = self._store.partition(partition_id)
-            entities = list(partition.scan())
-            for entity in entities:
-                pipeline.process_entity(entity, total_report)
-                partition.put(entity)
-            node.charge(len(entities))
-            processed_entities += len(entities)
-            if node not in senders:
-                senders.append(node)
-        for node in senders:
-            self._send_coordinator_message(node)
-        return self._report(
-            total_report,
-            reduce_partials=0,
-            run_plan=run_plan,
-            processed_entities=processed_entities,
-            total_entities=total_entities,
-            retries=self._bus.retry_stats.retries - retries_before,
-            backoff_cost=self._bus.retry_stats.backoff_cost - backoff_before,
-        )
+        with self._obs.tracer.span(
+            "cluster.run",
+            kind="pipeline",
+            nodes=len(self._nodes),
+            partitions=self._store.num_partitions,
+            entities=total_entities,
+        ) as run_span:
+            for node, partition_id, failover in run_plan.assignments:
+                partition = self._store.partition(partition_id)
+                entities = list(partition.scan())
+                with self._obs.tracer.span(
+                    "cluster.partition",
+                    node=node.node_id,
+                    partition=partition_id,
+                    failover=failover,
+                    entities=len(entities),
+                ):
+                    for entity in entities:
+                        pipeline.process_entity(entity, total_report)
+                        partition.put(entity)
+                    node.charge(len(entities))
+                    self._obs.clock.advance(len(entities) * ENTITY_COST)
+                processed_entities += len(entities)
+                if node not in senders:
+                    senders.append(node)
+            for node in senders:
+                self._send_coordinator_message(node)
+            return self._report(
+                total_report,
+                reduce_partials=0,
+                run_plan=run_plan,
+                processed_entities=processed_entities,
+                total_entities=total_entities,
+                retries=self._bus.retry_stats.retries - retries_before,
+                backoff_cost=self._bus.retry_stats.backoff_cost - backoff_before,
+                run_span=run_span,
+            )
 
     # -- distributed corpus mining -----------------------------------------------------------
 
@@ -244,27 +296,46 @@ class Cluster:
         total_report = PipelineReport()
         processed_entities = 0
         senders: list[Node] = []
-        for node, partition_id, _failover in run_plan.assignments:
-            entities = list(self._store.partition(partition_id).scan())
-            partials_by_partition[partition_id] = miner.map_partition(entities)
-            node.charge(len(entities))
-            processed_entities += len(entities)
-            total_report.entities_processed += len(entities)
-            if node not in senders:
-                senders.append(node)
-        for node in senders:
-            self._send_coordinator_message(node)
-        partials = [partials_by_partition[pid] for pid in sorted(partials_by_partition)]
-        result = miner.reduce(partials)
-        report = self._report(
-            total_report,
-            reduce_partials=len(partials),
-            run_plan=run_plan,
-            processed_entities=processed_entities,
-            total_entities=total_entities,
-            retries=self._bus.retry_stats.retries - retries_before,
-            backoff_cost=self._bus.retry_stats.backoff_cost - backoff_before,
-        )
+        with self._obs.tracer.span(
+            "cluster.run",
+            kind="corpus",
+            miner=miner.name,
+            nodes=len(self._nodes),
+            partitions=self._store.num_partitions,
+            entities=total_entities,
+        ) as run_span:
+            for node, partition_id, failover in run_plan.assignments:
+                entities = list(self._store.partition(partition_id).scan())
+                with self._obs.tracer.span(
+                    "cluster.partition",
+                    node=node.node_id,
+                    partition=partition_id,
+                    failover=failover,
+                    entities=len(entities),
+                ):
+                    partials_by_partition[partition_id] = miner.map_partition(entities)
+                    node.charge(len(entities))
+                    self._obs.clock.advance(len(entities) * ENTITY_COST)
+                processed_entities += len(entities)
+                total_report.entities_processed += len(entities)
+                if node not in senders:
+                    senders.append(node)
+            for node in senders:
+                self._send_coordinator_message(node)
+            partials = [partials_by_partition[pid] for pid in sorted(partials_by_partition)]
+            with self._obs.tracer.span("cluster.reduce", partials=len(partials)):
+                self._obs.clock.advance(len(partials) * REDUCE_COST_PER_PARTIAL)
+                result = miner.reduce(partials)
+            report = self._report(
+                total_report,
+                reduce_partials=len(partials),
+                run_plan=run_plan,
+                processed_entities=processed_entities,
+                total_entities=total_entities,
+                retries=self._bus.retry_stats.retries - retries_before,
+                backoff_cost=self._bus.retry_stats.backoff_cost - backoff_before,
+                run_span=run_span,
+            )
         return result, report
 
     # -- internals -------------------------------------------------------------------------------
@@ -313,12 +384,15 @@ class Cluster:
         self._messages += 1
         self._run_messages += 1
         node.work_units += MESSAGE_COST
-        try:
-            self._bus.request(COORDINATOR_SERVICE, {"node": node.node_id})
-        except VinciError:
-            # The ack is bookkeeping; the node's results already live in
-            # the store, so a lost ack degrades nothing.
-            self._lost_acks += 1
+        with self._obs.tracer.span("cluster.ack", node=node.node_id) as span:
+            self._obs.clock.advance(MESSAGE_COST)
+            try:
+                self._bus.request(COORDINATOR_SERVICE, {"node": node.node_id})
+            except VinciError as exc:
+                # The ack is bookkeeping; the node's results already live in
+                # the store, so a lost ack degrades nothing.
+                self._lost_acks += 1
+                span.set_attribute("lost_ack", str(exc))
 
     def _report(
         self,
@@ -329,6 +403,7 @@ class Cluster:
         total_entities: int | None = None,
         retries: int = 0,
         backoff_cost: float = 0.0,
+        run_span=None,
     ) -> ClusterRunReport:
         per_node = [node.work_units for node in self._nodes]
         reduce_cost = reduce_partials * REDUCE_COST_PER_PARTIAL
@@ -353,8 +428,37 @@ class Cluster:
             coverage=coverage,
             degraded=coverage < 1.0,
         )
+        self._publish_report(report)
+        if run_span is not None:
+            run_span.set_attribute("makespan", report.makespan)
+            run_span.set_attribute("coverage", report.coverage)
+            run_span.set_attribute("degraded", report.degraded)
+            run_span.set_attribute("retries", report.retries)
+            run_span.set_attribute("failovers", report.failovers)
+            run_span.set_attribute("dead_nodes", list(report.dead_nodes))
+            run_span.set_attribute("lost_partitions", list(report.lost_partitions))
         # Work and message counters are per-run: reset after reporting.
         for node in self._nodes:
             node.work_units = 0.0
         self._run_messages = 0
         return report
+
+    def _publish_report(self, report: ClusterRunReport) -> None:
+        """Mirror the run report into the shared metrics registry."""
+        metrics = self._obs.metrics
+        metrics.counter("cluster.runs").inc()
+        metrics.counter("cluster.entities_processed").inc(
+            report.pipeline.entities_processed
+        )
+        metrics.counter("cluster.messages").inc(report.messages)
+        metrics.counter("cluster.retries").inc(report.retries)
+        metrics.counter("cluster.failovers").inc(report.failovers)
+        metrics.counter("cluster.lost_partitions").inc(len(report.lost_partitions))
+        metrics.counter("cluster.degraded_runs").inc(1 if report.degraded else 0)
+        metrics.gauge("cluster.makespan").set(report.makespan)
+        metrics.gauge("cluster.total_work").set(report.total_work)
+        metrics.gauge("cluster.coverage").set(report.coverage)
+        metrics.gauge("cluster.dead_nodes").set(len(report.dead_nodes))
+        metrics.histogram("cluster.node_work").observe(
+            max(report.per_node_work, default=0.0)
+        )

@@ -14,7 +14,9 @@ retried schedules stay deterministic run-to-run.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+
+from ..obs.metrics import MetricsRegistry
 
 
 @dataclass(frozen=True)
@@ -61,20 +63,68 @@ class RetryPolicy:
 NO_RETRY = RetryPolicy(max_attempts=1, base_backoff=0.0)
 
 
-@dataclass
 class RetryStats:
-    """Counters a bus accumulates while applying a retry policy."""
+    """Counters a bus accumulates while applying a retry policy.
 
-    retries: int = 0
-    backoff_cost: float = 0.0
-    exhausted: int = 0  # requests that failed even after all attempts
-    recovered: int = 0  # requests that succeeded on a retry attempt
-    by_service: dict[str, int] = field(default_factory=dict)
+    Since the observability layer landed this is a *view* over a
+    :class:`~repro.obs.metrics.MetricsRegistry` — the numbers live as
+    ``vinci.retries`` / ``vinci.retry_*`` series in the registry the bus
+    shares with the rest of the run, and this class keeps the historical
+    attribute API (including ``stats.exhausted += 1``) on top of it.
+    """
+
+    _RETRIES = "vinci.retries"
+    _BACKOFF = "vinci.retry_backoff_cost"
+    _EXHAUSTED = "vinci.retry_exhausted"
+    _RECOVERED = "vinci.retry_recovered"
+    _BY_SERVICE = "vinci.retries_by_service"
+
+    def __init__(self, metrics: MetricsRegistry | None = None):
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+
+    @property
+    def retries(self) -> int:
+        return int(self.metrics.value(self._RETRIES))
+
+    @property
+    def backoff_cost(self) -> float:
+        return self.metrics.value(self._BACKOFF)
+
+    @property
+    def exhausted(self) -> int:
+        """Requests that failed even after all attempts."""
+        return int(self.metrics.value(self._EXHAUSTED))
+
+    @exhausted.setter
+    def exhausted(self, value: int) -> None:
+        self.metrics.counter(self._EXHAUSTED).set(value)
+
+    @property
+    def recovered(self) -> int:
+        """Requests that succeeded on a retry attempt."""
+        return int(self.metrics.value(self._RECOVERED))
+
+    @recovered.setter
+    def recovered(self, value: int) -> None:
+        self.metrics.counter(self._RECOVERED).set(value)
+
+    @property
+    def by_service(self) -> dict[str, int]:
+        return {
+            dict(labels)["service"]: int(counter.value)
+            for labels, counter in self.metrics.series(self._BY_SERVICE)
+        }
 
     def record_retry(self, service: str, cost: float) -> None:
-        self.retries += 1
-        self.backoff_cost += cost
-        self.by_service[service] = self.by_service.get(service, 0) + 1
+        self.metrics.counter(self._RETRIES).inc()
+        self.metrics.counter(self._BACKOFF).inc(cost)
+        self.metrics.counter(self._BY_SERVICE, service=service).inc()
+
+    def record_exhausted(self) -> None:
+        self.metrics.counter(self._EXHAUSTED).inc()
+
+    def record_recovered(self) -> None:
+        self.metrics.counter(self._RECOVERED).inc()
 
     def snapshot(self) -> dict[str, float]:
         return {

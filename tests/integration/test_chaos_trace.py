@@ -1,0 +1,121 @@
+"""Acceptance: a traced chaos run explains every retry and failover.
+
+The issue's contract: running the simulated cluster under a seeded fault
+plan with tracing enabled must produce a span tree in which every retry
+and failover counted by :class:`ClusterRunReport` is matched by a span
+carrying node / partition / service / attempt / fault-kind attributes,
+and the JSONL dump renders back to a readable tree.
+"""
+
+import pytest
+
+from repro.corpora import DIGITAL_CAMERA, ReviewGenerator
+from repro.core import Subject
+from repro.miners import SentimentEntityMiner, SpotterMiner, TokenizerMiner
+from repro.obs import Obs, read_trace, render_span_tree
+from repro.platform import DataStore, Entity, MinerPipeline, chaos
+
+pytestmark = pytest.mark.chaos
+
+NODES = 4
+PARTITIONS = 8
+DOCS = 24
+REPLICATION = 2
+
+#: Seeds chosen because their fault schedules produce both retries and
+#: failovers at the test topology (scanned once; deterministic forever).
+SEEDS = (4, 8, 18)
+
+
+def make_store() -> DataStore:
+    docs = ReviewGenerator(DIGITAL_CAMERA, seed=2005).generate_dplus(DOCS)
+    store = DataStore(num_partitions=PARTITIONS)
+    store.store_all(Entity(entity_id=d.doc_id, content=d.text) for d in docs)
+    return store
+
+
+def make_pipeline(obs: Obs) -> MinerPipeline:
+    subjects = [Subject(p) for p in DIGITAL_CAMERA.products] + [
+        Subject(f) for f in DIGITAL_CAMERA.features
+    ]
+    return MinerPipeline(
+        [TokenizerMiner(), SpotterMiner(subjects), SentimentEntityMiner(obs=obs)]
+    )
+
+
+def run_traced(seed: int) -> tuple:
+    obs = Obs.enabled()
+    outcome = chaos.run_pipeline_chaos(
+        make_store,
+        lambda: make_pipeline(obs),
+        seed=seed,
+        num_nodes=NODES,
+        replication=REPLICATION,
+        obs=obs,
+    )
+    return outcome, obs
+
+
+class TestChaosTraceAcceptance:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_every_retry_has_a_matching_attempt_span(self, seed):
+        outcome, obs = run_traced(seed)
+        assert outcome.ok, outcome.violations
+        retry_spans = [
+            s
+            for s in obs.tracer.find("vinci.attempt")
+            if s.attributes["attempt"] > 1
+        ]
+        # One attempt span per retry, each naming service + attempt, and
+        # each retried attempt follows a failed one with a fault kind.
+        assert len(retry_spans) == outcome.report.retries
+        first_tries_failed = [
+            s
+            for s in obs.tracer.find("vinci.attempt")
+            if s.status == "error"
+        ]
+        assert len(first_tries_failed) >= min(1, outcome.report.retries)
+        for span in first_tries_failed:
+            assert span.attributes["service"]
+            assert span.attributes["fault"] in ("error", "timeout")
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_every_failover_has_a_matching_partition_span(self, seed):
+        outcome, obs = run_traced(seed)
+        failover_spans = [
+            s
+            for s in obs.tracer.find("cluster.partition")
+            if s.attributes["failover"]
+        ]
+        assert len(failover_spans) == outcome.report.failovers
+        for span in failover_spans:
+            assert span.attributes["node"] not in outcome.report.dead_nodes
+            assert 0 <= span.attributes["partition"] < PARTITIONS
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_seeds_actually_exercise_retries_and_failovers(self, seed):
+        outcome, _ = run_traced(seed)
+        assert outcome.report.retries > 0
+        assert outcome.report.failovers > 0
+
+    def test_run_span_carries_report_summary(self):
+        outcome, obs = run_traced(SEEDS[0])
+        (run_span,) = obs.tracer.find("cluster.run")
+        assert run_span.attributes["retries"] == outcome.report.retries
+        assert run_span.attributes["failovers"] == outcome.report.failovers
+        assert run_span.attributes["coverage"] == outcome.report.coverage
+        assert run_span.parent_id is None
+
+    def test_dump_roundtrips_and_renders(self, tmp_path):
+        outcome, obs = run_traced(SEEDS[1])
+        path = str(tmp_path / "chaos.jsonl")
+        obs.write(path)
+        dump = read_trace(path)
+        assert len(dump.spans) == len(obs.tracer.spans())
+        text = render_span_tree(dump.spans)
+        assert "cluster.run" in text
+        assert "failover=True" in text
+        assert "attempt=2" in text
+        # Registry mirrors agree with the report.
+        assert obs.metrics.value("cluster.retries") == outcome.report.retries
+        assert obs.metrics.value("cluster.failovers") == outcome.report.failovers

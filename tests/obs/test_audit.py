@@ -1,0 +1,70 @@
+"""Unit tests for the decision audit trail."""
+
+from repro.obs.audit import (
+    FILTERED,
+    KEPT,
+    NULL_AUDIT,
+    PATTERN_MATCH,
+    SENTIMENT,
+    SPOT,
+    AuditEntry,
+    AuditTrail,
+)
+
+
+class TestAuditTrail:
+    def test_record_spot_and_views(self):
+        trail = AuditTrail()
+        trail.record_spot("camera", KEPT, "global-pass", global_score=3.0)
+        trail.record_spot("camera", FILTERED, "combined-fail", combined_score=0.5)
+        trail.record_sentiment("camera", "+", PATTERN_MATCH, pattern="be CP SP")
+        assert len(trail) == 3
+        assert [e.decision for e in trail.spots()] == [KEPT, FILTERED]
+        assert trail.sentiments()[0].kind == SENTIMENT
+        assert len(trail.for_subject("camera")) == 3
+
+    def test_detail_lookup(self):
+        trail = AuditTrail()
+        trail.record_spot("x", KEPT, "global-pass", global_score=2.5)
+        entry = trail.entries[0]
+        assert entry.get("global_score") == 2.5
+        assert entry.get("missing", "fallback") == "fallback"
+
+    def test_mark_and_since_slice_per_document(self):
+        trail = AuditTrail()
+        trail.record_spot("a", KEPT, "global-pass")
+        mark = trail.mark()
+        trail.record_spot("b", KEPT, "global-pass")
+        assert [e.subject for e in trail.since(mark)] == ["b"]
+
+    def test_record_roundtrip(self):
+        entry = AuditEntry(
+            kind=SPOT,
+            subject="zoom",
+            decision=KEPT,
+            reason="combined-pass",
+            document_id="d1",
+            sentence_index=2,
+            lexicon_entries=("great",),
+            negated=True,
+            detail=(("score", 1.5),),
+        )
+        assert AuditEntry.from_record(entry.to_record()) == entry
+        assert entry.to_record()["type"] == "audit"
+
+    def test_merge(self):
+        a, b = AuditTrail(), AuditTrail()
+        a.record_spot("x", KEPT, "global-pass")
+        b.record_spot("y", FILTERED, "combined-fail")
+        a.merge(b)
+        assert [e.subject for e in a] == ["x", "y"]
+
+
+class TestNullAuditTrail:
+    def test_records_nothing(self):
+        NULL_AUDIT.record_spot("x", KEPT, "global-pass")
+        NULL_AUDIT.record_sentiment("x", "+", PATTERN_MATCH)
+        assert len(NULL_AUDIT) == 0
+        assert NULL_AUDIT.entries == []
+        assert NULL_AUDIT.since(NULL_AUDIT.mark()) == []
+        assert not NULL_AUDIT.enabled

@@ -1,0 +1,117 @@
+"""Unit tests for JSONL export and console rendering."""
+
+import json
+
+from repro.obs import Obs
+from repro.obs.audit import KEPT, AuditTrail
+from repro.obs.export import (
+    read_trace,
+    render_audit,
+    render_dump,
+    render_metric_records,
+    render_span_tree,
+    write_trace,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import Tracer
+
+
+def make_populated_obs() -> Obs:
+    obs = Obs.enabled()
+    with obs.tracer.span("root", kind="test"):
+        obs.clock.advance(1.0)
+        with obs.tracer.span("child"):
+            obs.clock.advance(0.5)
+    obs.metrics.counter("requests", service="svc").inc(3)
+    obs.metrics.histogram("latency", buckets=(1.0,)).observe(0.2)
+    obs.audit.record_spot("camera", KEPT, "global-pass", global_score=2.0)
+    return obs
+
+
+class TestJsonlRoundtrip:
+    def test_write_and_read_trace(self, tmp_path):
+        obs = make_populated_obs()
+        path = str(tmp_path / "trace.jsonl")
+        count = obs.write(path)
+        with open(path, encoding="utf-8") as stream:
+            lines = [json.loads(line) for line in stream if line.strip()]
+        assert count == len(lines)
+        assert {line["type"] for line in lines} == {"span", "metric", "audit"}
+
+        dump = read_trace(path)
+        assert [s.name for s in dump.spans] == ["root", "child"]
+        assert dump.spans[0].attributes == {"kind": "test"}
+        assert {r["name"] for r in dump.metrics} == {"requests", "latency"}
+        assert dump.audit[0].subject == "camera"
+        assert not dump.empty
+
+    def test_blank_lines_ignored(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text('{"type": "span", "name": "s", "span_id": 1}\n\n')
+        dump = read_trace(str(path))
+        assert len(dump.spans) == 1
+
+
+class TestRendering:
+    def test_span_tree_shows_hierarchy_and_durations(self):
+        obs = make_populated_obs()
+        text = render_span_tree(obs.tracer.spans())
+        lines = text.splitlines()
+        assert lines[0].startswith("root (1.500u)")
+        assert "kind=test" in lines[0]
+        assert lines[1].startswith("└─ child (0.500u)")
+
+    def test_span_tree_empty(self):
+        assert render_span_tree([]) == "(no spans)"
+
+    def test_error_status_visible(self):
+        tracer = Tracer()
+        try:
+            with tracer.span("bad"):
+                raise RuntimeError
+        except RuntimeError:
+            pass
+        assert "!error" in render_span_tree(tracer.spans())
+
+    def test_metric_records_match_registry_render(self):
+        registry = MetricsRegistry()
+        registry.counter("c", k="v").inc(2)
+        registry.histogram("h", buckets=(1.0,)).observe(0.5)
+        assert render_metric_records(registry.to_records()) == registry.render()
+
+    def test_audit_rendering_and_limit(self):
+        trail = AuditTrail()
+        for i in range(5):
+            trail.record_sentiment(
+                f"s{i}", "+", "pattern-match", pattern="be CP SP",
+                lexicon_entries=("great",), negated=(i == 0),
+            )
+        text = render_audit(trail.entries, limit=2)
+        assert "pattern[be CP SP]" in text
+        assert "words[great]" in text
+        assert "negated" in text
+        assert "... 3 more" in text
+
+    def test_render_dump_sections(self, tmp_path):
+        obs = make_populated_obs()
+        path = str(tmp_path / "t.jsonl")
+        obs.write(path)
+        text = render_dump(read_trace(path))
+        assert "spans (2):" in text
+        assert "audit (1):" in text
+        assert "metrics (2):" in text
+
+
+class TestObsFacade:
+    def test_default_is_zero_cost_on_trace_and_audit(self):
+        obs = Obs.default()
+        assert not obs.tracing
+        assert not obs.auditing
+        with obs.tracer.span("x"):
+            pass
+        assert obs.records() == []
+
+    def test_enabled_shares_one_clock(self):
+        obs = Obs.enabled()
+        assert obs.tracer.clock is obs.clock
+        assert obs.tracing and obs.auditing

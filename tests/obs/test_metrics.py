@@ -1,0 +1,117 @@
+"""Unit tests for the metrics registry."""
+
+import pytest
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    format_series,
+)
+
+
+class TestInstruments:
+    def test_counter_only_goes_up(self):
+        counter = Counter()
+        counter.inc()
+        counter.inc(2.0)
+        assert counter.value == 3.0
+        with pytest.raises(ValueError):
+            counter.inc(-1.0)
+
+    def test_counter_set_for_view_adapters(self):
+        counter = Counter()
+        counter.set(7)
+        assert counter.value == 7.0
+
+    def test_gauge_moves_both_ways(self):
+        gauge = Gauge()
+        gauge.set(5.0)
+        gauge.inc(-2.0)
+        assert gauge.value == 3.0
+
+    def test_histogram_buckets_cumulative(self):
+        hist = Histogram(buckets=(1.0, 10.0))
+        for value in (0.5, 5.0, 50.0):
+            hist.observe(value)
+        snap = hist.snapshot()
+        assert snap["count"] == 3
+        assert snap["sum"] == 55.5
+        assert snap["le_1"] == 1
+        assert snap["le_10"] == 2
+        assert snap["le_inf"] == 3
+        assert hist.mean == pytest.approx(18.5)
+
+    def test_histogram_rejects_unsorted_buckets(self):
+        with pytest.raises(ValueError):
+            Histogram(buckets=(5.0, 1.0))
+
+
+class TestMetricsRegistry:
+    def test_same_name_and_labels_is_same_instrument(self):
+        registry = MetricsRegistry()
+        a = registry.counter("req", service="x")
+        b = registry.counter("req", service="x")
+        assert a is b
+
+    def test_labels_separate_series(self):
+        registry = MetricsRegistry()
+        registry.counter("req", service="x").inc()
+        registry.counter("req", service="y").inc(2)
+        assert registry.value("req", service="x") == 1.0
+        assert registry.value("req", service="y") == 2.0
+        assert len(list(registry.series("req"))) == 2
+
+    def test_missing_series_reads_zero(self):
+        assert MetricsRegistry().value("nope") == 0.0
+
+    def test_kind_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(TypeError):
+            registry.gauge("x")
+        with pytest.raises(TypeError):
+            registry.histogram("x")
+
+    def test_snapshot_uses_formatted_keys(self):
+        registry = MetricsRegistry()
+        registry.counter("req", service="x").inc()
+        registry.gauge("load").set(0.5)
+        snap = registry.snapshot()
+        assert snap["req{service=x}"] == 1.0
+        assert snap["load"] == 0.5
+
+    def test_to_records_roundtrips_types(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc()
+        registry.histogram("h", buckets=(1.0,)).observe(0.5)
+        records = {r["name"]: r for r in registry.to_records()}
+        assert records["c"]["type"] == "metric"
+        assert records["c"]["kind"] == "counter"
+        assert records["h"]["kind"] == "histogram"
+        assert records["h"]["count"] == 1
+
+    def test_merge_sums_counters_and_histograms(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("c").inc(1)
+        b.counter("c").inc(2)
+        a.histogram("h", buckets=(1.0,)).observe(0.5)
+        b.histogram("h", buckets=(1.0,)).observe(2.0)
+        b.gauge("g").set(9)
+        a.merge(b)
+        assert a.value("c") == 3.0
+        hist = a.histogram("h", buckets=(1.0,))
+        assert hist.count == 2
+        assert a.value("g") == 9.0
+
+    def test_render_one_line_per_series(self):
+        registry = MetricsRegistry()
+        registry.counter("a").inc()
+        registry.counter("b", k="v").inc(2)
+        lines = registry.render().splitlines()
+        assert lines == ["a  1", "b{k=v}  2"]
+
+    def test_format_series(self):
+        assert format_series("x", ()) == "x"
+        assert format_series("x", (("a", "1"), ("b", "2"))) == "x{a=1,b=2}"

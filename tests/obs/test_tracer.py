@@ -1,0 +1,109 @@
+"""Unit tests for hierarchical spans over the simulated clock."""
+
+import pytest
+
+from repro.obs.clock import SimClock
+from repro.obs.tracer import NULL_SPAN, NULL_TRACER, Span, Tracer, walk
+
+
+class TestTracer:
+    def test_nesting_links_parent_ids(self):
+        tracer = Tracer()
+        with tracer.span("root"):
+            with tracer.span("child"):
+                with tracer.span("grandchild"):
+                    pass
+            with tracer.span("sibling"):
+                pass
+        root, child, grandchild, sibling = tracer.spans()
+        assert root.parent_id is None
+        assert child.parent_id == root.span_id
+        assert grandchild.parent_id == child.span_id
+        assert sibling.parent_id == root.span_id
+
+    def test_duration_is_simulated_cost(self):
+        clock = SimClock()
+        tracer = Tracer(clock)
+        with tracer.span("work"):
+            clock.advance(2.5)
+        (span,) = tracer.spans()
+        assert span.duration == pytest.approx(2.5)
+        assert span.finished
+
+    def test_exception_marks_error_and_propagates(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("boom"):
+                raise RuntimeError("kapow")
+        (span,) = tracer.spans()
+        assert span.status == "error"
+        assert "kapow" in span.error
+        assert tracer.current is None
+
+    def test_exception_unwinds_abandoned_children(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("outer"):
+                tracer.span("abandoned")  # entered on the stack, never exited
+                raise RuntimeError
+        assert tracer.current is None
+        with tracer.span("next"):
+            pass
+        assert tracer.find("next")[0].parent_id is None
+
+    def test_attributes_at_open_and_during(self):
+        tracer = Tracer()
+        with tracer.span("s", a=1) as span:
+            span.set_attribute("b", 2)
+        assert tracer.spans()[0].attributes == {"a": 1, "b": 2}
+
+    def test_record_roundtrip(self):
+        tracer = Tracer()
+        with tracer.span("s", key="value"):
+            pass
+        original = tracer.spans()[0]
+        clone = Span.from_record(original.to_record())
+        assert clone == original
+
+    def test_clear(self):
+        tracer = Tracer()
+        with tracer.span("s"):
+            pass
+        tracer.clear()
+        assert tracer.spans() == []
+
+
+class TestNullTracer:
+    def test_span_returns_shared_inert_object(self):
+        a = NULL_TRACER.span("x", k=1)
+        b = NULL_TRACER.span("y")
+        assert a is b is NULL_SPAN
+
+    def test_null_span_accepts_span_surface(self):
+        with NULL_TRACER.span("x") as span:
+            span.set_attribute("k", "v")
+        assert span.attributes == {}
+        assert NULL_TRACER.spans() == []
+        assert not NULL_TRACER.enabled
+
+    def test_null_span_does_not_swallow_exceptions(self):
+        with pytest.raises(ValueError):
+            with NULL_TRACER.span("x"):
+                raise ValueError
+
+
+class TestWalk:
+    def test_depth_first_with_depths(self):
+        tracer = Tracer()
+        with tracer.span("root"):
+            with tracer.span("a"):
+                pass
+            with tracer.span("b"):
+                pass
+        names = [(s.name, d) for s, d in walk(tracer.spans())]
+        assert names == [("root", 0), ("a", 1), ("b", 1)]
+
+    def test_orphans_promoted_to_roots(self):
+        orphan = Span(name="orphan", span_id=5, parent_id=99, start=0.0, end=1.0)
+        names = [(s.name, d) for s, d in walk([orphan])]
+        assert names == [("orphan", 0)]

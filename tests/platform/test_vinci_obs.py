@@ -1,0 +1,164 @@
+"""Envelope semantics under retries and the trace ring buffer.
+
+Covers the observability contract of the bus: ``Envelope.attempt``
+counts tries of one logical request, ``Envelope.fault`` names the
+injected fault that killed a try, and the trace is an explicit ring
+buffer whose evictions are counted, never silent.
+"""
+
+import pytest
+
+from repro.obs import Obs
+from repro.platform.faults import TIMEOUT, FaultPlan
+from repro.platform.retry import RetryPolicy
+from repro.platform.vinci import TRACE_STATS_KEY, VinciBus, VinciError
+
+
+def ok_handler(payload):
+    return {"ok": True}
+
+
+class TestEnvelopeAttemptSemantics:
+    def test_attempt_counts_up_across_retries(self):
+        plan = FaultPlan().fail_service("svc", count=2)
+        bus = VinciBus(
+            retry_policy=RetryPolicy(max_attempts=3, base_backoff=0.1),
+            fault_plan=plan,
+        )
+        bus.register("svc", ok_handler)
+        bus.request("svc")
+        envelopes = bus.trace()
+        assert [e.attempt for e in envelopes] == [1, 2, 3]
+        assert [e.ok for e in envelopes] == [False, False, True]
+
+    def test_fault_names_injected_kind_per_attempt(self):
+        plan = FaultPlan().fail_service("svc", count=1, kind=TIMEOUT)
+        bus = VinciBus(
+            retry_policy=RetryPolicy(max_attempts=2, base_backoff=0.1),
+            fault_plan=plan,
+        )
+        bus.register("svc", ok_handler)
+        bus.request("svc")
+        failed, succeeded = bus.trace()
+        assert failed.fault == TIMEOUT
+        assert not failed.ok
+        assert succeeded.fault == ""
+        assert succeeded.ok
+
+    def test_handler_exception_failure_has_no_fault_kind(self):
+        bus = VinciBus(retry_policy=RetryPolicy(max_attempts=2, base_backoff=0.0))
+        calls = {"n": 0}
+
+        def flaky(payload):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise RuntimeError("flake")
+            return {}
+
+        bus.register("svc", flaky)
+        bus.request("svc")
+        failed, succeeded = bus.trace()
+        assert not failed.ok and failed.fault == ""
+        assert failed.attempt == 1 and succeeded.attempt == 2
+
+    def test_exhausted_retries_leave_all_attempts_in_trace(self):
+        plan = FaultPlan().fail_service("svc", count=5)
+        bus = VinciBus(
+            retry_policy=RetryPolicy(max_attempts=3, base_backoff=0.1),
+            fault_plan=plan,
+        )
+        bus.register("svc", ok_handler)
+        with pytest.raises(VinciError):
+            bus.request("svc")
+        assert [e.attempt for e in bus.trace()] == [1, 2, 3]
+        assert all(not e.ok for e in bus.trace())
+
+    def test_attempt_resets_per_logical_request(self):
+        bus = VinciBus(retry_policy=RetryPolicy(max_attempts=3, base_backoff=0.1))
+        bus.register("svc", ok_handler)
+        bus.request("svc")
+        bus.request("svc")
+        assert [e.attempt for e in bus.trace()] == [1, 1]
+
+
+class TestTraceRingBuffer:
+    def test_oldest_envelopes_evicted_and_counted(self):
+        bus = VinciBus(trace_limit=3)
+        bus.register("svc", lambda payload: {"n": payload["n"]})
+        for n in range(5):
+            bus.request("svc", {"n": n})
+        kept = [e.request["n"] for e in bus.trace()]
+        assert kept == [2, 3, 4]
+        assert bus.trace_dropped == 2
+
+    def test_stats_surface_ring_buffer_state(self):
+        bus = VinciBus(trace_limit=2)
+        bus.register("svc", ok_handler)
+        for _ in range(3):
+            bus.request("svc")
+        entry = bus.stats()[TRACE_STATS_KEY]
+        assert entry["recorded"] == 2
+        assert entry["dropped"] == 1
+        assert entry["limit"] == 2
+        # Zero-filled so aggregations over all stats values stay correct.
+        assert entry["requests"] == 0 and entry["failures"] == 0
+
+    def test_dropped_counter_in_metrics_registry(self):
+        obs = Obs.default()
+        bus = VinciBus(trace_limit=1, obs=obs)
+        bus.register("svc", ok_handler)
+        bus.request("svc")
+        bus.request("svc")
+        assert obs.metrics.value("vinci.trace_dropped") == 1.0
+
+    def test_zero_limit_drops_everything(self):
+        bus = VinciBus(trace_limit=0)
+        bus.register("svc", ok_handler)
+        bus.request("svc")
+        assert bus.trace() == []
+        assert bus.trace_dropped == 1
+
+    def test_negative_limit_rejected(self):
+        with pytest.raises(ValueError):
+            VinciBus(trace_limit=-1)
+
+    def test_no_eviction_below_limit(self):
+        bus = VinciBus(trace_limit=10)
+        bus.register("svc", ok_handler)
+        bus.request("svc")
+        assert bus.trace_dropped == 0
+
+
+class TestRequestSpans:
+    def test_request_span_wraps_attempt_spans(self):
+        obs = Obs.enabled()
+        plan = FaultPlan().fail_service("svc", count=1, kind=TIMEOUT)
+        bus = VinciBus(
+            retry_policy=RetryPolicy(max_attempts=2, base_backoff=0.1),
+            fault_plan=plan,
+            obs=obs,
+        )
+        bus.register("svc", ok_handler)
+        bus.request("svc")
+        (request_span,) = obs.tracer.find("vinci.request")
+        attempts = obs.tracer.children(request_span)
+        assert request_span.attributes["attempts"] == 2
+        assert [s.attributes["attempt"] for s in attempts] == [1, 2]
+        assert attempts[0].attributes["fault"] == TIMEOUT
+        assert attempts[0].status == "error"
+        assert attempts[1].status == "ok"
+
+    def test_backoff_cost_advances_shared_clock(self):
+        obs = Obs.enabled()
+        plan = FaultPlan().fail_service("svc", count=1)
+        bus = VinciBus(
+            retry_policy=RetryPolicy(max_attempts=2, base_backoff=0.5),
+            fault_plan=plan,
+            obs=obs,
+        )
+        bus.register("svc", ok_handler)
+        before = obs.clock.now
+        bus.request("svc")
+        assert obs.clock.now - before >= 0.5
+        (request_span,) = obs.tracer.find("vinci.request")
+        assert request_span.duration >= 0.5

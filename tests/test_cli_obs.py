@@ -1,0 +1,109 @@
+"""CLI observability: --metrics, --trace-out, platform --json, trace."""
+
+import io
+import json
+
+from repro.cli import main
+
+
+def run_cli(*argv, stdin_text=""):
+    out = io.StringIO()
+    code = main(list(argv), out=out, stdin=io.StringIO(stdin_text))
+    return code, out.getvalue()
+
+
+class TestObsFlagsOffByDefault:
+    def test_analyze_output_has_no_obs_sections(self):
+        _, plain = run_cli("analyze", "The zoom is superb.", "-s", "zoom")
+        assert "metrics:" not in plain
+        assert "trace records" not in plain
+
+    def test_mine_output_has_no_obs_sections(self):
+        _, plain = run_cli("mine", "--docs", "2")
+        assert "metrics:" not in plain
+
+
+class TestMetricsFlag:
+    def test_analyze_metrics_appended(self):
+        code, out = run_cli("analyze", "The zoom is superb.", "-s", "zoom", "--metrics")
+        assert code == 0
+        assert "\nmetrics:\n" in out
+        assert "analyzer.sentences" in out
+
+    def test_mine_metrics_include_miner_series(self):
+        code, out = run_cli("mine", "--docs", "2", "--metrics")
+        assert code == 0
+        assert "miner.documents  2" in out
+        assert "analyzer.pattern_matches" in out
+
+    def test_platform_metrics_include_cluster_series(self):
+        code, out = run_cli("platform", "--docs", "8", "--metrics")
+        assert code == 0
+        assert "cluster.runs  1" in out
+        assert "vinci.requests" in out
+
+
+class TestTraceOutFlag:
+    def test_mine_writes_jsonl_dump(self, tmp_path):
+        path = str(tmp_path / "mine.jsonl")
+        code, out = run_cli("mine", "--docs", "2", "--trace-out", path)
+        assert code == 0
+        assert f"trace records to {path}" in out
+        types = set()
+        with open(path, encoding="utf-8") as stream:
+            for line in stream:
+                types.add(json.loads(line)["type"])
+        assert types == {"span", "metric", "audit"}
+
+    def test_trace_subcommand_renders_dump(self, tmp_path):
+        path = str(tmp_path / "mine.jsonl")
+        run_cli("mine", "--docs", "2", "--trace-out", path)
+        code, out = run_cli("trace", path)
+        assert code == 0
+        assert "mine.corpus" in out
+        assert "mine.document" in out
+        assert "metrics" in out
+
+    def test_trace_spans_only(self, tmp_path):
+        path = str(tmp_path / "mine.jsonl")
+        run_cli("mine", "--docs", "2", "--trace-out", path)
+        code, out = run_cli("trace", path, "--spans-only")
+        assert code == 0
+        assert "mine.document" in out
+        assert "miner.documents" not in out
+
+    def test_trace_missing_file_fails_cleanly(self):
+        code, _ = run_cli("trace", "/nonexistent/nope.jsonl")
+        assert code == 2
+
+    def test_platform_chaos_trace_renders_failures(self, tmp_path):
+        path = str(tmp_path / "chaos.jsonl")
+        code, _ = run_cli(
+            "platform", "--chaos-seed", "8", "--trace-out", path
+        )
+        assert code == 0
+        code, out = run_cli("trace", path, "--spans-only")
+        assert code == 0
+        assert "cluster.run" in out
+        assert "vinci.attempt" in out
+
+
+class TestPlatformJson:
+    def test_json_payload_shape(self):
+        code, out = run_cli("platform", "--docs", "8", "--json")
+        assert code == 0
+        payload = json.loads(out)
+        assert payload["entities"] == 8
+        assert payload["chaos_seed"] is None
+        assert payload["report"]["coverage"] == 1.0
+        assert payload["metrics"]["cluster.runs"] == 1.0
+
+    def test_json_under_chaos_reports_faults(self):
+        code, out = run_cli("platform", "--chaos-seed", "8", "--json")
+        assert code == 0
+        payload = json.loads(out)
+        assert payload["chaos_seed"] == 8
+        report = payload["report"]
+        assert report["retries"] >= 0
+        assert "dead_nodes" in report
+        assert payload["metrics"]["cluster.retries"] == report["retries"]

@@ -115,6 +115,113 @@ class TestSection3SunDisambiguation:
         assert miner.mine_document(off_topic).stats.spots_on_topic == 0
 
 
+class TestAuditTrailOnWorkedExamples:
+    """The audit trail explains each worked-example judgment.
+
+    Every entry must name the sentiment pattern that fired and the
+    lexicon entries that gave it polarity; negation reversals are
+    recorded explicitly.
+    """
+
+    @staticmethod
+    def mine(text, *names, **miner_kwargs):
+        from repro.core import SentimentMiner
+        from repro.obs import Obs
+
+        obs = Obs.enabled()
+        miner = SentimentMiner(
+            subjects=[Subject(n) for n in names], obs=obs, **miner_kwargs
+        )
+        return miner.mine_document(text, "worked-example"), obs
+
+    def test_pattern_and_lexicon_entry_named(self):
+        # "The colors are vibrant." fires <be CP SP> via lexicon "vibrant".
+        result, _ = self.mine("The colors are vibrant.", "colors")
+        (entry,) = [e for e in result.audit if e.kind == "sentiment"]
+        assert entry.subject == "colors"
+        assert entry.decision == "+"
+        assert entry.reason == "pattern-match"
+        assert entry.pattern == "be CP SP"
+        assert "vibrant" in entry.lexicon_entries
+        assert not entry.negated
+
+    def test_impressed_by_names_pp_pattern(self):
+        # "I am impressed by the picture quality." → impress + PP(by;with).
+        result, _ = self.mine(
+            "I am impressed by the picture quality.", "picture quality"
+        )
+        (entry,) = [e for e in result.audit if e.kind == "sentiment"]
+        assert entry.pattern == "impress + PP(by;with)"
+        assert "impress" in entry.lexicon_entries
+
+    def test_negation_reversal_recorded(self):
+        # Negated copula: polarity flips and the audit entry says so.
+        result, _ = self.mine("The zoom is not good.", "zoom")
+        (entry,) = [e for e in result.audit if e.kind == "sentiment"]
+        assert entry.decision == "-"
+        assert entry.negated
+        assert entry.pattern
+
+    def test_disambiguator_keep_and_filter_reasons(self):
+        # SUN worked example: each spot decision carries its resolution.
+        from repro.core import Disambiguator, TopicTermSet
+
+        terms = TopicTermSet.build(
+            on_topic=["server", "java", "workstation"],
+            off_topic=["sunday", "weather", "beach"],
+        )
+        result, _ = self.mine(
+            "SUN shipped a java server for the workstation market.",
+            "SUN",
+            disambiguator=Disambiguator(terms),
+        )
+        (spot_entry,) = [e for e in result.audit if e.kind == "spot"]
+        assert spot_entry.decision == "kept"
+        assert spot_entry.reason == "global-pass"
+        assert spot_entry.get("global_score") >= 2.0
+
+        result, _ = self.mine(
+            "The SUN shone brightly last sunday at the beach.",
+            "SUN",
+            disambiguator=Disambiguator(terms),
+        )
+        (spot_entry,) = [e for e in result.audit if e.kind == "spot"]
+        assert spot_entry.decision == "filtered"
+        assert spot_entry.reason == "combined-fail"
+        assert spot_entry.get("combined_score") < 1.0
+
+    def test_no_match_recorded_for_neutral(self):
+        # A mention no pattern covers is still explained: reason no-match.
+        result, _ = self.mine("The camera sat on the table.", "camera")
+        (entry,) = [e for e in result.audit if e.kind == "sentiment"]
+        assert entry.decision == "0"
+        assert entry.reason == "no-match"
+        assert entry.pattern == ""
+
+    def test_context_window_inheritance_recorded(self):
+        # "I tested the zoom. It is superb." — the zoom inherits polarity
+        # from the window sentence; the audit says context-window.
+        from repro.core.context import ContextWindowRule
+
+        result, _ = self.mine(
+            "I tested the zoom. It is superb.",
+            "zoom",
+            context_rule=ContextWindowRule(sentences_before=0, sentences_after=1),
+        )
+        entries = [e for e in result.audit if e.kind == "sentiment"]
+        assert any(
+            e.reason == "context-window" and e.decision == "+" for e in entries
+        )
+
+    def test_audit_empty_by_default(self):
+        from repro.core import SentimentMiner
+
+        miner = SentimentMiner(subjects=[Subject("colors")])
+        result = miner.mine_document("The colors are vibrant.", "d")
+        assert result.audit == []
+        assert result.stats.judgments_polar == 1
+
+
 class TestSection3NamedEntityExample:
     def test_prof_wilson_split(self):
         # "Prof. Wilson of American University is split into two different
