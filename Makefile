@@ -2,9 +2,9 @@
 PYTHONPATH := src
 export PYTHONPATH
 
-.PHONY: test chaos bench bench-obs lint
+.PHONY: test chaos bench bench-obs lint lint-report
 
-test:
+test: lint
 	python -m pytest -x -q
 
 # Deterministic fault-injection suite only (seeded chaos schedules).
@@ -19,5 +19,15 @@ bench: bench-obs
 bench-obs:
 	cd benchmarks && PYTHONPATH=../src python -m pytest -q bench_obs_overhead.py
 
+# Byte-compile everything, then run the static-analysis rule set
+# (determinism, layering, obs discipline, pattern-DB/lexicon invariants).
+# Fails on any unsuppressed error-severity finding.
 lint:
 	python -m compileall -q src
+	python -m repro lint --severity error
+
+# Full findings (all severities, including suppressed) as JSON, for CI
+# artifacts and dashboards.  Never fails the build.
+lint-report:
+	-python -m repro lint --json --out lint-report.json
+	@echo "wrote lint-report.json"

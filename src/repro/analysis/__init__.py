@@ -1,0 +1,115 @@
+"""Static analysis for the sentiment-mining repro (``repro lint``).
+
+A dependency-free rule engine (stdlib ``ast`` only) enforcing the
+invariants the rest of the codebase relies on:
+
+* determinism — no wall-clock reads, all RNGs seeded (DET001/DET002);
+* import layering — ``lexicons/nlp/obs → core → miners → platform →
+  eval → apps → cli`` stays a DAG (ARCH001);
+* observability discipline — spans via context managers, metric names
+  matching the registry regex (OBS001/OBS002);
+* Vinci handler contract — handlers take and return dict envelopes
+  (PLAT001);
+* pattern-DB and lexicon consistency (DATA001–DATA006).
+
+Intended exceptions live in ``lint-suppressions.json`` with a mandatory
+one-line justification each; see :mod:`repro.analysis.suppressions`.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from .code_rules import (
+    LayeringRule,
+    MetricNameRule,
+    SeededRngRule,
+    SpanContextRule,
+    VinciHandlerRule,
+    WallClockRule,
+    default_code_rules,
+)
+from .data_rules import (
+    LexiconConflictRule,
+    LexiconPosRule,
+    NegationOverlapRule,
+    PatternDuplicateRule,
+    PatternPredicateRule,
+    PatternSyntaxRule,
+    default_data_rules,
+)
+from .engine import ENGINE_RULE, CodeRule, DataRule, Linter, LintReport, Rule
+from .findings import Finding, Severity
+from .suppressions import Suppression, SuppressionConfig
+
+#: Conventional name of the suppression config at the repository root.
+SUPPRESSIONS_FILENAME = "lint-suppressions.json"
+
+
+def find_suppression_config(start: str | Path | None = None) -> Path | None:
+    """Locate ``lint-suppressions.json`` by walking up from *start*.
+
+    *start* defaults to the current working directory.  Returns ``None``
+    when no config exists on the path to the filesystem root.
+    """
+    here = Path(start) if start is not None else Path.cwd()
+    for candidate_dir in (here, *here.parents):
+        candidate = candidate_dir / SUPPRESSIONS_FILENAME
+        if candidate.is_file():
+            return candidate
+    return None
+
+
+def build_linter(config_path: str | Path | None = None) -> Linter:
+    """A :class:`Linter` with the full default rule set.
+
+    *config_path* points at a suppression config; when ``None`` the
+    conventional file is searched for from the current directory upward.
+    """
+    if config_path is None:
+        found = find_suppression_config()
+        suppressions = SuppressionConfig.load(str(found)) if found else SuppressionConfig()
+    else:
+        suppressions = SuppressionConfig.load(str(config_path))
+    return Linter(
+        code_rules=default_code_rules(),
+        data_rules=default_data_rules(),
+        suppressions=suppressions,
+    )
+
+
+def all_rules() -> list[Rule]:
+    """Every default rule, code rules first — for docs and tests."""
+    return [*default_code_rules(), *default_data_rules()]
+
+
+__all__ = [
+    "CodeRule",
+    "DataRule",
+    "ENGINE_RULE",
+    "Finding",
+    "LayeringRule",
+    "LexiconConflictRule",
+    "LexiconPosRule",
+    "LintReport",
+    "Linter",
+    "MetricNameRule",
+    "NegationOverlapRule",
+    "PatternDuplicateRule",
+    "PatternPredicateRule",
+    "PatternSyntaxRule",
+    "Rule",
+    "SUPPRESSIONS_FILENAME",
+    "SeededRngRule",
+    "Severity",
+    "SpanContextRule",
+    "Suppression",
+    "SuppressionConfig",
+    "VinciHandlerRule",
+    "WallClockRule",
+    "all_rules",
+    "build_linter",
+    "default_code_rules",
+    "default_data_rules",
+    "find_suppression_config",
+]

@@ -1,0 +1,319 @@
+"""Data rules: sentiment pattern-database and lexicon invariants.
+
+The paper's stated precision lever is the quality of the pattern
+database and the ~3000-entry sentiment lexicon (Section 4.2), so these
+rules guard their internal consistency.  Every rule takes its tables as
+constructor arguments (defaulting to the shipped data) so tests can
+validate behaviour against mutated in-memory copies.
+
+Data findings use pseudo-paths — ``<pattern-db>`` and ``<lexicon>`` —
+with the 1-based entry index as the line number, so per-path
+suppressions work the same way they do for code findings.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence
+
+from ..core.lexicon import _participle
+from ..core.patterns import parse_pattern_line
+from ..lexicons import adjectives, adverbs, negation, nouns, verbs
+from ..lexicons import patterns as pattern_data
+from ..nlp import penn
+from .engine import DataRule
+from .findings import Finding, Severity
+
+PATTERN_DB_PATH = "<pattern-db>"
+LEXICON_PATH = "<lexicon>"
+
+#: Coarse POS classes a lexicon entry may carry (a subset of the Penn
+#: tagset in :mod:`repro.nlp.penn`).
+LEXICON_POS_TAGS = ("JJ", "NN", "VB", "RB")
+
+#: Component roles a pattern target may name (the paper's grammar:
+#: sentiment lands on a subject, object, or prepositional phrase).
+TARGET_ROLES = ("SP", "OP", "PP")
+
+Entry = tuple[str, str, str]  # (term, POS, polarity symbol)
+
+
+def default_pattern_lines() -> list[str]:
+    return pattern_data.pattern_lines()
+
+
+def default_lexicon_entries() -> list[Entry]:
+    """Raw entries of the four curated lists (no derived participles)."""
+    out: list[Entry] = []
+    out.extend(adjectives.entries())
+    out.extend(nouns.entries())
+    out.extend(verbs.entries())
+    out.extend(adverbs.entries())
+    return out
+
+
+def known_pattern_predicates() -> frozenset[str]:
+    """Verb lemmas the lexicon layer knows: sentiment + trans verbs."""
+    return frozenset(verbs.POSITIVE_VERBS) | frozenset(verbs.NEGATIVE_VERBS) | frozenset(
+        verbs.TRANS_VERBS
+    )
+
+
+class PatternSyntaxRule(DataRule):
+    """Every pattern line parses under the paper's component grammar."""
+
+    rule_id = "DATA001"
+    name = "pattern-db-syntax"
+    severity = Severity.ERROR
+    invariant = (
+        "pattern components are limited to +/-/SP/OP/CP/PP(prep;...), '~' "
+        "only inverts transfer categories, and targets are SP/OP/PP"
+    )
+
+    def __init__(self, lines: Sequence[str] | None = None):
+        self._lines = lines
+
+    def check(self) -> Iterator[Finding]:
+        lines = self._lines if self._lines is not None else default_pattern_lines()
+        for index, line in enumerate(lines, start=1):
+            parts = line.split()
+            if len(parts) == 3 and parts[1].startswith("~") and parts[1][1:] in ("+", "-"):
+                yield self.finding(
+                    f"pattern {line!r}: '~' only applies to transfer "
+                    "categories (SP/OP/CP/PP), not fixed polarities",
+                    path=PATTERN_DB_PATH,
+                    line=index,
+                )
+                continue
+            try:
+                pattern = parse_pattern_line(line)
+            except ValueError as exc:
+                yield self.finding(
+                    f"malformed pattern {line!r}: {exc}",
+                    path=PATTERN_DB_PATH,
+                    line=index,
+                )
+                continue
+            if pattern.target.role not in TARGET_ROLES:
+                yield self.finding(
+                    f"pattern {line!r}: target component must be one of "
+                    f"{'/'.join(TARGET_ROLES)}, got {pattern.target.role!r}",
+                    path=PATTERN_DB_PATH,
+                    line=index,
+                )
+
+
+class PatternPredicateRule(DataRule):
+    """Every pattern predicate is a lemma the verb lexicon knows."""
+
+    rule_id = "DATA002"
+    name = "pattern-predicate-lexicon"
+    severity = Severity.ERROR
+    invariant = (
+        "every pattern-DB predicate lemma appears in the verb lexicon "
+        "(sentiment verbs or enumerated trans verbs), so no rule is dead"
+    )
+
+    def __init__(
+        self,
+        lines: Sequence[str] | None = None,
+        known: Iterable[str] | None = None,
+    ):
+        self._lines = lines
+        self._known = frozenset(known) if known is not None else None
+
+    def check(self) -> Iterator[Finding]:
+        lines = self._lines if self._lines is not None else default_pattern_lines()
+        known = self._known if self._known is not None else known_pattern_predicates()
+        for index, line in enumerate(lines, start=1):
+            predicate = line.split()[0] if line.split() else ""
+            if predicate and predicate not in known:
+                yield self.finding(
+                    f"pattern predicate {predicate!r} is not in the verb "
+                    "lexicon (POSITIVE_VERBS / NEGATIVE_VERBS / TRANS_VERBS); "
+                    "the rule can never fire",
+                    path=PATTERN_DB_PATH,
+                    line=index,
+                )
+
+
+class PatternDuplicateRule(DataRule):
+    """No duplicate predicate+category+target entries."""
+
+    rule_id = "DATA003"
+    name = "pattern-db-duplicates"
+    severity = Severity.ERROR
+    invariant = (
+        "each (predicate, sent_category, target) triple appears once — "
+        "duplicates make rule priority order meaningless"
+    )
+
+    def __init__(self, lines: Sequence[str] | None = None):
+        self._lines = lines
+
+    def check(self) -> Iterator[Finding]:
+        lines = self._lines if self._lines is not None else default_pattern_lines()
+        seen: dict[tuple[str, ...], int] = {}
+        for index, line in enumerate(lines, start=1):
+            key = tuple(line.split())
+            first = seen.setdefault(key, index)
+            if first != index:
+                yield self.finding(
+                    f"duplicate pattern {line!r} (first at entry {first})",
+                    path=PATTERN_DB_PATH,
+                    line=index,
+                )
+
+
+class LexiconConflictRule(DataRule):
+    """No term carries both polarities within one coarse POS."""
+
+    rule_id = "DATA004"
+    name = "lexicon-polarity-conflict"
+    severity = Severity.ERROR
+    invariant = (
+        "no (term, POS) is listed with conflicting polarity across the "
+        "adjective/noun/verb/adverb sets or the derived participles"
+    )
+
+    def __init__(self, entries: Sequence[Entry] | None = None):
+        self._entries = entries
+
+    def check(self) -> Iterator[Finding]:
+        entries = list(self._entries) if self._entries is not None else (
+            default_lexicon_entries() + _derived_participle_entries()
+        )
+        seen: dict[tuple[str, str], tuple[int, str]] = {}
+        for index, (term, pos, symbol) in enumerate(entries, start=1):
+            key = (term.lower(), pos)
+            first = seen.setdefault(key, (index, symbol))
+            if first[1] != symbol:
+                yield self.finding(
+                    f"conflicting polarity for {term!r} ({pos}): "
+                    f"{first[1]!r} at entry {first[0]} vs {symbol!r}",
+                    path=LEXICON_PATH,
+                    line=index,
+                )
+
+
+def _derived_participle_entries() -> list[Entry]:
+    """The participial JJ entries ``default_lexicon`` derives from verbs."""
+    out: list[Entry] = []
+    for verb_list, symbol in ((verbs.POSITIVE_VERBS, "+"), (verbs.NEGATIVE_VERBS, "-")):
+        for verb in verb_list:
+            for suffix in ("ed", "ing"):
+                out.append((_participle(verb, suffix), "JJ", symbol))
+    return out
+
+
+class NegationOverlapRule(DataRule):
+    """Negation vocabulary is disjoint from the polarity vocabulary."""
+
+    rule_id = "DATA005"
+    name = "lexicon-negation-overlap"
+    severity = Severity.ERROR
+    invariant = (
+        "negators reverse polarity and polarity terms carry it; a word in "
+        "both lists is analyzed inconsistently and must be an explicit, "
+        "justified exception"
+    )
+
+    def __init__(
+        self,
+        entries: Sequence[Entry] | None = None,
+        negators: Iterable[str] | None = None,
+        negation_verbs: Iterable[str] | None = None,
+    ):
+        self._entries = entries
+        self._negators = frozenset(negators) if negators is not None else None
+        self._negation_verbs = (
+            frozenset(negation_verbs) if negation_verbs is not None else None
+        )
+
+    def check(self) -> Iterator[Finding]:
+        entries = list(self._entries) if self._entries is not None else default_lexicon_entries()
+        negators = self._negators if self._negators is not None else negation.ALL_NEGATORS
+        negation_verbs = (
+            self._negation_verbs
+            if self._negation_verbs is not None
+            else negation.NEGATION_VERBS
+        )
+        polarity_terms = {term.lower() for term, _pos, _symbol in entries}
+        verb_terms = {term.lower() for term, pos, _symbol in entries if pos == "VB"}
+        for word in sorted(frozenset(negators) & polarity_terms):
+            yield self.finding(
+                f"negator {word!r} is also a polarity lexicon term",
+                path=LEXICON_PATH,
+            )
+        for word in sorted(frozenset(negation_verbs) & verb_terms):
+            yield self.finding(
+                f"negation verb {word!r} is also a sentiment verb",
+                path=LEXICON_PATH,
+            )
+
+
+class LexiconPosRule(DataRule):
+    """Lexicon POS tags stay inside the Penn tagset's coarse classes."""
+
+    rule_id = "DATA006"
+    name = "lexicon-pos-tags"
+    severity = Severity.ERROR
+    invariant = (
+        "every lexicon entry's POS is one of the coarse classes "
+        "JJ/NN/VB/RB, all members of the Penn tagset in repro.nlp.penn"
+    )
+
+    def __init__(self, entries: Sequence[Entry] | None = None):
+        self._entries = entries
+
+    def check(self) -> Iterator[Finding]:
+        entries = list(self._entries) if self._entries is not None else default_lexicon_entries()
+        for index, (term, pos, symbol) in enumerate(entries, start=1):
+            if pos not in LEXICON_POS_TAGS:
+                yield self.finding(
+                    f"entry {term!r} has POS {pos!r}; lexicon entries must "
+                    f"use one of {'/'.join(LEXICON_POS_TAGS)}",
+                    path=LEXICON_PATH,
+                    line=index,
+                )
+            elif not penn.is_valid_tag(pos):  # pragma: no cover — subset guard
+                yield self.finding(
+                    f"entry {term!r} has POS {pos!r} outside the Penn tagset",
+                    path=LEXICON_PATH,
+                    line=index,
+                )
+            if symbol not in ("+", "-"):
+                yield self.finding(
+                    f"entry {term!r} has sent_category {symbol!r}; must be + or -",
+                    path=LEXICON_PATH,
+                    line=index,
+                )
+
+
+def default_data_rules() -> list[DataRule]:
+    """The full data-rule set, in report order."""
+    return [
+        PatternSyntaxRule(),
+        PatternPredicateRule(),
+        PatternDuplicateRule(),
+        LexiconConflictRule(),
+        NegationOverlapRule(),
+        LexiconPosRule(),
+    ]
+
+
+__all__ = [
+    "LEXICON_PATH",
+    "LEXICON_POS_TAGS",
+    "LexiconConflictRule",
+    "LexiconPosRule",
+    "NegationOverlapRule",
+    "PATTERN_DB_PATH",
+    "PatternDuplicateRule",
+    "PatternPredicateRule",
+    "PatternSyntaxRule",
+    "TARGET_ROLES",
+    "default_data_rules",
+    "default_lexicon_entries",
+    "default_pattern_lines",
+    "known_pattern_predicates",
+]

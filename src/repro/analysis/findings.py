@@ -1,0 +1,77 @@
+"""Finding and severity model for the ``repro lint`` static analyzer.
+
+A :class:`Finding` is one violation of one rule, anchored to a location:
+a source file and line for code rules, or a pseudo-path such as
+``<pattern-db>`` with an entry index for data rules.  Severities are
+ordered so a report's exit code is simply the maximum severity among its
+unsuppressed findings (0 = clean, 1 = warnings, 2 = errors).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class Severity(enum.IntEnum):
+    """Ordered severity levels; the integer value doubles as exit code."""
+
+    INFO = 0
+    WARNING = 1
+    ERROR = 2
+
+    @classmethod
+    def parse(cls, text: str) -> "Severity":
+        try:
+            return cls[text.strip().upper()]
+        except KeyError:
+            raise ValueError(
+                f"unknown severity {text!r}; expected one of "
+                f"{', '.join(s.name.lower() for s in cls)}"
+            ) from None
+
+    def __str__(self) -> str:
+        return self.name.lower()
+
+
+@dataclass
+class Finding:
+    """One rule violation.
+
+    ``path`` is repo-relative for code findings (``src/repro/...``) or a
+    pseudo-path (``<pattern-db>``, ``<lexicon>``) for data findings;
+    ``line`` is the 1-based source line or data-entry index (0 when not
+    applicable).  ``suppressed``/``suppression_reason`` are filled in by
+    the engine when a suppression-config entry matches.
+    """
+
+    rule: str
+    severity: Severity
+    message: str
+    path: str = ""
+    line: int = 0
+    suppressed: bool = field(default=False, compare=False)
+    suppression_reason: str = field(default="", compare=False)
+
+    @property
+    def location(self) -> str:
+        if self.line:
+            return f"{self.path}:{self.line}"
+        return self.path or "<global>"
+
+    def render(self) -> str:
+        text = f"{self.location}: {self.severity}: [{self.rule}] {self.message}"
+        if self.suppressed:
+            text += f"  (suppressed: {self.suppression_reason})"
+        return text
+
+    def to_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "severity": str(self.severity),
+            "message": self.message,
+            "path": self.path,
+            "line": self.line,
+            "suppressed": self.suppressed,
+            "suppression_reason": self.suppression_reason,
+        }

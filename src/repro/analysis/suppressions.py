@@ -1,0 +1,129 @@
+"""Per-path suppression config for ``repro lint``.
+
+Findings that reflect *intended* exceptions (e.g. "fail" is both a
+negative sentiment verb and a complement negator — the paper wants both
+readings) are recorded in a JSON file instead of weakening the rules.
+Every entry must carry a one-line ``reason``; entries that match nothing
+are themselves reported, so the config cannot rot silently.
+
+File shape (``lint-suppressions.json`` at the repo root)::
+
+    {
+      "suppressions": [
+        {
+          "rule": "DATA005",
+          "path": "<lexicon>",
+          "match": "fail",
+          "reason": "negation verb that is also a sentiment verb, per the paper"
+        }
+      ]
+    }
+
+``rule`` is a rule id or ``*``; ``path`` is an ``fnmatch`` glob over the
+finding's path (default ``*``); ``match`` is an optional substring of
+the finding's message.  A finding is suppressed by the first entry that
+matches all three.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+import json
+from dataclasses import dataclass
+
+from .findings import Finding
+
+_ALLOWED_KEYS = {"rule", "path", "match", "reason"}
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """One suppression entry; ``reason`` is mandatory and human-readable."""
+
+    rule: str
+    reason: str
+    path: str = "*"
+    match: str = ""
+
+    def covers(self, finding: Finding) -> bool:
+        if self.rule not in ("*", finding.rule):
+            return False
+        if not fnmatch.fnmatch(finding.path, self.path):
+            return False
+        if self.match and self.match not in finding.message:
+            return False
+        return True
+
+    def describe(self) -> str:
+        parts = [f"rule={self.rule}", f"path={self.path}"]
+        if self.match:
+            parts.append(f"match={self.match!r}")
+        return " ".join(parts)
+
+
+class SuppressionConfig:
+    """An ordered list of suppressions with per-entry hit counting."""
+
+    def __init__(self, entries: list[Suppression] | tuple[Suppression, ...] = ()):
+        self.entries = list(entries)
+        self._hits = [0] * len(self.entries)
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "SuppressionConfig":
+        if not isinstance(payload, dict):
+            raise ValueError("suppression config must be a JSON object")
+        raw = payload.get("suppressions", [])
+        if not isinstance(raw, list):
+            raise ValueError("'suppressions' must be a list")
+        entries = []
+        for i, item in enumerate(raw):
+            if not isinstance(item, dict):
+                raise ValueError(f"suppression #{i + 1} must be an object")
+            unknown = set(item) - _ALLOWED_KEYS
+            if unknown:
+                raise ValueError(
+                    f"suppression #{i + 1} has unknown keys {sorted(unknown)}"
+                )
+            rule = str(item.get("rule", "")).strip()
+            reason = str(item.get("reason", "")).strip()
+            if not rule:
+                raise ValueError(f"suppression #{i + 1} is missing 'rule'")
+            if not reason:
+                raise ValueError(
+                    f"suppression #{i + 1} ({rule}) is missing its justification 'reason'"
+                )
+            entries.append(
+                Suppression(
+                    rule=rule,
+                    reason=reason,
+                    path=str(item.get("path", "*")),
+                    match=str(item.get("match", "")),
+                )
+            )
+        return cls(entries)
+
+    @classmethod
+    def load(cls, path: str) -> "SuppressionConfig":
+        with open(path, "r", encoding="utf-8") as stream:
+            try:
+                payload = json.load(stream)
+            except json.JSONDecodeError as exc:
+                raise ValueError(f"malformed suppression config {path}: {exc}") from exc
+        return cls.from_dict(payload)
+
+    def apply(self, finding: Finding) -> Finding:
+        """Mark *finding* suppressed if an entry covers it (first wins)."""
+        for i, entry in enumerate(self.entries):
+            if entry.covers(finding):
+                self._hits[i] += 1
+                finding.suppressed = True
+                finding.suppression_reason = entry.reason
+                break
+        return finding
+
+    def unused(self) -> list[Suppression]:
+        """Entries that matched no finding in the last run."""
+        return [entry for entry, hits in zip(self.entries, self._hits) if hits == 0]
+
+    def __len__(self) -> int:
+        return len(self.entries)

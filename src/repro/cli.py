@@ -13,7 +13,12 @@ Commands
                 (``--chaos-seed``); ``--json`` for machine-readable
                 output;
 ``trace``       render a JSONL observability dump written by
-                ``--trace-out``.
+                ``--trace-out``;
+``lint``        run the static-analysis rule set (determinism, import
+                layering, observability discipline, pattern-DB and
+                lexicon invariants) over the source tree; the exit code
+                is the maximum unsuppressed severity (0 clean,
+                1 warnings, 2 errors).
 
 ``analyze``, ``mine`` and ``platform`` accept ``--metrics`` (print the
 metrics registry after the run) and ``--trace-out PATH`` (write the
@@ -157,6 +162,46 @@ def build_parser() -> argparse.ArgumentParser:
         "--spans-only",
         action="store_true",
         help="render only the span tree",
+    )
+
+    lint = sub.add_parser("lint", help="run the static-analysis rule set")
+    lint.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint (default: the installed repro package)",
+    )
+    lint.add_argument(
+        "--config",
+        default=None,
+        metavar="PATH",
+        help="suppression config (default: nearest lint-suppressions.json upward from cwd)",
+    )
+    lint.add_argument(
+        "--severity",
+        choices=["info", "warning", "error"],
+        default="info",
+        help="minimum severity to report and count toward the exit code",
+    )
+    lint.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the full report as JSON instead of text",
+    )
+    lint.add_argument(
+        "--out",
+        default=None,
+        metavar="PATH",
+        help="write the report to PATH instead of stdout",
+    )
+    lint.add_argument(
+        "--show-suppressed",
+        action="store_true",
+        help="also list suppressed findings with their justifications",
+    )
+    lint.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="list every rule with the invariant it protects, then exit",
     )
     return parser
 
@@ -405,6 +450,46 @@ def cmd_trace(args: argparse.Namespace, out: IO[str]) -> int:
     return 0
 
 
+def cmd_lint(args: argparse.Namespace, out: IO[str]) -> int:
+    """Run the static-analysis rule set; exit code = max severity."""
+    from pathlib import Path
+
+    from .analysis import Severity, all_rules, build_linter, find_suppression_config
+
+    if args.list_rules:
+        for rule in all_rules():
+            out.write(f"{rule.rule_id}  {rule.name} ({rule.severity})\n")
+            out.write(f"        {rule.invariant}\n")
+        return 0
+
+    paths = args.paths or [str(Path(__file__).resolve().parent)]
+    config = args.config
+    if config is None:
+        # Search upward from the cwd first, then from the linted tree, so
+        # the repo config is found no matter where the CLI is invoked.
+        config = find_suppression_config() or find_suppression_config(
+            Path(paths[0]).resolve().parent
+        )
+    try:
+        linter = build_linter(config)
+    except (OSError, ValueError) as exc:
+        print(f"cannot load suppression config: {exc}", file=sys.stderr)
+        return 2
+    report = linter.lint(paths)
+    threshold = Severity.parse(args.severity)
+    if args.json:
+        text = report.to_json() + "\n"
+    else:
+        text = report.render(threshold, show_suppressed=args.show_suppressed) + "\n"
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as stream:
+            stream.write(text)
+        out.write(f"wrote {args.out}\n")
+    else:
+        out.write(text)
+    return report.exit_code(threshold)
+
+
 def main(argv: list[str] | None = None, out: IO[str] | None = None, stdin: IO[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     out = out or sys.stdout
@@ -426,4 +511,6 @@ def main(argv: list[str] | None = None, out: IO[str] | None = None, stdin: IO[st
         return cmd_platform(args, out)
     if args.command == "trace":
         return cmd_trace(args, out)
+    if args.command == "lint":
+        return cmd_lint(args, out)
     raise AssertionError(f"unhandled command {args.command!r}")

@@ -15,6 +15,7 @@ Public API highlights:
 
 from .analyzer import ClauseAssignment, SentimentAnalyzer
 from .context import ContextBuilder, ContextWindowRule, SentimentContext
+from .entity import Annotation, Entity
 from .disambiguation import (
     DisambiguationConfig,
     DisambiguationResult,
@@ -29,6 +30,15 @@ from .features import (
 )
 from .lexicon import LexiconEntry, SentimentLexicon, default_lexicon
 from .miner import MiningResult, MiningStats, SentimentMiner
+from .mining import (
+    CorpusMiner,
+    EntityMiner,
+    EntityStore,
+    MinerPipeline,
+    PipelineError,
+    PipelineReport,
+    run_corpus_miner,
+)
 from .model import (
     FeatureTerm,
     Polarity,
@@ -48,10 +58,15 @@ from .phrase import PhraseScorer, PhraseSentiment
 from .spotting import NamedEntitySpotter, SubjectSpotter
 
 __all__ = [
+    "Annotation",
     "ClauseAssignment",
     "ComponentRef",
     "ContextBuilder",
     "ContextWindowRule",
+    "CorpusMiner",
+    "Entity",
+    "EntityMiner",
+    "EntityStore",
     "DisambiguationConfig",
     "DisambiguationResult",
     "Disambiguator",
@@ -59,9 +74,12 @@ __all__ = [
     "FeatureExtractor",
     "FeatureTerm",
     "LexiconEntry",
+    "MinerPipeline",
     "MiningResult",
     "MiningStats",
     "NamedEntitySpotter",
+    "PipelineError",
+    "PipelineReport",
     "PhraseScorer",
     "PhraseSentiment",
     "Polarity",
@@ -82,4 +100,5 @@ __all__ = [
     "idf_from_documents",
     "likelihood_ratio",
     "parse_pattern_line",
+    "run_corpus_miner",
 ]

@@ -69,10 +69,14 @@ class SentimentAnalyzer:
         self._patterns = pattern_db if pattern_db is not None else default_pattern_db()
         # The tagger and lemmatizer must know every pattern predicate as a
         # verb, or inflected forms like "fixes" fall through to noun tags.
+        # Predicates override lexicon POS entries: many sentiment nouns
+        # ("mistrust", "crash", "praise") double as pattern predicates, and
+        # the contextual tagging rules can still flip a VB prior back to NN
+        # in noun positions, while a NN prior would kill the pattern match.
         predicates = set(self._patterns.predicates)
         tagger_lexicon = self._lexicon.tagger_entries()
         for predicate in predicates:
-            tagger_lexicon.setdefault(predicate, "VB")
+            tagger_lexicon[predicate] = "VB"
         self._tagger = PosTagger(extra_lexicon=tagger_lexicon)
         from ..nlp.lemmatizer import Lemmatizer
 

@@ -91,8 +91,10 @@ INVERTING_VERBS = (
     "repair mitigate"
 ).split()
 
-#: Plain transfer: causing something bad is bad.
-CAUSATIVE_VERBS = ("cause create introduce generate bring-about").split()
+#: Plain transfer: causing something bad is bad.  ("bring-about" is not
+#: listed: hyphenated tokens can never match a single parsed verb lemma,
+#: and "bring OP SP" already covers the lemma the tagger produces.)
+CAUSATIVE_VERBS = ("cause create introduce generate").split()
 
 #: Report verbs: the polarity of the object/complement clause reflects on
 #: the *object* itself, not the subject ("Analysts call the merger a

@@ -50,7 +50,7 @@ NEGATIVE_VERBS: tuple[str, ...] = tuple(
                 "falter fear flounder freeze frighten frustrate fumble "
                 "grumble hamper harm hate hinder humiliate hurt impair "
                 "infest infuriate irritate jam jeopardize lack lag lament "
-                "languish leak lie lose malfunction mar mislead miss "
+                "languish leak lie lose malfunction mar mislead miss mistrust "
                 "mistreat nag neglect offend overcharge overheat overhype "
                 "overprice panic plague pollute protest provoke rant "
                 "regret reject repel resent ridicule ruin rust sabotage "
@@ -71,13 +71,16 @@ TRANS_VERBS: tuple[str, ...] = tuple(
     sorted(
         set(
             (
-                "be seem look appear sound feel remain stay become get "
-                "turn prove offer provide deliver give bring produce "
-                "make take have show display exhibit demonstrate feature "
-                "include contain carry come hold keep supply yield "
+                "be seem look appear sound feel smell taste remain stay "
+                "become get turn prove offer provide deliver give bring "
+                "produce make take have show display exhibit demonstrate "
+                "feature include contain carry come hold keep supply yield "
                 "present boast sport pack report describe call consider "
                 "find rate deem judge regard view see know mean say "
-                "use run work perform handle"
+                "declare label use run work perform handle operate "
+                "function respond behave ship arrive fix solve eliminate "
+                "resolve avoid prevent reduce cure correct remove repair "
+                "mitigate cause create introduce generate"
             ).split()
         )
     )

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from ..core.model import Spot, Subject
 from ..nlp.tokens import Sentence, TaggedSentence, TaggedToken, Token
-from ..platform.entity import Annotation, Entity
+from ..core.entity import Annotation, Entity
 
 TOKEN_LAYER = "token"
 SENTENCE_LAYER = "sentence"

@@ -14,8 +14,8 @@ from dataclasses import dataclass, field
 from typing import Iterable
 
 from ..nlp.tokenizer import Tokenizer
-from ..platform.entity import Entity
-from ..platform.miners import CorpusMiner
+from ..core.entity import Entity
+from ..core.mining import CorpusMiner
 
 Vector = dict[str, float]
 

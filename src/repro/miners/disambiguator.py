@@ -10,8 +10,8 @@ from __future__ import annotations
 
 from ..core.disambiguation import Disambiguator
 from ..obs import Obs
-from ..platform.entity import Entity
-from ..platform.miners import EntityMiner
+from ..core.entity import Entity
+from ..core.mining import EntityMiner
 from . import base
 
 

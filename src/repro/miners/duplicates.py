@@ -17,8 +17,8 @@ import hashlib
 from dataclasses import dataclass, field
 from typing import Iterable
 
-from ..platform.entity import Entity
-from ..platform.miners import CorpusMiner
+from ..core.entity import Entity
+from ..core.mining import CorpusMiner
 
 
 def shingles(text: str, k: int = 3) -> set[str]:

@@ -16,8 +16,8 @@ from typing import Iterable
 from ..core.features import FeatureExtractionConfig, FeatureExtractor, likelihood_ratio
 from ..core.model import FeatureTerm
 from ..obs import Obs
-from ..platform.entity import Entity
-from ..platform.miners import CorpusMiner
+from ..core.entity import Entity
+from ..core.mining import CorpusMiner
 
 
 @dataclass

@@ -11,8 +11,8 @@ from __future__ import annotations
 
 from collections import Counter
 
-from ..platform.entity import Annotation, Entity
-from ..platform.miners import EntityMiner
+from ..core.entity import Annotation, Entity
+from ..core.mining import EntityMiner
 from . import base
 
 #: A small gazetteer: place -> (region, latitude, longitude).

@@ -7,8 +7,8 @@
 from __future__ import annotations
 
 from ..core.spotting import NamedEntitySpotter
-from ..platform.entity import Annotation, Entity
-from ..platform.miners import EntityMiner
+from ..core.entity import Annotation, Entity
+from ..core.mining import EntityMiner
 from . import base
 
 

@@ -19,8 +19,8 @@ from ..core.analyzer import SentimentAnalyzer
 from ..core.model import Polarity, SentimentJudgment, Spot, Subject
 from ..obs import Obs
 from ..obs.audit import NO_MATCH, PATTERN_MATCH
-from ..platform.entity import Annotation, Entity
-from ..platform.miners import EntityMiner
+from ..core.entity import Annotation, Entity
+from ..core.mining import EntityMiner
 from . import base
 
 

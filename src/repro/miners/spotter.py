@@ -9,8 +9,8 @@ from __future__ import annotations
 
 from ..core.model import Subject
 from ..core.spotting import SubjectSpotter
-from ..platform.entity import Entity
-from ..platform.miners import EntityMiner
+from ..core.entity import Entity
+from ..core.mining import EntityMiner
 from . import base
 
 

@@ -20,8 +20,8 @@ from dataclasses import dataclass, field
 from typing import Iterable
 
 from ..nlp.sentences import SentenceSplitter
-from ..platform.entity import Annotation, Entity
-from ..platform.miners import CorpusMiner
+from ..core.entity import Annotation, Entity
+from ..core.mining import CorpusMiner
 
 
 def _site_of(entity: Entity) -> str:

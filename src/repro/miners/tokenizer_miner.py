@@ -11,8 +11,8 @@ from __future__ import annotations
 from ..nlp.postagger import PosTagger, default_tagger
 from ..nlp.sentences import SentenceSplitter
 from ..nlp.tokenizer import Tokenizer
-from ..platform.entity import Annotation, Entity
-from ..platform.miners import EntityMiner
+from ..core.entity import Annotation, Entity
+from ..core.mining import EntityMiner
 from . import base
 
 

@@ -188,6 +188,7 @@ _verb("understand", "understands", "understanding", "understood")
 REGULAR_VERB_BASES = frozenset(
     (
         "use work want need like love hate enjoy prefer recommend suggest "
+        "trust mistrust "
         "offer provide deliver produce perform handle support include lack "
         "fail miss disappoint impress satisfy please annoy bother improve "
         "upgrade return replace refund ship arrive charge drain last fit "

@@ -40,11 +40,13 @@ from .export import (
 )
 from .metrics import (
     DEFAULT_BUCKETS,
+    METRIC_NAME_RE,
     Counter,
     Gauge,
     Histogram,
     MetricsRegistry,
     format_series,
+    validate_metric_name,
 )
 from .tracer import NULL_TRACER, NullTracer, Span, Tracer, walk
 
@@ -108,6 +110,7 @@ __all__ = [
     "DEFAULT_BUCKETS",
     "Gauge",
     "Histogram",
+    "METRIC_NAME_RE",
     "MetricsRegistry",
     "NULL_AUDIT",
     "NULL_TRACER",
@@ -125,6 +128,7 @@ __all__ = [
     "render_dump",
     "render_metric_records",
     "render_span_tree",
+    "validate_metric_name",
     "walk",
     "write_trace",
 ]

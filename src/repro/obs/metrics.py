@@ -14,12 +14,29 @@ always (tracing, by contrast, is opt-in; see :mod:`repro.obs.tracer`).
 
 from __future__ import annotations
 
+import re
 from typing import Iterator
 
 LabelKey = tuple[tuple[str, str], ...]
 
 #: Default histogram buckets, tuned for simulated-cost magnitudes.
 DEFAULT_BUCKETS = (0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 50.0, 100.0)
+
+#: Canonical metric-name shape: lowercase dot-separated segments, each
+#: starting with a letter (``vinci.retry_backoff_cost``).  The registry
+#: rejects anything else at creation time, and the ``repro lint``
+#: OBS002 rule enforces the same regex statically on every literal name
+#: in the source tree.
+METRIC_NAME_RE = re.compile(r"^[a-z][a-z0-9_]*(\.[a-z][a-z0-9_]*)*$")
+
+
+def validate_metric_name(name: str) -> str:
+    """Return *name* unchanged, or raise ``ValueError`` if ill-formed."""
+    if not METRIC_NAME_RE.match(name):
+        raise ValueError(
+            f"invalid metric name {name!r}: names must match {METRIC_NAME_RE.pattern}"
+        )
+    return name
 
 
 def _label_key(labels: dict[str, object]) -> LabelKey:
@@ -129,6 +146,7 @@ class MetricsRegistry:
         key = (name, _label_key(labels))
         instrument = self._instruments.get(key)
         if instrument is None:
+            validate_metric_name(name)
             instrument = Histogram(buckets)
             self._instruments[key] = instrument
         elif not isinstance(instrument, Histogram):
@@ -138,6 +156,7 @@ class MetricsRegistry:
     def _get(self, name: str, key: LabelKey, cls: type) -> Instrument:
         instrument = self._instruments.get((name, key))
         if instrument is None:
+            validate_metric_name(name)
             instrument = cls()
             self._instruments[(name, key)] = instrument
         elif not isinstance(instrument, cls):

@@ -1,0 +1,399 @@
+"""Good/bad synthetic fixtures for every AST code rule."""
+
+import ast
+import textwrap
+
+from repro.analysis import (
+    LayeringRule,
+    MetricNameRule,
+    SeededRngRule,
+    SpanContextRule,
+    VinciHandlerRule,
+    WallClockRule,
+    default_code_rules,
+)
+
+
+def run_rule(rule, source, modpath="repro/core/example.py"):
+    tree = ast.parse(textwrap.dedent(source))
+    return list(rule.check(modpath, modpath, tree))
+
+
+class TestWallClockRule:
+    def test_clean_simclock_usage(self):
+        findings = run_rule(
+            WallClockRule(),
+            """
+            from repro.obs.clock import SimClock
+
+            def run(clock: SimClock) -> float:
+                return clock.now()
+            """,
+            modpath="repro/platform/example.py",
+        )
+        assert findings == []
+
+    def test_flags_time_time(self):
+        findings = run_rule(
+            WallClockRule(),
+            """
+            import time
+
+            def stamp():
+                return time.time()
+            """,
+        )
+        assert len(findings) == 1
+        assert findings[0].rule == "DET001"
+        assert "time.time" in findings[0].message
+
+    def test_flags_perf_counter_import(self):
+        findings = run_rule(WallClockRule(), "from time import perf_counter\n")
+        assert [f.rule for f in findings] == ["DET001"]
+
+    def test_flags_datetime_now(self):
+        findings = run_rule(
+            WallClockRule(),
+            """
+            import datetime
+
+            def stamp():
+                return datetime.datetime.now()
+            """,
+        )
+        assert len(findings) == 1
+        assert "datetime.datetime.now" in findings[0].message
+
+    def test_allows_datetime_arithmetic(self):
+        findings = run_rule(
+            WallClockRule(),
+            """
+            import datetime
+
+            def plus_day(when: datetime.datetime) -> datetime.datetime:
+                return when + datetime.timedelta(days=1)
+            """,
+        )
+        assert findings == []
+
+
+class TestSeededRngRule:
+    def test_clean_seeded_rng(self):
+        findings = run_rule(
+            SeededRngRule(),
+            """
+            import random
+
+            def make(seed: int) -> random.Random:
+                return random.Random(seed)
+            """,
+        )
+        assert findings == []
+
+    def test_flags_unseeded_random(self):
+        findings = run_rule(
+            SeededRngRule(),
+            """
+            import random
+
+            rng = random.Random()
+            """,
+        )
+        assert len(findings) == 1
+        assert findings[0].rule == "DET002"
+        assert "unseeded" in findings[0].message
+
+    def test_flags_module_level_functions(self):
+        findings = run_rule(
+            SeededRngRule(),
+            """
+            import random
+
+            def roll():
+                return random.randint(1, 6)
+            """,
+        )
+        assert len(findings) == 1
+        assert "random.randint" in findings[0].message
+
+    def test_flags_system_random(self):
+        findings = run_rule(
+            SeededRngRule(),
+            """
+            import random
+
+            rng = random.SystemRandom()
+            """,
+        )
+        assert len(findings) == 1
+        assert "SystemRandom" in findings[0].message
+
+    def test_flags_from_import_of_functions(self):
+        findings = run_rule(SeededRngRule(), "from random import shuffle\n")
+        assert len(findings) == 1
+        assert "random.shuffle" in findings[0].message
+
+    def test_flags_unseeded_bare_random_class(self):
+        findings = run_rule(
+            SeededRngRule(),
+            """
+            from random import Random
+
+            rng = Random()
+            ok = Random(42)
+            """,
+        )
+        assert len(findings) == 1
+        assert "unseeded" in findings[0].message
+
+
+class TestLayeringRule:
+    def test_downward_import_is_legal(self):
+        findings = run_rule(
+            LayeringRule(),
+            "from ..core import SentimentAnalyzer\n",
+            modpath="repro/platform/example.py",
+        )
+        assert findings == []
+
+    def test_upward_import_is_flagged(self):
+        findings = run_rule(
+            LayeringRule(),
+            "from ..platform import DataStore\n",
+            modpath="repro/core/example.py",
+        )
+        assert len(findings) == 1
+        assert findings[0].rule == "ARCH001"
+        assert "'core'" in findings[0].message and "'platform'" in findings[0].message
+
+    def test_absolute_upward_import_is_flagged(self):
+        findings = run_rule(
+            LayeringRule(),
+            "import repro.cli\n",
+            modpath="repro/eval/example.py",
+        )
+        assert len(findings) == 1
+
+    def test_peer_package_import_is_flagged(self):
+        # corpora and miners share a rank: neither may import the other.
+        findings = run_rule(
+            LayeringRule(),
+            "from ..corpora import ReviewGenerator\n",
+            modpath="repro/miners/example.py",
+        )
+        assert len(findings) == 1
+
+    def test_intra_package_import_is_free(self):
+        findings = run_rule(
+            LayeringRule(),
+            "from .model import Polarity\nfrom . import lexicon\n",
+            modpath="repro/core/example.py",
+        )
+        assert findings == []
+
+    def test_stdlib_imports_ignored(self):
+        findings = run_rule(
+            LayeringRule(),
+            "import json\nfrom collections import Counter\n",
+            modpath="repro/core/example.py",
+        )
+        assert findings == []
+
+
+class TestSpanContextRule:
+    def test_with_statement_is_clean(self):
+        findings = run_rule(
+            SpanContextRule(),
+            """
+            def work(tracer):
+                with tracer.span("mine.doc"):
+                    pass
+            """,
+        )
+        assert findings == []
+
+    def test_bare_span_call_is_flagged(self):
+        findings = run_rule(
+            SpanContextRule(),
+            """
+            def work(tracer):
+                span = tracer.span("mine.doc")
+                span.finish()
+            """,
+        )
+        assert len(findings) == 1
+        assert findings[0].rule == "OBS001"
+
+    def test_attribute_tracer_receiver(self):
+        findings = run_rule(
+            SpanContextRule(),
+            """
+            def work(self):
+                self.obs.tracer.span("mine.doc")
+            """,
+        )
+        assert len(findings) == 1
+
+    def test_unrelated_span_method_ignored(self):
+        findings = run_rule(
+            SpanContextRule(),
+            """
+            def work(matcher):
+                return matcher.span(0)
+            """,
+        )
+        assert findings == []
+
+
+class TestMetricNameRule:
+    def test_valid_literal_name(self):
+        findings = run_rule(
+            MetricNameRule(),
+            """
+            def record(metrics):
+                metrics.counter("mine.docs").add(1)
+            """,
+        )
+        assert findings == []
+
+    def test_invalid_literal_name(self):
+        findings = run_rule(
+            MetricNameRule(),
+            """
+            def record(metrics):
+                metrics.counter("Mine Docs!").add(1)
+            """,
+        )
+        assert len(findings) == 1
+        assert findings[0].rule == "OBS002"
+
+    def test_module_constant_resolution(self):
+        findings = run_rule(
+            MetricNameRule(),
+            """
+            BAD = "Not-A-Metric"
+
+            def record(registry):
+                registry.gauge(BAD).set(1)
+            """,
+        )
+        assert len(findings) == 1
+        assert "Not-A-Metric" in findings[0].message
+
+    def test_class_constant_resolution_via_self(self):
+        findings = run_rule(
+            MetricNameRule(),
+            """
+            class Worker:
+                METRIC = "bad name"
+
+                def record(self):
+                    self.metrics.histogram(self.METRIC).observe(1.0)
+            """,
+        )
+        assert len(findings) == 1
+
+    def test_unresolvable_name_is_skipped(self):
+        findings = run_rule(
+            MetricNameRule(),
+            """
+            def record(metrics, name):
+                metrics.counter(name).add(1)
+            """,
+        )
+        assert findings == []
+
+    def test_non_metric_receiver_ignored(self):
+        findings = run_rule(
+            MetricNameRule(),
+            """
+            def tally(votes):
+                votes.counter("NOT A METRIC")
+            """,
+        )
+        assert findings == []
+
+
+class TestVinciHandlerRule:
+    MODPATH = "repro/platform/example.py"
+
+    def test_conforming_named_handler(self):
+        findings = run_rule(
+            VinciHandlerRule(),
+            """
+            def handle(payload: dict) -> dict:
+                return {"ok": True}
+
+            def wire(bus):
+                bus.register("svc", handle)
+            """,
+            modpath=self.MODPATH,
+        )
+        assert findings == []
+
+    def test_conforming_lambda(self):
+        findings = run_rule(
+            VinciHandlerRule(),
+            """
+            def wire(bus, node):
+                bus.register("svc", lambda payload: node.status())
+            """,
+            modpath=self.MODPATH,
+        )
+        assert findings == []
+
+    def test_two_argument_handler_flagged(self):
+        findings = run_rule(
+            VinciHandlerRule(),
+            """
+            def handle(payload, extra):
+                return {}
+
+            def wire(bus):
+                bus.register("svc", handle)
+            """,
+            modpath=self.MODPATH,
+        )
+        assert len(findings) == 1
+        assert findings[0].rule == "PLAT001"
+
+    def test_non_dict_return_flagged(self):
+        findings = run_rule(
+            VinciHandlerRule(),
+            """
+            def handle(payload):
+                return [1, 2]
+
+            def wire(bus):
+                bus.register("svc", handle)
+            """,
+            modpath=self.MODPATH,
+        )
+        assert len(findings) == 1
+        assert "dict envelope" in findings[0].message
+
+    def test_lambda_returning_list_flagged(self):
+        findings = run_rule(
+            VinciHandlerRule(),
+            """
+            def wire(bus):
+                bus.register("svc", lambda payload: [payload])
+            """,
+            modpath=self.MODPATH,
+        )
+        assert len(findings) == 1
+
+    def test_out_of_scope_module_skipped(self):
+        rule = VinciHandlerRule()
+        assert not rule.applies_to("repro/core/example.py")
+        assert rule.applies_to("repro/platform/example.py")
+        assert rule.applies_to("repro/cli.py")
+
+
+def test_default_code_rules_have_unique_ids_and_invariants():
+    rules = default_code_rules()
+    ids = [r.rule_id for r in rules]
+    assert len(ids) == len(set(ids))
+    assert len(rules) >= 6
+    for rule in rules:
+        assert rule.invariant, rule.rule_id

@@ -1,0 +1,179 @@
+"""Mutated in-memory tables for every data rule."""
+
+from repro.analysis import (
+    LexiconConflictRule,
+    LexiconPosRule,
+    NegationOverlapRule,
+    PatternDuplicateRule,
+    PatternPredicateRule,
+    PatternSyntaxRule,
+    default_data_rules,
+)
+from repro.analysis.data_rules import (
+    default_lexicon_entries,
+    default_pattern_lines,
+    known_pattern_predicates,
+)
+
+
+class TestPatternSyntaxRule:
+    def test_shipped_db_is_clean(self):
+        assert list(PatternSyntaxRule().check()) == []
+
+    def test_paper_examples_parse(self):
+        lines = ["impress + PP(by;with)", "be CP SP", "offer OP SP"]
+        assert list(PatternSyntaxRule(lines).check()) == []
+
+    def test_unknown_component_flagged(self):
+        findings = list(PatternSyntaxRule(["love + XP"]).check())
+        assert len(findings) == 1
+        assert findings[0].rule == "DATA001"
+        assert findings[0].line == 1
+
+    def test_tilde_on_fixed_polarity_flagged(self):
+        findings = list(PatternSyntaxRule(["avoid ~- SP"]).check())
+        assert len(findings) == 1
+        assert "transfer categories" in findings[0].message
+
+    def test_cp_target_flagged(self):
+        findings = list(PatternSyntaxRule(["be SP CP"]).check())
+        assert len(findings) == 1
+        assert "target" in findings[0].message
+
+    def test_malformed_line_flagged(self):
+        findings = list(PatternSyntaxRule(["love"]).check())
+        assert len(findings) == 1
+
+
+class TestPatternPredicateRule:
+    def test_shipped_db_is_fully_covered(self):
+        assert list(PatternPredicateRule().check()) == []
+
+    def test_unknown_predicate_flagged(self):
+        findings = list(
+            PatternPredicateRule(["frobnicate + SP"], known={"love"}).check()
+        )
+        assert len(findings) == 1
+        assert findings[0].rule == "DATA002"
+        assert "frobnicate" in findings[0].message
+
+    def test_known_predicate_passes(self):
+        assert list(PatternPredicateRule(["love + OP"], known={"love"}).check()) == []
+
+    def test_every_shipped_predicate_is_a_known_lemma(self):
+        known = known_pattern_predicates()
+        for line in default_pattern_lines():
+            assert line.split()[0] in known, line
+
+
+class TestPatternDuplicateRule:
+    def test_shipped_db_has_no_duplicates(self):
+        assert list(PatternDuplicateRule().check()) == []
+
+    def test_duplicate_flagged_with_first_location(self):
+        findings = list(
+            PatternDuplicateRule(["be CP SP", "offer OP SP", "be CP SP"]).check()
+        )
+        assert len(findings) == 1
+        assert findings[0].rule == "DATA003"
+        assert findings[0].line == 3
+        assert "entry 1" in findings[0].message
+
+    def test_same_predicate_different_targets_allowed(self):
+        lines = ["impress + PP(by;with)", "impress + SP"]
+        assert list(PatternDuplicateRule(lines).check()) == []
+
+
+class TestLexiconConflictRule:
+    def test_shipped_lexicon_has_no_conflicts(self):
+        assert list(LexiconConflictRule().check()) == []
+
+    def test_conflicting_polarity_flagged(self):
+        entries = [("sharp", "JJ", "+"), ("sharp", "JJ", "-")]
+        findings = list(LexiconConflictRule(entries).check())
+        assert len(findings) == 1
+        assert findings[0].rule == "DATA004"
+        assert "sharp" in findings[0].message
+
+    def test_same_term_different_pos_allowed(self):
+        entries = [("harm", "VB", "-"), ("harm", "NN", "-")]
+        assert list(LexiconConflictRule(entries).check()) == []
+
+    def test_case_insensitive(self):
+        entries = [("Sharp", "JJ", "+"), ("sharp", "JJ", "-")]
+        assert len(list(LexiconConflictRule(entries).check())) == 1
+
+
+class TestNegationOverlapRule:
+    def test_shipped_overlap_is_exactly_fail_and_lack(self):
+        words = sorted(
+            f.message.split("'")[1] for f in NegationOverlapRule().check()
+        )
+        assert words == ["fail", "lack"]
+
+    def test_negator_in_polarity_terms_flagged(self):
+        findings = list(
+            NegationOverlapRule(
+                entries=[("never", "RB", "-")],
+                negators={"never"},
+                negation_verbs=(),
+            ).check()
+        )
+        assert len(findings) == 1
+        assert findings[0].rule == "DATA005"
+
+    def test_disjoint_tables_are_clean(self):
+        findings = list(
+            NegationOverlapRule(
+                entries=[("good", "JJ", "+")],
+                negators={"not"},
+                negation_verbs={"fail"},
+            ).check()
+        )
+        assert findings == []
+
+    def test_negation_verb_overlap_reported_for_verbs_only(self):
+        findings = list(
+            NegationOverlapRule(
+                entries=[("collapse", "NN", "-")],
+                negators=(),
+                negation_verbs={"collapse"},
+            ).check()
+        )
+        # "collapse" here is a noun entry, not a verb entry.
+        assert findings == []
+
+
+class TestLexiconPosRule:
+    def test_shipped_lexicon_is_clean(self):
+        assert list(LexiconPosRule().check()) == []
+
+    def test_unknown_pos_flagged(self):
+        findings = list(LexiconPosRule([("good", "ADJ", "+")]).check())
+        assert len(findings) == 1
+        assert findings[0].rule == "DATA006"
+
+    def test_fine_grained_penn_tag_rejected(self):
+        # JJR is a valid Penn tag but not a coarse lexicon class.
+        findings = list(LexiconPosRule([("better", "JJR", "+")]).check())
+        assert len(findings) == 1
+
+    def test_bad_polarity_symbol_flagged(self):
+        findings = list(LexiconPosRule([("good", "JJ", "0")]).check())
+        assert len(findings) == 1
+        assert "sent_category" in findings[0].message
+
+
+def test_default_data_rules_have_unique_ids():
+    rules = default_data_rules()
+    ids = [r.rule_id for r in rules]
+    assert len(ids) == len(set(ids))
+    assert len(rules) >= 6
+
+
+def test_lexicon_scale_matches_paper():
+    # Paper Section 4.2: ~3000 entries, ~2500 adjectives (the curated
+    # JJ lists here, plus participial adjectives derived from verbs).
+    entries = default_lexicon_entries()
+    assert 2500 <= len(entries) <= 3500
+    assert sum(1 for _t, pos, _s in entries if pos == "JJ") >= 1500

@@ -1,0 +1,86 @@
+"""The ``repro lint`` CLI: output formats, exit codes, config handling."""
+
+import io
+import json
+
+from repro.cli import main
+
+
+def run_cli(*argv):
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+class TestLintCli:
+    def test_default_run_is_clean(self):
+        code, output = run_cli("lint")
+        assert code == 0
+        assert "0 errors" in output
+
+    def test_json_output(self):
+        code, output = run_cli("lint", "--json")
+        assert code == 0
+        payload = json.loads(output)
+        assert payload["exit_code"] == 0
+        assert payload["files_checked"] > 80
+        assert isinstance(payload["findings"], list)
+
+    def test_out_file(self, tmp_path):
+        report_path = tmp_path / "report.json"
+        code, output = run_cli("lint", "--json", "--out", str(report_path))
+        assert code == 0
+        assert str(report_path) in output
+        payload = json.loads(report_path.read_text(encoding="utf-8"))
+        assert payload["exit_code"] == 0
+
+    def test_exit_code_reflects_violations(self, tmp_path):
+        bad = tmp_path / "repro" / "core" / "bad.py"
+        bad.parent.mkdir(parents=True)
+        bad.write_text("import random\nrng = random.Random()\n", encoding="utf-8")
+        code, output = run_cli("lint", str(bad))
+        assert code == 2
+        assert "DET002" in output
+
+    def test_severity_threshold_filters_warnings(self, tmp_path):
+        # A config whose only entry is stale produces a warning finding:
+        # visible at the default threshold, invisible at --severity error.
+        config = tmp_path / "s.json"
+        config.write_text(
+            json.dumps(
+                {
+                    "suppressions": [
+                        {"rule": "DET001", "reason": "stale on purpose"},
+                        # Data rules run on every lint; keep the repo's two
+                        # intended DATA005 exceptions suppressed here too.
+                        {"rule": "DATA005", "reason": "intended overlap"},
+                    ]
+                }
+            ),
+            encoding="utf-8",
+        )
+        empty = tmp_path / "repro" / "core" / "empty.py"
+        empty.parent.mkdir(parents=True)
+        empty.write_text("x = 1\n", encoding="utf-8")
+        code, _ = run_cli("lint", str(empty), "--config", str(config))
+        assert code == 1
+        code, _ = run_cli(
+            "lint", str(empty), "--config", str(config), "--severity", "error"
+        )
+        assert code == 0
+
+    def test_show_suppressed_lists_justifications(self):
+        code, output = run_cli("lint", "--show-suppressed")
+        assert code == 0
+        assert "suppressed: intended dual reading" in output
+
+    def test_list_rules(self):
+        code, output = run_cli("lint", "--list-rules")
+        assert code == 0
+        for rule_id in ("DET001", "DET002", "ARCH001", "OBS001", "OBS002",
+                        "PLAT001", "DATA001", "DATA006"):
+            assert rule_id in output
+
+    def test_missing_config_is_an_error(self, tmp_path):
+        code, _ = run_cli("lint", "--config", str(tmp_path / "nope.json"))
+        assert code == 2

@@ -1,0 +1,120 @@
+"""Suppression config: matching, justification, staleness reporting."""
+
+import json
+
+import pytest
+
+from repro.analysis import (
+    Finding,
+    Linter,
+    Severity,
+    Suppression,
+    SuppressionConfig,
+)
+from repro.analysis.data_rules import NegationOverlapRule
+
+
+def make_finding(rule="DATA005", path="<lexicon>", message="negation verb 'fail'"):
+    return Finding(rule=rule, severity=Severity.ERROR, message=message, path=path)
+
+
+class TestSuppressionMatching:
+    def test_exact_rule_and_path(self):
+        entry = Suppression(rule="DATA005", reason="intended", path="<lexicon>")
+        assert entry.covers(make_finding())
+        assert not entry.covers(make_finding(rule="DATA004"))
+        assert not entry.covers(make_finding(path="<pattern-db>"))
+
+    def test_message_substring(self):
+        entry = Suppression(rule="*", reason="r", match="'fail'")
+        assert entry.covers(make_finding())
+        assert not entry.covers(make_finding(message="negation verb 'lack'"))
+
+    def test_path_glob(self):
+        entry = Suppression(rule="*", reason="r", path="src/repro/platform/*")
+        assert entry.covers(make_finding(path="src/repro/platform/vinci.py"))
+        assert not entry.covers(make_finding(path="src/repro/core/scoring.py"))
+
+
+class TestSuppressionConfig:
+    def test_reason_is_mandatory(self):
+        with pytest.raises(ValueError, match="reason"):
+            SuppressionConfig.from_dict({"suppressions": [{"rule": "DATA005"}]})
+
+    def test_rule_is_mandatory(self):
+        with pytest.raises(ValueError, match="rule"):
+            SuppressionConfig.from_dict({"suppressions": [{"reason": "why"}]})
+
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(ValueError, match="unknown keys"):
+            SuppressionConfig.from_dict(
+                {"suppressions": [{"rule": "X", "reason": "r", "files": "*"}]}
+            )
+
+    def test_load_malformed_json(self, tmp_path):
+        config = tmp_path / "s.json"
+        config.write_text("{nope")
+        with pytest.raises(ValueError, match="malformed"):
+            SuppressionConfig.load(str(config))
+
+    def test_apply_marks_finding_with_reason(self):
+        config = SuppressionConfig.from_dict(
+            {"suppressions": [{"rule": "DATA005", "reason": "intended overlap"}]}
+        )
+        finding = config.apply(make_finding())
+        assert finding.suppressed
+        assert finding.suppression_reason == "intended overlap"
+
+    def test_unused_entries_reported(self):
+        config = SuppressionConfig.from_dict(
+            {
+                "suppressions": [
+                    {"rule": "DATA005", "reason": "hit"},
+                    {"rule": "DET001", "reason": "never hit"},
+                ]
+            }
+        )
+        config.apply(make_finding())
+        stale = config.unused()
+        assert [s.rule for s in stale] == ["DET001"]
+
+
+class TestLinterSuppressionIntegration:
+    def test_suppressed_finding_does_not_count_toward_exit_code(self):
+        rule = NegationOverlapRule(
+            entries=[("fail", "VB", "-")], negators=(), negation_verbs={"fail"}
+        )
+        config = SuppressionConfig.from_dict(
+            {"suppressions": [{"rule": "DATA005", "reason": "intended"}]}
+        )
+        report = Linter(data_rules=[rule], suppressions=config).lint([])
+        assert report.exit_code() == 0
+        assert len(report.suppressed()) == 1
+
+    def test_without_suppression_exit_code_is_error(self):
+        rule = NegationOverlapRule(
+            entries=[("fail", "VB", "-")], negators=(), negation_verbs={"fail"}
+        )
+        report = Linter(data_rules=[rule]).lint([])
+        assert report.exit_code() == 2
+
+    def test_stale_suppression_becomes_warning(self):
+        config = SuppressionConfig.from_dict(
+            {"suppressions": [{"rule": "DET001", "reason": "obsolete"}]}
+        )
+        report = Linter(suppressions=config).lint([])
+        warnings = report.unsuppressed(Severity.WARNING)
+        assert len(warnings) == 1
+        assert "matched no finding" in warnings[0].message
+        assert report.exit_code() == 1
+
+    def test_repo_config_parses_and_every_entry_has_a_reason(self):
+        from pathlib import Path
+
+        repo_config = Path(__file__).resolve().parents[2] / "lint-suppressions.json"
+        config = SuppressionConfig.from_dict(
+            json.loads(repo_config.read_text(encoding="utf-8"))
+        )
+        assert len(config) >= 1
+        for entry in config.entries:
+            assert entry.reason.strip()

@@ -166,3 +166,36 @@ class TestProvenance:
     def test_negation_recorded(self, analyzer):
         (j,) = analyzer.analyze_text("The colors are not vibrant.", [Subject("colors")])
         assert j.provenance.negated
+
+
+class TestNounShadowedPredicates:
+    """Regression: predicates that double as sentiment nouns must still
+    tag as verbs inside the analyzer, or their patterns can never fire.
+
+    Paper Section 4.2 treats experiencer verbs like "mistrust" as
+    sentiment verbs; before the fix, the lexicon's NN entry for the same
+    word shadowed the predicate's VB prior and every such pattern
+    ("mistrust - OP", "crash - SP", ...) was dead in base-form clauses.
+    """
+
+    def test_mistrust_object_pattern_fires(self, analyzer):
+        out = judge(analyzer, "I mistrust this vendor.", "vendor")
+        assert out["vendor"] is Polarity.NEGATIVE
+
+    def test_trust_object_pattern_fires(self, analyzer):
+        out = judge(analyzer, "Reviewers trust this brand.", "brand")
+        assert out["brand"] is Polarity.POSITIVE
+
+    def test_crash_subject_pattern_fires(self, analyzer):
+        # "crash" is also a negative noun; the verb reading must survive.
+        out = judge(analyzer, "These phones crash constantly.", "phones")
+        assert out["phones"] is Polarity.NEGATIVE
+
+    def test_noun_reading_still_tags_as_noun(self, analyzer):
+        # The override only sets the lexical prior; contextual rules keep
+        # noun positions nominal ("the crash" after a determiner).
+        tagged = analyzer.tag(
+            list(analyzer._splitter.split_text("The crash ruined everything."))[0]
+        )
+        tags = {t.text: t.tag for t in tagged.tokens}
+        assert tags["crash"].startswith("NN")

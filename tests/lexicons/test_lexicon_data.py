@@ -100,3 +100,51 @@ class TestPatternData:
         known = set(verbs.POSITIVE_VERBS) | set(verbs.NEGATIVE_VERBS)
         for verb in patterns.PSYCH_VERBS_POSITIVE + patterns.PSYCH_VERBS_NEGATIVE:
             assert verb in known, verb
+
+
+class TestLexiconPatternConsistency:
+    """Regression tests for lexicon bugs surfaced by ``repro lint``.
+
+    The paper (Section 4.2) requires every pattern-DB entry's predicate
+    to be a verb lemma the analyzer can recognise; predicates outside
+    the verb lexicon produce patterns that can never fire.
+    """
+
+    def test_mistrust_is_a_negative_verb(self):
+        # Bug: "mistrust" generated experiencer patterns ("mistrust - OP")
+        # but had no polarity entry, so "I mistrust this vendor" scored
+        # neutral.  Paper Section 4.2 lists verbs with inherent negative
+        # sentiment; mistrust is one (cf. "trust" on the positive side).
+        assert "mistrust" in verbs.NEGATIVE_VERBS
+        assert "trust" in verbs.POSITIVE_VERBS
+
+    def test_every_pattern_predicate_is_in_the_verb_lexicon(self):
+        known = (
+            set(verbs.POSITIVE_VERBS)
+            | set(verbs.NEGATIVE_VERBS)
+            | set(verbs.TRANS_VERBS)
+        )
+        missing = sorted(
+            {line.split()[0] for line in patterns.pattern_lines()} - known
+        )
+        assert missing == [], missing
+
+    def test_no_hyphenated_predicates(self):
+        # Bug: "bring-about" can never match a single parsed verb lemma;
+        # the tokenizer yields "bring" and "about" separately, and
+        # "bring OP SP" already covers the lemma.
+        for line in patterns.pattern_lines():
+            assert "-" not in line.split()[0], line
+
+    def test_trans_verbs_cover_pattern_helper_classes(self):
+        trans = set(verbs.TRANS_VERBS)
+        for verb in (
+            patterns.COPULAR_PATTERN_VERBS
+            + patterns.OBJECT_TO_SUBJECT_VERBS
+            + patterns.FUNCTION_VERBS
+            + patterns.INVERTING_VERBS
+            + patterns.CAUSATIVE_VERBS
+            + patterns.JUDGMENT_VERBS
+            + list(patterns.PP_TO_SUBJECT_VERBS)
+        ):
+            assert verb in trans, verb
