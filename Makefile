@@ -2,7 +2,7 @@
 PYTHONPATH := src
 export PYTHONPATH
 
-.PHONY: test chaos bench bench-obs lint lint-report
+.PHONY: test chaos serving-chaos bench bench-obs bench-serving lint lint-report
 
 test: lint
 	python -m pytest -x -q
@@ -11,13 +11,24 @@ test: lint
 chaos:
 	python -m pytest -q -m chaos
 
-bench: bench-obs
+# Resilient serving-layer suite: deadline propagation, load shedding,
+# circuit breakers, hedged reads, and seeded end-to-end chaos runs.
+serving-chaos:
+	python -m pytest -q -m serving
+
+bench: bench-obs bench-serving
 	cd benchmarks && PYTHONPATH=../src python -m pytest -q
 
 # Instrumentation overhead guard: tracing on vs. off on the same corpus
 # mine; writes BENCH_obs_overhead.json and fails if overhead >= 10%.
 bench-obs:
 	cd benchmarks && PYTHONPATH=../src python -m pytest -q bench_obs_overhead.py
+
+# Serving availability under a seeded chaos plan (one dead index node,
+# ≥5% service faults): writes BENCH_serving_availability.json and fails
+# below 99% availability or on any late/malformed response.
+bench-serving:
+	cd benchmarks && PYTHONPATH=../src python -m pytest -q bench_serving.py
 
 # Byte-compile everything, then run the static-analysis rule set
 # (determinism, layering, obs discipline, pattern-DB/lexicon invariants).

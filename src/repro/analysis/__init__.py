@@ -10,6 +10,8 @@ invariants the rest of the codebase relies on:
   matching the registry regex (OBS001/OBS002);
 * Vinci handler contract — handlers take and return dict envelopes
   (PLAT001);
+* serving discipline — serving handlers accept and consult deadlines,
+  serving queues are bounded (PLAT002);
 * pattern-DB and lexicon consistency (DATA001–DATA006).
 
 Intended exceptions live in ``lint-suppressions.json`` with a mandatory
@@ -24,6 +26,7 @@ from .code_rules import (
     LayeringRule,
     MetricNameRule,
     SeededRngRule,
+    ServingDisciplineRule,
     SpanContextRule,
     VinciHandlerRule,
     WallClockRule,
@@ -101,6 +104,7 @@ __all__ = [
     "Rule",
     "SUPPRESSIONS_FILENAME",
     "SeededRngRule",
+    "ServingDisciplineRule",
     "Severity",
     "SpanContextRule",
     "Suppression",

@@ -543,6 +543,113 @@ class VinciHandlerRule(CodeRule):
                     )
 
 
+# ---------------------------------------------------------------------------
+# PLAT002 — serving discipline: deadlines propagate, queues are bounded
+# ---------------------------------------------------------------------------
+
+
+def _deque_maxlen_bounded(call: ast.Call) -> bool:
+    """True when a ``deque(...)`` call has a non-None maxlen."""
+    if len(call.args) >= 2:
+        arg = call.args[1]
+        return not (isinstance(arg, ast.Constant) and arg.value is None)
+    for keyword in call.keywords:
+        if keyword.arg == "maxlen":
+            value = keyword.value
+            return not (isinstance(value, ast.Constant) and value.value is None)
+    return False
+
+
+def _queue_maxsize_bounded(call: ast.Call) -> bool:
+    """True when a ``queue.Queue(...)`` call has a bounding maxsize."""
+    candidates: list[ast.expr] = list(call.args[:1])
+    candidates.extend(k.value for k in call.keywords if k.arg == "maxsize")
+    for value in candidates:
+        if isinstance(value, ast.Constant) and (
+            value.value is None or (isinstance(value.value, int) and value.value <= 0)
+        ):
+            return False
+        return True
+    return False
+
+
+class ServingDisciplineRule(CodeRule):
+    """Serving handlers honour deadlines; serving queues are bounded.
+
+    Two invariants from the overload model (DESIGN.md §5e):
+
+    * every ``answer*`` handler in the serving layer takes a ``deadline``
+      parameter and actually consults it — a handler that ignores its
+      deadline can serve work late;
+    * no unbounded queues: every ``deque`` carries a ``maxlen`` and every
+      ``queue.Queue`` a positive ``maxsize``, so overload sheds requests
+      explicitly instead of growing memory without bound.
+    """
+
+    rule_id = "PLAT002"
+    name = "serving-discipline"
+    severity = Severity.ERROR
+    invariant = (
+        "serving answer* handlers accept and consult a 'deadline' parameter, "
+        "and every queue in platform/serving is bounded"
+    )
+    scope = ("repro/platform/serving/*",)
+
+    def check(self, path: str, modpath: str, tree: ast.Module) -> Iterator[Finding]:
+        for node in ast.walk(tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if node.name.startswith("answer"):
+                    yield from self._check_handler(node, path)
+            elif isinstance(node, ast.Call):
+                yield from self._check_queue(node, path)
+
+    def _check_handler(self, fn: ast.FunctionDef, path: str) -> Iterator[Finding]:
+        args = fn.args
+        params = {a.arg for a in args.posonlyargs + args.args + args.kwonlyargs}
+        if "deadline" not in params:
+            yield self.finding(
+                f"serving handler {fn.name!r} must accept a 'deadline' "
+                "parameter so request budgets propagate downstream",
+                path=path,
+                line=fn.lineno,
+            )
+            return
+        used = any(
+            isinstance(node, ast.Name) and node.id == "deadline"
+            for body_node in fn.body
+            for node in ast.walk(body_node)
+        )
+        if not used:
+            yield self.finding(
+                f"serving handler {fn.name!r} accepts a deadline but never "
+                "consults it; expired work could be served late",
+                path=path,
+                line=fn.lineno,
+            )
+
+    def _check_queue(self, call: ast.Call, path: str) -> Iterator[Finding]:
+        func = call.func
+        name = func.id if isinstance(func, ast.Name) else None
+        if name is None and isinstance(func, ast.Attribute):
+            name = func.attr
+        if name == "deque":
+            if not _deque_maxlen_bounded(call):
+                yield self.finding(
+                    "unbounded deque in the serving layer: pass maxlen= so "
+                    "overload sheds explicitly instead of growing memory",
+                    path=path,
+                    line=call.lineno,
+                )
+        elif name == "Queue" or (_dotted(func) or "").endswith("queue.Queue"):
+            if name in ("Queue",) and not _queue_maxsize_bounded(call):
+                yield self.finding(
+                    "unbounded Queue in the serving layer: pass a positive "
+                    "maxsize so overload sheds explicitly",
+                    path=path,
+                    line=call.lineno,
+                )
+
+
 def default_code_rules() -> list[CodeRule]:
     """The full code-rule set, in report order."""
     return [
@@ -552,4 +659,5 @@ def default_code_rules() -> list[CodeRule]:
         SpanContextRule(),
         MetricNameRule(),
         VinciHandlerRule(),
+        ServingDisciplineRule(),
     ]

@@ -156,6 +156,39 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_obs_flags(platform)
 
+    serve = sub.add_parser(
+        "serve", help="drive the resilient serving layer (optionally under chaos)"
+    )
+    serve.add_argument(
+        "--domain",
+        choices=["digital_camera", "music", "petroleum", "pharmaceutical"],
+        default="digital_camera",
+    )
+    serve.add_argument("--docs", type=int, default=24)
+    serve.add_argument("--seed", type=int, default=2005)
+    serve.add_argument("--requests", type=int, default=300)
+    serve.add_argument("--shards", type=int, default=8)
+    serve.add_argument("--nodes", type=int, default=4)
+    serve.add_argument("--replication", type=int, default=2)
+    serve.add_argument(
+        "--chaos-seed",
+        type=int,
+        default=None,
+        help="kill one index node and inject service faults from this seed",
+    )
+    serve.add_argument(
+        "--fault-fraction",
+        type=float,
+        default=0.08,
+        help="service faults scheduled as a fraction of generated requests",
+    )
+    serve.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the machine-readable serving report instead of a table",
+    )
+    _add_obs_flags(serve)
+
     trace = sub.add_parser("trace", help="render a JSONL observability dump")
     trace.add_argument("path", help="JSONL file written by --trace-out")
     trace.add_argument(
@@ -434,6 +467,53 @@ def cmd_platform(args: argparse.Namespace, out: IO[str]) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace, out: IO[str]) -> int:
+    """Drive the resilient mode-B serving layer, optionally under chaos."""
+    from .eval.reporting import format_table
+    from .platform.serving import LoadProfile, build_scenario
+
+    obs = _obs_from_args(args)
+    scenario = build_scenario(
+        seed=args.seed,
+        docs=args.docs,
+        domain=args.domain,
+        num_shards=args.shards,
+        num_nodes=args.nodes,
+        replication=min(args.replication, args.nodes),
+        chaos_seed=args.chaos_seed,
+        fault_fraction=args.fault_fraction,
+        profile=LoadProfile(requests=args.requests),
+        obs=obs,
+    )
+    report = scenario.run()
+
+    if args.json:
+        out.write(json.dumps(report, indent=2, sort_keys=True) + "\n")
+        _emit_obs(args, obs, out)
+        return 0
+
+    rows = [
+        ["requests", report["requests"]],
+        ["availability", f"{report['availability']:.4f}"],
+        ["p50 latency", f"{report['p50_latency']:.3f}"],
+        ["p99 latency", f"{report['p99_latency']:.3f}"],
+        ["shed rate", f"{report['shed_rate']:.4f}"],
+        ["degraded", report["degraded"]],
+        ["expired", report["expired"]],
+        ["late responses", report["late_responses"]],
+        ["hedges", report["hedges"]],
+        ["hedge wins", report["hedge_wins"]],
+        ["faults injected", report["faults_injected"]],
+        ["dead nodes", ",".join(map(str, report["dead_nodes"])) or "-"],
+    ]
+    title = "serving run"
+    if args.chaos_seed is not None:
+        title += f" under chaos seed {args.chaos_seed}"
+    out.write(format_table(["metric", "value"], rows, title=title) + "\n")
+    _emit_obs(args, obs, out)
+    return 0
+
+
 def cmd_trace(args: argparse.Namespace, out: IO[str]) -> int:
     """Re-render a JSONL observability dump on the console."""
     from .obs import read_trace, render_dump, render_span_tree
@@ -509,6 +589,8 @@ def main(argv: list[str] | None = None, out: IO[str] | None = None, stdin: IO[st
         return cmd_mine(args, out)
     if args.command == "platform":
         return cmd_platform(args, out)
+    if args.command == "serve":
+        return cmd_serve(args, out)
     if args.command == "trace":
         return cmd_trace(args, out)
     if args.command == "lint":

@@ -6,7 +6,7 @@ annotation layers, miner scheduling, indexing, and hosted services.  See
 DESIGN.md Section 2 for the substitution rationale.
 """
 
-from . import chaos
+from . import chaos, serving
 from .cluster import COORDINATOR_SERVICE, Cluster, ClusterRunReport, Node
 from .datastore import DataStore, Partition, Segment, default_partitioner
 from .entity import Annotation, Entity
@@ -45,6 +45,17 @@ from .query import (
     Regex,
     Term,
     parse_query,
+    render_query,
+)
+from .serving import (
+    CircuitBreaker,
+    Deadline,
+    DeadlineExceeded,
+    LoadGenerator,
+    LoadProfile,
+    ReplicatedIndex,
+    ServingRequest,
+    ServingRouter,
 )
 from .services import (
     SearchService,
@@ -62,8 +73,11 @@ __all__ = [
     "Cluster",
     "ClusterRunReport",
     "Concept",
+    "CircuitBreaker",
     "CorpusMiner",
     "chaos",
+    "Deadline",
+    "DeadlineExceeded",
     "FaultEvent",
     "FaultPlan",
     "NO_RETRY",
@@ -79,6 +93,8 @@ __all__ = [
     "IngestionManager",
     "IngestionReport",
     "InvertedIndex",
+    "LoadGenerator",
+    "LoadProfile",
     "MinerPipeline",
     "Near",
     "NewsFeedIngestor",
@@ -95,12 +111,16 @@ __all__ = [
     "Range",
     "rank_entities",
     "Regex",
+    "ReplicatedIndex",
     "SearchService",
     "Segment",
     "SentimentEntry",
     "SentimentIndex",
     "SentimentQueryService",
+    "ServingRequest",
+    "ServingRouter",
     "Source",
+    "serving",
     "StoreService",
     "Term",
     "VinciBus",
@@ -112,5 +132,6 @@ __all__ = [
     "pagerank",
     "parse_query",
     "register_services",
+    "render_query",
     "run_corpus_miner",
 ]

@@ -84,7 +84,18 @@ class Regex(Query):
     pattern: str
 
     def compiled(self) -> re.Pattern:
-        return re.compile(self.pattern, re.IGNORECASE)
+        """Compiled pattern, memoised per node.
+
+        The cache lives in ``__dict__`` (not a field), so it bypasses the
+        frozen-dataclass ``__setattr__`` and never affects equality or
+        hashing; evaluation over large vocabularies no longer recompiles
+        the pattern once per index scan.
+        """
+        cached = self.__dict__.get("_compiled")
+        if cached is None:
+            cached = re.compile(self.pattern, re.IGNORECASE)
+            self.__dict__["_compiled"] = cached
+        return cached
 
 
 @dataclass(frozen=True)
@@ -133,7 +144,7 @@ _TOKEN_RE = re.compile(
         |re:/(?:[^/\\]|\\.)*/
         |[A-Za-z_][\w.]*:\[[^\]]*\]
         |[A-Za-z_][\w.]*:[\w+-]+
-        |[^\s()]+
+        |[^\s()"]+
     )
     """,
     re.VERBOSE,
@@ -149,6 +160,11 @@ def _lex(text: str) -> list[str]:
             remainder = text[pos:].strip()
             if not remainder:
                 break
+            if remainder.startswith('"'):
+                # A bare quote means the quoted-phrase alternative failed:
+                # the quote was never closed.  Refuse instead of silently
+                # lexing '"abc' as a term.
+                raise QueryParseError(f"unclosed quote at: {remainder!r}")
             raise QueryParseError(f"cannot lex query at: {remainder!r}")
         tokens.append(match.group(1))
         pos = match.end()
@@ -226,6 +242,8 @@ class _Parser:
             return Phrase(tuple(w.lower() for w in words))
         if token.startswith("re:/") and token.endswith("/"):
             pattern = token[4:-1]
+            if not pattern:
+                raise QueryParseError("empty regex body: re://")
             try:
                 re.compile(pattern)
             except re.error as exc:
@@ -264,3 +282,34 @@ class _Parser:
 def parse_query(text: str) -> Query:
     """Parse a query string into an AST."""
     return _Parser(_lex(text)).parse()
+
+
+def render_query(query: Query) -> str:
+    """Render an AST back to surface syntax.
+
+    Boolean operators are fully parenthesised, so the output is not
+    always the shortest form, but ``parse_query(render_query(q)) == q``
+    holds for any AST the parser itself can produce (the property the
+    round-trip tests exercise).
+    """
+    if isinstance(query, Term):
+        return query.token
+    if isinstance(query, Phrase):
+        return '"' + " ".join(query.tokens) + '"'
+    if isinstance(query, And):
+        return f"({render_query(query.left)} AND {render_query(query.right)})"
+    if isinstance(query, Or):
+        return f"({render_query(query.left)} OR {render_query(query.right)})"
+    if isinstance(query, Not):
+        return f"(NOT {render_query(query.operand)})"
+    if isinstance(query, Range):
+        return f"{query.field}:[{query.low!r} TO {query.high!r}]"
+    if isinstance(query, Regex):
+        return f"re:/{query.pattern}/"
+    if isinstance(query, Near):
+        return f"near:[{query.lat!r},{query.lon!r},{query.radius_km!r}]"
+    if isinstance(query, Concept):
+        if not query.label:
+            raise ValueError("an empty-label Concept has no surface form")
+        return f"{query.layer}:{query.label}"
+    raise TypeError(f"unknown query node {type(query).__name__}")

@@ -21,6 +21,29 @@ from .query import QueryParseError
 from .vinci import VinciBus, VinciError
 
 
+def error_envelope(code: str, message: str) -> dict[str, Any]:
+    """A structured error response that flows through Vinci as data.
+
+    Malformed *requests* are the client's fault, not the service's: they
+    come back as ``{"ok": False, "error": {...}}`` envelopes instead of
+    raising through the bus (which would consume retry budget on a call
+    that can never succeed).
+    """
+    return {"ok": False, "error": {"code": code, "message": message}}
+
+
+def _bad_request(message: str) -> dict[str, Any]:
+    return error_envelope("bad_request", message)
+
+
+def _checked_limit(payload: dict[str, Any], default: int) -> tuple[int | None, dict[str, Any] | None]:
+    """Validated row limit, or an error envelope for the caller to return."""
+    limit = payload.get("limit", default)
+    if isinstance(limit, bool) or not isinstance(limit, int) or limit < 0:
+        return None, _bad_request(f"limit must be a non-negative integer, got {limit!r}")
+    return limit, None
+
+
 class SentimentQueryService:
     """Query-time access to the sentiment index (mode B's online half)."""
 
@@ -30,6 +53,8 @@ class SentimentQueryService:
 
     def counts(self, payload: dict[str, Any]) -> dict[str, Any]:
         """``{"subject": name}`` → polarity counts."""
+        if not isinstance(payload, dict):
+            return _bad_request(f"payload must be a dict, got {type(payload).__name__}")
         subject = self._required(payload, "subject")
         counts = self._index.counts(subject)
         return {
@@ -41,16 +66,20 @@ class SentimentQueryService:
     def sentences(self, payload: dict[str, Any]) -> dict[str, Any]:
         """``{"subject": name, "polarity": "+"|"-"|None, "limit": n}`` →
         sentiment-bearing sentences, the Figure-5 listing."""
+        if not isinstance(payload, dict):
+            return _bad_request(f"payload must be a dict, got {type(payload).__name__}")
         subject = self._required(payload, "subject")
         polarity = payload.get("polarity")
         wanted = Polarity.from_symbol(polarity) if polarity else None
-        limit = int(payload.get("limit", 20))
+        limit, error = _checked_limit(payload, 20)
+        if error is not None:
+            return error
         rows = []
         for entry in self._index.query(subject, wanted)[:limit]:
             entity = self._store.get(entry.entity_id)
             snippet = ""
             if entity is not None:
-                snippet = _sentence_around(entity.content, entry.start, entry.end)
+                snippet = sentence_around(entity.content, entry.start, entry.end)
             rows.append(
                 {
                     "entity_id": entry.entity_id,
@@ -61,7 +90,11 @@ class SentimentQueryService:
         return {"subject": subject, "rows": rows}
 
     def subjects(self, payload: dict[str, Any]) -> dict[str, Any]:
-        limit = int(payload.get("limit", 50))
+        if not isinstance(payload, dict):
+            return _bad_request(f"payload must be a dict, got {type(payload).__name__}")
+        limit, error = _checked_limit(payload, 50)
+        if error is not None:
+            return error
         return {"subjects": self._index.subjects()[:limit]}
 
     @staticmethod
@@ -79,14 +112,18 @@ class SearchService:
         self._index = index
 
     def search(self, payload: dict[str, Any]) -> dict[str, Any]:
+        if not isinstance(payload, dict):
+            return _bad_request(f"payload must be a dict, got {type(payload).__name__}")
         query = payload.get("q", "")
         if not query:
             raise VinciError("missing required field 'q'")
+        limit, error = _checked_limit(payload, 100)
+        if error is not None:
+            return error
         try:
             ids = self._index.search(query)
         except QueryParseError as exc:
             raise VinciError(f"bad query: {exc}") from exc
-        limit = int(payload.get("limit", 100))
         return {"q": query, "total": len(ids), "ids": sorted(ids)[:limit]}
 
 
@@ -130,7 +167,7 @@ def register_services(
     return sorted(bindings)
 
 
-def _sentence_around(content: str, start: int, end: int) -> str:
+def sentence_around(content: str, start: int, end: int) -> str:
     """Smallest period-bounded window around [start, end)."""
     lo = max(content.rfind(".", 0, start), content.rfind("!", 0, start), content.rfind("?", 0, start))
     lo = lo + 1 if lo >= 0 else 0
@@ -138,3 +175,7 @@ def _sentence_around(content: str, start: int, end: int) -> str:
     his = [h for h in his if h >= 0]
     hi = min(his) + 1 if his else len(content)
     return content[lo:hi].strip()
+
+
+#: Backwards-compatible alias (pre-serving callers used the private name).
+_sentence_around = sentence_around

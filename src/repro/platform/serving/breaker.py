@@ -1,0 +1,128 @@
+"""Per-service circuit breakers for the serving front door.
+
+A breaker sits between the router and one Vinci service (one simulated
+node's serving endpoint) and keeps a three-state machine:
+
+``closed``     requests flow; consecutive failures are counted;
+``open``       requests fast-fail *without touching the bus* (no retry
+               budget is consumed) until ``cooldown`` simulated units
+               have passed;
+``half_open``  one probe request is let through; success closes the
+               breaker, failure re-opens it for another cooldown.
+
+Timing comes from the shared :class:`~repro.obs.clock.SimClock`, so
+breaker behaviour is as deterministic as everything else under a seeded
+chaos plan.  State is mirrored into the metrics registry as the
+``serving.breaker_state`` gauge (0 closed / 1 half-open / 2 open) plus
+``serving.breaker_opens`` / ``serving.breaker_fastfails`` counters; the
+bus-level failure history feeding the breaker is the same stream
+:class:`~repro.platform.retry.RetryStats` mirrors, so dashboards can
+correlate "retries exhausted" with "breaker opened".
+"""
+
+from __future__ import annotations
+
+from ...obs import Obs
+
+#: Breaker states (gauge values in parentheses).
+CLOSED = "closed"  # (0)
+HALF_OPEN = "half_open"  # (1)
+OPEN = "open"  # (2)
+
+_STATE_GAUGE = {CLOSED: 0, HALF_OPEN: 1, OPEN: 2}
+
+
+class CircuitBreaker:
+    """Closed/open/half-open breaker for one named service."""
+
+    __slots__ = (
+        "service",
+        "failure_threshold",
+        "cooldown",
+        "_obs",
+        "_state",
+        "_failures",
+        "_opened_at",
+        "_gauge",
+        "_opens",
+        "_fastfails",
+    )
+
+    def __init__(
+        self,
+        service: str,
+        obs: Obs,
+        failure_threshold: int = 3,
+        cooldown: float = 2.0,
+    ):
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be positive")
+        if cooldown < 0:
+            raise ValueError("cooldown must be non-negative")
+        self.service = service
+        self.failure_threshold = failure_threshold
+        self.cooldown = cooldown
+        self._obs = obs
+        self._state = CLOSED
+        self._failures = 0
+        self._opened_at = 0.0
+        self._gauge = obs.metrics.gauge("serving.breaker_state", service=service)
+        self._opens = obs.metrics.counter("serving.breaker_opens", service=service)
+        self._fastfails = obs.metrics.counter(
+            "serving.breaker_fastfails", service=service
+        )
+        self._gauge.set(_STATE_GAUGE[CLOSED])
+
+    # -- state machine ----------------------------------------------------------
+
+    @property
+    def state(self) -> str:
+        return self._state
+
+    @property
+    def consecutive_failures(self) -> int:
+        return self._failures
+
+    def allow(self) -> bool:
+        """May a request be sent now?  May transition open → half-open.
+
+        Returns False (and counts a fast-fail) while the breaker is open
+        and the cooldown has not elapsed; in that case the caller must
+        not touch the bus at all.
+        """
+        if self._state == OPEN:
+            if self._obs.clock.now - self._opened_at >= self.cooldown:
+                self._set_state(HALF_OPEN)
+                return True
+            self._fastfails.inc()
+            return False
+        return True
+
+    def record_success(self) -> None:
+        self._failures = 0
+        if self._state != CLOSED:
+            self._set_state(CLOSED)
+
+    def record_failure(self) -> None:
+        self._failures += 1
+        if self._state == HALF_OPEN or self._failures >= self.failure_threshold:
+            self._trip()
+
+    def _trip(self) -> None:
+        self._opened_at = self._obs.clock.now
+        if self._state != OPEN:
+            self._opens.inc()
+            self._set_state(OPEN)
+
+    def _set_state(self, state: str) -> None:
+        self._state = state
+        self._gauge.set(_STATE_GAUGE[state])
+
+    def snapshot(self) -> dict[str, object]:
+        return {
+            "service": self.service,
+            "state": self._state,
+            "consecutive_failures": self._failures,
+            "opens": int(self._opens.value),
+            "fastfails": int(self._fastfails.value),
+        }

@@ -1,0 +1,74 @@
+"""Deadlines over the simulated clock.
+
+Every serving request carries a *budget* in simulated work units.  The
+front door turns the budget into a :class:`Deadline` anchored on the
+shared :class:`~repro.obs.clock.SimClock`; every downstream call gets
+the **remainder**, never the original budget, so a request that burned
+half its time queueing has only the other half left for shard reads.
+Work whose deadline has expired is cancelled — the router converts it
+into a ``504``-style envelope — and a response is *never* surfaced
+after its deadline has passed.
+
+Deadlines are plain data over the clock: comparing ``clock.now`` to
+``expires_at`` is the entire mechanism, which is what keeps the
+semantics byte-deterministic under the seeded chaos plans.
+"""
+
+from __future__ import annotations
+
+from ...obs.clock import SimClock
+
+
+class DeadlineExceeded(RuntimeError):
+    """Raised when work is attempted past its deadline."""
+
+
+class Deadline:
+    """An absolute expiry on the simulated clock.
+
+    Constructed from a relative *budget* (``Deadline(clock, budget=2.0)``)
+    or an absolute expiry (:meth:`at`).  ``remaining`` never goes
+    negative; ``expired`` flips exactly when the clock reaches
+    ``expires_at``.
+    """
+
+    __slots__ = ("clock", "expires_at")
+
+    def __init__(self, clock: SimClock, budget: float):
+        if budget < 0:
+            raise ValueError("deadline budget must be non-negative")
+        self.clock = clock
+        self.expires_at = clock.now + budget
+
+    @classmethod
+    def at(cls, clock: SimClock, expires_at: float) -> "Deadline":
+        deadline = cls(clock, 0.0)
+        deadline.expires_at = float(expires_at)
+        return deadline
+
+    @property
+    def remaining(self) -> float:
+        """Budget left, in simulated units (floored at zero)."""
+        return max(0.0, self.expires_at - self.clock.now)
+
+    @property
+    def expired(self) -> bool:
+        return self.clock.now >= self.expires_at
+
+    def check(self, label: str = "") -> None:
+        """Raise :class:`DeadlineExceeded` when the deadline has passed."""
+        if self.expired:
+            suffix = f" ({label})" if label else ""
+            raise DeadlineExceeded(
+                f"deadline expired{suffix}: now={self.clock.now:.6f} "
+                f"expires_at={self.expires_at:.6f}"
+            )
+
+    def sub(self, budget: float) -> "Deadline":
+        """A child deadline: at most *budget* more, never past the parent."""
+        child = Deadline(self.clock, max(0.0, budget))
+        child.expires_at = min(child.expires_at, self.expires_at)
+        return child
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Deadline(remaining={self.remaining:.6f})"

@@ -1,0 +1,289 @@
+"""Closed-loop deterministic load generation for the serving router.
+
+The acceptance story for the serving layer is a *bench*, not a unit
+test: generate a realistic request mix (counts-heavy, like the paper's
+reputation GUI), drive it through the router while a seeded
+:class:`~repro.platform.faults.FaultPlan` kills an index node and fails
+a slice of service calls, and report availability / latency percentiles
+/ shed rate.  Everything is seeded — the corpus, the request mix, the
+fault plan, the latency draws — so two runs with the same seed produce
+byte-identical reports.
+
+The generator is *closed-loop*: it submits a burst, drains the router
+(serving every queued request to completion or shedding), records the
+envelopes, and only then submits the next burst — the model is a fixed
+population of clients that wait for answers, not an open firehose.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any
+
+from ...core import SentimentMiner, Subject
+from ...corpora import DOMAINS, ReviewGenerator
+from ...obs import Obs
+from ..datastore import DataStore
+from ..entity import Entity
+from ..faults import FAIL, TIMEOUT, FaultPlan
+from ..vinci import VinciBus
+from .router import (
+    DEFAULT_BUDGET,
+    STATUS_DEGRADED,
+    STATUS_OK,
+    ServingRouter,
+    node_service,
+)
+from .shards import ReplicatedIndex
+
+
+@dataclass(frozen=True)
+class LoadProfile:
+    """Shape of the generated request stream."""
+
+    requests: int = 300
+    burst_min: int = 2
+    burst_max: int = 8
+    budget_min: float = 3.0
+    budget_max: float = 2.0 * DEFAULT_BUDGET
+    #: op → relative weight; counts-heavy like the reputation GUI.
+    op_weights: tuple[tuple[str, float], ...] = (
+        ("counts", 0.45),
+        ("sentences", 0.25),
+        ("subjects", 0.15),
+        ("search", 0.15),
+    )
+    #: Priorities drawn uniformly from this pool (higher = shed last).
+    priorities: tuple[int, ...] = (0, 1, 1, 2)
+
+
+def percentile(values: list[float], q: float) -> float:
+    """Deterministic nearest-rank percentile (0 for an empty series)."""
+    if not values:
+        return 0.0
+    if not 0.0 <= q <= 1.0:
+        raise ValueError("q must lie in [0, 1]")
+    ordered = sorted(values)
+    return ordered[int(q * (len(ordered) - 1))]
+
+
+class LoadGenerator:
+    """Seeded closed-loop client population for one :class:`ServingRouter`."""
+
+    def __init__(
+        self,
+        router: ServingRouter,
+        *,
+        subjects: list[str],
+        queries: list[str],
+        seed: int = 0,
+        profile: LoadProfile | None = None,
+    ):
+        if not subjects:
+            raise ValueError("need at least one subject to query")
+        if not queries:
+            raise ValueError("need at least one search query")
+        self._router = router
+        self._subjects = list(subjects)
+        self._queries = list(queries)
+        self._rng = random.Random(seed)
+        self.profile = profile or LoadProfile()
+
+    def _draw_request(self):
+        profile = self.profile
+        ops = [op for op, _ in profile.op_weights]
+        weights = [w for _, w in profile.op_weights]
+        op = self._rng.choices(ops, weights=weights, k=1)[0]
+        payload: dict[str, Any] = {}
+        if op in ("counts", "sentences"):
+            payload["subject"] = self._rng.choice(self._subjects)
+            if op == "sentences" and self._rng.random() < 0.4:
+                payload["polarity"] = self._rng.choice(["+", "-"])
+        elif op == "search":
+            payload["q"] = self._rng.choice(self._queries)
+        budget = profile.budget_min + self._rng.random() * (
+            profile.budget_max - profile.budget_min
+        )
+        priority = self._rng.choice(profile.priorities)
+        return self._router.make_request(
+            op, payload, priority=priority, budget=budget
+        )
+
+    def run(self) -> dict[str, Any]:
+        """Drive the full profile through the router; return the report."""
+        profile = self.profile
+        outcomes: list[tuple[Any, dict[str, Any]]] = []
+        submitted = 0
+        while submitted < profile.requests:
+            burst = self._rng.randint(profile.burst_min, profile.burst_max)
+            burst = min(burst, profile.requests - submitted)
+            for _ in range(burst):
+                request = self._draw_request()
+                submitted += 1
+                immediate = self._router.submit(request)
+                if immediate is not None:
+                    outcomes.append((request, immediate))
+            outcomes.extend(self._router.drain())
+        return self._report(outcomes)
+
+    def _report(
+        self, outcomes: list[tuple[Any, dict[str, Any]]]
+    ) -> dict[str, Any]:
+        total = len(outcomes)
+        by_status: dict[str, int] = {}
+        served_latencies: list[float] = []
+        late = 0
+        malformed = 0
+        required_keys = {
+            "request_id", "op", "status", "code", "degraded",
+            "missing_shards", "hedged", "latency", "data",
+        }
+        for request, envelope in outcomes:
+            if set(envelope) != required_keys:
+                malformed += 1
+                continue
+            status = envelope["status"]
+            by_status[status] = by_status.get(status, 0) + 1
+            if status in (STATUS_OK, STATUS_DEGRADED):
+                served_latencies.append(envelope["latency"])
+                # An answer at or past the deadline is a contract breach.
+                if envelope["latency"] >= request.budget:
+                    late += 1
+        served = by_status.get(STATUS_OK, 0) + by_status.get(STATUS_DEGRADED, 0)
+        metrics = self._router.obs.metrics
+        return {
+            "requests": total,
+            "responses_by_status": dict(sorted(by_status.items())),
+            "availability": served / total if total else 0.0,
+            "p50_latency": percentile(served_latencies, 0.50),
+            "p99_latency": percentile(served_latencies, 0.99),
+            "shed_rate": by_status.get("shed", 0) / total if total else 0.0,
+            "degraded": by_status.get(STATUS_DEGRADED, 0),
+            "expired": by_status.get("expired", 0),
+            "errors": by_status.get("error", 0),
+            "late_responses": late,
+            "malformed_responses": malformed,
+            "hedges": int(metrics.counter("serving.hedges").value),
+            "hedge_wins": int(metrics.counter("serving.hedge_wins").value),
+            "breakers": self._router.breaker_snapshots(),
+        }
+
+
+@dataclass
+class ServingScenario:
+    """A fully-wired serving stack ready to drive: router + generator + plan."""
+
+    router: ServingRouter
+    generator: LoadGenerator
+    plan: FaultPlan | None
+    obs: Obs
+    chaos_seed: int | None
+
+    def run(self) -> dict[str, Any]:
+        report = self.generator.run()
+        report["chaos_seed"] = self.chaos_seed
+        report["placement"] = {
+            str(shard): nodes for shard, nodes in self.router.index.placement().items()
+        }
+        if self.plan is not None:
+            report["faults_injected"] = self.plan.faults_injected
+            report["fault_summary"] = self.plan.summary()
+            report["dead_nodes"] = sorted(self.plan.dead_nodes)
+        else:
+            report["faults_injected"] = 0
+            report["fault_summary"] = {}
+            report["dead_nodes"] = []
+        return report
+
+
+def build_scenario(
+    *,
+    seed: int = 2005,
+    docs: int = 24,
+    domain: str = "digital_camera",
+    num_shards: int = 8,
+    num_nodes: int = 4,
+    replication: int = 2,
+    chaos_seed: int | None = None,
+    fault_fraction: float = 0.08,
+    profile: LoadProfile | None = None,
+    queue_limit: int = 24,
+    breaker_cooldown: float = 0.5,
+    obs: Obs | None = None,
+) -> ServingScenario:
+    """Mine a synthetic corpus offline, shard it, and wire the front door.
+
+    With ``chaos_seed`` set, the fault plan kills one node (chosen by the
+    seed) and schedules ``fault_fraction`` × requests service faults
+    across the surviving node endpoints — the bench's "kill one index
+    node, ≥5% service fault rate" regime.
+    """
+    obs = obs if obs is not None else Obs.default()
+    profile = profile or LoadProfile()
+
+    # -- offline half of mode B: generate, mine, index ---------------------
+    vocab = DOMAINS[domain]
+    documents = ReviewGenerator(vocab, seed=seed).generate_dplus(docs)
+    subjects = [Subject(p) for p in vocab.products] + [
+        Subject(f) for f in vocab.features
+    ]
+    miner = SentimentMiner(subjects=subjects, obs=obs)
+    result = miner.mine_corpus((d.doc_id, d.text) for d in documents)
+
+    plan: FaultPlan | None = None
+    if chaos_seed is not None:
+        plan = FaultPlan(chaos_seed)
+        rng = random.Random(chaos_seed)
+        doomed = rng.randrange(num_nodes)
+        plan.kill_node(doomed, after_partitions=0)
+        survivors = [n for n in range(num_nodes) if n != doomed]
+        per_node = max(1, round(fault_fraction * profile.requests / len(survivors)))
+        for node_id in survivors:
+            kind = TIMEOUT if rng.random() < 0.5 else FAIL
+            plan.fail_service(node_service(node_id), count=per_node, kind=kind)
+
+    store = DataStore()
+    store.store_all(
+        Entity(entity_id=d.doc_id, content=d.text) for d in documents
+    )
+    index = ReplicatedIndex(num_shards, num_nodes, replication=replication)
+    index.add_judgments(result.polar_judgments())
+    index.add_entities(
+        Entity(entity_id=d.doc_id, content=d.text) for d in documents
+    )
+
+    # No bus-level retry policy: the router does explicit replica failover,
+    # and breaker-gated fast-fails must not consume a retry budget.
+    bus = VinciBus(fault_plan=plan, obs=obs)
+    router = ServingRouter(
+        index,
+        store,
+        bus,
+        obs=obs,
+        fault_plan=plan,
+        queue_limit=queue_limit,
+        breaker_cooldown=breaker_cooldown,
+        latency_seed=seed,
+    )
+    query_subjects = [s.canonical for s in subjects]
+    queries = [
+        vocab.features[0],
+        f"{vocab.products[0]} AND {vocab.features[0]}",
+        f'"{vocab.features[0]}"',
+        "re:/[a-z]+/",
+    ]
+    generator = LoadGenerator(
+        router,
+        subjects=query_subjects,
+        queries=queries,
+        seed=chaos_seed if chaos_seed is not None else seed,
+        profile=profile,
+    )
+    return ServingScenario(
+        router=router,
+        generator=generator,
+        plan=plan,
+        obs=obs,
+        chaos_seed=chaos_seed,
+    )

@@ -1,0 +1,662 @@
+"""The serving front door: deadlines, shedding, breakers, hedged reads.
+
+This is the query-time half of the paper's mode B hardened for the
+ROADMAP's "heavy traffic from millions of users" target.  One
+:class:`ServingRouter` fronts a :class:`~.shards.ReplicatedIndex` whose
+replicas live on simulated nodes behind the Vinci bus:
+
+* **admission control** — a bounded queue; when full, the lowest
+  priority request is shed with an explicit ``503``-style envelope
+  (never a silent drop, never an unbounded queue);
+* **deadline propagation** — every request carries a budget; each
+  downstream shard read gets the *remainder*; work that cannot finish
+  inside the remainder is cancelled, and no response is ever surfaced
+  after its deadline;
+* **per-service circuit breakers** — one
+  :class:`~.breaker.CircuitBreaker` per node endpoint; open breakers
+  fast-fail without touching the bus (no retry budget consumed);
+* **hedged reads** — when the drawn latency of the chosen replica is
+  above the adaptive latency percentile, the read races a second
+  replica and the first answer wins; the loser is cancelled and its
+  cost never charged;
+* **graceful degradation** — a shard with no live replica is reported
+  in ``missing_shards`` and the response is flagged ``degraded`` with
+  partial counts instead of erroring.
+
+All timing is simulated (:class:`~repro.obs.clock.SimClock`) and all
+randomness is seeded, so a chaos run produces byte-identical reports
+for a given seed.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any
+
+from ...core.model import Polarity
+from ...obs import Obs
+from ..datastore import DataStore
+from ..faults import FaultPlan
+from ..query import QueryParseError, parse_query
+from ..services import sentence_around
+from ..vinci import VinciBus, VinciError
+from .breaker import CircuitBreaker
+from .deadline import Deadline
+from .shards import ReplicatedIndex, ShardReplica
+
+#: Response statuses and their HTTP-flavoured codes.
+STATUS_OK = "ok"  # 200 — complete answer
+STATUS_DEGRADED = "degraded"  # 206 — partial answer, shards missing
+STATUS_ERROR = "error"  # 400 — malformed request
+STATUS_SHED = "shed"  # 503 — load-shed by admission control
+STATUS_EXPIRED = "expired"  # 504 — deadline passed, work cancelled
+
+STATUS_CODES = {
+    STATUS_OK: 200,
+    STATUS_DEGRADED: 206,
+    STATUS_ERROR: 400,
+    STATUS_SHED: 503,
+    STATUS_EXPIRED: 504,
+}
+
+#: Ops answered by the serving layer.
+OPS = ("counts", "sentences", "subjects", "search")
+
+#: Default request budget, in simulated work units.
+DEFAULT_BUDGET = 4.0
+
+#: Default per-op row limits (mirror the unsharded services).
+_DEFAULT_LIMITS = {"sentences": 20, "subjects": 50, "search": 100}
+
+
+def node_service(node_id: int) -> str:
+    """Vinci service name of one node's serving endpoint."""
+    return f"serving.node{node_id}"
+
+
+@dataclass(frozen=True)
+class LatencyProfile:
+    """Seeded per-read latency distribution (simulated units).
+
+    Reads cost ``uniform(base_min, base_max)``; a ``slow_fraction`` of
+    them land on a slow replica/GC pause and cost ``slow_multiplier``
+    times more — the tail hedged reads exist to cut.
+    """
+
+    base_min: float = 0.04
+    base_max: float = 0.12
+    slow_fraction: float = 0.08
+    slow_multiplier: float = 8.0
+
+
+class LatencyModel:
+    """Draws deterministic read latencies from a seeded RNG."""
+
+    def __init__(self, seed: int, profile: LatencyProfile | None = None):
+        self._rng = random.Random(seed)
+        self.profile = profile or LatencyProfile()
+
+    def draw(self, node_id: int) -> float:
+        p = self.profile
+        latency = p.base_min + self._rng.random() * (p.base_max - p.base_min)
+        if self._rng.random() < p.slow_fraction:
+            latency *= p.slow_multiplier
+        return latency
+
+
+@dataclass(frozen=True)
+class ServingRequest:
+    """One front-door request."""
+
+    request_id: int
+    op: str
+    payload: dict[str, Any]
+    priority: int = 1  # higher = more important, shed last
+    budget: float = DEFAULT_BUDGET
+
+
+@dataclass
+class _QueueEntry:
+    request: ServingRequest
+    deadline: Deadline
+    submitted_at: float
+    payload: dict[str, Any] = field(default_factory=dict)  # validated/normalised
+
+
+class NodeIndexService:
+    """One node's serving endpoint: every shard replica it hosts.
+
+    The Vinci-facing :meth:`handle` unpacks the propagated budget into a
+    :class:`Deadline` and dispatches to the per-op ``answer_*`` methods,
+    all of which take the deadline explicitly (lint rule PLAT002).
+    """
+
+    def __init__(
+        self,
+        node_id: int,
+        index: ReplicatedIndex,
+        store: DataStore,
+        obs: Obs,
+        fault_plan: FaultPlan | None = None,
+    ):
+        self.node_id = node_id
+        self._store = store
+        self._obs = obs
+        self._fault_plan = fault_plan
+        self._replicas: dict[int, ShardReplica] = {
+            replica.shard_id: replica for replica in index.replicas_on(node_id)
+        }
+
+    @property
+    def shard_ids(self) -> list[int]:
+        return sorted(self._replicas)
+
+    def handle(self, payload: dict[str, Any]) -> dict[str, Any]:
+        """Vinci handler: dict envelope in, dict envelope out."""
+        if (
+            self._fault_plan is not None
+            and self._fault_plan.node_death(self.node_id) is not None
+        ):
+            raise VinciError(f"node {self.node_id} is dead")
+        deadline = Deadline(self._obs.clock, float(payload.get("budget", 0.0)))
+        op = payload.get("op", "")
+        shard_id = payload.get("shard")
+        replica = self._replicas.get(shard_id)
+        if replica is None:
+            raise VinciError(
+                f"node {self.node_id} hosts no replica of shard {shard_id!r}"
+            )
+        if op == "counts":
+            return self.answer_counts(replica, payload, deadline)
+        if op == "sentences":
+            return self.answer_sentences(replica, payload, deadline)
+        if op == "subjects":
+            return self.answer_subjects(replica, payload, deadline)
+        if op == "search":
+            return self.answer_search(replica, payload, deadline)
+        raise VinciError(f"unknown serving op {op!r}")
+
+    # -- per-op answers (each accepts and honours the propagated Deadline) ------
+
+    def answer_counts(
+        self, replica: ShardReplica, payload: dict[str, Any], deadline: Deadline
+    ) -> dict[str, Any]:
+        deadline.check("counts")
+        subject = payload["subject"]
+        counts = replica.sentiment.counts(subject)
+        return {
+            "subject": subject,
+            "positive": counts[Polarity.POSITIVE],
+            "negative": counts[Polarity.NEGATIVE],
+        }
+
+    def answer_sentences(
+        self, replica: ShardReplica, payload: dict[str, Any], deadline: Deadline
+    ) -> dict[str, Any]:
+        deadline.check("sentences")
+        subject = payload["subject"]
+        polarity = payload.get("polarity")
+        wanted = Polarity.from_symbol(polarity) if polarity else None
+        limit = payload.get("limit", _DEFAULT_LIMITS["sentences"])
+        rows = []
+        for entry in replica.sentiment.query(subject, wanted)[:limit]:
+            entity = self._store.get(entry.entity_id)
+            snippet = ""
+            if entity is not None:
+                snippet = sentence_around(entity.content, entry.start, entry.end)
+            rows.append(
+                {
+                    "entity_id": entry.entity_id,
+                    "polarity": entry.polarity.value,
+                    "sentence": snippet,
+                }
+            )
+        return {"subject": subject, "rows": rows}
+
+    def answer_subjects(
+        self, replica: ShardReplica, payload: dict[str, Any], deadline: Deadline
+    ) -> dict[str, Any]:
+        deadline.check("subjects")
+        return {"counts": replica.sentiment.subject_counts()}
+
+    def answer_search(
+        self, replica: ShardReplica, payload: dict[str, Any], deadline: Deadline
+    ) -> dict[str, Any]:
+        deadline.check("search")
+        ids = replica.inverted.search(payload["query_ast"])
+        return {"ids": sorted(ids)}
+
+
+class ServingRouter:
+    """The resilient mode-B front door (see module docstring)."""
+
+    def __init__(
+        self,
+        index: ReplicatedIndex,
+        store: DataStore,
+        bus: VinciBus,
+        *,
+        obs: Obs | None = None,
+        fault_plan: FaultPlan | None = None,
+        queue_limit: int = 32,
+        breaker_threshold: int = 3,
+        breaker_cooldown: float = 1.0,
+        hedge_threshold: float | None = None,
+        hedge_percentile: float = 0.95,
+        hedge_warmup: int = 20,
+        latency_seed: int = 0,
+        latency_model: LatencyModel | None = None,
+        request_overhead: float = 0.01,
+    ):
+        if queue_limit < 1:
+            raise ValueError("queue_limit must be positive")
+        if not 0.0 < hedge_percentile < 1.0:
+            raise ValueError("hedge_percentile must lie in (0, 1)")
+        self._index = index
+        self._store = store
+        self._bus = bus
+        self._obs = obs if obs is not None else bus.obs
+        self._fault_plan = fault_plan
+        self._queue_limit = queue_limit
+        # Bounded by construction (PLAT002): admission control below
+        # sheds explicitly before this maxlen could ever evict silently.
+        self._queue: deque[_QueueEntry] = deque(maxlen=queue_limit)
+        self._pending: list[tuple[ServingRequest, dict[str, Any]]] = []
+        self._latency = latency_model or LatencyModel(latency_seed)
+        self._hedge_threshold = hedge_threshold
+        self._hedge_percentile = hedge_percentile
+        self._hedge_warmup = hedge_warmup
+        # Recent winner latencies for the adaptive hedge percentile.
+        self._latency_window: deque[float] = deque(maxlen=128)
+        self._breakers: dict[str, CircuitBreaker] = {}
+        self._breaker_threshold = breaker_threshold
+        self._breaker_cooldown = breaker_cooldown
+        # Fixed parse/dispatch cost charged per processed request.  It
+        # keeps simulated time moving even when every read fast-fails,
+        # so breaker cooldowns always eventually elapse (otherwise a
+        # fully-open fleet would freeze the clock and never recover).
+        self._request_overhead = max(0.0, request_overhead)
+        self._next_request_id = 1
+        metrics = self._obs.metrics
+        self._queue_depth = metrics.gauge("serving.queue_depth")
+        self._queue_wait = metrics.histogram("serving.queue_wait")
+        self._latency_hist = metrics.histogram("serving.latency")
+        self._hedges = metrics.counter("serving.hedges")
+        self._hedge_wins = metrics.counter("serving.hedge_wins")
+        for node_id in range(index.num_nodes):
+            service = NodeIndexService(node_id, index, store, self._obs, fault_plan)
+            bus.register(node_service(node_id), service.handle)
+            self._breakers[node_service(node_id)] = CircuitBreaker(
+                node_service(node_id),
+                self._obs,
+                failure_threshold=breaker_threshold,
+                cooldown=breaker_cooldown,
+            )
+
+    # -- introspection ----------------------------------------------------------
+
+    @property
+    def obs(self) -> Obs:
+        return self._obs
+
+    @property
+    def bus(self) -> VinciBus:
+        return self._bus
+
+    @property
+    def index(self) -> ReplicatedIndex:
+        return self._index
+
+    @property
+    def queue_depth(self) -> int:
+        return len(self._queue)
+
+    def breaker(self, service: str) -> CircuitBreaker:
+        return self._breakers[service]
+
+    def breaker_snapshots(self) -> list[dict[str, Any]]:
+        return [self._breakers[name].snapshot() for name in sorted(self._breakers)]
+
+    # -- request construction ---------------------------------------------------
+
+    def make_request(
+        self,
+        op: str,
+        payload: dict[str, Any] | None = None,
+        *,
+        priority: int = 1,
+        budget: float = DEFAULT_BUDGET,
+    ) -> ServingRequest:
+        request = ServingRequest(
+            request_id=self._next_request_id,
+            op=op,
+            payload=dict(payload or {}),
+            priority=priority,
+            budget=budget,
+        )
+        self._next_request_id += 1
+        return request
+
+    # -- admission control ------------------------------------------------------
+
+    def submit(self, request: ServingRequest) -> dict[str, Any] | None:
+        """Admit a request; returns an envelope only when answered now.
+
+        Malformed requests come back immediately as ``error`` envelopes;
+        a full queue sheds either the lowest-priority queued request
+        (its envelope surfaces on the next :meth:`drain`) or, when
+        nothing queued is lower-priority, the incoming request itself.
+        Returns ``None`` when the request was queued.
+        """
+        now = self._obs.clock.now
+        self._obs.metrics.counter("serving.requests", op=request.op or "?").inc()
+        error, payload = self._validate(request)
+        if error is not None:
+            return self._finish(
+                request, STATUS_ERROR, {"message": error}, started_at=now
+            )
+        deadline = Deadline(self._obs.clock, request.budget)
+        entry = _QueueEntry(
+            request=request, deadline=deadline, submitted_at=now, payload=payload
+        )
+        if len(self._queue) >= self._queue_limit:
+            victim = min(
+                self._queue,
+                key=lambda e: (e.request.priority, -e.request.request_id),
+            )
+            if victim.request.priority < request.priority:
+                # Shed the lowest-priority queued request to make room.
+                self._queue.remove(victim)
+                self._pending.append(
+                    (
+                        victim.request,
+                        self._finish(
+                            victim.request,
+                            STATUS_SHED,
+                            {"message": "shed by higher-priority arrival"},
+                            started_at=victim.submitted_at,
+                        ),
+                    )
+                )
+            else:
+                return self._finish(
+                    request,
+                    STATUS_SHED,
+                    {"message": "queue full"},
+                    started_at=now,
+                )
+        self._queue.append(entry)
+        self._queue_depth.set(len(self._queue))
+        return None
+
+    def drain(self) -> list[tuple[ServingRequest, dict[str, Any]]]:
+        """Serve every queued request FIFO; returns (request, envelope)."""
+        out = list(self._pending)
+        self._pending.clear()
+        while self._queue:
+            entry = self._queue.popleft()
+            self._queue_depth.set(len(self._queue))
+            out.append((entry.request, self._process(entry)))
+        return out
+
+    def serve(
+        self,
+        op: str,
+        payload: dict[str, Any] | None = None,
+        *,
+        priority: int = 1,
+        budget: float = DEFAULT_BUDGET,
+    ) -> dict[str, Any]:
+        """Submit one request and drain it — the single-caller fast path."""
+        request = self.make_request(op, payload, priority=priority, budget=budget)
+        immediate = self.submit(request)
+        if immediate is not None:
+            return immediate
+        for drained, envelope in self.drain():
+            if drained.request_id == request.request_id:
+                return envelope
+        raise AssertionError("submitted request vanished from the queue")
+
+    # -- validation -------------------------------------------------------------
+
+    def _validate(
+        self, request: ServingRequest
+    ) -> tuple[str | None, dict[str, Any]]:
+        if request.op not in OPS:
+            return f"unknown op {request.op!r}", {}
+        if not isinstance(request.payload, dict):
+            return "payload must be a dict envelope", {}
+        if request.budget <= 0:
+            return "budget must be positive", {}
+        payload = dict(request.payload)
+        limit = payload.get("limit", _DEFAULT_LIMITS.get(request.op))
+        if limit is not None:
+            if isinstance(limit, bool) or not isinstance(limit, int) or limit < 0:
+                return f"limit must be a non-negative integer, got {limit!r}", {}
+        payload["limit"] = limit
+        if request.op in ("counts", "sentences"):
+            subject = payload.get("subject")
+            if not subject or not isinstance(subject, str):
+                return "missing required field 'subject'", {}
+            polarity = payload.get("polarity")
+            if polarity not in (None, "+", "-"):
+                return f"polarity must be '+', '-' or absent, got {polarity!r}", {}
+        if request.op == "search":
+            query = payload.get("q")
+            if not query or not isinstance(query, str):
+                return "missing required field 'q'", {}
+            try:
+                payload["query_ast"] = parse_query(query)
+            except QueryParseError as exc:
+                return f"bad query: {exc}", {}
+        return None, payload
+
+    # -- the serving pipeline ---------------------------------------------------
+
+    def _process(self, entry: _QueueEntry) -> dict[str, Any]:
+        request, deadline = entry.request, entry.deadline
+        with self._obs.tracer.span(
+            "serving.request", op=request.op, request_id=request.request_id
+        ) as span:
+            self._queue_wait.observe(self._obs.clock.now - entry.submitted_at)
+            self._obs.clock.advance(self._request_overhead)
+            if deadline.expired:
+                envelope = self._finish(
+                    request,
+                    STATUS_EXPIRED,
+                    {"message": "deadline expired while queued"},
+                    started_at=entry.submitted_at,
+                )
+            else:
+                envelope = self._answer(entry)
+            span.set_attribute("status", envelope["status"])
+            return envelope
+
+    def _answer(self, entry: _QueueEntry) -> dict[str, Any]:
+        request, deadline, payload = entry.request, entry.deadline, entry.payload
+        if request.op in ("counts", "sentences"):
+            shard_ids = [self._index.subject_shard(payload["subject"])]
+        else:
+            shard_ids = list(self._index.shard_ids())
+        results: dict[int, dict[str, Any]] = {}
+        missing: list[int] = []
+        hedged = 0
+        for shard_id in shard_ids:
+            if deadline.expired:
+                break
+            read = self._read_shard(shard_id, request.op, payload, deadline)
+            hedged += read["hedged"]
+            if read["ok"]:
+                results[shard_id] = read["data"]
+            else:
+                missing.append(shard_id)
+        # The contract: nothing is ever served after its deadline.
+        if deadline.expired:
+            return self._finish(
+                request,
+                STATUS_EXPIRED,
+                {"message": "deadline expired during shard reads"},
+                started_at=entry.submitted_at,
+                hedged=hedged,
+            )
+        data = self._merge(request.op, payload, shard_ids, results)
+        status = STATUS_OK if not missing else STATUS_DEGRADED
+        return self._finish(
+            request,
+            status,
+            data,
+            started_at=entry.submitted_at,
+            missing=missing,
+            hedged=hedged,
+        )
+
+    def _read_shard(
+        self,
+        shard_id: int,
+        op: str,
+        payload: dict[str, Any],
+        deadline: Deadline,
+    ) -> dict[str, Any]:
+        """One shard read with breaker gating, hedging, and failover."""
+        candidates = self._index.replicas_for(shard_id)
+        hedged = 0
+        with self._obs.tracer.span("serving.shard_read", shard=shard_id, op=op) as span:
+            while candidates and not deadline.expired:
+                replica = self._next_allowed(candidates)
+                if replica is None:
+                    break  # every breaker open: fast-fail the whole shard
+                candidates.remove(replica)
+                latency = self._latency.draw(replica.node_id)
+                # Hedged read: a draw above the latency percentile races
+                # the next healthy replica; first answer wins, the loser
+                # is cancelled (its latency is never charged).
+                if latency >= self._current_hedge_threshold():
+                    alternate = self._next_allowed(candidates)
+                    if alternate is not None:
+                        self._hedges.inc()
+                        hedged += 1
+                        alt_latency = self._latency.draw(alternate.node_id)
+                        if alt_latency < latency:
+                            self._hedge_wins.inc()
+                            candidates.remove(alternate)
+                            candidates.insert(0, replica)  # cancelled, still healthy
+                            replica, latency = alternate, alt_latency
+                remaining = deadline.remaining
+                if latency >= remaining:
+                    # This replica cannot answer inside the budget:
+                    # cancel before starting (no time charged, nothing
+                    # served late) and let another replica try.
+                    self._obs.metrics.counter("serving.cancelled_reads").inc()
+                    continue
+                self._obs.clock.advance(latency)
+                self._latency_window.append(latency)
+                self._latency_hist.observe(latency)
+                service = node_service(replica.node_id)
+                breaker = self._breakers[service]
+                try:
+                    response = self._bus.request(
+                        service,
+                        {
+                            "op": op,
+                            "shard": shard_id,
+                            "budget": deadline.remaining,
+                            **{
+                                k: v
+                                for k, v in payload.items()
+                                if k in ("subject", "polarity", "limit", "query_ast")
+                            },
+                        },
+                    )
+                except VinciError:
+                    breaker.record_failure()
+                    continue  # fail over to the next replica
+                breaker.record_success()
+                span.set_attribute("node", replica.node_id)
+                span.set_attribute("hedged", hedged)
+                return {
+                    "ok": True,
+                    "data": response,
+                    "node": replica.node_id,
+                    "hedged": hedged,
+                }
+            span.set_attribute("missed", True)
+            return {"ok": False, "data": None, "node": None, "hedged": hedged}
+
+    def _next_allowed(self, candidates: list[ShardReplica]) -> ShardReplica | None:
+        """First replica whose breaker admits a request right now."""
+        for replica in candidates:
+            if self._breakers[node_service(replica.node_id)].allow():
+                return replica
+        return None
+
+    def _current_hedge_threshold(self) -> float:
+        if self._hedge_threshold is not None:
+            return self._hedge_threshold
+        if len(self._latency_window) < self._hedge_warmup:
+            return float("inf")  # no hedging until the percentile is meaningful
+        ordered = sorted(self._latency_window)
+        index = int(self._hedge_percentile * (len(ordered) - 1))
+        return ordered[index]
+
+    # -- merging & envelopes ----------------------------------------------------
+
+    def _merge(
+        self,
+        op: str,
+        payload: dict[str, Any],
+        shard_ids: list[int],
+        results: dict[int, dict[str, Any]],
+    ) -> dict[str, Any]:
+        if op == "counts":
+            data = {"subject": payload["subject"], "positive": 0, "negative": 0}
+            for shard_data in results.values():
+                data["positive"] += shard_data["positive"]
+                data["negative"] += shard_data["negative"]
+            return data
+        if op == "sentences":
+            rows: list[dict[str, Any]] = []
+            for shard_id in shard_ids:
+                rows.extend(results.get(shard_id, {}).get("rows", ()))
+            return {"subject": payload["subject"], "rows": rows[: payload["limit"]]}
+        if op == "subjects":
+            totals: dict[str, int] = {}
+            for shard_id in shard_ids:
+                for subject, count in results.get(shard_id, {}).get("counts", {}).items():
+                    totals[subject] = totals.get(subject, 0) + count
+            ranked = sorted(totals.items(), key=lambda kv: (-kv[1], kv[0]))
+            return {"subjects": [name for name, _ in ranked[: payload["limit"]]]}
+        if op == "search":
+            ids: set[str] = set()
+            for shard_id in shard_ids:
+                ids.update(results.get(shard_id, {}).get("ids", ()))
+            return {
+                "q": payload["q"],
+                "total": len(ids),
+                "ids": sorted(ids)[: payload["limit"]],
+            }
+        raise AssertionError(f"unhandled op {op!r}")  # pragma: no cover
+
+    def _finish(
+        self,
+        request: ServingRequest,
+        status: str,
+        data: dict[str, Any],
+        *,
+        started_at: float,
+        missing: list[int] | None = None,
+        hedged: int = 0,
+    ) -> dict[str, Any]:
+        self._obs.metrics.counter("serving.responses", status=status).inc()
+        return {
+            "request_id": request.request_id,
+            "op": request.op,
+            "status": status,
+            "code": STATUS_CODES[status],
+            "degraded": status == STATUS_DEGRADED,
+            "missing_shards": sorted(missing or []),
+            "hedged": hedged,
+            "latency": self._obs.clock.now - started_at,
+            "data": data,
+        }

@@ -1,0 +1,144 @@
+"""Replicated index shards for the mode-B serving layer.
+
+The offline half of mode B produces one big :class:`SentimentIndex` and
+one big :class:`InvertedIndex`.  At serving scale a single copy is both
+a capacity ceiling and a single point of failure, so the serving layer
+partitions them:
+
+* the **sentiment index** is sharded by *subject* hash — a per-subject
+  ``counts``/``sentences`` query touches exactly one shard;
+* the **inverted index** is sharded by *entity* hash — a ``search``
+  fans out to every shard and unions the postings.
+
+Each shard is replicated ``replication`` times.  Replica *r* of shard
+*s* is placed on simulated node ``(s + r) % num_nodes`` — the same
+successor-placement scheme the batch cluster uses — so a
+:meth:`FaultPlan.kill_node <repro.platform.faults.FaultPlan.kill_node>`
+takes down one replica of several shards but (with R ≥ 2 and a single
+death) never every replica of any shard.
+
+Hashing uses md5 like :func:`repro.platform.datastore.default_partitioner`
+so shard assignment is stable across processes (Python's builtin hash is
+salted per-run).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from ...core.model import SentimentJudgment
+from ..entity import Entity
+from ..indexer import InvertedIndex, SentimentIndex
+
+
+def shard_of(key: str, num_shards: int) -> int:
+    """Stable md5-based shard assignment for a subject or entity id."""
+    digest = hashlib.md5(key.encode("utf-8")).digest()
+    return int.from_bytes(digest[:4], "big") % num_shards
+
+
+@dataclass
+class ShardReplica:
+    """One replica of one shard, pinned to a simulated node."""
+
+    shard_id: int
+    replica: int  # 0 = primary copy, 1.. = replicas
+    node_id: int
+    sentiment: SentimentIndex = field(default_factory=SentimentIndex)
+    inverted: InvertedIndex = field(default_factory=InvertedIndex)
+
+    def describe(self) -> str:
+        return f"shard{self.shard_id}/r{self.replica}@node{self.node_id}"
+
+
+class ReplicatedIndex:
+    """The serving layer's sharded, replicated view of the mode-B indexes.
+
+    Writes (index builds) fan out to every replica of the owning shard;
+    reads are the router's business — it picks replicas by breaker state
+    and node health, hedges slow ones, and degrades when a shard has no
+    live replica left.
+    """
+
+    def __init__(self, num_shards: int, num_nodes: int, replication: int = 2):
+        if num_shards < 1:
+            raise ValueError("num_shards must be positive")
+        if num_nodes < 1:
+            raise ValueError("num_nodes must be positive")
+        if not 1 <= replication <= num_nodes:
+            raise ValueError(
+                f"replication must lie in [1, {num_nodes}], got {replication}"
+            )
+        self.num_shards = num_shards
+        self.num_nodes = num_nodes
+        self.replication = replication
+        # replicas[shard_id] is primary-first; placement is successor
+        # style: replica r of shard s lives on node (s + r) % num_nodes.
+        self._replicas: dict[int, list[ShardReplica]] = {}
+        for shard_id in range(num_shards):
+            self._replicas[shard_id] = [
+                ShardReplica(
+                    shard_id=shard_id,
+                    replica=r,
+                    node_id=(shard_id + r) % num_nodes,
+                )
+                for r in range(replication)
+            ]
+
+    # -- construction (the offline half of mode B) -------------------------------
+
+    def add_judgment(self, judgment: SentimentJudgment) -> None:
+        shard_id = shard_of(judgment.subject_name.lower(), self.num_shards)
+        for replica in self._replicas[shard_id]:
+            replica.sentiment.add_judgment(judgment)
+
+    def add_judgments(self, judgments: Iterable[SentimentJudgment]) -> int:
+        count = 0
+        for judgment in judgments:
+            self.add_judgment(judgment)
+            count += 1
+        return count
+
+    def add_entity(self, entity: Entity) -> None:
+        shard_id = shard_of(entity.entity_id, self.num_shards)
+        for replica in self._replicas[shard_id]:
+            replica.inverted.add_entity(entity)
+
+    def add_entities(self, entities: Iterable[Entity]) -> int:
+        count = 0
+        for entity in entities:
+            self.add_entity(entity)
+            count += 1
+        return count
+
+    # -- routing -----------------------------------------------------------------
+
+    def subject_shard(self, subject: str) -> int:
+        """The single shard answering queries about *subject*."""
+        return shard_of(subject.lower(), self.num_shards)
+
+    def replicas_for(self, shard_id: int) -> list[ShardReplica]:
+        """All replicas of a shard, primary first."""
+        return list(self._replicas[shard_id])
+
+    def replicas_on(self, node_id: int) -> list[ShardReplica]:
+        """Every shard replica hosted on one node (shard order)."""
+        return [
+            replica
+            for shard_id in range(self.num_shards)
+            for replica in self._replicas[shard_id]
+            if replica.node_id == node_id
+        ]
+
+    def shard_ids(self) -> range:
+        return range(self.num_shards)
+
+    def nodes_for(self, shard_id: int) -> list[int]:
+        """Node ids hosting a shard (primary first)."""
+        return [replica.node_id for replica in self._replicas[shard_id]]
+
+    def placement(self) -> dict[int, list[int]]:
+        """Shard id → hosting node ids, for reports and tests."""
+        return {shard_id: self.nodes_for(shard_id) for shard_id in self.shard_ids()}

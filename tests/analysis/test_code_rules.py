@@ -7,6 +7,7 @@ from repro.analysis import (
     LayeringRule,
     MetricNameRule,
     SeededRngRule,
+    ServingDisciplineRule,
     SpanContextRule,
     VinciHandlerRule,
     WallClockRule,
@@ -397,3 +398,82 @@ def test_default_code_rules_have_unique_ids_and_invariants():
     assert len(rules) >= 6
     for rule in rules:
         assert rule.invariant, rule.rule_id
+
+
+class TestServingDisciplineRule:
+    MODPATH = "repro/platform/serving/router.py"
+
+    def test_good_handler_and_bounded_queue(self):
+        findings = run_rule(
+            ServingDisciplineRule(),
+            """
+            from collections import deque
+
+            class Node:
+                def answer_counts(self, replica, payload, deadline):
+                    deadline.check("counts")
+                    return {"positive": 1}
+
+            queue = deque(maxlen=32)
+            window = deque([1, 2], 64)
+            """,
+            modpath=self.MODPATH,
+        )
+        assert findings == []
+
+    def test_handler_without_deadline_parameter_flagged(self):
+        findings = run_rule(
+            ServingDisciplineRule(),
+            """
+            def answer_counts(replica, payload):
+                return {"positive": 1}
+            """,
+            modpath=self.MODPATH,
+        )
+        assert len(findings) == 1
+        assert "must accept a 'deadline'" in findings[0].message
+
+    def test_handler_ignoring_its_deadline_flagged(self):
+        findings = run_rule(
+            ServingDisciplineRule(),
+            """
+            def answer_search(replica, payload, deadline):
+                return {"ids": []}
+            """,
+            modpath=self.MODPATH,
+        )
+        assert len(findings) == 1
+        assert "never" in findings[0].message
+
+    def test_unbounded_deque_flagged(self):
+        findings = run_rule(
+            ServingDisciplineRule(),
+            """
+            from collections import deque
+
+            queue = deque()
+            explicit_none = deque(maxlen=None)
+            """,
+            modpath=self.MODPATH,
+        )
+        assert len(findings) == 2
+
+    def test_unbounded_queue_flagged(self):
+        findings = run_rule(
+            ServingDisciplineRule(),
+            """
+            import queue
+
+            unbounded = queue.Queue()
+            zero = queue.Queue(maxsize=0)
+            bounded = queue.Queue(maxsize=16)
+            """,
+            modpath=self.MODPATH,
+        )
+        assert len(findings) == 2
+
+    def test_scope_is_the_serving_package(self):
+        rule = ServingDisciplineRule()
+        assert rule.applies_to("repro/platform/serving/router.py")
+        assert not rule.applies_to("repro/platform/vinci.py")
+        assert not rule.applies_to("repro/core/example.py")

@@ -181,3 +181,20 @@ class TestSentimentIndex:
         idx.add_judgment(judgment("b", Polarity.POSITIVE))
         idx.add_judgment(judgment("a", Polarity.NEGATIVE))
         assert [e.subject for e in idx] == ["a", "b"]
+
+    def test_subject_ranking_breaks_ties_alphabetically(self):
+        idx = SentimentIndex()
+        # Insert in an order that disagrees with the alphabet: the
+        # ranking must not depend on insertion order.
+        for subject in ("zoom", "flash", "battery"):
+            idx.add_judgment(judgment(subject, Polarity.POSITIVE))
+            idx.add_judgment(judgment(subject, Polarity.NEGATIVE, doc_id="d2"))
+        idx.add_judgment(judgment("aperture", Polarity.POSITIVE))
+        assert idx.subjects() == ["battery", "flash", "zoom", "aperture"]
+
+    def test_subject_counts_for_shard_merging(self):
+        idx = SentimentIndex()
+        idx.add_judgment(judgment("zoom", Polarity.POSITIVE))
+        idx.add_judgment(judgment("zoom", Polarity.NEGATIVE, doc_id="d2"))
+        idx.add_judgment(judgment("flash", Polarity.POSITIVE))
+        assert idx.subject_counts() == {"flash": 1, "zoom": 2}

@@ -13,6 +13,7 @@ from repro.platform.query import (
     Regex,
     Term,
     parse_query,
+    render_query,
 )
 
 
@@ -102,3 +103,40 @@ class TestErrors:
     def test_phrase_must_be_nonempty(self):
         with pytest.raises(QueryParseError):
             parse_query('""')
+
+
+class TestLexerHardening:
+    def test_unclosed_quote_rejected(self):
+        with pytest.raises(QueryParseError, match="unclosed quote"):
+            parse_query('"picture quality')
+
+    def test_unclosed_quote_mid_query_rejected(self):
+        with pytest.raises(QueryParseError, match="unclosed quote"):
+            parse_query('camera AND "battery life')
+
+    def test_empty_regex_body_rejected(self):
+        with pytest.raises(QueryParseError, match="re://"):
+            parse_query("re://")
+
+    def test_closed_quotes_still_lex(self):
+        assert parse_query('"picture quality"') == Phrase(("picture", "quality"))
+
+    def test_regex_compiled_is_memoised(self):
+        node = Regex(r"nr\d+")
+        first = node.compiled()
+        assert node.compiled() is first
+        # The cache never leaks into equality or hashing.
+        assert node == Regex(r"nr\d+")
+        assert hash(node) == hash(Regex(r"nr\d+"))
+
+
+class TestRendering:
+    def test_round_trip_of_compound_query(self):
+        text = 'camera AND (battery OR "picture quality") AND NOT tripod'
+        node = parse_query(text)
+        assert parse_query(render_query(node)) == node
+
+    def test_round_trip_of_range_and_regex(self):
+        for text in ("year:[2003 TO 2005]", r"re:/nr\d+/", "spot:NR70"):
+            node = parse_query(text)
+            assert parse_query(render_query(node)) == node

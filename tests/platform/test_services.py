@@ -98,3 +98,41 @@ class TestRegistration:
             "store.stats",
         }
         assert expected <= set(stack.services())
+
+
+class TestRequestHardening:
+    """Malformed payloads get structured error envelopes, not crashes."""
+
+    def test_negative_limit_rejected(self, stack):
+        out = stack.request("sentiment.sentences", {"subject": "NR70", "limit": -1})
+        assert out["ok"] is False
+        assert out["error"]["code"] == "bad_request"
+        assert "limit" in out["error"]["message"]
+
+    def test_non_integer_limit_rejected(self, stack):
+        out = stack.request("sentiment.subjects", {"limit": "ten"})
+        assert out["ok"] is False
+        assert "limit" in out["error"]["message"]
+
+    def test_boolean_limit_rejected(self, stack):
+        out = stack.request("search.query", {"q": "pictures", "limit": True})
+        assert out["ok"] is False
+        assert "limit" in out["error"]["message"]
+
+    def test_non_dict_payload_rejected(self, stack):
+        for service in (
+            "sentiment.counts",
+            "sentiment.sentences",
+            "sentiment.subjects",
+            "search.query",
+        ):
+            out = stack.request(service, ["not", "a", "dict"])
+            assert out["ok"] is False, service
+            assert out["error"]["code"] == "bad_request"
+            assert "dict" in out["error"]["message"]
+
+    def test_valid_limits_still_served(self, stack):
+        out = stack.request("sentiment.sentences", {"subject": "NR70", "limit": 0})
+        assert out["rows"] == []
+        out = stack.request("sentiment.subjects", {"limit": 1})
+        assert out["subjects"] == ["nr70"]

@@ -1,0 +1,168 @@
+"""Unit tests for the serving building blocks: deadlines, shards, breakers."""
+
+import pytest
+
+from repro.core.model import Polarity, SentimentJudgment, Spot, Subject
+from repro.nlp.tokens import Span
+from repro.obs import Obs
+from repro.platform.entity import Entity
+from repro.platform.serving import (
+    CLOSED,
+    HALF_OPEN,
+    OPEN,
+    CircuitBreaker,
+    Deadline,
+    DeadlineExceeded,
+    ReplicatedIndex,
+    shard_of,
+)
+
+pytestmark = pytest.mark.serving
+
+
+def judgment(subject: str, doc: str = "d1", polarity=Polarity.POSITIVE):
+    return SentimentJudgment(
+        spot=Spot(Subject(subject), subject, Span(0, len(subject)), 0, doc),
+        polarity=polarity,
+    )
+
+
+class TestDeadline:
+    def test_remaining_counts_down_with_the_clock(self):
+        obs = Obs.default()
+        deadline = Deadline(obs.clock, 2.0)
+        assert deadline.remaining == pytest.approx(2.0)
+        obs.clock.advance(1.5)
+        assert deadline.remaining == pytest.approx(0.5)
+        assert not deadline.expired
+
+    def test_expires_exactly_at_budget(self):
+        obs = Obs.default()
+        deadline = Deadline(obs.clock, 1.0)
+        obs.clock.advance(1.0)
+        assert deadline.expired
+        assert deadline.remaining == 0.0
+
+    def test_check_raises_after_expiry(self):
+        obs = Obs.default()
+        deadline = Deadline(obs.clock, 0.5)
+        deadline.check("early")  # no raise
+        obs.clock.advance(1.0)
+        with pytest.raises(DeadlineExceeded, match="late-stage"):
+            deadline.check("late-stage")
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ValueError):
+            Deadline(Obs.default().clock, -0.1)
+
+    def test_child_deadline_never_outlives_parent(self):
+        obs = Obs.default()
+        parent = Deadline(obs.clock, 1.0)
+        child = parent.sub(5.0)
+        assert child.expires_at == parent.expires_at
+        tight = parent.sub(0.25)
+        assert tight.remaining == pytest.approx(0.25)
+
+
+class TestShardPlacement:
+    def test_shard_of_is_stable(self):
+        assert shard_of("nr70", 8) == shard_of("nr70", 8)
+        assert 0 <= shard_of("anything", 5) < 5
+
+    def test_replica_placement_is_successor_style(self):
+        index = ReplicatedIndex(num_shards=4, num_nodes=3, replication=2)
+        assert index.nodes_for(0) == [0, 1]
+        assert index.nodes_for(2) == [2, 0]
+        # Primary-first ordering.
+        assert [r.replica for r in index.replicas_for(1)] == [0, 1]
+
+    def test_replication_bounds_validated(self):
+        with pytest.raises(ValueError):
+            ReplicatedIndex(num_shards=2, num_nodes=2, replication=3)
+        with pytest.raises(ValueError):
+            ReplicatedIndex(num_shards=0, num_nodes=2)
+
+    def test_writes_fan_out_to_every_replica(self):
+        index = ReplicatedIndex(num_shards=2, num_nodes=3, replication=2)
+        index.add_judgment(judgment("NR70"))
+        shard = index.subject_shard("NR70")
+        for replica in index.replicas_for(shard):
+            assert replica.sentiment.counts("NR70")[Polarity.POSITIVE] == 1
+        other = 1 - shard
+        for replica in index.replicas_for(other):
+            assert len(replica.sentiment) == 0
+
+    def test_entities_route_by_entity_hash(self):
+        index = ReplicatedIndex(num_shards=2, num_nodes=2, replication=1)
+        entity = Entity(entity_id="doc-1", content="excellent pictures")
+        index.add_entity(entity)
+        shard = shard_of("doc-1", 2)
+        assert index.replicas_for(shard)[0].inverted.search("pictures") == {"doc-1"}
+
+    def test_single_node_death_never_loses_a_shard(self):
+        index = ReplicatedIndex(num_shards=8, num_nodes=4, replication=2)
+        for dead in range(4):
+            for shard in index.shard_ids():
+                survivors = [n for n in index.nodes_for(shard) if n != dead]
+                assert survivors, f"shard {shard} lost with node {dead} down"
+
+
+class TestCircuitBreaker:
+    def _breaker(self, **kwargs):
+        obs = Obs.default()
+        return obs, CircuitBreaker("svc", obs, **kwargs)
+
+    def test_opens_after_threshold_failures(self):
+        _, breaker = self._breaker(failure_threshold=3)
+        for _ in range(2):
+            breaker.record_failure()
+        assert breaker.state == CLOSED
+        breaker.record_failure()
+        assert breaker.state == OPEN
+
+    def test_open_fast_fails_until_cooldown(self):
+        obs, breaker = self._breaker(failure_threshold=1, cooldown=2.0)
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        assert not breaker.allow()
+        obs.clock.advance(1.0)
+        assert not breaker.allow()
+        assert breaker.snapshot()["fastfails"] == 2
+        obs.clock.advance(1.0)
+        assert breaker.allow()  # cooldown elapsed: half-open probe
+        assert breaker.state == HALF_OPEN
+
+    def test_half_open_success_closes(self):
+        obs, breaker = self._breaker(failure_threshold=1, cooldown=1.0)
+        breaker.record_failure()
+        obs.clock.advance(1.0)
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == CLOSED
+        assert breaker.consecutive_failures == 0
+
+    def test_half_open_failure_reopens(self):
+        obs, breaker = self._breaker(failure_threshold=3, cooldown=1.0)
+        for _ in range(3):
+            breaker.record_failure()
+        obs.clock.advance(1.0)
+        assert breaker.allow()
+        breaker.record_failure()  # a single half-open failure re-trips
+        assert breaker.state == OPEN
+        assert breaker.snapshot()["opens"] == 2
+
+    def test_success_resets_failure_streak(self):
+        _, breaker = self._breaker(failure_threshold=3)
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == CLOSED
+
+    def test_state_mirrored_to_gauge(self):
+        obs, breaker = self._breaker(failure_threshold=1)
+        gauge = obs.metrics.gauge("serving.breaker_state", service="svc")
+        assert gauge.value == 0
+        breaker.record_failure()
+        assert gauge.value == 2

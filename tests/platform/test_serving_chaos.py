@@ -1,0 +1,57 @@
+"""End-to-end chaos runs of the serving layer (seeded, deterministic)."""
+
+import json
+
+import pytest
+
+from repro.platform.serving import LoadProfile, build_scenario
+
+pytestmark = [pytest.mark.chaos, pytest.mark.serving]
+
+PROFILE = LoadProfile(requests=300)
+
+
+def run_report(chaos_seed):
+    scenario = build_scenario(
+        seed=2005, docs=24, chaos_seed=chaos_seed, profile=PROFILE
+    )
+    return scenario.run()
+
+
+def test_same_seed_gives_byte_identical_reports():
+    first = run_report(chaos_seed=7)
+    second = run_report(chaos_seed=7)
+    assert json.dumps(first, sort_keys=True) == json.dumps(second, sort_keys=True)
+
+
+def test_chaos_run_upholds_the_availability_contract():
+    report = run_report(chaos_seed=7)
+    assert report["requests"] == PROFILE.requests
+    assert report["dead_nodes"], "the chaos plan kills one index node"
+    assert report["faults_injected"] >= 0.05 * report["requests"]
+    assert report["malformed_responses"] == 0
+    assert report["late_responses"] == 0, "nothing is served past its deadline"
+    assert report["availability"] >= 0.99
+    assert report["degraded"] > 0, "a dead node must surface degraded answers"
+
+
+def test_different_seeds_change_the_fault_plan_not_the_contract():
+    reports = [run_report(chaos_seed=s) for s in (3, 11)]
+    assert reports[0]["dead_nodes"] != reports[1]["dead_nodes"] or (
+        json.dumps(reports[0], sort_keys=True)
+        != json.dumps(reports[1], sort_keys=True)
+    )
+    for report in reports:
+        assert report["late_responses"] == 0
+        assert report["malformed_responses"] == 0
+        assert report["availability"] >= 0.99
+
+
+def test_calm_run_is_fully_available():
+    scenario = build_scenario(seed=2005, docs=24, chaos_seed=None, profile=PROFILE)
+    report = scenario.run()
+    assert report["dead_nodes"] == []
+    assert report["faults_injected"] == 0
+    assert report["availability"] >= 0.99
+    assert report["late_responses"] == 0
+    assert report["responses_by_status"].get("error", 0) == 0
