@@ -2,7 +2,7 @@
 PYTHONPATH := src
 export PYTHONPATH
 
-.PHONY: test chaos serving-chaos bench bench-obs bench-serving lint lint-report
+.PHONY: test chaos serving-chaos incremental bench bench-obs bench-serving bench-freshness lint lint-report
 
 test: lint
 	python -m pytest -x -q
@@ -16,7 +16,12 @@ chaos:
 serving-chaos:
 	python -m pytest -q -m serving
 
-bench: bench-obs bench-serving
+# Incremental indexing suite: delta batches, segment snapshots,
+# compaction, and the batch-vs-one-pass equivalence property.
+incremental:
+	python -m pytest -q -m incremental
+
+bench: bench-obs bench-serving bench-freshness
 	cd benchmarks && PYTHONPATH=../src python -m pytest -q
 
 # Instrumentation overhead guard: tracing on vs. off on the same corpus
@@ -29,6 +34,14 @@ bench-obs:
 # below 99% availability or on any late/malformed response.
 bench-serving:
 	cd benchmarks && PYTHONPATH=../src python -m pytest -q bench_serving.py
+
+# Index freshness of the incremental path: per-batch ingest-to-queryable
+# lag and sustained docs/sim-sec under concurrent serving load; writes
+# BENCH_freshness.json and fails on a lag-ceiling/throughput-floor
+# breach or if the batched build stops being byte-identical to the
+# one-pass build (with and without chaos).
+bench-freshness:
+	cd benchmarks && PYTHONPATH=../src python -m pytest -q bench_freshness.py
 
 # Byte-compile everything, then run the static-analysis rule set
 # (determinism, layering, obs discipline, pattern-DB/lexicon invariants).

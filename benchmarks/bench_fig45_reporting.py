@@ -39,4 +39,5 @@ def test_figures_4_and_5_reputation_views(benchmark, scale, seed, report):
     counts = manager.bus.request(
         "sentiment.counts", {"subject": PHARMACEUTICAL.products[0]}
     )
-    assert set(counts) == {"subject", "positive", "negative"}
+    assert counts["ok"] is True and counts["api_version"] == "v1"
+    assert set(counts["data"]) == {"subject", "positive", "negative"}

@@ -38,7 +38,7 @@ def main() -> None:
 
     # Hosted services remain queryable over the Vinci bus.
     hits = manager.bus.request("search.query", {"q": '"battery life" AND disappointing'})
-    print(f'pages matching \'"battery life" AND disappointing\': {hits["total"]}')
+    print(f'pages matching \'"battery life" AND disappointing\': {hits["data"]["total"]}')
 
 
 if __name__ == "__main__":

@@ -23,6 +23,7 @@ from __future__ import annotations
 from pathlib import Path
 
 from .code_rules import (
+    EnvelopeSchemaRule,
     LayeringRule,
     MetricNameRule,
     SeededRngRule,
@@ -90,6 +91,7 @@ __all__ = [
     "CodeRule",
     "DataRule",
     "ENGINE_RULE",
+    "EnvelopeSchemaRule",
     "Finding",
     "LayeringRule",
     "LexiconConflictRule",

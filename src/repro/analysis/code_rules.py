@@ -445,14 +445,15 @@ class MetricNameRule(CodeRule):
 
 
 def _is_dictish_annotation(node: ast.expr) -> bool:
+    # "Envelope" is repro.platform.api's dict alias for v1 responses.
     if isinstance(node, ast.Name):
-        return node.id in ("dict", "Dict")
+        return node.id in ("dict", "Dict", "Envelope")
     if isinstance(node, ast.Subscript):
         return _is_dictish_annotation(node.value)
     if isinstance(node, ast.Constant) and isinstance(node.value, str):
-        return node.value.split("[")[0].strip() in ("dict", "Dict")
+        return node.value.split("[")[0].strip() in ("dict", "Dict", "Envelope")
     if isinstance(node, ast.Attribute):
-        return node.attr in ("Dict",)
+        return node.attr in ("Dict", "Envelope")
     return False
 
 
@@ -650,6 +651,172 @@ class ServingDisciplineRule(CodeRule):
                 )
 
 
+# ---------------------------------------------------------------------------
+# PLAT003 — the v1 envelope is the only response shape
+# ---------------------------------------------------------------------------
+
+#: Names whose call results are v1 envelopes by construction.
+_ENVELOPE_BUILDERS = frozenset({"ok_envelope", "error_envelope"})
+
+#: Modules whose client-facing handlers must return envelopes.
+_HANDLER_MODULES = (
+    "repro/platform/services.py",
+    "repro/platform/serving/router.py",
+)
+
+
+def _envelope_keyset(node: ast.Dict) -> set[str]:
+    return {
+        key.value
+        for key in node.keys
+        if isinstance(key, ast.Constant) and isinstance(key.value, str)
+    }
+
+
+def _looks_like_envelope(node: ast.Dict) -> bool:
+    """A dict literal shaped like a response envelope."""
+    keys = _envelope_keyset(node)
+    if "api_version" in keys:
+        return True
+    return "ok" in keys and bool(keys & {"data", "error", "meta"})
+
+
+def _terminal_name(func: ast.expr) -> str | None:
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+class EnvelopeSchemaRule(CodeRule):
+    """Responses are v1 envelopes built only through ``repro.platform.api``.
+
+    Two checks (DESIGN.md §5f / the v1 API contract):
+
+    * no raw envelope-shaped dict literals (``api_version`` key, or
+      ``ok`` alongside ``data``/``error``/``meta``) anywhere in the
+      platform or apps outside ``platform/api.py`` — the constructors
+      are the single source of the schema;
+    * every client-facing handler in ``platform/services.py`` and
+      ``platform/serving/router.py`` (functions registered on the bus,
+      ``handle`` methods, ``answer_*`` methods, and entries of a
+      ``bindings`` dict) returns through the envelope constructors on
+      every path, directly or via helpers that do (computed to a
+      fixpoint over the module's functions).
+    """
+
+    rule_id = "PLAT003"
+    name = "api-envelope-schema"
+    severity = Severity.ERROR
+    invariant = (
+        "every service/router response is a v1 envelope built by "
+        "repro.platform.api constructors; no raw envelope dict literals "
+        "outside platform/api.py"
+    )
+    scope = ("repro/platform/*", "repro/apps/*")
+
+    def check(self, path: str, modpath: str, tree: ast.Module) -> Iterator[Finding]:
+        if modpath == "repro/platform/api.py":
+            return
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Dict) and _looks_like_envelope(node):
+                yield self.finding(
+                    "raw envelope dict literal: build responses with "
+                    "repro.platform.api.ok_envelope/error_envelope so the "
+                    "v1 schema has a single source",
+                    path=path,
+                    line=node.lineno,
+                )
+        if modpath in _HANDLER_MODULES:
+            yield from self._check_handlers(tree, path)
+
+    def _check_handlers(self, tree: ast.Module, path: str) -> Iterator[Finding]:
+        functions: dict[str, ast.FunctionDef] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                functions[node.name] = node
+        envelope_fns = self._envelope_fixpoint(functions)
+        for name in sorted(self._handler_names(tree)):
+            fn = functions.get(name)
+            if fn is None or name in envelope_fns:
+                continue
+            for ret in ast.walk(fn):
+                if isinstance(ret, ast.Return) and not self._returns_envelope(
+                    ret, envelope_fns
+                ):
+                    yield self.finding(
+                        f"handler {name!r} has a return path that does not "
+                        "flow through the v1 envelope constructors "
+                        "(api.ok_envelope/api.error_envelope)",
+                        path=path,
+                        line=ret.lineno,
+                    )
+
+    @staticmethod
+    def _handler_names(tree: ast.Module) -> set[str]:
+        """Client-facing handlers: bus registrations + handle/answer_*."""
+        names: set[str] = set()
+        for node in ast.walk(tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if node.name == "handle" or node.name.startswith("answer_"):
+                    names.add(node.name)
+            elif isinstance(node, ast.Call):
+                func = node.func
+                if (
+                    isinstance(func, ast.Attribute)
+                    and func.attr == "register"
+                    and "bus" in _receiver_text(func.value)
+                    and len(node.args) >= 2
+                ):
+                    handler = _terminal_name(node.args[1])
+                    if handler is not None:
+                        names.add(handler)
+            elif isinstance(node, ast.Assign):
+                # bindings = {"service.name": obj.method, ...}
+                targets = [t.id for t in node.targets if isinstance(t, ast.Name)]
+                if "bindings" in targets and isinstance(node.value, ast.Dict):
+                    for value in node.value.values:
+                        handler = _terminal_name(value)
+                        if handler is not None:
+                            names.add(handler)
+        return names
+
+    def _envelope_fixpoint(self, functions: dict[str, ast.FunctionDef]) -> set[str]:
+        """Functions all of whose return paths produce envelopes."""
+        known = set(_ENVELOPE_BUILDERS)
+        changed = True
+        while changed:
+            changed = False
+            for name, fn in functions.items():
+                if name in known:
+                    continue
+                returns = [
+                    node
+                    for node in ast.walk(fn)
+                    if isinstance(node, ast.Return) and node.value is not None
+                ]
+                if not returns:
+                    continue
+                if all(self._returns_envelope(r, known) for r in returns):
+                    known.add(name)
+                    changed = True
+        return known
+
+    @staticmethod
+    def _returns_envelope(ret: ast.Return, known: set[str]) -> bool:
+        value = ret.value
+        if value is None:
+            return False
+        if isinstance(value, ast.Call):
+            name = _terminal_name(value.func)
+            return name is not None and name in known
+        # A bare name (e.g. a pre-built error envelope held in a local)
+        # is not statically resolvable; trust it — the dict-literal check
+        # above still catches hand-rolled envelopes feeding it.
+        return isinstance(value, ast.Name)
+
+
 def default_code_rules() -> list[CodeRule]:
     """The full code-rule set, in report order."""
     return [
@@ -660,4 +827,5 @@ def default_code_rules() -> list[CodeRule]:
         MetricNameRule(),
         VinciHandlerRule(),
         ServingDisciplineRule(),
+        EnvelopeSchemaRule(),
     ]

@@ -187,7 +187,7 @@ class ReputationManager:
         payload = {"subject": subject, "limit": limit}
         if polarity:
             payload["polarity"] = polarity
-        return self._bus.request("sentiment.sentences", payload)["rows"]
+        return self._bus.request("sentiment.sentences", payload)["data"]["rows"]
 
     # -- rendering ----------------------------------------------------------------------
 

@@ -183,9 +183,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="service faults scheduled as a fraction of generated requests",
     )
     serve.add_argument(
+        "--batches",
+        type=int,
+        default=None,
+        metavar="N",
+        help="index the corpus incrementally as N delta batches (segment "
+        "path) instead of one offline pass; same seed must serve a "
+        "byte-identical report either way",
+    )
+    serve.add_argument(
         "--json",
         action="store_true",
-        help="emit the machine-readable serving report instead of a table",
+        help="emit the machine-readable serving report as a v1 envelope",
     )
     _add_obs_flags(serve)
 
@@ -484,11 +493,16 @@ def cmd_serve(args: argparse.Namespace, out: IO[str]) -> int:
         fault_fraction=args.fault_fraction,
         profile=LoadProfile(requests=args.requests),
         obs=obs,
+        batches=args.batches,
     )
     report = scenario.run()
 
     if args.json:
-        out.write(json.dumps(report, indent=2, sort_keys=True) + "\n")
+        from .platform.api import ok_envelope
+
+        out.write(
+            json.dumps(ok_envelope(report), indent=2, sort_keys=True) + "\n"
+        )
         _emit_obs(args, obs, out)
         return 0
 

@@ -143,6 +143,115 @@ class CustomerDataIngestor(Source):
             )
 
 
+#: Document delta kinds flowing from sources to the incremental indexer.
+DELTA_ADD = "add"
+DELTA_UPDATE = "update"
+DELTA_DELETE = "delete"
+DELTA_KINDS = (DELTA_ADD, DELTA_UPDATE, DELTA_DELETE)
+
+
+@dataclass(frozen=True)
+class DocumentDelta:
+    """One document-level change emitted by a source.
+
+    ``add`` and ``update`` carry the full new entity version (documents
+    are indexed atomically, never patched); ``delete`` carries only the
+    id.  Deltas are totally ordered by delivery: a later delta for the
+    same id supersedes an earlier one.
+    """
+
+    kind: str
+    entity_id: str
+    entity: Entity | None = None
+    source: str = ""
+
+    def __post_init__(self) -> None:
+        if self.kind not in DELTA_KINDS:
+            raise ValueError(f"unknown delta kind {self.kind!r}")
+        if not self.entity_id:
+            raise ValueError("delta requires an entity_id")
+        if self.kind == DELTA_DELETE:
+            if self.entity is not None:
+                raise ValueError("delete deltas carry no entity body")
+        else:
+            if self.entity is None:
+                raise ValueError(f"{self.kind} delta requires an entity body")
+            if self.entity.entity_id != self.entity_id:
+                raise ValueError(
+                    f"delta id {self.entity_id!r} disagrees with entity id "
+                    f"{self.entity.entity_id!r}"
+                )
+
+
+class DeltaSource(abc.ABC):
+    """A source that delivers document changes incrementally.
+
+    Unlike :class:`Source` (one whole-corpus ``fetch``), a delta source
+    is *polled*: each :meth:`poll` returns the next batch of changes in
+    delivery order, and an empty batch means the source is (currently)
+    drained.  The live crawl→analyze→index→serve loop is built on this.
+    """
+
+    name: str = "deltas"
+
+    @abc.abstractmethod
+    def poll(self, max_deltas: int | None = None) -> list[DocumentDelta]:
+        """Next deltas in delivery order (empty list = drained for now)."""
+
+
+class SnapshotDeltaSource(DeltaSource):
+    """Adapts a whole-corpus :class:`Source` into an add-only delta stream."""
+
+    def __init__(self, source: Source, batch_size: int = 8):
+        if batch_size < 1:
+            raise ValueError("batch_size must be positive")
+        self.name = source.name
+        self._iterator = source.fetch()
+        self._batch_size = batch_size
+
+    def poll(self, max_deltas: int | None = None) -> list[DocumentDelta]:
+        limit = self._batch_size if max_deltas is None else min(self._batch_size, max_deltas)
+        out: list[DocumentDelta] = []
+        for entity in self._iterator:
+            out.append(
+                DocumentDelta(
+                    kind=DELTA_ADD,
+                    entity_id=entity.entity_id,
+                    entity=entity,
+                    source=self.name,
+                )
+            )
+            if len(out) >= limit:
+                break
+        return out
+
+
+class ScriptedDeltaSource(DeltaSource):
+    """A pre-scripted delta stream — updates and deletes included.
+
+    The freshness bench and the segment-lifecycle tests use this to
+    replay an exact add/update/delete schedule deterministically.
+    """
+
+    def __init__(self, deltas: Iterable[DocumentDelta], name: str = "scripted", batch_size: int = 8):
+        if batch_size < 1:
+            raise ValueError("batch_size must be positive")
+        self.name = name
+        self._pending = list(deltas)
+        self._cursor = 0
+        self._batch_size = batch_size
+
+    @property
+    def remaining(self) -> int:
+        return len(self._pending) - self._cursor
+
+    def poll(self, max_deltas: int | None = None) -> list[DocumentDelta]:
+        limit = self._batch_size if max_deltas is None else min(self._batch_size, max_deltas)
+        batch = self._pending[self._cursor : self._cursor + limit]
+        self._cursor += len(batch)
+        return batch
+
+
 @dataclass
 class IngestionReport:
     """Per-source ingestion counts."""
@@ -155,18 +264,34 @@ class IngestionReport:
 
 
 class IngestionManager:
-    """Pulls every source and loads the data store."""
+    """Pulls every source and loads the data store.
+
+    Two modes: :meth:`ingest` drains whole-corpus :class:`Source`\\ s in
+    one offline pass; :meth:`ingest_increment` polls the registered
+    :class:`DeltaSource`\\ s for the next batch of document deltas,
+    applies them to the store (adds/updates as writes, deletes as
+    tombstones) and hands the batch to the caller for incremental
+    indexing.
+    """
 
     def __init__(self, store: DataStore):
         self._store = store
         self._sources: list[Source] = []
+        self._delta_sources: list[DeltaSource] = []
 
     def add_source(self, source: Source) -> None:
         self._sources.append(source)
 
+    def add_delta_source(self, source: DeltaSource) -> None:
+        self._delta_sources.append(source)
+
     @property
     def sources(self) -> list[str]:
         return [s.name for s in self._sources]
+
+    @property
+    def delta_sources(self) -> list[str]:
+        return [s.name for s in self._delta_sources]
 
     def ingest(self) -> IngestionReport:
         """Drain every source into the store."""
@@ -179,3 +304,29 @@ class IngestionManager:
             report.per_source[source.name] = report.per_source.get(source.name, 0) + count
         self._store.flush()
         return report
+
+    def ingest_increment(
+        self, max_deltas: int | None = None
+    ) -> tuple[list[DocumentDelta], IngestionReport]:
+        """Poll every delta source once and apply the batch to the store.
+
+        Returns the concatenated deltas (source registration order, each
+        source's delivery order preserved) plus per-source counts.  An
+        empty delta list means every source is currently drained.
+        """
+        report = IngestionReport()
+        batch: list[DocumentDelta] = []
+        for source in self._delta_sources:
+            deltas = source.poll(max_deltas)
+            for delta in deltas:
+                if delta.kind == DELTA_DELETE:
+                    self._store.delete(delta.entity_id)
+                else:
+                    self._store.store(delta.entity)
+            report.per_source[source.name] = (
+                report.per_source.get(source.name, 0) + len(deltas)
+            )
+            batch.extend(deltas)
+        if batch:
+            self._store.flush()
+        return batch, report

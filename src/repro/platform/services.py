@@ -8,6 +8,12 @@ These services sit behind the Vinci bus and answer the queries the
 reputation-management GUI (paper Figures 4–5) issues: per-subject
 sentiment counts, sentiment-bearing sentence listings, and boolean/phrase
 document search.
+
+Every handler returns the v1 envelope from :mod:`.api` — success as
+``ok_envelope(data)``, client mistakes as ``error_envelope(code, msg)``
+flowing through Vinci as data (raising would consume retry budget on a
+call that can never succeed).  ``subjects`` and ``search`` paginate with
+opaque cursors surfaced in ``meta.cursor``.
 """
 
 from __future__ import annotations
@@ -15,28 +21,30 @@ from __future__ import annotations
 from typing import Any
 
 from ..core.model import Polarity
+from .api import (
+    ERR_BAD_CURSOR,
+    ERR_BAD_REQUEST,
+    ERR_NOT_FOUND,
+    CursorError,
+    Envelope,
+    error_envelope,
+    make_meta,
+    ok_envelope,
+    paginate,
+)
 from .datastore import DataStore
 from .indexer import InvertedIndex, SentimentIndex
 from .query import QueryParseError
-from .vinci import VinciBus, VinciError
+from .vinci import VinciBus
 
 
-def error_envelope(code: str, message: str) -> dict[str, Any]:
-    """A structured error response that flows through Vinci as data.
-
-    Malformed *requests* are the client's fault, not the service's: they
-    come back as ``{"ok": False, "error": {...}}`` envelopes instead of
-    raising through the bus (which would consume retry budget on a call
-    that can never succeed).
-    """
-    return {"ok": False, "error": {"code": code, "message": message}}
+def _bad_request(message: str) -> Envelope:
+    return error_envelope(ERR_BAD_REQUEST, message)
 
 
-def _bad_request(message: str) -> dict[str, Any]:
-    return error_envelope("bad_request", message)
-
-
-def _checked_limit(payload: dict[str, Any], default: int) -> tuple[int | None, dict[str, Any] | None]:
+def _checked_limit(
+    payload: dict[str, Any], default: int
+) -> tuple[int | None, Envelope | None]:
     """Validated row limit, or an error envelope for the caller to return."""
     limit = payload.get("limit", default)
     if isinstance(limit, bool) or not isinstance(limit, int) or limit < 0:
@@ -51,24 +59,32 @@ class SentimentQueryService:
         self._index = sentiment_index
         self._store = store
 
-    def counts(self, payload: dict[str, Any]) -> dict[str, Any]:
+    def counts(self, payload: dict[str, Any]) -> Envelope:
         """``{"subject": name}`` → polarity counts."""
         if not isinstance(payload, dict):
             return _bad_request(f"payload must be a dict, got {type(payload).__name__}")
-        subject = self._required(payload, "subject")
+        subject = payload.get("subject")
+        if not subject:
+            return _bad_request("missing required field 'subject'")
+        subject = str(subject)
         counts = self._index.counts(subject)
-        return {
-            "subject": subject,
-            "positive": counts[Polarity.POSITIVE],
-            "negative": counts[Polarity.NEGATIVE],
-        }
+        return ok_envelope(
+            {
+                "subject": subject,
+                "positive": counts[Polarity.POSITIVE],
+                "negative": counts[Polarity.NEGATIVE],
+            }
+        )
 
-    def sentences(self, payload: dict[str, Any]) -> dict[str, Any]:
+    def sentences(self, payload: dict[str, Any]) -> Envelope:
         """``{"subject": name, "polarity": "+"|"-"|None, "limit": n}`` →
         sentiment-bearing sentences, the Figure-5 listing."""
         if not isinstance(payload, dict):
             return _bad_request(f"payload must be a dict, got {type(payload).__name__}")
-        subject = self._required(payload, "subject")
+        subject = payload.get("subject")
+        if not subject:
+            return _bad_request("missing required field 'subject'")
+        subject = str(subject)
         polarity = payload.get("polarity")
         wanted = Polarity.from_symbol(polarity) if polarity else None
         limit, error = _checked_limit(payload, 20)
@@ -87,22 +103,31 @@ class SentimentQueryService:
                     "sentence": snippet,
                 }
             )
-        return {"subject": subject, "rows": rows}
+        return ok_envelope({"subject": subject, "rows": rows})
 
-    def subjects(self, payload: dict[str, Any]) -> dict[str, Any]:
+    def subjects(self, payload: dict[str, Any]) -> Envelope:
+        """Ranked subjects, one cursor-paginated page per call."""
         if not isinstance(payload, dict):
             return _bad_request(f"payload must be a dict, got {type(payload).__name__}")
         limit, error = _checked_limit(payload, 50)
         if error is not None:
             return error
-        return {"subjects": self._index.subjects()[:limit]}
-
-    @staticmethod
-    def _required(payload: dict[str, Any], key: str) -> str:
-        value = payload.get(key)
-        if not value:
-            raise VinciError(f"missing required field {key!r}")
-        return str(value)
+        totals = self._index.subject_counts()
+        ranked = sorted(totals.items(), key=lambda kv: (-kv[1], kv[0]))
+        try:
+            page, cursor = paginate(
+                ranked,
+                limit=limit,
+                cursor=payload.get("cursor"),
+                kind="subjects",
+                sort_key=lambda kv: (-kv[1], kv[0]),
+            )
+        except CursorError as exc:
+            return error_envelope(ERR_BAD_CURSOR, str(exc))
+        return ok_envelope(
+            {"subjects": [name for name, _ in page]},
+            meta=make_meta(cursor=cursor),
+        )
 
 
 class SearchService:
@@ -111,20 +136,33 @@ class SearchService:
     def __init__(self, index: InvertedIndex):
         self._index = index
 
-    def search(self, payload: dict[str, Any]) -> dict[str, Any]:
+    def search(self, payload: dict[str, Any]) -> Envelope:
         if not isinstance(payload, dict):
             return _bad_request(f"payload must be a dict, got {type(payload).__name__}")
         query = payload.get("q", "")
         if not query:
-            raise VinciError("missing required field 'q'")
+            return _bad_request("missing required field 'q'")
         limit, error = _checked_limit(payload, 100)
         if error is not None:
             return error
         try:
             ids = self._index.search(query)
         except QueryParseError as exc:
-            raise VinciError(f"bad query: {exc}") from exc
-        return {"q": query, "total": len(ids), "ids": sorted(ids)[:limit]}
+            return _bad_request(f"bad query: {exc}")
+        try:
+            page, cursor = paginate(
+                sorted(ids),
+                limit=limit,
+                cursor=payload.get("cursor"),
+                kind="search",
+                sort_key=lambda entity_id: entity_id,
+            )
+        except CursorError as exc:
+            return error_envelope(ERR_BAD_CURSOR, str(exc))
+        return ok_envelope(
+            {"q": query, "total": len(ids), "ids": page},
+            meta=make_meta(cursor=cursor),
+        )
 
 
 class StoreService:
@@ -133,15 +171,15 @@ class StoreService:
     def __init__(self, store: DataStore):
         self._store = store
 
-    def get(self, payload: dict[str, Any]) -> dict[str, Any]:
+    def get(self, payload: dict[str, Any]) -> Envelope:
         entity_id = payload.get("entity_id", "")
         entity = self._store.get(entity_id)
         if entity is None:
-            raise VinciError(f"no such entity: {entity_id!r}")
-        return entity.to_record()
+            return error_envelope(ERR_NOT_FOUND, f"no such entity: {entity_id!r}")
+        return ok_envelope(entity.to_record())
 
-    def stats(self, _payload: dict[str, Any]) -> dict[str, Any]:
-        return dict(self._store.stats())
+    def stats(self, _payload: dict[str, Any]) -> Envelope:
+        return ok_envelope(dict(self._store.stats()))
 
 
 def register_services(

@@ -24,9 +24,12 @@ from typing import Any
 from ...core import SentimentMiner, Subject
 from ...corpora import DOMAINS, ReviewGenerator
 from ...obs import Obs
+from ..api import validate_envelope
 from ..datastore import DataStore
 from ..entity import Entity
 from ..faults import FAIL, TIMEOUT, FaultPlan
+from ..ingestion import DELTA_ADD, DocumentDelta
+from ..segments import CompactionPolicy, DeltaIndexer, LiveIndexer
 from ..vinci import VinciBus
 from .router import (
     DEFAULT_BUDGET,
@@ -135,20 +138,17 @@ class LoadGenerator:
         served_latencies: list[float] = []
         late = 0
         malformed = 0
-        required_keys = {
-            "request_id", "op", "status", "code", "degraded",
-            "missing_shards", "hedged", "latency", "data",
-        }
         for request, envelope in outcomes:
-            if set(envelope) != required_keys:
+            # Every response must be a well-formed v1 envelope.
+            if validate_envelope(envelope):
                 malformed += 1
                 continue
-            status = envelope["status"]
+            status = envelope["meta"]["status"]
             by_status[status] = by_status.get(status, 0) + 1
             if status in (STATUS_OK, STATUS_DEGRADED):
-                served_latencies.append(envelope["latency"])
+                served_latencies.append(envelope["meta"]["latency"])
                 # An answer at or past the deadline is a contract breach.
-                if envelope["latency"] >= request.budget:
+                if envelope["meta"]["latency"] >= request.budget:
                     late += 1
         served = by_status.get(STATUS_OK, 0) + by_status.get(STATUS_DEGRADED, 0)
         metrics = self._router.obs.metrics
@@ -211,8 +211,17 @@ def build_scenario(
     queue_limit: int = 24,
     breaker_cooldown: float = 0.5,
     obs: Obs | None = None,
+    batches: int | None = None,
+    compaction: CompactionPolicy | None = None,
 ) -> ServingScenario:
-    """Mine a synthetic corpus offline, shard it, and wire the front door.
+    """Mine a synthetic corpus, shard it, and wire the front door.
+
+    With ``batches=None`` the corpus is mined and indexed in one offline
+    pass (the classic mode-B build).  With ``batches=N`` the same
+    documents flow through the incremental path instead — N delta
+    batches, each sealed into a segment, absorbed by the shards and
+    background-compacted — and the determinism gate requires the two
+    builds to serve byte-identical reports for the same seed.
 
     With ``chaos_seed`` set, the fault plan kills one node (chosen by the
     seed) and schedules ``fault_fraction`` × requests service faults
@@ -222,14 +231,13 @@ def build_scenario(
     obs = obs if obs is not None else Obs.default()
     profile = profile or LoadProfile()
 
-    # -- offline half of mode B: generate, mine, index ---------------------
+    # -- the analyze→index half of mode B ----------------------------------
     vocab = DOMAINS[domain]
     documents = ReviewGenerator(vocab, seed=seed).generate_dplus(docs)
     subjects = [Subject(p) for p in vocab.products] + [
         Subject(f) for f in vocab.features
     ]
     miner = SentimentMiner(subjects=subjects, obs=obs)
-    result = miner.mine_corpus((d.doc_id, d.text) for d in documents)
 
     plan: FaultPlan | None = None
     if chaos_seed is not None:
@@ -248,10 +256,32 @@ def build_scenario(
         Entity(entity_id=d.doc_id, content=d.text) for d in documents
     )
     index = ReplicatedIndex(num_shards, num_nodes, replication=replication)
-    index.add_judgments(result.polar_judgments())
-    index.add_entities(
-        Entity(entity_id=d.doc_id, content=d.text) for d in documents
-    )
+    if batches is None:
+        result = miner.mine_corpus((d.doc_id, d.text) for d in documents)
+        index.add_judgments(result.polar_judgments())
+        index.add_entities(
+            Entity(entity_id=d.doc_id, content=d.text) for d in documents
+        )
+    else:
+        if batches < 1:
+            raise ValueError("batches must be positive")
+        live = LiveIndexer(
+            index,
+            DeltaIndexer(miner, obs=obs),
+            obs=obs,
+            policy=compaction or CompactionPolicy(),
+        )
+        deltas = [
+            DocumentDelta(
+                kind=DELTA_ADD,
+                entity_id=d.doc_id,
+                entity=Entity(entity_id=d.doc_id, content=d.text),
+            )
+            for d in documents
+        ]
+        size = max(1, -(-len(deltas) // batches))  # ceil division
+        for start in range(0, len(deltas), size):
+            live.apply_batch(deltas[start : start + size])
 
     # No bus-level retry policy: the router does explicit replica failover,
     # and breaker-gated fast-fails must not consume a retry budget.

@@ -37,9 +37,23 @@ from typing import Any
 
 from ...core.model import Polarity
 from ...obs import Obs
+from ..api import (
+    ERR_BAD_CURSOR,
+    ERR_BAD_REQUEST,
+    ERR_DEADLINE,
+    ERR_SHED,
+    CursorError,
+    Envelope,
+    decode_cursor,
+    error_envelope,
+    make_meta,
+    ok_envelope,
+    paginate,
+)
 from ..datastore import DataStore
 from ..faults import FaultPlan
 from ..query import QueryParseError, parse_query
+from ..segments import ReplicaSnapshot
 from ..services import sentence_around
 from ..vinci import VinciBus, VinciError
 from .breaker import CircuitBreaker
@@ -153,8 +167,13 @@ class NodeIndexService:
     def shard_ids(self) -> list[int]:
         return sorted(self._replicas)
 
-    def handle(self, payload: dict[str, Any]) -> dict[str, Any]:
-        """Vinci handler: dict envelope in, dict envelope out."""
+    def handle(self, payload: dict[str, Any]) -> Envelope:
+        """Vinci handler: dict payload in, v1 envelope out.
+
+        The read goes through a :class:`~repro.platform.segments.ReplicaSnapshot`
+        at the version the router pinned for the request, so an absorb or
+        compaction racing the read never produces a torn view.
+        """
         if (
             self._fault_plan is not None
             and self._fault_plan.node_death(self.node_id) is not None
@@ -168,40 +187,43 @@ class NodeIndexService:
             raise VinciError(
                 f"node {self.node_id} hosts no replica of shard {shard_id!r}"
             )
+        snapshot = replica.view(payload.get("version"))
         if op == "counts":
-            return self.answer_counts(replica, payload, deadline)
+            return self.answer_counts(snapshot, payload, deadline)
         if op == "sentences":
-            return self.answer_sentences(replica, payload, deadline)
+            return self.answer_sentences(snapshot, payload, deadline)
         if op == "subjects":
-            return self.answer_subjects(replica, payload, deadline)
+            return self.answer_subjects(snapshot, payload, deadline)
         if op == "search":
-            return self.answer_search(replica, payload, deadline)
+            return self.answer_search(snapshot, payload, deadline)
         raise VinciError(f"unknown serving op {op!r}")
 
     # -- per-op answers (each accepts and honours the propagated Deadline) ------
 
     def answer_counts(
-        self, replica: ShardReplica, payload: dict[str, Any], deadline: Deadline
-    ) -> dict[str, Any]:
+        self, snapshot: ReplicaSnapshot, payload: dict[str, Any], deadline: Deadline
+    ) -> Envelope:
         deadline.check("counts")
         subject = payload["subject"]
-        counts = replica.sentiment.counts(subject)
-        return {
-            "subject": subject,
-            "positive": counts[Polarity.POSITIVE],
-            "negative": counts[Polarity.NEGATIVE],
-        }
+        counts = snapshot.sentiment.counts(subject)
+        return ok_envelope(
+            {
+                "subject": subject,
+                "positive": counts[Polarity.POSITIVE],
+                "negative": counts[Polarity.NEGATIVE],
+            }
+        )
 
     def answer_sentences(
-        self, replica: ShardReplica, payload: dict[str, Any], deadline: Deadline
-    ) -> dict[str, Any]:
+        self, snapshot: ReplicaSnapshot, payload: dict[str, Any], deadline: Deadline
+    ) -> Envelope:
         deadline.check("sentences")
         subject = payload["subject"]
         polarity = payload.get("polarity")
         wanted = Polarity.from_symbol(polarity) if polarity else None
         limit = payload.get("limit", _DEFAULT_LIMITS["sentences"])
         rows = []
-        for entry in replica.sentiment.query(subject, wanted)[:limit]:
+        for entry in snapshot.sentiment.query(subject, wanted)[:limit]:
             entity = self._store.get(entry.entity_id)
             snippet = ""
             if entity is not None:
@@ -213,20 +235,20 @@ class NodeIndexService:
                     "sentence": snippet,
                 }
             )
-        return {"subject": subject, "rows": rows}
+        return ok_envelope({"subject": subject, "rows": rows})
 
     def answer_subjects(
-        self, replica: ShardReplica, payload: dict[str, Any], deadline: Deadline
-    ) -> dict[str, Any]:
+        self, snapshot: ReplicaSnapshot, payload: dict[str, Any], deadline: Deadline
+    ) -> Envelope:
         deadline.check("subjects")
-        return {"counts": replica.sentiment.subject_counts()}
+        return ok_envelope({"counts": snapshot.sentiment.subject_counts()})
 
     def answer_search(
-        self, replica: ShardReplica, payload: dict[str, Any], deadline: Deadline
-    ) -> dict[str, Any]:
+        self, snapshot: ReplicaSnapshot, payload: dict[str, Any], deadline: Deadline
+    ) -> Envelope:
         deadline.check("search")
-        ids = replica.inverted.search(payload["query_ast"])
-        return {"ids": sorted(ids)}
+        ids = snapshot.inverted.search(payload["query_ast"])
+        return ok_envelope({"ids": sorted(ids)})
 
 
 class ServingRouter:
@@ -354,8 +376,10 @@ class ServingRouter:
         self._obs.metrics.counter("serving.requests", op=request.op or "?").inc()
         error, payload = self._validate(request)
         if error is not None:
+            code, message = error
             return self._finish(
-                request, STATUS_ERROR, {"message": error}, started_at=now
+                request, STATUS_ERROR, None, started_at=now,
+                error_code=code, message=message,
             )
         deadline = Deadline(self._obs.clock, request.budget)
         entry = _QueueEntry(
@@ -375,8 +399,9 @@ class ServingRouter:
                         self._finish(
                             victim.request,
                             STATUS_SHED,
-                            {"message": "shed by higher-priority arrival"},
+                            None,
                             started_at=victim.submitted_at,
+                            message="shed by higher-priority arrival",
                         ),
                     )
                 )
@@ -384,8 +409,9 @@ class ServingRouter:
                 return self._finish(
                     request,
                     STATUS_SHED,
-                    {"message": "queue full"},
+                    None,
                     started_at=now,
+                    message="queue full",
                 )
         self._queue.append(entry)
         self._queue_depth.set(len(self._queue))
@@ -423,39 +449,62 @@ class ServingRouter:
 
     def _validate(
         self, request: ServingRequest
-    ) -> tuple[str | None, dict[str, Any]]:
+    ) -> tuple[tuple[str, str] | None, dict[str, Any]]:
+        """Returns ``((error_code, message), {})`` or ``(None, payload)``."""
         if request.op not in OPS:
-            return f"unknown op {request.op!r}", {}
+            return (ERR_BAD_REQUEST, f"unknown op {request.op!r}"), {}
         if not isinstance(request.payload, dict):
-            return "payload must be a dict envelope", {}
+            return (ERR_BAD_REQUEST, "payload must be a dict envelope"), {}
         if request.budget <= 0:
-            return "budget must be positive", {}
+            return (ERR_BAD_REQUEST, "budget must be positive"), {}
         payload = dict(request.payload)
         limit = payload.get("limit", _DEFAULT_LIMITS.get(request.op))
         if limit is not None:
             if isinstance(limit, bool) or not isinstance(limit, int) or limit < 0:
-                return f"limit must be a non-negative integer, got {limit!r}", {}
+                return (
+                    ERR_BAD_REQUEST,
+                    f"limit must be a non-negative integer, got {limit!r}",
+                ), {}
         payload["limit"] = limit
+        cursor = payload.get("cursor")
+        if cursor is not None:
+            if request.op not in ("subjects", "search"):
+                return (
+                    ERR_BAD_REQUEST,
+                    f"op {request.op!r} does not support cursors",
+                ), {}
+            try:
+                body = decode_cursor(cursor)
+            except CursorError as exc:
+                return (ERR_BAD_CURSOR, str(exc)), {}
+            if body.get("o") != request.op:
+                return (
+                    ERR_BAD_CURSOR,
+                    f"cursor is for {body.get('o')!r} results, not {request.op!r}",
+                ), {}
         if request.op in ("counts", "sentences"):
             subject = payload.get("subject")
             if not subject or not isinstance(subject, str):
-                return "missing required field 'subject'", {}
+                return (ERR_BAD_REQUEST, "missing required field 'subject'"), {}
             polarity = payload.get("polarity")
             if polarity not in (None, "+", "-"):
-                return f"polarity must be '+', '-' or absent, got {polarity!r}", {}
+                return (
+                    ERR_BAD_REQUEST,
+                    f"polarity must be '+', '-' or absent, got {polarity!r}",
+                ), {}
         if request.op == "search":
             query = payload.get("q")
             if not query or not isinstance(query, str):
-                return "missing required field 'q'", {}
+                return (ERR_BAD_REQUEST, "missing required field 'q'"), {}
             try:
                 payload["query_ast"] = parse_query(query)
             except QueryParseError as exc:
-                return f"bad query: {exc}", {}
+                return (ERR_BAD_REQUEST, f"bad query: {exc}"), {}
         return None, payload
 
     # -- the serving pipeline ---------------------------------------------------
 
-    def _process(self, entry: _QueueEntry) -> dict[str, Any]:
+    def _process(self, entry: _QueueEntry) -> Envelope:
         request, deadline = entry.request, entry.deadline
         with self._obs.tracer.span(
             "serving.request", op=request.op, request_id=request.request_id
@@ -466,15 +515,16 @@ class ServingRouter:
                 envelope = self._finish(
                     request,
                     STATUS_EXPIRED,
-                    {"message": "deadline expired while queued"},
+                    None,
                     started_at=entry.submitted_at,
+                    message="deadline expired while queued",
                 )
             else:
                 envelope = self._answer(entry)
-            span.set_attribute("status", envelope["status"])
+            span.set_attribute("status", envelope["meta"]["status"])
             return envelope
 
-    def _answer(self, entry: _QueueEntry) -> dict[str, Any]:
+    def _answer(self, entry: _QueueEntry) -> Envelope:
         request, deadline, payload = entry.request, entry.deadline, entry.payload
         if request.op in ("counts", "sentences"):
             shard_ids = [self._index.subject_shard(payload["subject"])]
@@ -483,25 +533,35 @@ class ServingRouter:
         results: dict[int, dict[str, Any]] = {}
         missing: list[int] = []
         hedged = 0
-        for shard_id in shard_ids:
-            if deadline.expired:
-                break
-            read = self._read_shard(shard_id, request.op, payload, deadline)
-            hedged += read["hedged"]
-            if read["ok"]:
-                results[shard_id] = read["data"]
-            else:
-                missing.append(shard_id)
+        # Pin the segment set for the whole request: every shard read in
+        # this fan-out sees the same version, and compaction cannot fold
+        # segments a still-running read depends on (no torn views).
+        version = self._index.pin()
+        try:
+            for shard_id in shard_ids:
+                if deadline.expired:
+                    break
+                read = self._read_shard(
+                    shard_id, request.op, payload, deadline, version
+                )
+                hedged += read["hedged"]
+                if read["served"]:
+                    results[shard_id] = read["data"]
+                else:
+                    missing.append(shard_id)
+        finally:
+            self._index.release(version)
         # The contract: nothing is ever served after its deadline.
         if deadline.expired:
             return self._finish(
                 request,
                 STATUS_EXPIRED,
-                {"message": "deadline expired during shard reads"},
+                None,
                 started_at=entry.submitted_at,
                 hedged=hedged,
+                message="deadline expired during shard reads",
             )
-        data = self._merge(request.op, payload, shard_ids, results)
+        data, cursor = self._merge(request.op, payload, shard_ids, results)
         status = STATUS_OK if not missing else STATUS_DEGRADED
         return self._finish(
             request,
@@ -510,6 +570,7 @@ class ServingRouter:
             started_at=entry.submitted_at,
             missing=missing,
             hedged=hedged,
+            cursor=cursor,
         )
 
     def _read_shard(
@@ -518,6 +579,7 @@ class ServingRouter:
         op: str,
         payload: dict[str, Any],
         deadline: Deadline,
+        version: int,
     ) -> dict[str, Any]:
         """One shard read with breaker gating, hedging, and failover."""
         candidates = self._index.replicas_for(shard_id)
@@ -562,6 +624,7 @@ class ServingRouter:
                             "op": op,
                             "shard": shard_id,
                             "budget": deadline.remaining,
+                            "version": version,
                             **{
                                 k: v
                                 for k, v in payload.items()
@@ -575,14 +638,15 @@ class ServingRouter:
                 breaker.record_success()
                 span.set_attribute("node", replica.node_id)
                 span.set_attribute("hedged", hedged)
+                # Node services speak v1 envelopes too; unwrap the data.
                 return {
-                    "ok": True,
-                    "data": response,
+                    "served": True,
+                    "data": response["data"],
                     "node": replica.node_id,
                     "hedged": hedged,
                 }
             span.set_attribute("missed", True)
-            return {"ok": False, "data": None, "node": None, "hedged": hedged}
+            return {"served": False, "data": None, "node": None, "hedged": hedged}
 
     def _next_allowed(self, candidates: list[ShardReplica]) -> ShardReplica | None:
         """First replica whose breaker admits a request right now."""
@@ -608,55 +672,88 @@ class ServingRouter:
         payload: dict[str, Any],
         shard_ids: list[int],
         results: dict[int, dict[str, Any]],
-    ) -> dict[str, Any]:
+    ) -> tuple[dict[str, Any], str | None]:
+        """Merge shard answers; returns ``(data, continuation_cursor)``.
+
+        ``subjects`` and ``search`` paginate with opaque cursors keyed on
+        the sort position of the last row (not an offset), so a cursor
+        minted before a segment merge still resumes correctly after it.
+        """
         if op == "counts":
             data = {"subject": payload["subject"], "positive": 0, "negative": 0}
             for shard_data in results.values():
                 data["positive"] += shard_data["positive"]
                 data["negative"] += shard_data["negative"]
-            return data
+            return data, None
         if op == "sentences":
             rows: list[dict[str, Any]] = []
             for shard_id in shard_ids:
                 rows.extend(results.get(shard_id, {}).get("rows", ()))
-            return {"subject": payload["subject"], "rows": rows[: payload["limit"]]}
+            return (
+                {"subject": payload["subject"], "rows": rows[: payload["limit"]]},
+                None,
+            )
         if op == "subjects":
             totals: dict[str, int] = {}
             for shard_id in shard_ids:
                 for subject, count in results.get(shard_id, {}).get("counts", {}).items():
                     totals[subject] = totals.get(subject, 0) + count
             ranked = sorted(totals.items(), key=lambda kv: (-kv[1], kv[0]))
-            return {"subjects": [name for name, _ in ranked[: payload["limit"]]]}
+            page, cursor = paginate(
+                ranked,
+                limit=payload["limit"],
+                cursor=payload.get("cursor"),
+                kind="subjects",
+                sort_key=lambda kv: (-kv[1], kv[0]),
+            )
+            return {"subjects": [name for name, _ in page]}, cursor
         if op == "search":
             ids: set[str] = set()
             for shard_id in shard_ids:
                 ids.update(results.get(shard_id, {}).get("ids", ()))
-            return {
-                "q": payload["q"],
-                "total": len(ids),
-                "ids": sorted(ids)[: payload["limit"]],
-            }
+            page, cursor = paginate(
+                sorted(ids),
+                limit=payload["limit"],
+                cursor=payload.get("cursor"),
+                kind="search",
+                sort_key=lambda entity_id: entity_id,
+            )
+            return {"q": payload["q"], "total": len(ids), "ids": page}, cursor
         raise AssertionError(f"unhandled op {op!r}")  # pragma: no cover
 
     def _finish(
         self,
         request: ServingRequest,
         status: str,
-        data: dict[str, Any],
+        data: dict[str, Any] | None,
         *,
         started_at: float,
         missing: list[int] | None = None,
         hedged: int = 0,
-    ) -> dict[str, Any]:
+        cursor: str | None = None,
+        error_code: str | None = None,
+        message: str = "",
+    ) -> Envelope:
+        """Wrap an outcome in the v1 envelope (the only response shape)."""
         self._obs.metrics.counter("serving.responses", status=status).inc()
-        return {
-            "request_id": request.request_id,
-            "op": request.op,
-            "status": status,
-            "code": STATUS_CODES[status],
-            "degraded": status == STATUS_DEGRADED,
-            "missing_shards": sorted(missing or []),
-            "hedged": hedged,
-            "latency": self._obs.clock.now - started_at,
-            "data": data,
-        }
+        meta = make_meta(
+            degraded=status == STATUS_DEGRADED,
+            missing_shards=missing or [],
+            shed=status == STATUS_SHED,
+            cursor=cursor,
+            status=status,
+            code=STATUS_CODES[status],
+            request_id=request.request_id,
+            op=request.op,
+            hedged=hedged,
+            latency=self._obs.clock.now - started_at,
+        )
+        if status in (STATUS_OK, STATUS_DEGRADED):
+            return ok_envelope(data, meta=meta)
+        if error_code is None:
+            error_code = {
+                STATUS_ERROR: ERR_BAD_REQUEST,
+                STATUS_SHED: ERR_SHED,
+                STATUS_EXPIRED: ERR_DEADLINE,
+            }[status]
+        return error_envelope(error_code, message, meta=meta)

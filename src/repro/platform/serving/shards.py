@@ -20,6 +20,15 @@ death) never every replica of any shard.
 Hashing uses md5 like :func:`repro.platform.datastore.default_partitioner`
 so shard assignment is stable across processes (Python's builtin hash is
 salted per-run).
+
+Since the incremental path landed, every replica holds a **segment
+log** (:class:`~repro.platform.segments.ShardSegment`): the mutable base
+at version 0 that the offline bulk-build writes into, plus an immutable
+slice of every absorbed :class:`~repro.platform.segments.IndexSegment`.
+Reads go through :meth:`ShardReplica.view`, which pins a version and
+returns a :class:`~repro.platform.segments.ReplicaSnapshot` — the
+router pins once per request, so a query never sees a torn segment set
+even while absorbs and compactions run mid-flight.
 """
 
 from __future__ import annotations
@@ -30,7 +39,14 @@ from typing import Iterable
 
 from ...core.model import SentimentJudgment
 from ..entity import Entity
-from ..indexer import InvertedIndex, SentimentIndex
+from ..segments import (
+    IndexSegment,
+    InvertedSnapshot,
+    ReplicaSnapshot,
+    SentimentSnapshot,
+    ShardSegment,
+    merge_segments,
+)
 
 
 def shard_of(key: str, num_shards: int) -> int:
@@ -39,15 +55,45 @@ def shard_of(key: str, num_shards: int) -> int:
     return int.from_bytes(digest[:4], "big") % num_shards
 
 
+def _base_log() -> list[ShardSegment]:
+    return [ShardSegment(version=0)]
+
+
 @dataclass
 class ShardReplica:
-    """One replica of one shard, pinned to a simulated node."""
+    """One replica of one shard, pinned to a simulated node.
+
+    ``segments[0]`` is the mutable base (version 0) that bulk builds
+    write into; later entries are immutable absorbed slices.  The
+    ``sentiment``/``inverted`` properties are read-only snapshots at the
+    latest version — writers must go through :class:`ReplicatedIndex`.
+    """
 
     shard_id: int
     replica: int  # 0 = primary copy, 1.. = replicas
     node_id: int
-    sentiment: SentimentIndex = field(default_factory=SentimentIndex)
-    inverted: InvertedIndex = field(default_factory=InvertedIndex)
+    segments: list[ShardSegment] = field(default_factory=_base_log)
+
+    @property
+    def base(self) -> ShardSegment:
+        return self.segments[0]
+
+    @property
+    def latest_version(self) -> int:
+        return self.segments[-1].version
+
+    def view(self, version: int | None = None) -> ReplicaSnapshot:
+        """A snapshot at *version* (default: latest) — no torn reads."""
+        pinned = self.latest_version if version is None else version
+        return ReplicaSnapshot(pinned, self.segments)
+
+    @property
+    def sentiment(self) -> SentimentSnapshot:
+        return self.view().sentiment
+
+    @property
+    def inverted(self) -> InvertedSnapshot:
+        return self.view().inverted
 
     def describe(self) -> str:
         return f"shard{self.shard_id}/r{self.replica}@node{self.node_id}"
@@ -56,10 +102,16 @@ class ShardReplica:
 class ReplicatedIndex:
     """The serving layer's sharded, replicated view of the mode-B indexes.
 
-    Writes (index builds) fan out to every replica of the owning shard;
-    reads are the router's business — it picks replicas by breaker state
-    and node health, hedges slow ones, and degrades when a shard has no
-    live replica left.
+    Writes fan out to every replica of the owning shard — bulk builds
+    into the base segment, incremental batches as absorbed segment
+    slices.  Reads are the router's business — it picks replicas by
+    breaker state and node health, hedges slow ones, and degrades when a
+    shard has no live replica left.
+
+    Snapshot consistency: :meth:`pin` fixes the visible version for a
+    request; :meth:`compact` only merges segment prefixes at or below
+    the lowest active pin, so a pinned reader's segment set never
+    changes underneath it.
     """
 
     def __init__(self, num_shards: int, num_nodes: int, replication: int = 2):
@@ -86,13 +138,15 @@ class ReplicatedIndex:
                 )
                 for r in range(replication)
             ]
+        self._version = 0
+        self._pins: dict[int, int] = {}
 
     # -- construction (the offline half of mode B) -------------------------------
 
     def add_judgment(self, judgment: SentimentJudgment) -> None:
         shard_id = shard_of(judgment.subject_name.lower(), self.num_shards)
         for replica in self._replicas[shard_id]:
-            replica.sentiment.add_judgment(judgment)
+            replica.base.sentiment.add_judgment(judgment)
 
     def add_judgments(self, judgments: Iterable[SentimentJudgment]) -> int:
         count = 0
@@ -104,7 +158,7 @@ class ReplicatedIndex:
     def add_entity(self, entity: Entity) -> None:
         shard_id = shard_of(entity.entity_id, self.num_shards)
         for replica in self._replicas[shard_id]:
-            replica.inverted.add_entity(entity)
+            replica.base.inverted.add_entity(entity)
 
     def add_entities(self, entities: Iterable[Entity]) -> int:
         count = 0
@@ -112,6 +166,94 @@ class ReplicatedIndex:
             self.add_entity(entity)
             count += 1
         return count
+
+    # -- incremental path (segment absorb / snapshot pins / compaction) ----------
+
+    @property
+    def current_version(self) -> int:
+        return self._version
+
+    def absorb(self, segment: IndexSegment) -> int:
+        """Slice one sealed segment across the shards; returns the new version.
+
+        Each shard gets one immutable :class:`ShardSegment` shared by
+        all its replicas: sentiment entries routed by subject hash,
+        inverted documents by entity-id hash.  Every shard's slice
+        carries the segment's *full* tombstone set — a deleted
+        document's sentiment entries may live in any subject shard, and
+        surplus tombstones mask nothing that exists.
+        """
+        version = self._version + 1
+        slices = [
+            ShardSegment(version=version, tombstones=segment.tombstones)
+            for _ in range(self.num_shards)
+        ]
+        for subject, entries in segment.sentiment.items():
+            target = slices[shard_of(subject, self.num_shards)].sentiment
+            for entry in entries:
+                target.add_entry(entry)
+        for entity in segment.entities:
+            slices[shard_of(entity.entity_id, self.num_shards)].inverted.add_entity(
+                entity
+            )
+        for shard_id in range(self.num_shards):
+            for replica in self._replicas[shard_id]:
+                replica.segments.append(slices[shard_id])
+        self._version = version
+        return version
+
+    def pin(self) -> int:
+        """Pin the current version for a read; pair with :meth:`release`."""
+        version = self._version
+        self._pins[version] = self._pins.get(version, 0) + 1
+        return version
+
+    def release(self, version: int) -> None:
+        count = self._pins.get(version, 0)
+        if count <= 1:
+            self._pins.pop(version, None)
+        else:
+            self._pins[version] = count - 1
+
+    def active_pins(self) -> dict[int, int]:
+        """Version → outstanding reads (for tests and reports)."""
+        return dict(self._pins)
+
+    def compaction_floor(self) -> int:
+        """Highest version compaction may merge up to (lowest active pin)."""
+        if self._pins:
+            return min(self._pins)
+        return self._version
+
+    def max_segment_count(self) -> int:
+        """Longest replica segment log (the compaction trigger)."""
+        return max(
+            len(replica.segments)
+            for replicas in self._replicas.values()
+            for replica in replicas
+        )
+
+    def compact(self) -> tuple[int, int]:
+        """Merge every replica's mergeable prefix into its base segment.
+
+        Only segments at or below :meth:`compaction_floor` are merged, so
+        pinned snapshots keep reading exactly the set they pinned.
+        Returns ``(segments_merged, documents_rewritten)`` across all
+        replicas — the caller charges simulated cost from the latter.
+        """
+        floor = self.compaction_floor()
+        merged_total = 0
+        rewritten = 0
+        for replicas in self._replicas.values():
+            for replica in replicas:
+                prefix = [s for s in replica.segments if s.version <= floor]
+                if len(prefix) < 2:
+                    continue
+                merged = merge_segments(prefix)
+                rewritten += len(merged.inverted.doc_ids) + len(merged.sentiment)
+                replica.segments[: len(prefix)] = [merged]
+                merged_total += len(prefix)
+        return merged_total, rewritten
 
     # -- routing -----------------------------------------------------------------
 

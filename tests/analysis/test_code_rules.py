@@ -4,6 +4,7 @@ import ast
 import textwrap
 
 from repro.analysis import (
+    EnvelopeSchemaRule,
     LayeringRule,
     MetricNameRule,
     SeededRngRule,
@@ -477,3 +478,140 @@ class TestServingDisciplineRule:
         assert rule.applies_to("repro/platform/serving/router.py")
         assert not rule.applies_to("repro/platform/vinci.py")
         assert not rule.applies_to("repro/core/example.py")
+
+
+class TestEnvelopeSchemaRule:
+    MODPATH = "repro/platform/services.py"
+
+    def test_clean_constructor_built_envelopes(self):
+        findings = run_rule(
+            EnvelopeSchemaRule(),
+            """
+            from repro.platform.api import error_envelope, ok_envelope
+
+            class Service:
+                def handle(self, payload):
+                    if "q" not in payload:
+                        return error_envelope("bad_request", "missing q")
+                    return ok_envelope({"ids": []})
+            """,
+            modpath=self.MODPATH,
+        )
+        assert findings == []
+
+    def test_raw_envelope_dict_literal_flagged(self):
+        findings = run_rule(
+            EnvelopeSchemaRule(),
+            """
+            def respond():
+                return {"api_version": "v1", "ok": True, "data": {}}
+            """,
+            modpath="repro/platform/serving/loadgen.py",
+        )
+        assert [f.rule for f in findings] == ["PLAT003"]
+        assert "raw envelope dict literal" in findings[0].message
+
+    def test_ok_plus_data_shape_is_also_an_envelope_literal(self):
+        findings = run_rule(
+            EnvelopeSchemaRule(),
+            """
+            def respond():
+                return {"ok": False, "error": {"code": "bad_request"}}
+            """,
+            modpath="repro/apps/reputation.py",
+        )
+        assert len(findings) == 1
+
+    def test_plain_data_dicts_are_not_flagged(self):
+        findings = run_rule(
+            EnvelopeSchemaRule(),
+            """
+            def payload():
+                return {"subject": "NR70", "positive": 2, "negative": 1}
+            """,
+            modpath="repro/apps/reputation.py",
+        )
+        assert findings == []
+
+    def test_api_module_itself_is_exempt(self):
+        findings = run_rule(
+            EnvelopeSchemaRule(),
+            """
+            def ok_envelope(data):
+                return {"api_version": "v1", "ok": True, "data": data}
+            """,
+            modpath="repro/platform/api.py",
+        )
+        assert findings == []
+
+    def test_handler_returning_raw_dict_flagged(self):
+        findings = run_rule(
+            EnvelopeSchemaRule(),
+            """
+            class Node:
+                def answer_counts(self, snapshot, payload, deadline):
+                    return dict(positive=1)
+            """,
+            modpath="repro/platform/serving/router.py",
+        )
+        assert len(findings) == 1
+        assert "answer_counts" in findings[0].message
+
+    def test_handler_through_helper_fixpoint_is_clean(self):
+        findings = run_rule(
+            EnvelopeSchemaRule(),
+            """
+            from repro.platform.api import ok_envelope
+
+            def _reply(data):
+                return ok_envelope(data)
+
+            class Service:
+                def handle(self, payload):
+                    return _reply({"rows": []})
+            """,
+            modpath=self.MODPATH,
+        )
+        assert findings == []
+
+    def test_bindings_dict_registers_handlers(self):
+        findings = run_rule(
+            EnvelopeSchemaRule(),
+            """
+            class Service:
+                def counts(self, payload):
+                    return [1, 2, 3]
+
+            def register(bus, service):
+                bindings = {"sentiment.counts": service.counts}
+                for name, handler in bindings.items():
+                    bus.register(name, handler)
+            """,
+            modpath=self.MODPATH,
+        )
+        assert len(findings) == 1
+        assert "counts" in findings[0].message
+
+    def test_handler_modules_only_for_return_discipline(self):
+        # Outside the handler modules the return check does not apply
+        # (but the dict-literal check still does).
+        findings = run_rule(
+            EnvelopeSchemaRule(),
+            """
+            class Node:
+                def handle(self, payload):
+                    return {"just": "data"}
+            """,
+            modpath="repro/platform/serving/loadgen.py",
+        )
+        assert findings == []
+
+    def test_scope_covers_platform_and_apps(self):
+        rule = EnvelopeSchemaRule()
+        assert rule.applies_to("repro/platform/services.py")
+        assert rule.applies_to("repro/platform/serving/router.py")
+        assert rule.applies_to("repro/apps/reputation.py")
+        assert not rule.applies_to("repro/core/miner.py")
+
+    def test_registered_in_default_rule_set(self):
+        assert "PLAT003" in {rule.rule_id for rule in default_code_rules()}

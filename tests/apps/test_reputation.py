@@ -92,12 +92,13 @@ class TestServices:
     def test_services_registered_on_bus(self, manager):
         assert "sentiment.counts" in manager.bus
         counts = manager.bus.request("sentiment.counts", {"subject": "Nikon"})
-        assert counts["positive"] == 3
-        assert counts["negative"] == 0
+        assert counts["ok"] is True and counts["api_version"] == "v1"
+        assert counts["data"]["positive"] == 3
+        assert counts["data"]["negative"] == 0
 
     def test_search_service_works(self, manager):
         out = manager.bus.request("search.query", {"q": "excellent AND pictures"})
-        assert out["ids"] == ["d1"]
+        assert out["data"]["ids"] == ["d1"]
 
 
 class TestFeatureDiscovery:

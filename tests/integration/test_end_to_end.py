@@ -111,13 +111,14 @@ class TestServices:
         for subject in sentiment_index.subjects()[:3]:
             via_service = bus.request("sentiment.counts", {"subject": subject})
             direct = sentiment_index.counts(subject)
-            assert via_service["positive"] == direct[Polarity.POSITIVE]
-            assert via_service["negative"] == direct[Polarity.NEGATIVE]
+            assert via_service["ok"] is True
+            assert via_service["data"]["positive"] == direct[Polarity.POSITIVE]
+            assert via_service["data"]["negative"] == direct[Polarity.NEGATIVE]
 
     def test_sentence_listing_returns_real_sentences(self, platform_stack):
         bus = platform_stack["bus"]
         subject = platform_stack["sentiment_index"].subjects()[0]
-        rows = bus.request("sentiment.sentences", {"subject": subject})["rows"]
+        rows = bus.request("sentiment.sentences", {"subject": subject})["data"]["rows"]
         assert rows
         for row in rows:
             assert subject.lower() in row["sentence"].lower()

@@ -1,0 +1,243 @@
+"""The segment model: sealing, masking, snapshots, compaction.
+
+Unit coverage for DESIGN.md §5f — the incremental half of the
+crawl→analyze→index→serve loop.  The cross-cutting equivalence property
+(any batch partition converges to the one-pass build) lives in
+``test_incremental_equivalence.py``.
+"""
+
+import pytest
+
+from repro.core import SentimentMiner, Subject
+from repro.obs import Obs
+from repro.platform.entity import Entity
+from repro.platform.ingestion import (
+    DELTA_ADD,
+    DELTA_DELETE,
+    DELTA_UPDATE,
+    DocumentDelta,
+)
+from repro.platform.segments import (
+    CompactionPolicy,
+    DeltaIndexer,
+    LiveIndexer,
+    ReplicaSnapshot,
+    ShardSegment,
+    merge_segments,
+)
+from repro.platform.serving import ReplicatedIndex
+
+pytestmark = pytest.mark.incremental
+
+POSITIVE = "The NR70 is excellent . I love the pictures ."
+NEGATIVE = "The NR70 is awful . The battery is bad ."
+OTHER = "The G3 is great . Pictures look sharp ."
+
+
+def make_indexer(obs=None):
+    subjects = [Subject("NR70"), Subject("G3")]
+    miner = SentimentMiner(subjects=subjects, obs=obs or Obs.default())
+    return DeltaIndexer(miner, obs=obs or Obs.default())
+
+
+def add(doc_id, content):
+    return DocumentDelta(
+        kind=DELTA_ADD, entity_id=doc_id, entity=Entity(entity_id=doc_id, content=content)
+    )
+
+
+def update(doc_id, content):
+    return DocumentDelta(
+        kind=DELTA_UPDATE,
+        entity_id=doc_id,
+        entity=Entity(entity_id=doc_id, content=content),
+    )
+
+
+def delete(doc_id):
+    return DocumentDelta(kind=DELTA_DELETE, entity_id=doc_id)
+
+
+class TestDeltaIndexer:
+    def test_seals_adds_into_a_segment(self):
+        indexer = make_indexer()
+        segment = indexer.index_batch([add("d1", POSITIVE), add("d2", OTHER)])
+        assert segment.stats.documents == 2
+        assert segment.stats.deletes == 0
+        assert segment.stats.judgments > 0
+        assert segment.doc_ids == {"d1", "d2"}
+        # Every delta id is tombstoned: earlier copies get masked.
+        assert segment.tombstones == {"d1", "d2"}
+
+    def test_intra_batch_update_chain_stays_net(self):
+        indexer = make_indexer()
+        segment = indexer.index_batch(
+            [add("d1", POSITIVE), update("d1", NEGATIVE)]
+        )
+        assert segment.stats.documents == 1
+        (entity,) = segment.entities
+        assert entity.content == NEGATIVE
+        assert segment.inverted.search("awful") == {"d1"}
+        assert segment.inverted.search("excellent") == set()
+
+    def test_intra_batch_delete_chain_stays_net(self):
+        indexer = make_indexer()
+        segment = indexer.index_batch([add("d1", POSITIVE), delete("d1")])
+        assert segment.stats.documents == 0
+        assert segment.stats.deletes == 1
+        assert segment.doc_ids == set()
+        assert "d1" in segment.tombstones
+
+    def test_sealing_charges_simulated_time(self):
+        obs = Obs.default()
+        indexer = make_indexer(obs)
+        before = obs.clock.now
+        indexer.index_batch([add("d1", POSITIVE)])
+        assert obs.clock.now > before
+
+
+class TestMaskingAndMerge:
+    def build_log(self):
+        """Base + two absorbed slices: d1 superseded, d2 deleted."""
+        indexer = make_indexer()
+        seg1 = indexer.index_batch([add("d1", POSITIVE), add("d2", OTHER)])
+        seg2 = indexer.index_batch([update("d1", NEGATIVE), delete("d2")])
+        log = [
+            ShardSegment(version=0),
+            ShardSegment(
+                version=1,
+                sentiment=seg1.sentiment,
+                inverted=seg1.inverted,
+                tombstones=seg1.tombstones,
+            ),
+            ShardSegment(
+                version=2,
+                sentiment=seg2.sentiment,
+                inverted=seg2.inverted,
+                tombstones=seg2.tombstones,
+            ),
+        ]
+        return log
+
+    def test_later_tombstones_mask_earlier_copies(self):
+        log = self.build_log()
+        snapshot = ReplicaSnapshot(2, log)
+        assert snapshot.inverted.doc_ids == {"d1"}
+        assert snapshot.inverted.search("awful") == {"d1"}
+        assert snapshot.inverted.search("excellent") == set()
+        assert snapshot.inverted.search("sharp") == set()
+
+    def test_snapshot_at_earlier_version_sees_the_old_world(self):
+        log = self.build_log()
+        snapshot = ReplicaSnapshot(1, log)
+        assert snapshot.inverted.doc_ids == {"d1", "d2"}
+        assert snapshot.inverted.search("excellent") == {"d1"}
+
+    def test_merge_drops_masked_copies_and_all_tombstones(self):
+        log = self.build_log()
+        merged = merge_segments(log)
+        assert merged.version == 2
+        assert merged.tombstones == frozenset()
+        assert merged.inverted.doc_ids == {"d1"}
+        assert merged.inverted.search("awful") == {"d1"}
+
+    def test_merged_prefix_reads_identically(self):
+        log = self.build_log()
+        before = ReplicaSnapshot(2, log)
+        merged_log = [merge_segments(log)]
+        after = ReplicaSnapshot(2, merged_log)
+        assert before.inverted.doc_ids == after.inverted.doc_ids
+        assert before.inverted.idf_table() == after.inverted.idf_table()
+        assert (
+            before.sentiment.subject_counts() == after.sentiment.subject_counts()
+        )
+
+    def test_merge_rejects_empty_prefix(self):
+        with pytest.raises(ValueError):
+            merge_segments([])
+
+
+class TestReplicatedIndexSegments:
+    def test_absorb_bumps_version_and_routes_slices(self):
+        index = ReplicatedIndex(4, 4, replication=2)
+        indexer = make_indexer()
+        segment = indexer.index_batch([add("d1", POSITIVE), add("d2", OTHER)])
+        version = index.absorb(segment)
+        assert version == 1 == index.current_version
+        # Each document's postings landed on exactly one shard.
+        owners = [
+            shard_id
+            for shard_id in index.shard_ids()
+            if "d1" in index.replicas_for(shard_id)[0].view().inverted.doc_ids
+        ]
+        assert len(owners) == 1
+
+    def test_pinned_snapshot_survives_concurrent_delete(self):
+        index = ReplicatedIndex(2, 2, replication=1)
+        indexer = make_indexer()
+        index.absorb(indexer.index_batch([add("d1", POSITIVE)]))
+        pinned_version = index.pin()
+        views = [
+            index.replicas_for(s)[0].view(pinned_version) for s in index.shard_ids()
+        ]
+        before = {id for v in views for id in v.inverted.doc_ids}
+        assert before == {"d1"}
+        # A delete batch lands mid-read...
+        index.absorb(indexer.index_batch([delete("d1")]))
+        # ...but the pinned views are unchanged, while fresh views see it.
+        still = {id for v in views for id in v.inverted.doc_ids}
+        assert still == {"d1"}
+        fresh = {
+            id
+            for s in index.shard_ids()
+            for id in index.replicas_for(s)[0].view().inverted.doc_ids
+        }
+        assert fresh == set()
+        index.release(pinned_version)
+
+    def test_compaction_floor_respects_active_pins(self):
+        index = ReplicatedIndex(1, 1, replication=1)
+        indexer = make_indexer()
+        index.absorb(indexer.index_batch([add("d1", POSITIVE)]))
+        pinned = index.pin()
+        index.absorb(indexer.index_batch([add("d2", OTHER)]))
+        index.absorb(indexer.index_batch([add("d3", NEGATIVE)]))
+        assert index.compaction_floor() == pinned
+        replica = index.replicas_for(0)[0]
+        logs_before = len(replica.segments)
+        index.compact()
+        # Only the prefix at or below the pin may merge; the pinned
+        # reader's segment set stays granular above the floor.
+        assert replica.segments[-1].version == index.current_version
+        assert len(replica.segments) <= logs_before
+        index.release(pinned)
+        index.compact()
+        assert len(replica.segments) == 1
+        snapshot = replica.view()
+        assert snapshot.inverted.doc_ids == {"d1", "d2", "d3"}
+
+
+class TestLiveIndexer:
+    def test_apply_batch_reports_freshness_and_triggers_compaction(self):
+        obs = Obs.default()
+        index = ReplicatedIndex(2, 2, replication=1)
+        live = LiveIndexer(
+            index,
+            make_indexer(obs),
+            obs=obs,
+            policy=CompactionPolicy(max_segments=2),
+        )
+        stats = live.apply_batch([add("d1", POSITIVE)])
+        assert stats["version"] == 1
+        assert stats["documents"] == 1
+        assert stats["freshness_lag"] > 0
+        assert stats["segments_merged"] == 0
+        # Keep absorbing until some replica's log exceeds the policy.
+        merged = 0
+        for i in range(2, 6):
+            merged += live.apply_batch([add(f"d{i}", OTHER)])["segments_merged"]
+        assert merged > 0
+        assert index.max_segment_count() <= 3
+        assert live.documents_indexed == 5
+        assert obs.metrics.counter("segments.compactions").value > 0
+        assert obs.metrics.histogram("ingest.freshness_lag").count == 5

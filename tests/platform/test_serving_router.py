@@ -3,7 +3,9 @@
 The contracts under test: deadline-expired requests are never answered
 after their deadline, open breakers fast-fail without touching the bus,
 a hedged read returns exactly one answer and cancels the loser, and
-degraded responses enumerate the shards they are missing.
+degraded responses enumerate the shards they are missing.  Every
+response — success or failure — is a v1 envelope with the transport
+detail (status, code, latency, hedging) in ``meta``.
 """
 
 import pytest
@@ -11,6 +13,7 @@ import pytest
 from repro.core.model import Polarity, SentimentJudgment, Spot, Subject
 from repro.nlp.tokens import Span
 from repro.obs import Obs
+from repro.platform.api import validate_envelope
 from repro.platform.datastore import DataStore
 from repro.platform.entity import Entity
 from repro.platform.faults import FaultPlan
@@ -89,26 +92,34 @@ def bus_requests(obs, num_nodes=3):
     )
 
 
+def meta_of(envelope):
+    """Assert envelope well-formedness and return its meta block."""
+    assert validate_envelope(envelope) == []
+    return envelope["meta"]
+
+
 class TestHappyPath:
     def test_counts_are_not_double_counted_by_replication(self):
         _, _, _, router = build_stack()
         envelope = router.serve("counts", {"subject": "NR70"})
-        assert envelope["status"] == "ok"
-        assert envelope["code"] == 200
-        assert not envelope["degraded"]
-        assert envelope["missing_shards"] == []
+        meta = meta_of(envelope)
+        assert meta["status"] == "ok"
+        assert meta["code"] == 200
+        assert not meta["degraded"]
+        assert meta["missing_shards"] == []
+        assert envelope["ok"] is True
         assert envelope["data"] == {"subject": "NR70", "positive": 2, "negative": 1}
 
     def test_subjects_merge_across_shards_deterministically(self):
         _, _, _, router = build_stack()
         envelope = router.serve("subjects")
-        assert envelope["status"] == "ok"
+        assert meta_of(envelope)["status"] == "ok"
         assert envelope["data"]["subjects"] == ["nr70", "g3"]
 
     def test_search_unions_shard_postings(self):
         _, _, _, router = build_stack()
         envelope = router.serve("search", {"q": "nr70"})
-        assert envelope["status"] == "ok"
+        assert meta_of(envelope)["status"] == "ok"
         assert envelope["data"]["ids"] == ["d1", "d2"]
         assert envelope["data"]["total"] == 2
 
@@ -125,9 +136,12 @@ class TestDeadlines:
     def test_expired_in_queue_is_never_answered(self):
         obs, _, _, router = build_stack(request_overhead=0.05)
         envelope = router.serve("counts", {"subject": "NR70"}, budget=0.01)
-        assert envelope["status"] == "expired"
-        assert envelope["code"] == 504
-        assert "data" in envelope and "positive" not in envelope["data"]
+        meta = meta_of(envelope)
+        assert meta["status"] == "expired"
+        assert meta["code"] == 504
+        assert envelope["ok"] is False
+        assert envelope["data"] is None
+        assert envelope["error"]["code"] == "deadline_expired"
         # The work was cancelled outright: the bus never saw a read.
         assert bus_requests(obs) == 0
 
@@ -139,8 +153,9 @@ class TestDeadlines:
             latency_model=FixedLatency({}, default=1.0), request_overhead=0.01
         )
         envelope = router.serve("counts", {"subject": "NR70"}, budget=0.5)
-        assert envelope["status"] == "degraded"
-        assert envelope["latency"] <= 0.5
+        meta = meta_of(envelope)
+        assert meta["status"] == "degraded"
+        assert meta["latency"] <= 0.5
         assert obs.metrics.counter("serving.cancelled_reads").value > 0
         assert bus_requests(obs) == 0
 
@@ -176,8 +191,9 @@ class TestBreakers:
             assert breaker.state == OPEN
         before = bus_requests(obs)
         envelope = router.serve("counts", {"subject": "NR70"}, budget=1.0)
-        assert envelope["status"] == "degraded"
-        assert envelope["missing_shards"] == [shard]
+        meta = meta_of(envelope)
+        assert meta["status"] == "degraded"
+        assert meta["missing_shards"] == [shard]
         # Fast-fail means zero bus traffic and zero retry consumption.
         assert bus_requests(obs) == before
         assert sum(
@@ -194,7 +210,7 @@ class TestBreakers:
         assert router.breaker(primary).state == OPEN
         obs.clock.advance(1.0)  # cooldown elapses
         envelope = router.serve("counts", {"subject": "NR70"})
-        assert envelope["status"] == "ok"
+        assert meta_of(envelope)["status"] == "ok"
         assert router.breaker(primary).state != OPEN
 
 
@@ -210,8 +226,9 @@ class TestHedgedReads:
         )
         start = obs.clock.now
         envelope = router.serve("counts", {"subject": "NR70"}, budget=4.0)
-        assert envelope["status"] == "ok"
-        assert envelope["hedged"] == 1
+        meta = meta_of(envelope)
+        assert meta["status"] == "ok"
+        assert meta["hedged"] == 1
         # Exactly one answer: one bus request total, sent to the winner.
         assert bus_requests(obs) == 1
         assert (
@@ -234,8 +251,9 @@ class TestHedgedReads:
             request_overhead=0.0,
         )
         envelope = router.serve("counts", {"subject": "NR70"}, budget=4.0)
-        assert envelope["status"] == "ok"
-        assert envelope["hedged"] == 1
+        meta = meta_of(envelope)
+        assert meta["status"] == "ok"
+        assert meta["hedged"] == 1
         assert (
             obs.metrics.counter(
                 "vinci.requests", service=node_service(primary_node)
@@ -254,10 +272,13 @@ class TestDegradation:
             plan.kill_node(node)
         _, index, _, router = build_stack(fault_plan=plan)
         envelope = router.serve("counts", {"subject": "NR70"})
-        assert envelope["status"] == "degraded"
-        assert envelope["code"] == 206
-        assert envelope["degraded"]
-        assert envelope["missing_shards"] == [shard]
+        meta = meta_of(envelope)
+        assert meta["status"] == "degraded"
+        assert meta["code"] == 206
+        assert meta["degraded"]
+        assert meta["missing_shards"] == [shard]
+        # Degraded responses are still ok-envelopes with partial data.
+        assert envelope["ok"] is True
         assert envelope["data"] == {"subject": "NR70", "positive": 0, "negative": 0}
 
     def test_partial_subjects_with_one_dead_shard(self):
@@ -272,8 +293,9 @@ class TestDegradation:
             plan.kill_node(node)
         _, _, _, router = build_stack(num_nodes=4, fault_plan=plan)
         envelope = router.serve("subjects")
-        assert envelope["status"] == "degraded"
-        assert envelope["missing_shards"] == [g3_shard]
+        meta = meta_of(envelope)
+        assert meta["status"] == "degraded"
+        assert meta["missing_shards"] == [g3_shard]
         assert envelope["data"]["subjects"] == ["nr70"]
 
 
@@ -284,8 +306,11 @@ class TestAdmissionControl:
         assert router.submit(router.make_request("counts", {"subject": "NR70"})) is None
         envelope = router.submit(router.make_request("counts", {"subject": "NR70"}))
         assert envelope is not None
-        assert envelope["status"] == "shed"
-        assert envelope["code"] == 503
+        meta = meta_of(envelope)
+        assert meta["status"] == "shed"
+        assert meta["code"] == 503
+        assert meta["shed"] is True
+        assert envelope["error"]["code"] == "shed"
 
     def test_higher_priority_arrival_evicts_the_lowest_priority_victim(self):
         _, _, _, router = build_stack(queue_limit=2)
@@ -297,8 +322,8 @@ class TestAdmissionControl:
         vip = router.make_request("counts", {"subject": "NR70"}, priority=2)
         assert router.submit(vip) is None  # admitted: victim shed instead
         outcomes = {req.request_id: env for req, env in router.drain()}
-        assert outcomes[low.request_id]["status"] == "shed"
-        assert outcomes[vip.request_id]["status"] == "ok"
+        assert outcomes[low.request_id]["meta"]["status"] == "shed"
+        assert outcomes[vip.request_id]["meta"]["status"] == "ok"
 
     def test_queue_depth_gauge_tracks_admissions(self):
         obs, _, _, router = build_stack(queue_limit=4)
@@ -312,9 +337,11 @@ class TestValidation:
     def envelope_for(self, router, request):
         envelope = router.submit(request)
         assert envelope is not None
-        assert envelope["status"] == "error"
-        assert envelope["code"] == 400
-        return envelope["data"]["message"]
+        meta = meta_of(envelope)
+        assert meta["status"] == "error"
+        assert meta["code"] == 400
+        assert envelope["ok"] is False and envelope["data"] is None
+        return envelope["error"]["message"]
 
     def test_unknown_op(self):
         _, _, _, router = build_stack()
@@ -355,10 +382,56 @@ class TestValidation:
         request = router.make_request("search", {"q": '"unclosed phrase'})
         assert "bad query" in self.envelope_for(router, request)
 
+    def test_cursor_on_unpaginated_op_rejected(self):
+        _, _, _, router = build_stack()
+        request = router.make_request("counts", {"subject": "NR70", "cursor": "abc"})
+        assert "does not support cursors" in self.envelope_for(router, request)
+
+    def test_garbage_cursor_rejected_as_bad_cursor(self):
+        _, _, _, router = build_stack()
+        request = router.make_request("subjects", {"cursor": "!!not-base64!!"})
+        envelope = router.submit(request)
+        assert envelope["error"]["code"] == "bad_cursor"
+
     def test_error_envelopes_skip_the_queue(self):
         _, _, _, router = build_stack(queue_limit=1)
         router.submit(router.make_request("counts", {"subject": "NR70"}))
         # A malformed request must not count against admission.
         envelope = router.submit(router.make_request("explode"))
-        assert envelope["status"] == "error"
+        assert envelope["meta"]["status"] == "error"
         assert router.queue_depth == 1
+
+
+class TestRouterPagination:
+    def test_subjects_cursor_walks_all_pages(self):
+        _, _, _, router = build_stack()
+        seen = []
+        cursor = None
+        while True:
+            payload = {"limit": 1}
+            if cursor is not None:
+                payload["cursor"] = cursor
+            envelope = router.serve("subjects", payload)
+            assert meta_of(envelope)["status"] == "ok"
+            seen.extend(envelope["data"]["subjects"])
+            cursor = envelope["meta"]["cursor"]
+            if cursor is None:
+                break
+        assert seen == ["nr70", "g3"]
+
+    def test_search_cursor_walks_all_pages(self):
+        _, _, _, router = build_stack()
+        seen = []
+        cursor = None
+        while True:
+            payload = {"q": "nr70", "limit": 1}
+            if cursor is not None:
+                payload["cursor"] = cursor
+            envelope = router.serve("search", payload)
+            data = envelope["data"]
+            assert data["total"] == 2
+            seen.extend(data["ids"])
+            cursor = envelope["meta"]["cursor"]
+            if cursor is None:
+                break
+        assert seen == ["d1", "d2"]
