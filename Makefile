@@ -2,7 +2,7 @@
 PYTHONPATH := src
 export PYTHONPATH
 
-.PHONY: test chaos serving-chaos incremental bench bench-obs bench-serving bench-freshness lint lint-report
+.PHONY: test chaos serving-chaos incremental bench bench-obs bench-serving bench-freshness bench-throughput lint lint-report
 
 test: lint
 	python -m pytest -x -q
@@ -21,7 +21,7 @@ serving-chaos:
 incremental:
 	python -m pytest -q -m incremental
 
-bench: bench-obs bench-serving bench-freshness
+bench: bench-obs bench-serving bench-freshness bench-throughput
 	cd benchmarks && PYTHONPATH=../src python -m pytest -q
 
 # Instrumentation overhead guard: tracing on vs. off on the same corpus
@@ -42,6 +42,14 @@ bench-serving:
 # one-pass build (with and without chaos).
 bench-freshness:
 	cd benchmarks && PYTHONPATH=../src python -m pytest -q bench_freshness.py
+
+# Hot-path throughput gate: the optimized pipeline (Aho-Corasick
+# spotting, split/tag/parse memos, batched stages) vs. the naive
+# reference on a syndication-heavy corpus.  Writes BENCH_throughput.json
+# and fails if the median speedup drops below 2x or the batched path's
+# docs/sim-sec falls below its floor.  Output must stay byte-identical.
+bench-throughput:
+	cd benchmarks && PYTHONPATH=../src python -m pytest -q bench_throughput.py
 
 # Byte-compile everything, then run the static-analysis rule set
 # (determinism, layering, obs discipline, pattern-DB/lexicon invariants).

@@ -55,7 +55,7 @@ from .patterns import (
     parse_pattern_line,
 )
 from .phrase import PhraseScorer, PhraseSentiment
-from .spotting import NamedEntitySpotter, SubjectSpotter
+from .spotting import AhoCorasickSpotter, NamedEntitySpotter, SubjectSpotter, TermCollision
 
 __all__ = [
     "Annotation",
@@ -77,6 +77,7 @@ __all__ = [
     "MinerPipeline",
     "MiningResult",
     "MiningStats",
+    "AhoCorasickSpotter",
     "NamedEntitySpotter",
     "PipelineError",
     "PipelineReport",
@@ -94,6 +95,7 @@ __all__ = [
     "Spot",
     "Subject",
     "SubjectSpotter",
+    "TermCollision",
     "TopicTermSet",
     "default_lexicon",
     "default_pattern_db",

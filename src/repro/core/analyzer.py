@@ -22,11 +22,13 @@ neutral cases in its accuracy computation.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
 
 from ..lexicons.negation import NEGATION_VERBS
 from ..obs import Obs
 from ..nlp import penn
+from ..nlp.parse_cache import ParseMemo
 from ..nlp.parser import Clause, SentenceParse, ShallowParser
 from ..nlp.postagger import PosTagger
 from ..nlp.sentences import SentenceSplitter
@@ -63,6 +65,9 @@ class SentimentAnalyzer:
         use_patterns: bool = True,
         handle_negation: bool = True,
         obs: Obs | None = None,
+        parse_memo_size: int = 128,
+        tag_memo_size: int = 256,
+        split_memo_size: int = 64,
     ):
         self._obs = obs if obs is not None else Obs.default()
         self._lexicon = lexicon if lexicon is not None else default_lexicon()
@@ -77,13 +82,21 @@ class SentimentAnalyzer:
         tagger_lexicon = self._lexicon.tagger_entries()
         for predicate in predicates:
             tagger_lexicon[predicate] = "VB"
-        self._tagger = PosTagger(extra_lexicon=tagger_lexicon)
+        self._tagger = PosTagger(extra_lexicon=tagger_lexicon, memo_size=tag_memo_size)
         from ..nlp.lemmatizer import Lemmatizer
 
         self._parser = ShallowParser(lemmatizer=Lemmatizer(extra_verb_bases=predicates))
+        # Hot-path tables, precompiled once per analyzer (DESIGN.md §5g):
+        # the predicate lemma set (bears_sentiment probes it per token),
+        # the bounded parse memo, and a small cache of compiled subject
+        # spotters so repeated analyze_text calls with the same subject
+        # list reuse one automaton instead of rebuilding it per document.
+        self._predicate_lemmas = frozenset(predicates)
+        self._parse_memo = ParseMemo(self._parser, maxsize=parse_memo_size)
+        self._spotter_cache: OrderedDict[tuple[Subject, ...], SubjectSpotter] = OrderedDict()
         self._scorer = PhraseScorer(self._lexicon, weighted=weighted_phrases)
         self._tokenizer = Tokenizer()
-        self._splitter = SentenceSplitter(self._tokenizer)
+        self._splitter = SentenceSplitter(self._tokenizer, memo_size=split_memo_size)
         # Ablation switches (DESIGN.md "ablations"): pattern DB off falls
         # back to pure phrase polarity around the spot; negation off skips
         # step 4.
@@ -100,9 +113,34 @@ class SentimentAnalyzer:
     def tagger(self) -> PosTagger:
         return self._tagger
 
+    @property
+    def parse_memo(self) -> ParseMemo:
+        return self._parse_memo
+
     def tag(self, sentence: Sentence) -> TaggedSentence:
         """POS-tag with the lexicon-extended tagger."""
         return self._tagger.tag(sentence)
+
+    def _parse(self, tagged: TaggedSentence) -> SentenceParse:
+        """Parse through the bounded memo, mirroring hit/miss metrics."""
+        parse, from_cache = self._parse_memo.parse_with_status(tagged)
+        self._obs.metrics.counter(
+            "analyzer.parse_memo_hits" if from_cache else "analyzer.parse_memo_misses"
+        ).inc()
+        return parse
+
+    def _spotter_for(self, subjects: list[Subject]) -> SubjectSpotter:
+        """A compiled spotter for *subjects*, cached per subject tuple."""
+        key = tuple(subjects)
+        spotter = self._spotter_cache.get(key)
+        if spotter is None:
+            spotter = SubjectSpotter(subjects)
+            self._spotter_cache[key] = spotter
+            if len(self._spotter_cache) > 8:
+                self._spotter_cache.popitem(last=False)
+        else:
+            self._spotter_cache.move_to_end(key)
+        return spotter
 
     def analyze_sentence(self, tagged: TaggedSentence) -> list[ClauseAssignment]:
         """All polarity assignments the sentence's clauses yield."""
@@ -112,7 +150,7 @@ class SentimentAnalyzer:
             # Questions ask about sentiment; they do not assert it.
             metrics.counter("analyzer.questions_skipped").inc()
             return []
-        parse = self._parser.parse(tagged)
+        parse = self._parse(tagged)
         assignments: list[ClauseAssignment] = []
         for clause in parse.clauses:
             metrics.counter("analyzer.clauses").inc()
@@ -163,20 +201,62 @@ class SentimentAnalyzer:
             "analyze.text", document_id=document_id, subjects=len(subjects)
         ) as span:
             sentences = self._splitter.split_text(text)
-            spotter = SubjectSpotter(subjects)
-            judgments: list[SentimentJudgment] = []
-            for sentence in sentences:
-                spots = spotter.spot_sentence(sentence, document_id)
-                if not spots:
-                    continue
-                tagged = self.tag(sentence)
-                judgments.extend(self.judge_spots(tagged, spots))
+            spotter = self._spotter_for(subjects)
+            judgments = self._judge_sentences(sentences, spotter, document_id)
             span.set_attribute("sentences", len(sentences))
             span.set_attribute("judgments", len(judgments))
             if self._obs.audit.enabled:
                 for judgment in judgments:
                     self._audit_judgment(judgment)
             return judgments
+
+    def analyze_batch(
+        self,
+        documents: list[tuple[str, str]],
+        subjects: list[Subject],
+    ) -> list[list[SentimentJudgment]]:
+        """Batched full pipeline over ``(document_id, text)`` pairs.
+
+        Each stage loops tight over the whole batch (split all, spot
+        all, judge all) instead of re-entering the full stack per
+        document.  Per document, the returned judgment list — and the
+        audit entries recorded for it — are byte-identical to a
+        :meth:`analyze_text` call for that document alone.
+        """
+        documents = list(documents)
+        with self._obs.tracer.span(
+            "analyze.batch", documents=len(documents), subjects=len(subjects)
+        ) as span:
+            spotter = self._spotter_for(subjects)
+            sentences_by_doc = [
+                self._splitter.split_text(text) for _, text in documents
+            ]
+            results = [
+                self._judge_sentences(sentences, spotter, document_id)
+                for (document_id, _), sentences in zip(documents, sentences_by_doc)
+            ]
+            span.set_attribute("judgments", sum(len(r) for r in results))
+            if self._obs.audit.enabled:
+                for judgments in results:
+                    for judgment in judgments:
+                        self._audit_judgment(judgment)
+            return results
+
+    def _judge_sentences(
+        self,
+        sentences: list[Sentence],
+        spotter: SubjectSpotter,
+        document_id: str,
+    ) -> list[SentimentJudgment]:
+        """Spot, tag, and judge one document's sentences."""
+        judgments: list[SentimentJudgment] = []
+        for sentence in sentences:
+            spots = spotter.spot_sentence(sentence, document_id)
+            if not spots:
+                continue
+            tagged = self.tag(sentence)
+            judgments.extend(self.judge_spots(tagged, spots))
+        return judgments
 
     def _audit_judgment(self, judgment: SentimentJudgment) -> None:
         provenance = judgment.provenance
@@ -394,9 +474,10 @@ class SentimentAnalyzer:
         Mode B "spots sentiment terms and analyzes each sentiment-bearing
         sentence"; sentences that fail this test are skipped wholesale.
         """
+        polarity = self._lexicon.polarity
         for token in tagged.tokens:
-            if self._lexicon.polarity(token.text, token.tag).is_polar:
+            if polarity(token.text, token.tag).is_polar:
                 return True
-            if self._patterns.for_predicate(token.lower):
-                pass  # predicate presence alone does not bear sentiment
+            # Predicate presence alone (token.lower in the precompiled
+            # self._predicate_lemmas) does not bear sentiment.
         return False

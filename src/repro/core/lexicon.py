@@ -64,9 +64,18 @@ class SentimentLexicon:
     the lemma so "impresses"/"defects" hit "impress"/"defect".
     """
 
+    #: Probe-cache bound; the cache is cleared wholesale when it fills.
+    _PROBE_CACHE_MAX = 65536
+
     def __init__(self, entries: Iterable[LexiconEntry] = ()):
         self._entries: dict[tuple[str, str], Polarity] = {}
         self._lemmatizer = Lemmatizer()
+        # (word.lower(), tag) -> resolved Polarity, including all the
+        # lemma/participle/graded-form fallbacks.  Probing the lexicon is
+        # a per-token hot-path operation (phrase scoring and the mode-B
+        # sentiment-bearing filter); interning resolved probes turns the
+        # fallback chain into one dict hit for every repeated token.
+        self._probe_cache: dict[tuple[str, str], Polarity] = {}
         for entry in entries:
             self.add(entry)
 
@@ -77,6 +86,7 @@ class SentimentLexicon:
         if entry.pos not in _COARSE:
             raise ValueError(f"lexicon POS must be one of {sorted(_COARSE)}, got {entry.pos!r}")
         self._entries[(entry.term.lower(), entry.pos)] = entry.polarity
+        self._probe_cache.clear()
 
     def add_term(self, term: str, pos: str, polarity: Polarity | str) -> None:
         """Convenience: add from raw fields; polarity may be ``+``/``-``."""
@@ -87,15 +97,27 @@ class SentimentLexicon:
     def merge(self, other: "SentimentLexicon") -> None:
         """Add all entries of *other*, overwriting on conflict."""
         self._entries.update(other._entries)
+        self._probe_cache.clear()
 
     # -- queries --------------------------------------------------------------
 
     def polarity(self, word: str, tag: str) -> Polarity:
         """Polarity of *word* tagged *tag*; NEUTRAL when not in the lexicon."""
+        key = (word.lower(), tag)
+        cached = self._probe_cache.get(key)
+        if cached is not None:
+            return cached
+        result = self._resolve_polarity(key[0], tag)
+        if len(self._probe_cache) >= self._PROBE_CACHE_MAX:
+            self._probe_cache.clear()
+        self._probe_cache[key] = result
+        return result
+
+    def _resolve_polarity(self, lower: str, tag: str) -> Polarity:
+        """Uncached probe with all lemma/graded-form fallbacks."""
         pos = coarse_pos(tag)
         if pos is None:
             return Polarity.NEUTRAL
-        lower = word.lower()
         hit = self._entries.get((lower, pos))
         if hit is not None:
             return hit

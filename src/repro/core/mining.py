@@ -162,6 +162,47 @@ class MinerPipeline:
         report.entities_processed += 1
         return entity
 
+    def process_batch(
+        self, entities: list[Entity], report: PipelineReport | None = None
+    ) -> PipelineReport:
+        """Run the pipeline over an entity slice, one miner at a time.
+
+        Where :meth:`process_entity` re-enters the whole miner chain per
+        entity, this loops *miner-major*: each stage sweeps the full
+        slice before the next stage starts, so per-miner tables (spotting
+        automata, parse memos, lexicon probe caches) stay hot across the
+        batch.  Per-entity semantics are identical — the same dependency
+        checks, the same error isolation, the same end state — which the
+        batch-equivalence tests pin down, including under chaos failover.
+        """
+        report = report if report is not None else PipelineReport()
+        produced: list[set[str]] = [set() for _ in entities]
+        for miner in self._miners:
+            for index, entity in enumerate(entities):
+                missing = [
+                    layer
+                    for layer in miner.requires
+                    if layer not in produced[index] and not entity.has_layer(layer)
+                ]
+                if missing:
+                    if self._strict:
+                        raise PipelineError(
+                            f"entity {entity.entity_id!r} missing layers {missing} "
+                            f"for {miner.name!r}"
+                        )
+                    continue
+                try:
+                    miner.process(entity)
+                except Exception as exc:  # noqa: BLE001 — isolate miner crashes
+                    report.errors.append((miner.name, entity.entity_id, str(exc)))
+                    if self._strict:
+                        raise
+                    continue
+                produced[index].update(miner.provides)
+                report.miner_runs[miner.name] = report.miner_runs.get(miner.name, 0) + 1
+        report.entities_processed += len(entities)
+        return report
+
     def run(self, store: EntityStore) -> PipelineReport:
         """Run over every entity in the store, writing results back."""
         report = PipelineReport()

@@ -12,7 +12,10 @@ Two spotters, mirroring the paper's two operational modes:
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 from ..nlp import penn
+from ..nlp.ahocorasick import TokenAutomaton
 from ..nlp.tokens import Sentence, Span, TaggedSentence, Token
 from .model import Spot, Subject
 
@@ -30,42 +33,93 @@ _COMMON_SENTENCE_STARTERS = frozenset(
 )
 
 
-class SubjectSpotter:
+@dataclass(frozen=True)
+class TermCollision:
+    """Two subjects whose terms collapse to the same token key.
+
+    ``term.lower().split()`` erases case and internal-whitespace
+    differences, so "Sony  PDA" and "Sony PDA" are the same key.  The
+    first subject registered keeps the key; later claimants are recorded
+    here instead of silently overwriting it.
+    """
+
+    key: tuple[str, ...]
+    term: str
+    kept: Subject
+    ignored: Subject
+
+
+def compile_terms(
+    subjects: list[Subject],
+) -> tuple[dict[tuple[str, ...], Subject], list[TermCollision]]:
+    """Build the ``token-key -> subject`` table, first subject wins.
+
+    Iteration order is the subject list order, then each subject's term
+    order (canonical first), so the mapping is deterministic.  A key
+    claimed again by the *same* subject (a synonym that normalises to an
+    existing term) is skipped silently; a key claimed by a *different*
+    subject is a collision and is reported.
+    """
+    by_term: dict[tuple[str, ...], Subject] = {}
+    collisions: list[TermCollision] = []
+    for subject in subjects:
+        for term in subject.all_terms:
+            key = tuple(term.lower().split())
+            if not key:
+                continue
+            owner = by_term.get(key)
+            if owner is None:
+                by_term[key] = subject
+            elif owner is not subject:
+                collisions.append(
+                    TermCollision(key=key, term=term, kept=owner, ignored=subject)
+                )
+    return by_term, collisions
+
+
+class AhoCorasickSpotter:
     """Find subject-term occurrences (spots) in tokenized documents.
 
     Matching is case-insensitive over token n-grams, longest term first,
     so "Sony PDA" wins over "Sony" at the same position.  Each spot keeps
     its synonym-set identity: the :class:`Subject` it belongs to.
+
+    All subjects and synonyms are compiled once into a single
+    :class:`~repro.nlp.ahocorasick.TokenAutomaton`, so spotting is one
+    pass over the token stream regardless of lexicon size.  The match
+    semantics (leftmost, longest at each start, non-overlapping) are
+    byte-identical to the historical n-gram scanner, which survives as
+    the differential-test reference in ``tests/support/reference.py``.
     """
 
     def __init__(self, subjects: list[Subject]):
         self._subjects = list(subjects)
-        self._by_term: dict[tuple[str, ...], Subject] = {}
-        for subject in subjects:
-            for term in subject.all_terms:
-                key = tuple(term.lower().split())
-                if key:
-                    self._by_term[key] = subject
+        self._by_term, self._collisions = compile_terms(self._subjects)
         self._max_len = max((len(k) for k in self._by_term), default=0)
+        self._automaton = TokenAutomaton()
+        for key, subject in self._by_term.items():
+            self._automaton.add(key, subject)
+        self._automaton.compile()
 
     @property
     def subjects(self) -> list[Subject]:
         return list(self._subjects)
 
+    @property
+    def collisions(self) -> list[TermCollision]:
+        """Cross-subject term-key collisions found at compile time."""
+        return list(self._collisions)
+
     def spot_sentence(self, sentence: Sentence, document_id: str = "") -> list[Spot]:
         """All spots in one sentence, left to right, non-overlapping."""
-        spots: list[Spot] = []
+        if not self._by_term:
+            return []
         tokens = sentence.tokens
-        i = 0
-        n = len(tokens)
-        while i < n:
-            match = self._longest_match(tokens, i)
-            if match is None:
-                i += 1
-                continue
-            length, subject = match
-            span = Span(tokens[i].start, tokens[i + length - 1].end)
-            term = " ".join(t.text for t in tokens[i : i + length])
+        lowered = [t.lower for t in tokens]
+        spots: list[Spot] = []
+        for start, length, subject in self._automaton.leftmost_longest(lowered):
+            span = Span(tokens[start].start, tokens[start + length - 1].end)
+            term = " ".join(t.text for t in tokens[start : start + length])
             spots.append(
                 Spot(
                     subject=subject,
@@ -75,7 +129,6 @@ class SubjectSpotter:
                     document_id=document_id,
                 )
             )
-            i += length
         return spots
 
     def spot_document(self, sentences: list[Sentence], document_id: str = "") -> list[Spot]:
@@ -85,14 +138,16 @@ class SubjectSpotter:
             spots.extend(self.spot_sentence(sentence, document_id))
         return spots
 
-    def _longest_match(self, tokens: list[Token], i: int) -> tuple[int, Subject] | None:
-        limit = min(self._max_len, len(tokens) - i)
-        for length in range(limit, 0, -1):
-            key = tuple(tokens[i + k].lower for k in range(length))
-            subject = self._by_term.get(key)
-            if subject is not None:
-                return length, subject
-        return None
+
+class SubjectSpotter(AhoCorasickSpotter):
+    """The production subject spotter (automaton-backed).
+
+    The name survives from the original n-gram implementation; every
+    call site keeps working and transparently gets the single-pass
+    automaton.  The naive scanner itself lives on only as the
+    equivalence-test reference.
+    """
+
 
 
 class NamedEntitySpotter:

@@ -20,6 +20,8 @@ state, fully deterministic.
 
 from __future__ import annotations
 
+from collections import OrderedDict
+
 from . import lexicon_pos, penn
 from .tokens import Sentence, TaggedSentence, TaggedToken, Token
 
@@ -93,9 +95,16 @@ class PosTagger:
         precedence over the built-in open-class lexicon but not over the
         closed class.  Multi-word keys are ignored (the tagger works one
         token at a time).
+    memo_size:
+        Bound of the sentence-level tag memo.  Tags are a pure function
+        of the sentence's token texts (offsets never influence a tag),
+        so repeated sentences — template spam, syndicated reviews — are
+        tagged once and materialised per call.  ``0`` disables the memo;
+        the differential harness runs the reference configuration that
+        way.
     """
 
-    def __init__(self, extra_lexicon: dict[str, str] | None = None):
+    def __init__(self, extra_lexicon: dict[str, str] | None = None, memo_size: int = 256):
         self._closed = lexicon_pos.closed_class_lexicon()
         self._open = lexicon_pos.open_class_lexicon()
         if extra_lexicon:
@@ -121,15 +130,43 @@ class PosTagger:
         # caller registered through extra_lexicon).
         self._verb_bases = set(lexicon_pos.REGULAR_VERB_BASES)
         self._verb_bases.update(w for w, t in self._open.items() if t == "VB")
+        self._memo_size = memo_size
+        self._tag_memo: OrderedDict[tuple[str, ...], tuple[str, ...]] = OrderedDict()
 
     # -- public API ---------------------------------------------------------
 
     def tag(self, sentence: Sentence) -> TaggedSentence:
         """Tag one sentence."""
-        tags = [self._lexical_tag(tok, i) for i, tok in enumerate(sentence.tokens)]
-        tags = self._apply_context_rules(sentence.tokens, tags)
+        tags = self._sentence_tags(sentence.tokens)
         tagged = [TaggedToken(tok, tag) for tok, tag in zip(sentence.tokens, tags)]
         return TaggedSentence(tagged, index=sentence.index)
+
+    def _sentence_tags(self, tokens: list[Token]) -> tuple[str, ...]:
+        """The sentence's tag sequence, served from the bounded memo.
+
+        The memo key is the token-text tuple: tags depend on the words
+        and their order, never on character offsets, sentence index, or
+        document identity, so one cache slot serves every recurrence of
+        a sentence.  Only the immutable tag strings are cached — the
+        :class:`TaggedToken` wrappers are rebuilt around the caller's
+        own tokens on every call.
+        """
+        if self._memo_size <= 0:
+            return self._compute_tags(tokens)
+        key = tuple(t.text for t in tokens)
+        tags = self._tag_memo.get(key)
+        if tags is not None:
+            self._tag_memo.move_to_end(key)
+            return tags
+        tags = self._compute_tags(tokens)
+        self._tag_memo[key] = tags
+        if len(self._tag_memo) > self._memo_size:
+            self._tag_memo.popitem(last=False)
+        return tags
+
+    def _compute_tags(self, tokens: list[Token]) -> tuple[str, ...]:
+        tags = [self._lexical_tag(tok, i) for i, tok in enumerate(tokens)]
+        return tuple(self._apply_context_rules(tokens, tags))
 
     def tag_tokens(self, tokens: list[Token]) -> list[TaggedToken]:
         """Tag a raw token list (treated as one sentence)."""

@@ -8,6 +8,8 @@ numbers and quoted sentences must not create spurious boundaries.
 
 from __future__ import annotations
 
+from collections import OrderedDict
+
 from .tokenizer import Tokenizer
 from .tokens import Sentence, Token
 
@@ -26,10 +28,19 @@ class SentenceSplitter:
     belongs to a known abbreviation token (the tokenizer keeps those
     attached, e.g. ``Prof.``) or the next token starts with a lowercase
     letter or digit (mid-sentence ellipsis / enumeration).
+
+    ``memo_size`` bounds a document-level memo on :meth:`split_text`:
+    token spans and sentence boundaries are a pure function of the text,
+    so syndicated copies of a document tokenize once.  Cached sentences
+    are materialised as fresh :class:`Sentence` objects per call (the
+    frozen tokens are shared; the lists are not).  ``0`` disables the
+    memo — the differential harness's reference configuration.
     """
 
-    def __init__(self, tokenizer: Tokenizer | None = None):
+    def __init__(self, tokenizer: Tokenizer | None = None, memo_size: int = 64):
         self._tokenizer = tokenizer or Tokenizer()
+        self._memo_size = memo_size
+        self._memo: OrderedDict[str, list[Sentence]] = OrderedDict()
 
     def split(self, tokens: list[Token]) -> list[Sentence]:
         """Group *tokens* into :class:`Sentence` objects."""
@@ -54,7 +65,17 @@ class SentenceSplitter:
 
     def split_text(self, text: str) -> list[Sentence]:
         """Tokenize *text* and split into sentences in one call."""
-        return self.split(self._tokenizer.tokenize(text))
+        if self._memo_size <= 0:
+            return self.split(self._tokenizer.tokenize(text))
+        cached = self._memo.get(text)
+        if cached is None:
+            cached = self.split(self._tokenizer.tokenize(text))
+            self._memo[text] = cached
+            if len(self._memo) > self._memo_size:
+                self._memo.popitem(last=False)
+        else:
+            self._memo.move_to_end(text)
+        return [Sentence(list(s.tokens), index=s.index) for s in cached]
 
     # -- internals ----------------------------------------------------------
 

@@ -256,8 +256,10 @@ class Cluster:
                     failover=failover,
                     entities=len(entities),
                 ):
+                    # Stage-batched map: every miner sweeps the whole
+                    # partition slice before the next one starts.
+                    pipeline.process_batch(entities, total_report)
                     for entity in entities:
-                        pipeline.process_entity(entity, total_report)
                         partition.put(entity)
                     node.charge(len(entities))
                     self._obs.clock.advance(len(entities) * ENTITY_COST)

@@ -1,0 +1,210 @@
+"""Parse-memo correctness: equivalence, bounds, and no state leaks.
+
+The memo (:mod:`repro.nlp.parse_cache`) may only ever change *speed*,
+never output.  These tests pin the three properties that make that
+true: a memo hit materialises a parse identical to a fresh parse, the
+LRU bound actually bounds the cache, and nothing cached carries
+document identity — the same sentence mined under different document
+ids, sentence indices, or character offsets yields judgments that each
+carry their *own* identity.
+"""
+
+from repro.core.analyzer import SentimentAnalyzer
+from repro.core.miner import SentimentMiner
+from repro.core.model import Subject
+from repro.nlp.parse_cache import ParseMemo, sentence_signature
+from repro.nlp.parser import ShallowParser
+from repro.nlp.postagger import PosTagger
+from repro.nlp.sentences import SentenceSplitter
+from repro.nlp.tokenizer import Tokenizer
+from repro.nlp.tokens import TaggedSentence
+
+
+def tag_text(text: str) -> list[TaggedSentence]:
+    tagger = PosTagger()
+    splitter = SentenceSplitter(Tokenizer())
+    return [tagger.tag(s) for s in splitter.split_text(text)]
+
+
+class TestMemoEquivalence:
+    def test_hit_materialises_identical_parse(self):
+        parser = ShallowParser()
+        memo = ParseMemo(parser, maxsize=8)
+        [tagged] = tag_text("The camera produces excellent pictures.")
+
+        first, cached_first = memo.parse_with_status(tagged)
+        second, cached_second = memo.parse_with_status(tagged)
+
+        assert not cached_first and cached_second
+        assert first == parser.parse(tagged)
+        assert second == first
+
+    def test_shift_invariance_across_offsets(self):
+        # The same sentence text at two different character positions:
+        # one signature, one parse slot, and the materialised hit carries
+        # the *caller's* offsets, not the first occurrence's.
+        parser = ShallowParser()
+        memo = ParseMemo(parser, maxsize=8)
+        sentence = "The zoom works great."
+        [shifted_a] = tag_text(sentence)
+        prefix, shifted_b = tag_text("I bought it. " + sentence)
+
+        assert sentence_signature(shifted_a) == sentence_signature(shifted_b)
+        assert shifted_a.tokens[0].start != shifted_b.tokens[0].start
+
+        memo.parse(shifted_a)
+        parse_b, cached = memo.parse_with_status(shifted_b)
+        assert cached
+        assert parse_b == parser.parse(shifted_b)
+        # Offsets in the materialised parse belong to shifted_b.
+        assert parse_b.clauses[0].predicate.tokens[0].start > prefix.tokens[0].start
+
+    def test_disabled_memo_never_caches(self):
+        parser = ShallowParser()
+        memo = ParseMemo(parser, maxsize=0)
+        [tagged] = tag_text("The battery died quickly.")
+        for _ in range(3):
+            parse, cached = memo.parse_with_status(tagged)
+            assert not cached
+            assert parse == parser.parse(tagged)
+        assert len(memo) == 0
+        assert memo.hits == 0 and memo.misses == 0
+
+
+class TestMemoBounds:
+    def test_lru_bound_respected(self):
+        memo = ParseMemo(ShallowParser(), maxsize=4)
+        sentences = [
+            tag_text(f"The camera model number {i} works well.")[0] for i in range(10)
+        ]
+        for tagged in sentences:
+            memo.parse(tagged)
+            assert len(memo) <= 4
+        assert memo.misses == 10 and memo.hits == 0
+
+    def test_least_recently_used_is_evicted(self):
+        memo = ParseMemo(ShallowParser(), maxsize=2)
+        a, b, c = (
+            tag_text("The camera is great.")[0],
+            tag_text("The battery is bad.")[0],
+            tag_text("The zoom is fine.")[0],
+        )
+        memo.parse(a)
+        memo.parse(b)
+        memo.parse(a)  # refresh a; b is now LRU
+        memo.parse(c)  # evicts b
+        _, cached_a = memo.parse_with_status(a)
+        _, cached_b = memo.parse_with_status(b)
+        assert cached_a
+        assert not cached_b
+
+    def test_clear_empties_cache(self):
+        memo = ParseMemo(ShallowParser(), maxsize=8)
+        memo.parse(tag_text("The camera is great.")[0])
+        assert len(memo) == 1
+        memo.clear()
+        assert len(memo) == 0
+        _, cached = memo.parse_with_status(tag_text("The camera is great.")[0])
+        assert not cached
+
+
+class TestNoStateLeaks:
+    def test_document_identity_never_leaks_across_hits(self):
+        # Mine the same text under three different document ids.  Docs 2
+        # and 3 are served from the memo; every judgment must still carry
+        # its own document_id and sentence_index.
+        text = "The camera is excellent. I love the zoom."
+        subjects = [Subject("camera"), Subject("zoom")]
+        miner = SentimentMiner(subjects=subjects)
+        memo = miner.analyzer.parse_memo
+
+        results = [miner.mine_document(text, f"doc-{i}") for i in range(3)]
+
+        assert memo.hits > 0  # the fast path actually engaged
+        reference = results[0]
+        for i, result in enumerate(results):
+            assert len(result.judgments) == len(reference.judgments) > 0
+            for judgment, expected in zip(result.judgments, reference.judgments):
+                assert judgment.spot.document_id == f"doc-{i}"
+                assert judgment.spot.sentence_index == expected.spot.sentence_index
+                assert judgment.polarity == expected.polarity
+                assert judgment.provenance == expected.provenance
+
+    def test_memoised_judgments_equal_memo_free_judgments(self):
+        text = (
+            "The camera produces excellent pictures. "
+            "The camera produces excellent pictures. "
+            "I hate the battery."
+        )
+        subjects = [Subject("camera"), Subject("battery")]
+        fast = SentimentAnalyzer().analyze_text(text, subjects, "d1")
+        slow = SentimentAnalyzer(parse_memo_size=0).analyze_text(text, subjects, "d1")
+        assert fast == slow
+
+    def test_hits_are_read_only_with_respect_to_cache(self):
+        # A caller mutating the returned parse must not poison later hits.
+        parser = ShallowParser()
+        memo = ParseMemo(parser, maxsize=8)
+        [tagged] = tag_text("The camera is great.")
+        first = memo.parse(tagged)
+        first.clauses.clear()
+        second, cached = memo.parse_with_status(tagged)
+        assert cached
+        assert second == parser.parse(tagged)
+
+
+class TestAnalyzerWiring:
+    def test_analyzer_exposes_memo_and_counts(self):
+        analyzer = SentimentAnalyzer(parse_memo_size=16)
+        assert analyzer.parse_memo.maxsize == 16
+        subjects = [Subject("camera")]
+        analyzer.analyze_text("The camera is great.", subjects, "d1")
+        analyzer.analyze_text("The camera is great.", subjects, "d2")
+        assert analyzer.parse_memo.hits >= 1
+
+    def test_memo_disabled_via_constructor(self):
+        analyzer = SentimentAnalyzer(parse_memo_size=0)
+        subjects = [Subject("camera")]
+        analyzer.analyze_text("The camera is great.", subjects, "d1")
+        analyzer.analyze_text("The camera is great.", subjects, "d2")
+        assert analyzer.parse_memo.hits == 0
+        assert len(analyzer.parse_memo) == 0
+
+
+class TestTagAndSplitMemos:
+    """The sentence-tag and split-text memos obey the same contract as
+    the parse memo: pure speed, fresh objects per call, caller offsets."""
+
+    def test_tag_memo_matches_memo_free_tagger(self):
+        memoised = PosTagger(memo_size=16)
+        plain = PosTagger(memo_size=0)
+        for text in ("The camera is great. I love it.", "The camera is great."):
+            for sentence in SentenceSplitter(Tokenizer(), memo_size=0).split_text(text):
+                assert memoised.tag(sentence) == plain.tag(sentence)
+
+    def test_tag_memo_hit_carries_caller_offsets(self):
+        tagger = PosTagger(memo_size=16)
+        splitter = SentenceSplitter(Tokenizer(), memo_size=0)
+        [first] = splitter.split_text("The camera is great.")
+        _, second = splitter.split_text("Yes. The camera is great.")
+        tagger.tag(first)
+        tagged = tagger.tag(second)
+        assert [t.tag for t in tagged] == [t.tag for t in tagger.tag(first)]
+        assert tagged.tokens[0].start == second.tokens[0].start
+        assert tagged.index == second.index
+
+    def test_split_memo_returns_fresh_sentences(self):
+        splitter = SentenceSplitter(Tokenizer(), memo_size=8)
+        text = "The camera is great. The zoom is bad."
+        first = splitter.split_text(text)
+        first[0].tokens.clear()  # caller vandalism must not poison the memo
+        second = splitter.split_text(text)
+        assert second == SentenceSplitter(Tokenizer(), memo_size=0).split_text(text)
+        assert [s.index for s in second] == [0, 1]
+
+    def test_split_memo_matches_memo_free_splitter(self):
+        memoised = SentenceSplitter(Tokenizer(), memo_size=8)
+        plain = SentenceSplitter(Tokenizer(), memo_size=0)
+        text = 'He said "wow!" twice. Really? Yes... and no. See fig. 3.'
+        for _ in range(3):
+            assert memoised.split_text(text) == plain.split_text(text)

@@ -120,3 +120,45 @@ class TestNamedEntitySpotter:
         sentences = [tagger.tag(s) for s in split_sentences(text)]
         spots = spotter.spot_document(sentences)
         assert {s.term for s in spots} == {"Nikon", "Canon"}
+
+
+class TestTermCollisions:
+    """Regression: terms differing only in internal whitespace collapse to
+    one token key; the spotter must resolve that deterministically (first
+    subject wins) and report the collision instead of silently letting the
+    last writer overwrite the table."""
+
+    def test_whitespace_variants_first_subject_wins(self):
+        subjects = [Subject("Sony PDA"), Subject("Sony  PDA")]
+        out = spot_terms("My Sony PDA broke.", subjects)
+        assert out == [("Sony PDA", "Sony PDA")]
+
+    def test_declaration_order_decides_not_write_order(self):
+        # Reversed declaration order reverses the winner: the mapping is a
+        # function of the subject list, not of dict insertion accidents.
+        subjects = [Subject("Sony  PDA"), Subject("Sony PDA")]
+        out = spot_terms("My Sony PDA broke.", subjects)
+        assert out == [("Sony PDA", "Sony  PDA")]
+
+    def test_collisions_reported(self):
+        spotter = SubjectSpotter([Subject("Sony PDA"), Subject("Sony  PDA")])
+        assert len(spotter.collisions) == 1
+        collision = spotter.collisions[0]
+        assert collision.key == ("sony", "pda")
+        assert collision.kept.canonical == "Sony PDA"
+        assert collision.ignored.canonical == "Sony  PDA"
+
+    def test_cross_subject_synonym_collision(self):
+        subjects = [Subject("camera", ("zoom lens",)), Subject("zoom  lens")]
+        spotter = SubjectSpotter(subjects)
+        out = spot_terms("The zoom lens is sharp.", subjects)
+        assert out == [("zoom lens", "camera")]
+        assert [c.key for c in spotter.collisions] == [("zoom", "lens")]
+
+    def test_same_subject_duplicate_synonym_is_not_a_collision(self):
+        spotter = SubjectSpotter([Subject("NR70", ("nr70", "NR70 "))])
+        assert spotter.collisions == []
+
+    def test_no_collision_for_distinct_terms(self):
+        spotter = SubjectSpotter([Subject("Sony"), Subject("Sony PDA")])
+        assert spotter.collisions == []

@@ -1,0 +1,125 @@
+"""Differential property tests: Aho–Corasick spotter ≡ n-gram reference.
+
+The production :class:`AhoCorasickSpotter` must produce *identical*
+``Spot`` lists to the historical n-gram scanner
+(:class:`tests.support.reference.ReferenceSubjectSpotter`) on any input:
+same subjects, same terms, same spans, same order.  Hypothesis drives
+the comparison over generated token streams and subject sets covering
+the adversarial shapes called out in ISSUE 7 — overlapping terms,
+shared prefixes ("Sony" vs "Sony PDA"), mixed case, multi-token
+synonyms, and empty/degenerate subjects.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.model import Subject
+from repro.core.spotting import AhoCorasickSpotter, compile_terms
+from repro.nlp.tokens import Sentence, Token
+
+from tests.support.reference import ReferenceSubjectSpotter
+
+# A deliberately tiny, collision-prone vocabulary: single- and
+# multi-token subject terms are all drawn from the same word pool the
+# token streams use, so overlaps, shared prefixes, and nested terms are
+# the common case rather than the rare one.
+WORDS = ["sony", "pda", "zoom", "camera", "nr70", "series", "battery", "life", "x"]
+
+word = st.sampled_from(WORDS)
+
+#: Mixed-case variant of a vocabulary word ("Sony", "SONY", "sony").
+cased_word = word.flatmap(
+    lambda w: st.sampled_from([w, w.capitalize(), w.upper()])
+)
+
+#: A subject term: 1-3 vocabulary words, sometimes with doubled internal
+#: whitespace (which ``compile_terms`` collapses) and mixed case.
+term = st.lists(cased_word, min_size=1, max_size=3).flatmap(
+    lambda ws: st.sampled_from(["  ", " "]).map(lambda sep: sep.join(ws))
+)
+
+#: Degenerate synonyms: empty and whitespace-only strings yield the
+#: empty key and must be ignored by both implementations.
+degenerate = st.sampled_from(["", " ", "   "])
+
+subject = st.builds(
+    lambda canonical, synonyms: Subject(canonical, tuple(synonyms)),
+    term,
+    st.lists(st.one_of(term, degenerate), max_size=3),
+)
+
+subjects = st.lists(subject, max_size=6)
+
+#: A token stream: vocabulary words (mixed case) plus a few
+#: out-of-vocabulary fillers, materialised as Sentence objects with
+#: contiguous character offsets, split into 1-2 sentences.
+token_texts = st.lists(
+    st.one_of(cased_word, st.sampled_from(["the", "works", "badly", "Cameraman"])),
+    min_size=1,
+    max_size=12,
+)
+
+
+def build_sentences(texts: list[str], num_sentences: int) -> list[Sentence]:
+    tokens = []
+    offset = 0
+    for text in texts:
+        tokens.append(Token(text, offset, offset + len(text)))
+        offset += len(text) + 1
+    if num_sentences <= 1 or len(tokens) < 2:
+        return [Sentence(tokens, index=0)]
+    cut = max(1, len(tokens) // 2)
+    return [
+        Sentence(tokens[:cut], index=0),
+        Sentence(tokens[cut:], index=1),
+    ]
+
+
+@settings(max_examples=200, deadline=None)
+@given(subjects=subjects, texts=token_texts, num_sentences=st.integers(1, 2))
+def test_spot_lists_identical(subjects, texts, num_sentences):
+    sentences = build_sentences(texts, num_sentences)
+    optimized = AhoCorasickSpotter(subjects).spot_document(sentences, "doc-1")
+    reference = ReferenceSubjectSpotter(subjects).spot_document(sentences, "doc-1")
+    assert optimized == reference
+
+
+@settings(max_examples=100, deadline=None)
+@given(subjects=subjects)
+def test_collision_reports_identical(subjects):
+    optimized = AhoCorasickSpotter(subjects)
+    reference = ReferenceSubjectSpotter(subjects)
+    assert optimized.collisions == reference.collisions
+    # Both views agree with the shared table builder.
+    _, collisions = compile_terms(subjects)
+    assert optimized.collisions == collisions
+
+
+@settings(max_examples=100, deadline=None)
+@given(texts=token_texts)
+def test_shared_prefix_longest_wins(texts):
+    # The canonical paper example, run over arbitrary streams: wherever
+    # "sony pda" matches, the nested "sony" must not fire at the same
+    # start on either implementation.
+    subs = [Subject("Sony"), Subject("Sony PDA"), Subject("pda")]
+    sentences = build_sentences(texts, 1)
+    optimized = AhoCorasickSpotter(subs).spot_document(sentences)
+    reference = ReferenceSubjectSpotter(subs).spot_document(sentences)
+    assert optimized == reference
+    starts = [s.start for s in optimized]
+    assert starts == sorted(starts)  # textual order
+    for first, second in zip(optimized, optimized[1:]):
+        assert first.end <= second.start  # non-overlapping
+
+
+def test_empty_subject_list_spots_nothing():
+    sentences = build_sentences(["sony", "pda"], 1)
+    assert AhoCorasickSpotter([]).spot_document(sentences) == []
+    assert ReferenceSubjectSpotter([]).spot_document(sentences) == []
+
+
+def test_whitespace_only_synonyms_spot_nothing():
+    subs = [Subject("x", ("  ", ""))]
+    sentences = build_sentences(["the", "works"], 1)
+    assert AhoCorasickSpotter(subs).spot_document(sentences) == []
+    assert ReferenceSubjectSpotter(subs).spot_document(sentences) == []

@@ -1,0 +1,190 @@
+"""Batched stage loops must be invisible: same bytes out, fewer passes.
+
+Every batched entry point added for the hot path — the analyzer's
+``analyze_batch``, the miner's ``mine_batch``, and the platform
+pipeline's ``process_batch`` — is asserted byte-identical to its
+unbatched counterpart, document by document and annotation by
+annotation.  The chaos-marked test goes further: a replicated cluster
+running the *batched* pipeline under a seeded node death must leave
+exactly the same per-entity sentiment annotations as a fault-free,
+entity-at-a-time baseline.
+"""
+
+import pytest
+
+from repro.core import Subject
+from repro.core.analyzer import SentimentAnalyzer
+from repro.core.disambiguation import Disambiguator, TopicTermSet
+from repro.core.miner import SentimentMiner
+from repro.corpora import DIGITAL_CAMERA, ReviewGenerator
+from repro.miners import (
+    DisambiguatorMiner,
+    SentimentEntityMiner,
+    SpotterMiner,
+    TokenizerMiner,
+)
+from repro.miners.base import SENTIMENT_LAYER
+from repro.obs import Obs
+from repro.platform import Cluster, DataStore, Entity, FaultPlan, MinerPipeline
+
+NODES = 4
+PARTITIONS = 8
+DOCS = 20
+
+
+def camera_documents(count: int = DOCS, seed: int = 2026) -> list[tuple[str, str]]:
+    docs = ReviewGenerator(DIGITAL_CAMERA, seed=seed).generate_dplus(count)
+    return [(d.doc_id, d.text) for d in docs]
+
+
+def camera_subjects() -> list[Subject]:
+    return [Subject(p) for p in DIGITAL_CAMERA.products] + [
+        Subject(f) for f in DIGITAL_CAMERA.features
+    ]
+
+
+def camera_miner(obs: Obs | None = None) -> SentimentMiner:
+    terms = TopicTermSet.build(
+        on_topic=list(DIGITAL_CAMERA.features) + ["camera", "photo", "picture"]
+    )
+    return SentimentMiner(
+        subjects=camera_subjects(),
+        disambiguator=Disambiguator(terms),
+        obs=obs if obs is not None else Obs.default(),
+    )
+
+
+class TestAnalyzeBatch:
+    def test_matches_per_document_analyze_text(self):
+        documents = camera_documents(8)
+        subjects = camera_subjects()
+        batched = SentimentAnalyzer().analyze_batch(documents, subjects)
+        single = SentimentAnalyzer()
+        unbatched = [
+            single.analyze_text(text, subjects, document_id)
+            for document_id, text in documents
+        ]
+        assert batched == unbatched
+
+    def test_empty_batch(self):
+        assert SentimentAnalyzer().analyze_batch([], camera_subjects()) == []
+
+
+class TestMineBatch:
+    def test_matches_mine_corpus(self):
+        documents = camera_documents()
+        batched = camera_miner(Obs.enabled()).mine_batch(documents)
+        unbatched = camera_miner(Obs.enabled()).mine_corpus(documents)
+
+        assert batched.judgments == unbatched.judgments
+        assert batched.stats == unbatched.stats
+        assert [e.to_record() for e in batched.audit] == [
+            e.to_record() for e in unbatched.audit
+        ]
+
+    def test_batch_charges_one_stage_cost_per_stage(self):
+        # Batching's simulated win: stage cost is paid per *batch*, not
+        # per document, so the sim clock advances far less.
+        documents = camera_documents(10)
+        batched_obs, unbatched_obs = Obs.enabled(), Obs.enabled()
+        camera_miner(batched_obs).mine_batch(documents)
+        camera_miner(unbatched_obs).mine_corpus(documents)
+        assert batched_obs.clock.now < unbatched_obs.clock.now
+
+    def test_empty_batch(self):
+        result = camera_miner().mine_batch([])
+        assert result.judgments == []
+        assert result.stats.documents == 0
+
+
+def sentiment_pipeline() -> MinerPipeline:
+    terms = TopicTermSet.build(
+        on_topic=list(DIGITAL_CAMERA.features) + ["camera", "photo", "picture"]
+    )
+    return MinerPipeline(
+        [
+            TokenizerMiner(),
+            SpotterMiner(camera_subjects()),
+            DisambiguatorMiner(Disambiguator(terms)),
+            SentimentEntityMiner(),
+        ]
+    )
+
+
+def make_store() -> DataStore:
+    store = DataStore(num_partitions=PARTITIONS)
+    store.store_all(
+        Entity(entity_id=doc_id, content=text) for doc_id, text in camera_documents()
+    )
+    return store
+
+
+def annotations_by_entity(store: DataStore) -> dict[str, list]:
+    return {
+        entity.entity_id: entity.layer(SENTIMENT_LAYER) for entity in store.scan()
+    }
+
+
+class TestProcessBatch:
+    def test_matches_process_entity(self):
+        batched_store, unbatched_store = make_store(), make_store()
+
+        sentiment_pipeline().process_batch(list(batched_store.scan()))
+        pipeline = sentiment_pipeline()
+        for entity in unbatched_store.scan():
+            pipeline.process_entity(entity)
+
+        batched = annotations_by_entity(batched_store)
+        unbatched = annotations_by_entity(unbatched_store)
+        assert batched == unbatched
+        assert any(batched.values())  # the corpus must actually yield sentiment
+
+    def test_report_counts_whole_batch(self):
+        store = make_store()
+        pipeline = sentiment_pipeline()
+        report = pipeline.process_batch(list(store.scan()))
+        assert report.entities_processed == len(store)
+
+
+@pytest.mark.chaos
+class TestBatchedClusterUnderChaos:
+    def test_failover_batches_byte_identical_to_unbatched_baseline(self):
+        # Fault-free, entity-at-a-time baseline.
+        baseline_store = make_store()
+        pipeline = sentiment_pipeline()
+        for entity in baseline_store.scan():
+            pipeline.process_entity(entity)
+        expected = annotations_by_entity(baseline_store)
+        assert any(expected.values())
+
+        # Replicated cluster on the batched path, one seeded node death:
+        # orphaned partitions fail over and are re-batched on replicas.
+        plan = FaultPlan(seed=17).kill_node(2, after_partitions=1)
+        chaotic_store = make_store()
+        report = Cluster(
+            chaotic_store,
+            num_nodes=NODES,
+            replication=2,
+            fault_plan=plan,
+        ).run_pipeline(sentiment_pipeline())
+
+        assert report.coverage == 1.0
+        assert not report.degraded
+        assert report.failovers > 0  # the death actually rerouted work
+        assert annotations_by_entity(chaotic_store) == expected
+
+    @pytest.mark.parametrize("dead_node", range(NODES))
+    def test_every_single_death_preserves_annotations(self, dead_node):
+        baseline_store = make_store()
+        pipeline = sentiment_pipeline()
+        for entity in baseline_store.scan():
+            pipeline.process_entity(entity)
+        expected = annotations_by_entity(baseline_store)
+
+        plan = FaultPlan(seed=dead_node).kill_node(dead_node, after_partitions=0)
+        store = make_store()
+        report = Cluster(
+            store, num_nodes=NODES, replication=2, fault_plan=plan
+        ).run_pipeline(sentiment_pipeline())
+        assert report.coverage == 1.0
+        assert annotations_by_entity(store) == expected

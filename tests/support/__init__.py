@@ -1,0 +1,2 @@
+"""Shared test-support code: reference implementations and golden-report
+serialization for the differential hot-path harness."""
