@@ -7,7 +7,8 @@ invariants the rest of the codebase relies on:
 * import layering — ``lexicons/nlp/obs → core → miners → platform →
   eval → apps → cli`` stays a DAG (ARCH001);
 * observability discipline — spans via context managers, metric names
-  matching the registry regex (OBS001/OBS002);
+  matching the registry regex, trace context threaded through every
+  platform bus request (OBS001/OBS002/OBS003);
 * Vinci handler contract — handlers take and return dict envelopes
   (PLAT001);
 * serving discipline — serving handlers accept and consult deadlines,
@@ -29,6 +30,7 @@ from .code_rules import (
     SeededRngRule,
     ServingDisciplineRule,
     SpanContextRule,
+    TraceContextRule,
     VinciHandlerRule,
     WallClockRule,
     default_code_rules,
@@ -111,6 +113,7 @@ __all__ = [
     "SpanContextRule",
     "Suppression",
     "SuppressionConfig",
+    "TraceContextRule",
     "VinciHandlerRule",
     "WallClockRule",
     "all_rules",

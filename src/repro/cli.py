@@ -12,6 +12,11 @@ Commands
                 optionally under a seeded chaos fault plan
                 (``--chaos-seed``); ``--json`` for machine-readable
                 output;
+``health``      drive the serving layer and render one ops health
+                snapshot: shards, breakers, segments, compaction
+                backlog, memo hit rates, stage latency histograms with
+                exemplar traces, and SLO burn rates (``--json`` for a
+                machine-readable v1 envelope);
 ``trace``       render a JSONL observability dump written by
                 ``--trace-out``;
 ``lint``        run the static-analysis rule set (determinism, import
@@ -197,6 +202,41 @@ def build_parser() -> argparse.ArgumentParser:
         help="emit the machine-readable serving report as a v1 envelope",
     )
     _add_obs_flags(serve)
+
+    health = sub.add_parser(
+        "health", help="drive the serving layer and render an ops health snapshot"
+    )
+    health.add_argument(
+        "--domain",
+        choices=["digital_camera", "music", "petroleum", "pharmaceutical"],
+        default="digital_camera",
+    )
+    health.add_argument("--docs", type=int, default=24)
+    health.add_argument("--seed", type=int, default=2005)
+    health.add_argument("--requests", type=int, default=120)
+    health.add_argument("--shards", type=int, default=8)
+    health.add_argument("--nodes", type=int, default=4)
+    health.add_argument("--replication", type=int, default=2)
+    health.add_argument(
+        "--chaos-seed",
+        type=int,
+        default=None,
+        help="kill one index node and inject service faults from this seed",
+    )
+    health.add_argument(
+        "--batches",
+        type=int,
+        default=3,
+        metavar="N",
+        help="index the corpus incrementally as N delta batches so the "
+        "ingest/compaction sections reflect the live path (default 3)",
+    )
+    health.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the health snapshot as a v1 envelope",
+    )
+    _add_obs_flags(health)
 
     trace = sub.add_parser("trace", help="render a JSONL observability dump")
     trace.add_argument("path", help="JSONL file written by --trace-out")
@@ -528,6 +568,45 @@ def cmd_serve(args: argparse.Namespace, out: IO[str]) -> int:
     return 0
 
 
+def cmd_health(args: argparse.Namespace, out: IO[str]) -> int:
+    """Drive the serving layer and render one ops health snapshot."""
+    from .obs import SLOMonitor, default_serving_slos, health_snapshot, render_health
+    from .platform.serving import LoadProfile, build_scenario
+
+    # Health always runs fully instrumented: exemplar trace ids in the
+    # stage-latency histograms only exist when tracing is on.
+    obs = Obs.enabled()
+    slo = SLOMonitor(obs, default_serving_slos())
+    scenario = build_scenario(
+        seed=args.seed,
+        docs=args.docs,
+        domain=args.domain,
+        num_shards=args.shards,
+        num_nodes=args.nodes,
+        replication=min(args.replication, args.nodes),
+        chaos_seed=args.chaos_seed,
+        profile=LoadProfile(requests=args.requests),
+        obs=obs,
+        batches=args.batches,
+        slo=slo,
+    )
+    scenario.run()
+    snapshot = health_snapshot(
+        obs,
+        router=scenario.router,
+        live_indexer=scenario.live_indexer,
+        slo=slo,
+    )
+    if args.json:
+        from .platform.api import ok_envelope
+
+        out.write(json.dumps(ok_envelope(snapshot), indent=2, sort_keys=True) + "\n")
+    else:
+        out.write(render_health(snapshot) + "\n")
+    _emit_obs(args, obs, out)
+    return 0
+
+
 def cmd_trace(args: argparse.Namespace, out: IO[str]) -> int:
     """Re-render a JSONL observability dump on the console."""
     from .obs import read_trace, render_dump, render_span_tree
@@ -605,6 +684,8 @@ def main(argv: list[str] | None = None, out: IO[str] | None = None, stdin: IO[st
         return cmd_platform(args, out)
     if args.command == "serve":
         return cmd_serve(args, out)
+    if args.command == "health":
+        return cmd_health(args, out)
     if args.command == "trace":
         return cmd_trace(args, out)
     if args.command == "lint":

@@ -129,6 +129,27 @@ class SentimentAnalyzer:
         ).inc()
         return parse
 
+    def publish_memo_metrics(self, splitter: SentenceSplitter | None = None) -> None:
+        """Mirror the nlp-layer memo counters into the metrics registry.
+
+        The nlp package sits below obs in the import order (ARCH001), so
+        the memo classes keep plain integer counters; the analyzer owns
+        the registry handle and republishes them as ``nlp.memo_*``
+        series labelled by memo.  Callers that split with their own
+        :class:`SentenceSplitter` (the miner does) pass it in so the
+        ``split`` series reflects the memo actually on the hot path.
+        """
+        metrics = self._obs.metrics
+        stats_by_memo = {
+            "split": (splitter or self._splitter).memo_stats(),
+            "tag": self._tagger.memo_stats(),
+            "parse": self._parse_memo.memo_stats(),
+        }
+        for memo, stats in stats_by_memo.items():
+            metrics.counter("nlp.memo_hits", memo=memo).set(stats["hits"])
+            metrics.counter("nlp.memo_misses", memo=memo).set(stats["misses"])
+            metrics.counter("nlp.memo_evictions", memo=memo).set(stats["evictions"])
+
     def _spotter_for(self, subjects: list[Subject]) -> SubjectSpotter:
         """A compiled spotter for *subjects*, cached per subject tuple."""
         key = tuple(subjects)
@@ -208,6 +229,7 @@ class SentimentAnalyzer:
             if self._obs.audit.enabled:
                 for judgment in judgments:
                     self._audit_judgment(judgment)
+            self.publish_memo_metrics()
             return judgments
 
     def analyze_batch(
@@ -240,6 +262,7 @@ class SentimentAnalyzer:
                 for judgments in results:
                     for judgment in judgments:
                         self._audit_judgment(judgment)
+            self.publish_memo_metrics()
             return results
 
     def _judge_sentences(

@@ -404,6 +404,7 @@ class SentimentMiner:
         """Mirror the run's :class:`MiningStats` into the metrics registry."""
         metrics = self._obs.metrics
         stats = result.stats
+        self._analyzer.publish_memo_metrics(self._splitter)
         metrics.counter("miner.documents").inc(stats.documents)
         metrics.counter("miner.sentences").inc(stats.sentences)
         metrics.counter("miner.spots_found").inc(stats.spots_found)

@@ -126,10 +126,21 @@ class ParseMemo:
         self._cache: OrderedDict[Signature, tuple[_ClauseSkeleton, ...]] = OrderedDict()
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     @property
     def maxsize(self) -> int:
         return self._maxsize
+
+    def memo_stats(self) -> dict[str, int]:
+        """Plain counters for registry mirroring (nlp stays obs-free)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "size": len(self._cache),
+            "maxsize": self._maxsize,
+        }
 
     def __len__(self) -> int:
         return len(self._cache)
@@ -162,4 +173,5 @@ class ParseMemo:
         )
         if len(self._cache) > self._maxsize:
             self._cache.popitem(last=False)
+            self.evictions += 1
         return parse, False

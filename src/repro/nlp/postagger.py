@@ -132,8 +132,21 @@ class PosTagger:
         self._verb_bases.update(w for w, t in self._open.items() if t == "VB")
         self._memo_size = memo_size
         self._tag_memo: OrderedDict[tuple[str, ...], tuple[str, ...]] = OrderedDict()
+        self.memo_hits = 0
+        self.memo_misses = 0
+        self.memo_evictions = 0
 
     # -- public API ---------------------------------------------------------
+
+    def memo_stats(self) -> dict[str, int]:
+        """Plain counters for registry mirroring (nlp stays obs-free)."""
+        return {
+            "hits": self.memo_hits,
+            "misses": self.memo_misses,
+            "evictions": self.memo_evictions,
+            "size": len(self._tag_memo),
+            "maxsize": self._memo_size,
+        }
 
     def tag(self, sentence: Sentence) -> TaggedSentence:
         """Tag one sentence."""
@@ -156,12 +169,15 @@ class PosTagger:
         key = tuple(t.text for t in tokens)
         tags = self._tag_memo.get(key)
         if tags is not None:
+            self.memo_hits += 1
             self._tag_memo.move_to_end(key)
             return tags
+        self.memo_misses += 1
         tags = self._compute_tags(tokens)
         self._tag_memo[key] = tags
         if len(self._tag_memo) > self._memo_size:
             self._tag_memo.popitem(last=False)
+            self.memo_evictions += 1
         return tags
 
     def _compute_tags(self, tokens: list[Token]) -> tuple[str, ...]:

@@ -41,6 +41,19 @@ class SentenceSplitter:
         self._tokenizer = tokenizer or Tokenizer()
         self._memo_size = memo_size
         self._memo: OrderedDict[str, list[Sentence]] = OrderedDict()
+        self.memo_hits = 0
+        self.memo_misses = 0
+        self.memo_evictions = 0
+
+    def memo_stats(self) -> dict[str, int]:
+        """Plain counters for registry mirroring (nlp stays obs-free)."""
+        return {
+            "hits": self.memo_hits,
+            "misses": self.memo_misses,
+            "evictions": self.memo_evictions,
+            "size": len(self._memo),
+            "maxsize": self._memo_size,
+        }
 
     def split(self, tokens: list[Token]) -> list[Sentence]:
         """Group *tokens* into :class:`Sentence` objects."""
@@ -69,11 +82,14 @@ class SentenceSplitter:
             return self.split(self._tokenizer.tokenize(text))
         cached = self._memo.get(text)
         if cached is None:
+            self.memo_misses += 1
             cached = self.split(self._tokenizer.tokenize(text))
             self._memo[text] = cached
             if len(self._memo) > self._memo_size:
                 self._memo.popitem(last=False)
+                self.memo_evictions += 1
         else:
+            self.memo_hits += 1
             self._memo.move_to_end(text)
         return [Sentence(list(s.tokens), index=s.index) for s in cached]
 

@@ -28,6 +28,13 @@ from .audit import (
     NullAuditTrail,
 )
 from .clock import SimClock
+from .context import (
+    ROOT,
+    TRACE_KEY,
+    TraceContext,
+    extract_context,
+    with_trace,
+)
 from .export import (
     TraceDump,
     dump_records,
@@ -47,6 +54,14 @@ from .metrics import (
     MetricsRegistry,
     format_series,
     validate_metric_name,
+)
+from .health import health_snapshot, render_health
+from .slo import (
+    AlertEvent,
+    BurnWindow,
+    SLOMonitor,
+    SLOSpec,
+    default_serving_slos,
 )
 from .tracer import NULL_TRACER, NullTracer, Span, Tracer, walk
 
@@ -104,8 +119,10 @@ class Obs:
 
 
 __all__ = [
+    "AlertEvent",
     "AuditEntry",
     "AuditTrail",
+    "BurnWindow",
     "Counter",
     "DEFAULT_BUCKETS",
     "Gauge",
@@ -117,18 +134,28 @@ __all__ = [
     "NullAuditTrail",
     "NullTracer",
     "Obs",
+    "ROOT",
+    "SLOMonitor",
+    "SLOSpec",
     "SimClock",
     "Span",
+    "TRACE_KEY",
+    "TraceContext",
     "TraceDump",
     "Tracer",
+    "default_serving_slos",
     "dump_records",
+    "extract_context",
     "format_series",
+    "health_snapshot",
     "read_trace",
     "render_audit",
     "render_dump",
+    "render_health",
     "render_metric_records",
     "render_span_tree",
     "validate_metric_name",
     "walk",
+    "with_trace",
     "write_trace",
 ]

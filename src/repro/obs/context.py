@@ -1,0 +1,90 @@
+"""Deterministic trace-context propagation across Vinci envelopes.
+
+A :class:`TraceContext` is the wire form of "where in which trace am I":
+the ``trace_id`` of the request's trace and the ``span_id`` of the span
+that should become the parent on the far side of a bus hop.  Both ids
+come from seeded per-tracer counters (no wall clock, no process RNG), so
+the same scenario seed always produces the same ids — traces are as
+replayable as the runs they describe.
+
+Payloads carry the context under :data:`TRACE_KEY`; :func:`with_trace`
+injects it and :func:`extract_context` recovers it.  Handlers that open
+spans pass the extracted context as ``tracer.span(..., parent=ctx)`` so
+the remote span joins the caller's trace instead of starting a new one.
+
+:data:`ROOT` is a sentinel "parent": ``tracer.span(..., parent=ROOT)``
+forces a fresh root span with a new trace_id even when other spans are
+open — used by the serving router (one trace per request) and by
+background work (ingest increments, seals, compactions) that must not
+inherit whatever trace happens to be on the stack.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, NamedTuple
+
+#: Payload key under which the wire form of a TraceContext travels.
+TRACE_KEY = "trace"
+
+
+class TraceContext(NamedTuple):
+    """Immutable (trace_id, span_id) pair identifying a position in a trace.
+
+    A NamedTuple rather than a frozen dataclass: one is built per bus
+    hop and per ``current_context`` read on the serving hot path, and
+    tuple construction is several times cheaper than frozen-dataclass
+    ``object.__setattr__`` initialisation.
+    """
+
+    trace_id: int
+    span_id: int
+
+    def to_wire(self) -> dict[str, int]:
+        """The JSON-safe payload form stored under :data:`TRACE_KEY`."""
+        return {"trace_id": self.trace_id, "span_id": self.span_id}
+
+    @classmethod
+    def from_wire(cls, record: Any) -> "TraceContext | None":
+        """Parse a wire form; ``None`` for anything malformed or empty."""
+        if type(record) is not dict and not isinstance(record, Mapping):
+            return None
+        trace_id = record.get("trace_id")
+        span_id = record.get("span_id")
+        if type(trace_id) is not int or type(span_id) is not int:
+            if not isinstance(trace_id, int) or not isinstance(span_id, int):
+                return None
+        if trace_id <= 0 or span_id <= 0:
+            return None
+        return cls(trace_id=trace_id, span_id=span_id)
+
+
+#: Sentinel parent: force a new root span in a brand-new trace.
+ROOT = TraceContext(trace_id=0, span_id=0)
+
+
+def with_trace(
+    payload: Mapping[str, Any], ctx: TraceContext | None
+) -> dict[str, Any]:
+    """Return a copy of *payload* carrying *ctx* under :data:`TRACE_KEY`.
+
+    A ``None`` or :data:`ROOT` context yields a plain copy without the
+    key — callers can thread ``tracer.current_context`` unconditionally
+    and disabled tracing (NullTracer) degrades to an untraced payload.
+    """
+    out = dict(payload)
+    if ctx is None or ctx is ROOT or ctx.trace_id <= 0:
+        out.pop(TRACE_KEY, None)
+        return out
+    out[TRACE_KEY] = ctx.to_wire()
+    return out
+
+
+def extract_context(payload: Any) -> TraceContext | None:
+    """Recover the TraceContext from a bus payload, if one was threaded."""
+    # Payloads are plain dicts on the hot path; dodge the ABC isinstance.
+    if type(payload) is not dict and not isinstance(payload, Mapping):
+        return None
+    record = payload.get(TRACE_KEY)
+    if record is None:
+        return None
+    return TraceContext.from_wire(record)

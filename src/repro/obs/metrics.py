@@ -87,9 +87,15 @@ class Gauge:
 
 
 class Histogram:
-    """Fixed-bucket histogram (cumulative counts, like Prometheus)."""
+    """Fixed-bucket histogram (cumulative counts, like Prometheus).
 
-    __slots__ = ("buckets", "bucket_counts", "count", "sum")
+    Each bucket keeps one *exemplar*: the trace_id of the most recent
+    observation that landed in it (0 when none, or when the caller
+    traced nothing).  That links a slow percentile to one concrete
+    trace in the JSONL dump without storing per-observation data.
+    """
+
+    __slots__ = ("buckets", "bucket_counts", "count", "sum", "exemplars")
     kind = "histogram"
 
     def __init__(self, buckets: tuple[float, ...] = DEFAULT_BUCKETS):
@@ -97,21 +103,51 @@ class Histogram:
             raise ValueError("histogram buckets must be a sorted non-empty sequence")
         self.buckets = tuple(float(b) for b in buckets)
         self.bucket_counts = [0] * (len(self.buckets) + 1)  # +inf tail
+        self.exemplars = [0] * (len(self.buckets) + 1)
         self.count = 0
         self.sum = 0.0
 
-    def observe(self, value: float) -> None:
+    def observe(self, value: float, trace_id: int = 0) -> None:
         self.count += 1
         self.sum += value
+        index = len(self.buckets)
         for i, bound in enumerate(self.buckets):
             if value <= bound:
-                self.bucket_counts[i] += 1
-                return
-        self.bucket_counts[-1] += 1
+                index = i
+                break
+        self.bucket_counts[index] += 1
+        if trace_id:
+            self.exemplars[index] = trace_id
 
     @property
     def mean(self) -> float:
         return self.sum / self.count if self.count else 0.0
+
+    def quantile_bound(self, q: float) -> float:
+        """Smallest bucket upper bound covering quantile *q* (inf if tail)."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be in [0, 1]")
+        if self.count == 0:
+            return 0.0
+        target = q * self.count
+        cumulative = 0
+        for bound, bucket in zip(self.buckets, self.bucket_counts):
+            cumulative += bucket
+            if cumulative >= target:
+                return bound
+        return float("inf")
+
+    def exemplar_for_quantile(self, q: float) -> int:
+        """Trace id exemplar of the bucket holding quantile *q* (0 if none)."""
+        if self.count == 0:
+            return 0
+        target = q * self.count
+        cumulative = 0
+        for i, bucket in enumerate(self.bucket_counts):
+            cumulative += bucket
+            if cumulative >= target:
+                return self.exemplars[i]
+        return self.exemplars[-1]
 
     def snapshot(self) -> dict[str, float]:
         out: dict[str, float] = {"count": self.count, "sum": self.sum}
@@ -209,6 +245,8 @@ class MetricsRegistry:
                 record["sum"] = instrument.sum
                 record["buckets"] = list(instrument.buckets)
                 record["bucket_counts"] = list(instrument.bucket_counts)
+                if any(instrument.exemplars):
+                    record["exemplars"] = list(instrument.exemplars)
             else:
                 record["value"] = instrument.value
             records.append(record)
@@ -232,6 +270,8 @@ class MetricsRegistry:
                 mine.sum += instrument.sum
                 for i, c in enumerate(instrument.bucket_counts):
                     mine.bucket_counts[i] += c
+                    if instrument.exemplars[i]:
+                        mine.exemplars[i] = instrument.exemplars[i]
 
     def render(self) -> str:
         """Human-readable metric dump, one series per line."""

@@ -14,28 +14,106 @@ is what makes tracing zero-cost when disabled.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Any, Iterator
 
-from .clock import SimClock
+from .clock import TICK, SimClock
+from .context import ROOT, TraceContext
 
 #: Span status values.
 OK = "ok"
 ERROR = "error"
 
 
-@dataclass
 class Span:
-    """One timed operation; ``parent_id`` links spans into a tree."""
+    """One timed operation; ``parent_id`` links spans into a tree.
 
-    name: str
-    span_id: int
-    parent_id: int | None
-    start: float
-    end: float | None = None
-    status: str = OK
-    error: str = ""
-    attributes: dict[str, Any] = field(default_factory=dict)
+    A live span is its own context manager: ``__exit__`` records the
+    error status (if any) and hands the span back to its tracer.  This
+    is a deliberately plain ``__slots__`` class — span creation is the
+    tracer's hot path, and the enabled-mode overhead budget
+    (``benchmarks/bench_obs_overhead.py``) leaves no room for dataclass
+    machinery or a separate context-manager allocation per span.
+    """
+
+    __slots__ = (
+        "name",
+        "span_id",
+        "parent_id",
+        "start",
+        "end",
+        "status",
+        "error",
+        "attributes",
+        "trace_id",
+        "_tracer",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        span_id: int,
+        parent_id: int | None,
+        start: float,
+        end: float | None = None,
+        status: str = OK,
+        error: str = "",
+        attributes: dict[str, Any] | None = None,
+        trace_id: int = 0,
+    ):
+        self.name = name
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.start = start
+        self.end = end
+        self.status = status
+        self.error = error
+        self.attributes = {} if attributes is None else attributes
+        self.trace_id = trace_id
+        self._tracer: "Tracer" | None = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Span({self.name!r}, span_id={self.span_id}, "
+            f"trace_id={self.trace_id}, parent_id={self.parent_id})"
+        )
+
+    def _key(self) -> tuple:
+        return (
+            self.name,
+            self.span_id,
+            self.parent_id,
+            self.start,
+            self.end,
+            self.status,
+            self.error,
+            self.attributes,
+            self.trace_id,
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Span):
+            return NotImplemented
+        return self._key() == other._key()
+
+    # Value-equal like the dataclass it replaced, hence unhashable.
+    __hash__ = None  # type: ignore[assignment]
+
+    def __enter__(self) -> "Span":
+        return self
+
+    def __exit__(self, exc_type, exc, _tb) -> bool:
+        if exc_type is not None:
+            self.status = ERROR
+            self.error = f"{exc_type.__name__}: {exc}"
+        tracer = self._tracer
+        self.end = tracer.clock._now
+        # Pop through abandoned children so an exception cannot leave
+        # the stack pointing at a finished span.
+        stack = tracer._stack
+        while stack:
+            if stack.pop() is self:
+                break
+        return False
 
     def set_attribute(self, key: str, value: Any) -> None:
         self.attributes[key] = value
@@ -48,9 +126,15 @@ class Span:
     def finished(self) -> bool:
         return self.end is not None
 
+    @property
+    def context(self) -> TraceContext:
+        """This span's position as a propagatable :class:`TraceContext`."""
+        return TraceContext(trace_id=self.trace_id, span_id=self.span_id)
+
     def to_record(self) -> dict[str, Any]:
         return {
             "type": "span",
+            "trace_id": self.trace_id,
             "span_id": self.span_id,
             "parent_id": self.parent_id,
             "name": self.name,
@@ -66,6 +150,7 @@ class Span:
         return cls(
             name=record["name"],
             span_id=record["span_id"],
+            trace_id=record.get("trace_id", 0),
             parent_id=record.get("parent_id"),
             start=record.get("start", 0.0),
             end=record.get("end"),
@@ -73,26 +158,6 @@ class Span:
             error=record.get("error", ""),
             attributes=dict(record.get("attributes", {})),
         )
-
-
-class _SpanContext:
-    """Context manager binding one live span to its tracer's stack."""
-
-    __slots__ = ("_tracer", "span")
-
-    def __init__(self, tracer: "Tracer", span: Span):
-        self._tracer = tracer
-        self.span = span
-
-    def __enter__(self) -> Span:
-        return self.span
-
-    def __exit__(self, exc_type, exc, _tb) -> bool:
-        if exc_type is not None:
-            self.span.status = ERROR
-            self.span.error = f"{exc_type.__name__}: {exc}"
-        self._tracer._finish(self.span)
-        return False
 
 
 class Tracer:
@@ -105,36 +170,72 @@ class Tracer:
         self._spans: list[Span] = []
         self._stack: list[Span] = []
         self._next_id = 1
+        self._next_trace_id = 1
 
     # -- span lifecycle ---------------------------------------------------------
 
-    def span(self, name: str, **attributes: Any) -> _SpanContext:
-        """Open a child of the current span (or a new root)."""
-        self.clock.tick()
-        span = Span(
-            name=name,
-            span_id=self._next_id,
-            parent_id=self._stack[-1].span_id if self._stack else None,
-            start=self.clock.now,
-            attributes=attributes,
-        )
+    def span(
+        self,
+        name: str,
+        parent: TraceContext | None = None,
+        **attributes: Any,
+    ) -> Span:
+        """Open a child of the current span (or a new root).
+
+        ``parent`` overrides stack-based nesting: an explicit
+        :class:`TraceContext` (extracted from a bus payload) parents the
+        span into the remote caller's trace; the :data:`ROOT` sentinel
+        forces a fresh root span in a brand-new trace regardless of what
+        is on the stack.  With ``parent=None`` (the default) the span
+        nests under the current stack top, inheriting its trace_id, or
+        starts a new trace when the stack is empty.
+        """
+        stack = self._stack
+        if parent is ROOT:
+            parent_id: int | None = None
+            trace_id = self._next_trace_id
+            self._next_trace_id += 1
+        elif parent is not None:
+            parent_id = parent.span_id
+            trace_id = parent.trace_id
+        elif stack:
+            top = stack[-1]
+            parent_id = top.span_id
+            trace_id = top.trace_id
+        else:
+            parent_id = None
+            trace_id = self._next_trace_id
+            self._next_trace_id += 1
+        # Hot path: build the span by direct slot assignment rather than
+        # through __init__ — this runs for every span of every traced
+        # request and is what the bench-obs overhead gate measures.
+        clock = self.clock
+        clock._now = start = clock._now + TICK
+        span = Span.__new__(Span)
+        span.name = name
+        span.span_id = self._next_id
+        span.parent_id = parent_id
+        span.start = start
+        span.end = None
+        span.status = OK
+        span.error = ""
+        span.attributes = attributes
+        span.trace_id = trace_id
+        span._tracer = self
         self._next_id += 1
         self._spans.append(span)
-        self._stack.append(span)
-        return _SpanContext(self, span)
-
-    def _finish(self, span: Span) -> None:
-        span.end = self.clock.now
-        # Pop through abandoned children so an exception cannot leave the
-        # stack pointing at a finished span.
-        while self._stack:
-            top = self._stack.pop()
-            if top is span:
-                break
+        stack.append(span)
+        return span
 
     @property
     def current(self) -> Span | None:
         return self._stack[-1] if self._stack else None
+
+    @property
+    def current_context(self) -> TraceContext | None:
+        """The stack top as a propagatable context (``None`` outside spans)."""
+        top = self._stack[-1] if self._stack else None
+        return top.context if top is not None else None
 
     # -- introspection ----------------------------------------------------------
 
@@ -155,6 +256,7 @@ class Tracer:
         self._spans.clear()
         self._stack.clear()
         self._next_id = 1
+        self._next_trace_id = 1
 
 
 class _NullSpan:
@@ -164,12 +266,14 @@ class _NullSpan:
     name = ""
     span_id = 0
     parent_id = None
+    trace_id = 0
     start = 0.0
     end = 0.0
     status = OK
     error = ""
     duration = 0.0
     finished = True
+    context = ROOT
 
     @property
     def attributes(self) -> dict[str, Any]:
@@ -194,11 +298,20 @@ class NullTracer:
     enabled = False
     clock = SimClock()
 
-    def span(self, name: str, **attributes: Any) -> _NullSpan:
+    def span(
+        self,
+        name: str,
+        parent: TraceContext | None = None,
+        **attributes: Any,
+    ) -> _NullSpan:
         return NULL_SPAN
 
     @property
     def current(self) -> None:
+        return None
+
+    @property
+    def current_context(self) -> None:
         return None
 
     def spans(self) -> list[Span]:

@@ -37,6 +37,7 @@ from dataclasses import dataclass, field
 from typing import TypeVar
 
 from ..obs import Obs
+from ..obs.context import with_trace
 from .datastore import DataStore
 from .faults import FaultPlan
 from .miners import CorpusMiner, MinerPipeline, PipelineReport
@@ -389,7 +390,12 @@ class Cluster:
         with self._obs.tracer.span("cluster.ack", node=node.node_id) as span:
             self._obs.clock.advance(MESSAGE_COST)
             try:
-                self._bus.request(COORDINATOR_SERVICE, {"node": node.node_id})
+                self._bus.request(
+                    COORDINATOR_SERVICE,
+                    with_trace(
+                        {"node": node.node_id}, self._obs.tracer.current_context
+                    ),
+                )
             except VinciError as exc:
                 # The ack is bookkeeping; the node's results already live in
                 # the store, so a lost ack degrades nothing.

@@ -21,6 +21,8 @@ import abc
 from dataclasses import dataclass, field
 from typing import Any, Iterable, Iterator
 
+from ..obs import Obs
+from ..obs.context import ROOT
 from .datastore import DataStore
 from .entity import Entity
 
@@ -274,8 +276,9 @@ class IngestionManager:
     indexing.
     """
 
-    def __init__(self, store: DataStore):
+    def __init__(self, store: DataStore, obs: Obs | None = None):
         self._store = store
+        self._obs = obs if obs is not None else Obs.default()
         self._sources: list[Source] = []
         self._delta_sources: list[DeltaSource] = []
 
@@ -313,20 +316,35 @@ class IngestionManager:
         Returns the concatenated deltas (source registration order, each
         source's delivery order preserved) plus per-source counts.  An
         empty delta list means every source is currently drained.
+
+        Each increment is its own root trace (``ingest.increment``), and
+        the documents applied per source are counted in the
+        ``ingest.docs`` series (deletes in ``ingest.deletes``).
         """
         report = IngestionReport()
         batch: list[DocumentDelta] = []
-        for source in self._delta_sources:
-            deltas = source.poll(max_deltas)
-            for delta in deltas:
-                if delta.kind == DELTA_DELETE:
-                    self._store.delete(delta.entity_id)
-                else:
-                    self._store.store(delta.entity)
-            report.per_source[source.name] = (
-                report.per_source.get(source.name, 0) + len(deltas)
-            )
-            batch.extend(deltas)
-        if batch:
-            self._store.flush()
+        metrics = self._obs.metrics
+        with self._obs.tracer.span("ingest.increment", parent=ROOT) as span:
+            for source in self._delta_sources:
+                deltas = source.poll(max_deltas)
+                docs = 0
+                deletes = 0
+                for delta in deltas:
+                    if delta.kind == DELTA_DELETE:
+                        self._store.delete(delta.entity_id)
+                        deletes += 1
+                    else:
+                        self._store.store(delta.entity)
+                        docs += 1
+                if docs:
+                    metrics.counter("ingest.docs", source=source.name).inc(docs)
+                if deletes:
+                    metrics.counter("ingest.deletes", source=source.name).inc(deletes)
+                report.per_source[source.name] = (
+                    report.per_source.get(source.name, 0) + len(deltas)
+                )
+                batch.extend(deltas)
+            span.set_attribute("deltas", len(batch))
+            if batch:
+                self._store.flush()
         return batch, report

@@ -37,6 +37,8 @@ from typing import TYPE_CHECKING, Iterable
 from ..core.miner import SentimentMiner
 from ..core.model import Polarity
 from ..obs import Obs
+from ..obs.audit import AuditEntry
+from ..obs.context import ROOT
 from .entity import Entity
 from .indexer import InvertedIndex, SentimentEntry, SentimentIndex
 from .ingestion import DELTA_DELETE, DocumentDelta
@@ -50,6 +52,9 @@ SEAL_COST_PER_DOC = 0.01
 
 #: Simulated cost charged per document rewritten by a compaction merge.
 COMPACT_COST_PER_DOC = 0.002
+
+#: Audit-entry kind recorded for every compaction decision.
+AUDIT_KIND_COMPACTION = "compaction"
 
 
 @dataclass(frozen=True)
@@ -375,8 +380,11 @@ class LiveIndexer:
         self._obs = obs if obs is not None else Obs.default()
         self._policy = policy or CompactionPolicy()
         self._lag = self._obs.metrics.histogram("ingest.freshness_lag")
+        self._ingest_lag = self._obs.metrics.histogram("ingest.lag")
         self._docs = self._obs.metrics.counter("ingest.documents_indexed")
         self._compactions = self._obs.metrics.counter("segments.compactions")
+        self._compaction_runs = self._obs.metrics.counter("compaction.runs")
+        self._compaction_docs = self._obs.metrics.counter("compaction.merged_docs")
         self.batches_applied = 0
         self.documents_indexed = 0
 
@@ -384,19 +392,38 @@ class LiveIndexer:
     def index(self):
         return self._index
 
+    @property
+    def policy(self) -> CompactionPolicy:
+        return self._policy
+
     def apply_batch(self, deltas: list[DocumentDelta]) -> dict[str, float | int]:
-        """Seal, absorb and maybe compact one batch; returns batch stats."""
+        """Seal, absorb and maybe compact one batch; returns batch stats.
+
+        Each batch is its own root trace (``ingest.batch``): background
+        index maintenance must never be attributed to whatever request
+        trace happens to be open, and the segment id on the span links
+        the trace to the segment it produced.
+        """
         obs = self._obs
         started_at = obs.clock.now
-        segment = self._delta_indexer.index_batch(deltas)
-        version = self._index.absorb(segment)
-        queryable_at = obs.clock.now
-        lag = queryable_at - started_at
-        self._lag.observe(lag)
-        self._docs.inc(segment.stats.documents)
-        self.batches_applied += 1
-        self.documents_indexed += segment.stats.documents
-        merged = self._maybe_compact()
+        with obs.tracer.span(
+            "ingest.batch", parent=ROOT, deltas=len(deltas)
+        ) as batch_span:
+            segment = self._delta_indexer.index_batch(deltas)
+            batch_span.set_attribute("segment_id", segment.segment_id)
+            with obs.tracer.span(
+                "segment.absorb", segment_id=segment.segment_id
+            ) as absorb_span:
+                version = self._index.absorb(segment)
+                absorb_span.set_attribute("version", version)
+            queryable_at = obs.clock.now
+            lag = queryable_at - started_at
+            self._lag.observe(lag)
+            self._ingest_lag.observe(lag, trace_id=batch_span.trace_id)
+            self._docs.inc(segment.stats.documents)
+            self.batches_applied += 1
+            self.documents_indexed += segment.stats.documents
+            merged = self._maybe_compact()
         return {
             "version": version,
             "documents": segment.stats.documents,
@@ -407,11 +434,46 @@ class LiveIndexer:
         }
 
     def _maybe_compact(self) -> int:
-        """Background merge: compact when any replica's log grows too long."""
-        if not self._policy.should_compact(self._index.max_segment_count()):
+        """Background merge: compact when any replica's log grows too long.
+
+        Every time the policy trips, the decision and its outcome are
+        recorded in the audit trail: the trigger (longest segment log vs
+        the policy ceiling), the pin floor compaction may merge up to,
+        and whether anything was actually mergeable below that floor.
+        """
+        obs = self._obs
+        segment_count = self._index.max_segment_count()
+        if not self._policy.should_compact(segment_count):
             return 0
-        merged, rewritten = self._index.compact()
+        floor = self._index.compaction_floor()
+        pins = self._index.active_pins()
+        with obs.tracer.span(
+            "segment.compact", segments=segment_count, floor=floor
+        ) as span:
+            merged, rewritten = self._index.compact()
+            span.set_attribute("merged", merged)
+            span.set_attribute("rewritten", rewritten)
+            if merged:
+                obs.clock.advance(self._policy.cost_per_doc * rewritten)
+        obs.audit.record(
+            AuditEntry(
+                kind=AUDIT_KIND_COMPACTION,
+                subject=f"segments:{segment_count}",
+                decision="ran" if merged else "blocked",
+                reason=(
+                    f"segment log {segment_count} exceeds policy max "
+                    f"{self._policy.max_segments}"
+                ),
+                detail=(
+                    ("floor", floor),
+                    ("merged", merged),
+                    ("pins", {str(v): n for v, n in sorted(pins.items())}),
+                    ("rewritten", rewritten),
+                ),
+            )
+        )
         if merged:
             self._compactions.inc()
-            self._obs.clock.advance(self._policy.cost_per_doc * rewritten)
+            self._compaction_runs.inc()
+            self._compaction_docs.inc(rewritten)
         return merged

@@ -23,7 +23,7 @@ from typing import Any
 
 from ...core import SentimentMiner, Subject
 from ...corpora import DOMAINS, ReviewGenerator
-from ...obs import Obs
+from ...obs import Obs, SLOMonitor
 from ..api import validate_envelope
 from ..datastore import DataStore
 from ..entity import Entity
@@ -92,6 +92,9 @@ class LoadGenerator:
         self._queries = list(queries)
         self._rng = random.Random(seed)
         self.profile = profile or LoadProfile()
+        #: Every (request, envelope) pair from the most recent run() —
+        #: the trace-completeness gate audits these against the span dump.
+        self.last_outcomes: list[tuple[Any, dict[str, Any]]] = []
 
     def _draw_request(self):
         profile = self.profile
@@ -128,6 +131,11 @@ class LoadGenerator:
                 if immediate is not None:
                     outcomes.append((request, immediate))
             outcomes.extend(self._router.drain())
+            # Burn rates are re-evaluated once per drained burst: bursts
+            # are the closed-loop clock ticks alerts can fire on.
+            if self._router.slo is not None:
+                self._router.slo.evaluate()
+        self.last_outcomes = list(outcomes)
         return self._report(outcomes)
 
     def _report(
@@ -152,7 +160,7 @@ class LoadGenerator:
                     late += 1
         served = by_status.get(STATUS_OK, 0) + by_status.get(STATUS_DEGRADED, 0)
         metrics = self._router.obs.metrics
-        return {
+        report = {
             "requests": total,
             "responses_by_status": dict(sorted(by_status.items())),
             "availability": served / total if total else 0.0,
@@ -166,8 +174,12 @@ class LoadGenerator:
             "malformed_responses": malformed,
             "hedges": int(metrics.counter("serving.hedges").value),
             "hedge_wins": int(metrics.counter("serving.hedge_wins").value),
+            "failovers": int(metrics.counter("serving.failovers").value),
             "breakers": self._router.breaker_snapshots(),
         }
+        if self._router.slo is not None:
+            report["slo"] = self._router.slo.status_snapshot()
+        return report
 
 
 @dataclass
@@ -179,6 +191,7 @@ class ServingScenario:
     plan: FaultPlan | None
     obs: Obs
     chaos_seed: int | None
+    live_indexer: LiveIndexer | None = None
 
     def run(self) -> dict[str, Any]:
         report = self.generator.run()
@@ -213,6 +226,7 @@ def build_scenario(
     obs: Obs | None = None,
     batches: int | None = None,
     compaction: CompactionPolicy | None = None,
+    slo: SLOMonitor | None = None,
 ) -> ServingScenario:
     """Mine a synthetic corpus, shard it, and wire the front door.
 
@@ -256,6 +270,7 @@ def build_scenario(
         Entity(entity_id=d.doc_id, content=d.text) for d in documents
     )
     index = ReplicatedIndex(num_shards, num_nodes, replication=replication)
+    live: LiveIndexer | None = None
     if batches is None:
         result = miner.mine_corpus((d.doc_id, d.text) for d in documents)
         index.add_judgments(result.polar_judgments())
@@ -281,7 +296,9 @@ def build_scenario(
         ]
         size = max(1, -(-len(deltas) // batches))  # ceil division
         for start in range(0, len(deltas), size):
-            live.apply_batch(deltas[start : start + size])
+            stats = live.apply_batch(deltas[start : start + size])
+            if slo is not None:
+                slo.record_freshness(stats["freshness_lag"])
 
     # No bus-level retry policy: the router does explicit replica failover,
     # and breaker-gated fast-fails must not consume a retry budget.
@@ -295,6 +312,7 @@ def build_scenario(
         queue_limit=queue_limit,
         breaker_cooldown=breaker_cooldown,
         latency_seed=seed,
+        slo=slo,
     )
     query_subjects = [s.canonical for s in subjects]
     queries = [
@@ -316,4 +334,5 @@ def build_scenario(
         plan=plan,
         obs=obs,
         chaos_seed=chaos_seed,
+        live_indexer=live,
     )

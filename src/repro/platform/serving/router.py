@@ -37,6 +37,8 @@ from typing import Any
 
 from ...core.model import Polarity
 from ...obs import Obs
+from ...obs.context import ROOT, extract_context, with_trace
+from ...obs.slo import SLOMonitor
 from ..api import (
     ERR_BAD_CURSOR,
     ERR_BAD_REQUEST,
@@ -172,31 +174,44 @@ class NodeIndexService:
 
         The read goes through a :class:`~repro.platform.segments.ReplicaSnapshot`
         at the version the router pinned for the request, so an absorb or
-        compaction racing the read never produces a torn view.
+        compaction racing the read never produces a torn view.  The span
+        joins the caller's trace: in-process the bus's ``vinci.attempt``
+        span is already on the stack; invoked out-of-band, the context
+        threaded into the payload supplies the parent instead.
         """
-        if (
-            self._fault_plan is not None
-            and self._fault_plan.node_death(self.node_id) is not None
+        parent = (
+            extract_context(payload) if self._obs.tracer.current is None else None
+        )
+        with self._obs.tracer.span(
+            "serving.node_read",
+            parent=parent,
+            node=self.node_id,
+            op=payload.get("op", ""),
+            shard=payload.get("shard"),
         ):
-            raise VinciError(f"node {self.node_id} is dead")
-        deadline = Deadline(self._obs.clock, float(payload.get("budget", 0.0)))
-        op = payload.get("op", "")
-        shard_id = payload.get("shard")
-        replica = self._replicas.get(shard_id)
-        if replica is None:
-            raise VinciError(
-                f"node {self.node_id} hosts no replica of shard {shard_id!r}"
-            )
-        snapshot = replica.view(payload.get("version"))
-        if op == "counts":
-            return self.answer_counts(snapshot, payload, deadline)
-        if op == "sentences":
-            return self.answer_sentences(snapshot, payload, deadline)
-        if op == "subjects":
-            return self.answer_subjects(snapshot, payload, deadline)
-        if op == "search":
-            return self.answer_search(snapshot, payload, deadline)
-        raise VinciError(f"unknown serving op {op!r}")
+            if (
+                self._fault_plan is not None
+                and self._fault_plan.node_death(self.node_id) is not None
+            ):
+                raise VinciError(f"node {self.node_id} is dead")
+            deadline = Deadline(self._obs.clock, float(payload.get("budget", 0.0)))
+            op = payload.get("op", "")
+            shard_id = payload.get("shard")
+            replica = self._replicas.get(shard_id)
+            if replica is None:
+                raise VinciError(
+                    f"node {self.node_id} hosts no replica of shard {shard_id!r}"
+                )
+            snapshot = replica.view(payload.get("version"))
+            if op == "counts":
+                return self.answer_counts(snapshot, payload, deadline)
+            if op == "sentences":
+                return self.answer_sentences(snapshot, payload, deadline)
+            if op == "subjects":
+                return self.answer_subjects(snapshot, payload, deadline)
+            if op == "search":
+                return self.answer_search(snapshot, payload, deadline)
+            raise VinciError(f"unknown serving op {op!r}")
 
     # -- per-op answers (each accepts and honours the propagated Deadline) ------
 
@@ -271,6 +286,7 @@ class ServingRouter:
         latency_seed: int = 0,
         latency_model: LatencyModel | None = None,
         request_overhead: float = 0.01,
+        slo: SLOMonitor | None = None,
     ):
         if queue_limit < 1:
             raise ValueError("queue_limit must be positive")
@@ -301,12 +317,15 @@ class ServingRouter:
         # fully-open fleet would freeze the clock and never recover).
         self._request_overhead = max(0.0, request_overhead)
         self._next_request_id = 1
+        self._slo = slo
         metrics = self._obs.metrics
         self._queue_depth = metrics.gauge("serving.queue_depth")
         self._queue_wait = metrics.histogram("serving.queue_wait")
         self._latency_hist = metrics.histogram("serving.latency")
+        self._request_latency = metrics.histogram("serving.request_latency")
         self._hedges = metrics.counter("serving.hedges")
         self._hedge_wins = metrics.counter("serving.hedge_wins")
+        self._failovers = metrics.counter("serving.failovers")
         for node_id in range(index.num_nodes):
             service = NodeIndexService(node_id, index, store, self._obs, fault_plan)
             bus.register(node_service(node_id), service.handle)
@@ -334,6 +353,10 @@ class ServingRouter:
     @property
     def queue_depth(self) -> int:
         return len(self._queue)
+
+    @property
+    def slo(self) -> SLOMonitor | None:
+        return self._slo
 
     def breaker(self, service: str) -> CircuitBreaker:
         return self._breakers[service]
@@ -377,7 +400,7 @@ class ServingRouter:
         error, payload = self._validate(request)
         if error is not None:
             code, message = error
-            return self._finish(
+            return self._finish_rooted(
                 request, STATUS_ERROR, None, started_at=now,
                 error_code=code, message=message,
             )
@@ -396,7 +419,7 @@ class ServingRouter:
                 self._pending.append(
                     (
                         victim.request,
-                        self._finish(
+                        self._finish_rooted(
                             victim.request,
                             STATUS_SHED,
                             None,
@@ -406,7 +429,7 @@ class ServingRouter:
                     )
                 )
             else:
-                return self._finish(
+                return self._finish_rooted(
                     request,
                     STATUS_SHED,
                     None,
@@ -506,10 +529,17 @@ class ServingRouter:
 
     def _process(self, entry: _QueueEntry) -> Envelope:
         request, deadline = entry.request, entry.deadline
+        # Every request is its own trace: parent=ROOT keeps a drain loop
+        # from chaining unrelated requests under whatever span is open.
         with self._obs.tracer.span(
-            "serving.request", op=request.op, request_id=request.request_id
+            "serving.request",
+            parent=ROOT,
+            op=request.op,
+            request_id=request.request_id,
         ) as span:
-            self._queue_wait.observe(self._obs.clock.now - entry.submitted_at)
+            self._queue_wait.observe(
+                self._obs.clock.now - entry.submitted_at, trace_id=span.trace_id
+            )
             self._obs.clock.advance(self._request_overhead)
             if deadline.expired:
                 envelope = self._finish(
@@ -600,11 +630,19 @@ class ServingRouter:
                         self._hedges.inc()
                         hedged += 1
                         alt_latency = self._latency.draw(alternate.node_id)
-                        if alt_latency < latency:
-                            self._hedge_wins.inc()
-                            candidates.remove(alternate)
-                            candidates.insert(0, replica)  # cancelled, still healthy
-                            replica, latency = alternate, alt_latency
+                        with self._obs.tracer.span(
+                            "serving.hedge",
+                            shard=shard_id,
+                            primary=replica.node_id,
+                            alternate=alternate.node_id,
+                        ) as hedge_span:
+                            if alt_latency < latency:
+                                self._hedge_wins.inc()
+                                candidates.remove(alternate)
+                                # cancelled, still healthy
+                                candidates.insert(0, replica)
+                                replica, latency = alternate, alt_latency
+                            hedge_span.set_attribute("winner", replica.node_id)
                 remaining = deadline.remaining
                 if latency >= remaining:
                     # This replica cannot answer inside the budget:
@@ -614,26 +652,30 @@ class ServingRouter:
                     continue
                 self._obs.clock.advance(latency)
                 self._latency_window.append(latency)
-                self._latency_hist.observe(latency)
+                self._latency_hist.observe(latency, trace_id=span.trace_id)
                 service = node_service(replica.node_id)
                 breaker = self._breakers[service]
                 try:
                     response = self._bus.request(
                         service,
-                        {
-                            "op": op,
-                            "shard": shard_id,
-                            "budget": deadline.remaining,
-                            "version": version,
-                            **{
-                                k: v
-                                for k, v in payload.items()
-                                if k in ("subject", "polarity", "limit", "query_ast")
+                        with_trace(
+                            {
+                                "op": op,
+                                "shard": shard_id,
+                                "budget": deadline.remaining,
+                                "version": version,
+                                **{
+                                    k: v
+                                    for k, v in payload.items()
+                                    if k in ("subject", "polarity", "limit", "query_ast")
+                                },
                             },
-                        },
+                            self._obs.tracer.current_context,
+                        ),
                     )
                 except VinciError:
                     breaker.record_failure()
+                    self._failovers.inc()
                     continue  # fail over to the next replica
                 breaker.record_success()
                 span.set_attribute("node", replica.node_id)
@@ -649,10 +691,18 @@ class ServingRouter:
             return {"served": False, "data": None, "node": None, "hedged": hedged}
 
     def _next_allowed(self, candidates: list[ShardReplica]) -> ShardReplica | None:
-        """First replica whose breaker admits a request right now."""
+        """First replica whose breaker admits a request right now.
+
+        Each denial is both counted (``serving.breaker_fastfails``, by
+        the breaker) and traced (one ``serving.fastfail`` span), so a
+        dump shows exactly which requests an open breaker turned away.
+        """
         for replica in candidates:
-            if self._breakers[node_service(replica.node_id)].allow():
+            service = node_service(replica.node_id)
+            if self._breakers[service].allow():
                 return replica
+            with self._obs.tracer.span("serving.fastfail", service=service):
+                pass
         return None
 
     def _current_hedge_threshold(self) -> float:
@@ -736,6 +786,12 @@ class ServingRouter:
     ) -> Envelope:
         """Wrap an outcome in the v1 envelope (the only response shape)."""
         self._obs.metrics.counter("serving.responses", status=status).inc()
+        current = self._obs.tracer.current
+        trace_id = current.trace_id if current is not None else 0
+        latency = self._obs.clock.now - started_at
+        self._request_latency.observe(latency, trace_id=trace_id)
+        if self._slo is not None:
+            self._slo.record_request(status, latency)
         meta = make_meta(
             degraded=status == STATUS_DEGRADED,
             missing_shards=missing or [],
@@ -746,7 +802,8 @@ class ServingRouter:
             request_id=request.request_id,
             op=request.op,
             hedged=hedged,
-            latency=self._obs.clock.now - started_at,
+            latency=latency,
+            trace_id=trace_id,
         )
         if status in (STATUS_OK, STATUS_DEGRADED):
             return ok_envelope(data, meta=meta)
@@ -757,3 +814,25 @@ class ServingRouter:
                 STATUS_EXPIRED: ERR_DEADLINE,
             }[status]
         return error_envelope(error_code, message, meta=meta)
+
+    def _finish_rooted(
+        self,
+        request: ServingRequest,
+        status: str,
+        data: dict[str, Any] | None,
+        **kwargs: Any,
+    ) -> Envelope:
+        """Finish a request answered outside :meth:`_process`.
+
+        Immediate rejections (malformed, shed) never reach the queue, so
+        they get their own root ``serving.request`` span here — every
+        response, not just the served ones, belongs to exactly one trace.
+        """
+        with self._obs.tracer.span(
+            "serving.request",
+            parent=ROOT,
+            op=request.op,
+            request_id=request.request_id,
+        ) as span:
+            span.set_attribute("status", status)
+            return self._finish(request, status, data, **kwargs)

@@ -30,6 +30,7 @@ from dataclasses import dataclass
 from typing import Any, Callable
 
 from ..obs import Obs
+from ..obs.context import extract_context
 from .faults import TIMEOUT, FaultPlan
 from .retry import RetryPolicy, RetryStats
 
@@ -80,6 +81,10 @@ class Envelope:
     ``attempt`` is 1 for a first try and counts up across retries of the
     same logical request; ``fault`` names an injected fault kind when
     the exchange failed because of one ("error", "timeout").
+    ``trace_id`` attributes the exchange to the caller's trace when the
+    payload threaded a :class:`~repro.obs.context.TraceContext` (0 when
+    untraced), so every recorded attempt maps onto exactly one
+    ``vinci.attempt`` span in the dump.
     """
 
     service: str
@@ -88,6 +93,7 @@ class Envelope:
     ok: bool
     attempt: int = 1
     fault: str = ""
+    trace_id: int = 0
 
 
 class VinciBus:
@@ -150,17 +156,24 @@ class VinciBus:
         """
         payload = payload or {}
         tracer = self._obs.tracer
-        with tracer.span("vinci.request", service=service) as span:
+        # Join the caller's trace when the payload threads a context
+        # (the serving router and cluster coordinator both do); without
+        # one the span nests under whatever span is open on this tracer.
+        ctx = extract_context(payload)
+        with tracer.span("vinci.request", parent=ctx, service=service) as span:
+            trace_id = span.trace_id
             record = self._services.get(service)
             if record is None:
-                self._record(Envelope(service, payload, None, ok=False))
+                self._record(
+                    Envelope(service, payload, None, ok=False, trace_id=trace_id)
+                )
                 raise VinciError(f"no such service: {service!r}")
             policy = self._retry_policy
             attempt = 0
             while True:
                 attempt += 1
                 try:
-                    response = self._attempt(record, payload, attempt)
+                    response = self._attempt(record, payload, attempt, trace_id)
                 except VinciError:
                     if policy is not None and policy.allows_retry(attempt):
                         cost = policy.backoff(attempt, self._rng)
@@ -176,7 +189,11 @@ class VinciBus:
                 return response
 
     def _attempt(
-        self, record: ServiceRecord, payload: dict[str, Any], attempt: int
+        self,
+        record: ServiceRecord,
+        payload: dict[str, Any],
+        attempt: int,
+        trace_id: int = 0,
     ) -> dict[str, Any]:
         """One try at one service: inject faults, run handler, validate."""
         service = record.name
@@ -193,7 +210,10 @@ class VinciBus:
                 record.mark_failure()
                 span.set_attribute("fault", fault)
                 self._record(
-                    Envelope(service, payload, None, ok=False, attempt=attempt, fault=fault)
+                    Envelope(
+                        service, payload, None,
+                        ok=False, attempt=attempt, fault=fault, trace_id=trace_id,
+                    )
                 )
                 if fault == TIMEOUT:
                     raise VinciTimeout(f"service {service!r} timed out (injected)")
@@ -202,17 +222,37 @@ class VinciBus:
                 response = record.handler(payload)
             except VinciError:
                 record.mark_failure()
-                self._record(Envelope(service, payload, None, ok=False, attempt=attempt))
+                self._record(
+                    Envelope(
+                        service, payload, None,
+                        ok=False, attempt=attempt, trace_id=trace_id,
+                    )
+                )
                 raise
             except Exception as exc:
                 record.mark_failure()
-                self._record(Envelope(service, payload, None, ok=False, attempt=attempt))
+                self._record(
+                    Envelope(
+                        service, payload, None,
+                        ok=False, attempt=attempt, trace_id=trace_id,
+                    )
+                )
                 raise VinciError(f"service {service!r} failed: {exc}") from exc
             if not isinstance(response, dict):
                 record.mark_failure()
-                self._record(Envelope(service, payload, None, ok=False, attempt=attempt))
+                self._record(
+                    Envelope(
+                        service, payload, None,
+                        ok=False, attempt=attempt, trace_id=trace_id,
+                    )
+                )
                 raise VinciError(f"service {service!r} returned a non-document response")
-            self._record(Envelope(service, payload, response, ok=True, attempt=attempt))
+            self._record(
+                Envelope(
+                    service, payload, response,
+                    ok=True, attempt=attempt, trace_id=trace_id,
+                )
+            )
             return response
 
     # -- introspection -------------------------------------------------------------------

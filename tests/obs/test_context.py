@@ -1,0 +1,135 @@
+"""TraceContext wire form, payload injection, and tracer parenting."""
+
+import pytest
+
+from repro.obs import (
+    ROOT,
+    TRACE_KEY,
+    NullTracer,
+    Obs,
+    TraceContext,
+    extract_context,
+    with_trace,
+)
+
+
+class TestWireForm:
+    def test_round_trip(self):
+        ctx = TraceContext(trace_id=7, span_id=12)
+        assert TraceContext.from_wire(ctx.to_wire()) == ctx
+
+    @pytest.mark.parametrize(
+        "record",
+        [
+            None,
+            42,
+            "trace",
+            [],
+            {},
+            {"trace_id": 1},
+            {"span_id": 1},
+            {"trace_id": "1", "span_id": 1},
+            {"trace_id": 1, "span_id": None},
+            {"trace_id": 0, "span_id": 1},
+            {"trace_id": 1, "span_id": -3},
+        ],
+    )
+    def test_malformed_records_parse_to_none(self, record):
+        assert TraceContext.from_wire(record) is None
+
+
+class TestPayloadInjection:
+    def test_with_trace_injects_and_extract_recovers(self):
+        ctx = TraceContext(trace_id=3, span_id=9)
+        payload = with_trace({"op": "counts"}, ctx)
+        assert payload["op"] == "counts"
+        assert payload[TRACE_KEY] == {"trace_id": 3, "span_id": 9}
+        assert extract_context(payload) == ctx
+
+    def test_with_trace_copies_rather_than_mutates(self):
+        original = {"op": "counts"}
+        with_trace(original, TraceContext(1, 1))
+        assert TRACE_KEY not in original
+
+    def test_none_context_strips_the_key(self):
+        stale = {"op": "counts", TRACE_KEY: {"trace_id": 9, "span_id": 9}}
+        assert TRACE_KEY not in with_trace(stale, None)
+
+    def test_root_sentinel_strips_the_key(self):
+        assert TRACE_KEY not in with_trace({"op": "x"}, ROOT)
+
+    def test_extract_from_unkeyed_payload_is_none(self):
+        assert extract_context({"op": "counts"}) is None
+        assert extract_context("not a mapping") is None
+
+
+class TestTracerParenting:
+    def test_stack_nesting_inherits_trace_id(self):
+        obs = Obs.enabled()
+        with obs.tracer.span("outer") as outer:
+            with obs.tracer.span("inner") as inner:
+                assert inner.trace_id == outer.trace_id
+                assert inner.parent_id == outer.span_id
+
+    def test_empty_stack_starts_a_new_trace(self):
+        obs = Obs.enabled()
+        with obs.tracer.span("a") as a:
+            pass
+        with obs.tracer.span("b") as b:
+            pass
+        assert a.trace_id != b.trace_id
+        assert a.parent_id is None and b.parent_id is None
+
+    def test_explicit_context_joins_the_remote_trace(self):
+        obs = Obs.enabled()
+        with obs.tracer.span("caller") as caller:
+            ctx = caller.context
+        with obs.tracer.span("remote", parent=ctx) as remote:
+            assert remote.trace_id == caller.trace_id
+            assert remote.parent_id == caller.span_id
+
+    def test_root_sentinel_forces_new_root_despite_open_spans(self):
+        obs = Obs.enabled()
+        with obs.tracer.span("request") as request:
+            with obs.tracer.span("background", parent=ROOT) as background:
+                assert background.parent_id is None
+                assert background.trace_id != request.trace_id
+
+    def test_current_context_matches_stack_top(self):
+        obs = Obs.enabled()
+        assert obs.tracer.current_context is None
+        with obs.tracer.span("work") as span:
+            assert obs.tracer.current_context == span.context
+        assert obs.tracer.current_context is None
+
+    def test_clear_resets_trace_ids(self):
+        obs = Obs.enabled()
+        with obs.tracer.span("a") as a:
+            pass
+        obs.tracer.clear()
+        with obs.tracer.span("b") as b:
+            pass
+        assert b.trace_id == a.trace_id == 1
+
+    def test_span_records_round_trip_trace_id(self):
+        from repro.obs import Span
+
+        obs = Obs.enabled()
+        with obs.tracer.span("work", parent=ROOT):
+            pass
+        (span,) = obs.tracer.spans()
+        assert Span.from_record(span.to_record()).trace_id == span.trace_id
+
+
+class TestNullTracer:
+    def test_null_tracer_accepts_parent_and_reports_no_context(self):
+        tracer = NullTracer()
+        with tracer.span("x", parent=TraceContext(5, 5)) as span:
+            assert span.trace_id == 0
+            assert span.context is ROOT
+        assert tracer.current_context is None
+
+    def test_with_trace_degrades_to_untraced_payload(self):
+        tracer = NullTracer()
+        payload = with_trace({"op": "x"}, tracer.current_context)
+        assert TRACE_KEY not in payload

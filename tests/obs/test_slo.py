@@ -1,0 +1,187 @@
+"""SLO burn-rate alerting: deterministic breach firing, silent baseline."""
+
+import pytest
+
+from repro.obs import AlertEvent, BurnWindow, Obs, SLOMonitor, SLOSpec
+from repro.obs.slo import (
+    AUDIT_KIND_SLO,
+    AVAILABILITY,
+    FIRING,
+    FRESHNESS,
+    LATENCY,
+    RESOLVED,
+    default_serving_slos,
+)
+
+#: A tight two-window availability SLO for scripted scenarios.
+AVAIL = SLOSpec(
+    name="availability",
+    kind=AVAILABILITY,
+    objective=0.9,
+    windows=(BurnWindow(length=50.0, max_burn_rate=2.0),
+             BurnWindow(length=10.0, max_burn_rate=2.0)),
+)
+
+
+def monitor(*specs):
+    obs = Obs.enabled()
+    return obs, SLOMonitor(obs, specs or (AVAIL,))
+
+
+class TestSpecValidation:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            SLOSpec(name="x", kind="throughput", objective=0.9)
+
+    @pytest.mark.parametrize("objective", [0.0, 1.0, -0.5, 1.5])
+    def test_objective_must_be_a_proper_fraction(self, objective):
+        with pytest.raises(ValueError):
+            SLOSpec(name="x", kind=AVAILABILITY, objective=objective)
+
+    def test_windows_required(self):
+        with pytest.raises(ValueError):
+            SLOSpec(name="x", kind=AVAILABILITY, objective=0.9, windows=())
+
+    def test_bad_window_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            BurnWindow(length=0.0, max_burn_rate=1.0)
+        with pytest.raises(ValueError):
+            BurnWindow(length=1.0, max_burn_rate=0.0)
+
+    def test_duplicate_spec_rejected(self):
+        obs = Obs.enabled()
+        with pytest.raises(ValueError):
+            SLOMonitor(obs, (AVAIL, AVAIL))
+
+    def test_error_budget_is_objective_complement(self):
+        assert AVAIL.error_budget == pytest.approx(0.1)
+
+
+class TestScriptedScenarios:
+    def test_healthy_baseline_stays_silent(self):
+        obs, slo = monitor()
+        for _ in range(200):
+            obs.clock.advance(0.5)
+            slo.record_request("ok", 0.1)
+            slo.evaluate()
+        assert slo.alerts == []
+        assert obs.metrics.value("slo.alerts", state=FIRING) == 0
+        (status,) = slo.evaluate()
+        assert status["firing"] is False
+
+    def test_availability_breach_fires_deterministically(self):
+        """The same scripted breach produces the same alert timeline twice."""
+
+        def run():
+            obs, slo = monitor()
+            for _ in range(40):  # healthy warm-up
+                obs.clock.advance(0.5)
+                slo.record_request("ok", 0.1)
+                slo.evaluate()
+            for _ in range(30):  # sustained outage: everything sheds
+                obs.clock.advance(0.5)
+                slo.record_request("shed", 0.0)
+                slo.evaluate()
+            for _ in range(60):  # recovery
+                obs.clock.advance(0.5)
+                slo.record_request("ok", 0.1)
+                slo.evaluate()
+            return [(e.slo, e.state, e.at) for e in slo.alerts]
+
+        first, second = run(), run()
+        assert first == second
+        assert [state for _, state, _ in first] == [FIRING, RESOLVED]
+
+    def test_short_blip_does_not_page(self):
+        """One bad burst inside a healthy long window never fires."""
+        obs, slo = monitor()
+        for _ in range(100):
+            obs.clock.advance(0.5)
+            slo.record_request("ok", 0.1)
+            slo.evaluate()
+        for _ in range(3):
+            obs.clock.advance(0.5)
+            slo.record_request("error", 0.1)
+            slo.evaluate()
+        for _ in range(20):
+            obs.clock.advance(0.5)
+            slo.record_request("ok", 0.1)
+            slo.evaluate()
+        assert slo.alerts == []
+
+    def test_latency_and_freshness_classify_by_threshold(self):
+        latency = SLOSpec(
+            name="lat", kind=LATENCY, objective=0.5, threshold=1.0,
+            windows=(BurnWindow(10.0, 1.5),),
+        )
+        fresh = SLOSpec(
+            name="fresh", kind=FRESHNESS, objective=0.5, threshold=5.0,
+            windows=(BurnWindow(10.0, 1.5),),
+        )
+        obs, slo = monitor(latency, fresh)
+        obs.clock.advance(1.0)
+        slo.record_request("ok", 2.0)   # over threshold: bad for lat
+        slo.record_request("ok", 0.5)   # under: good
+        slo.record_freshness(10.0)      # over: bad for fresh
+        statuses = {s["slo"]: s for s in slo.evaluate()}
+        assert statuses["lat"]["bad"] == 1
+        assert statuses["lat"]["events"] == 2
+        assert statuses["fresh"]["bad"] == 1
+        assert statuses["fresh"]["events"] == 1
+
+
+class TestAlertPlumbing:
+    def breach(self):
+        obs, slo = monitor()
+        for _ in range(20):
+            obs.clock.advance(0.5)
+            slo.record_request("error", 0.1)
+            slo.evaluate()
+        return obs, slo
+
+    def test_alert_mirrored_into_metrics_and_audit(self):
+        obs, slo = self.breach()
+        assert [e.state for e in slo.alerts] == [FIRING]
+        assert obs.metrics.value("slo.alerts", state=FIRING) == 1
+        assert obs.metrics.value("slo.burning", slo="availability") == 1.0
+        assert obs.metrics.value("slo.burn_rate", slo="availability") > 2.0
+        (entry,) = [e for e in obs.audit.entries if e.kind == AUDIT_KIND_SLO]
+        assert entry.subject == "availability"
+        assert entry.decision == FIRING
+        assert dict(entry.detail)["at"] == slo.alerts[0].at
+
+    def test_alert_event_record_shape(self):
+        _, slo = self.breach()
+        record = slo.alerts[0].to_record()
+        assert record["type"] == "slo_alert"
+        assert record["slo"] == "availability"
+        assert record["state"] == FIRING
+        assert all(len(pair) == 2 for pair in record["burn_rates"])
+
+    def test_status_snapshot_bundles_statuses_and_alerts(self):
+        _, slo = self.breach()
+        snap = slo.status_snapshot()
+        assert [s["slo"] for s in snap["slos"]] == ["availability"]
+        assert snap["alerts"] == [e.to_record() for e in slo.alerts]
+
+    def test_alerts_ride_the_export_stream(self, tmp_path):
+        from repro.obs import read_trace
+
+        obs, slo = self.breach()
+        path = str(tmp_path / "slo.jsonl")
+        obs.write(path)
+        dump = read_trace(path)
+        slo_entries = [e for e in dump.audit if e.kind == AUDIT_KIND_SLO]
+        assert len(slo_entries) == 1
+        assert slo_entries[0].decision == FIRING
+
+
+class TestDefaults:
+    def test_default_serving_slos_cover_the_three_kinds(self):
+        kinds = {spec.kind for spec in default_serving_slos()}
+        assert kinds == {AVAILABILITY, LATENCY, FRESHNESS}
+
+    def test_alert_event_is_immutable(self):
+        event = AlertEvent("x", FIRING, 1.0, ((10.0, 3.0),))
+        with pytest.raises(AttributeError):
+            event.state = RESOLVED

@@ -241,3 +241,83 @@ class TestLiveIndexer:
         assert live.documents_indexed == 5
         assert obs.metrics.counter("segments.compactions").value > 0
         assert obs.metrics.histogram("ingest.freshness_lag").count == 5
+
+
+class TestCompactionObservability:
+    """Satellite coverage for compaction counters and audit entries."""
+
+    def run_until_compaction(self):
+        obs = Obs.enabled()
+        index = ReplicatedIndex(2, 2, replication=1)
+        live = LiveIndexer(
+            index,
+            make_indexer(obs),
+            obs=obs,
+            policy=CompactionPolicy(max_segments=2),
+        )
+        for i in range(1, 7):
+            live.apply_batch([add(f"d{i}", OTHER if i % 2 else POSITIVE)])
+        return obs, live, index
+
+    def test_compaction_counters_track_runs_and_docs(self):
+        obs, _, _ = self.run_until_compaction()
+        from repro.platform.segments import AUDIT_KIND_COMPACTION
+
+        ran = [
+            e
+            for e in obs.audit.entries
+            if e.kind == AUDIT_KIND_COMPACTION and e.decision == "ran"
+        ]
+        runs = obs.metrics.counter("compaction.runs").value
+        assert runs == len(ran) > 0
+        merged_docs = obs.metrics.counter("compaction.merged_docs").value
+        assert merged_docs == sum(dict(e.detail)["rewritten"] for e in ran)
+        # compaction.runs only counts merges; segments.compactions is its
+        # legacy mirror and must agree.
+        assert obs.metrics.counter("segments.compactions").value == runs
+
+    def test_compaction_audit_entry_shape(self):
+        obs, _, _ = self.run_until_compaction()
+        from repro.platform.segments import AUDIT_KIND_COMPACTION
+
+        entries = [e for e in obs.audit.entries if e.kind == AUDIT_KIND_COMPACTION]
+        assert entries, "policy max_segments=2 must trip at least once"
+        for entry in entries:
+            assert entry.decision in ("ran", "blocked")
+            assert entry.subject.startswith("segments:")
+            assert "exceeds policy max" in entry.reason
+            detail = dict(entry.detail)
+            assert {"floor", "merged", "pins", "rewritten"} <= set(detail)
+            if entry.decision == "ran":
+                assert detail["merged"] > 0
+            else:
+                assert detail["merged"] == 0
+
+    def test_blocked_compaction_is_audited_not_counted(self):
+        # A pinned snapshot below the would-be merge floor blocks the
+        # whole merge: audited as "blocked", counters untouched.
+        obs = Obs.enabled()
+        index = ReplicatedIndex(1, 1, replication=1)
+        live = LiveIndexer(
+            index,
+            make_indexer(obs),
+            obs=obs,
+            policy=CompactionPolicy(max_segments=2),
+        )
+        pinned = index.pin()  # pins the empty base (version 0): floor stays 0
+        try:
+            for i in range(1, 5):
+                live.apply_batch([add(f"d{i}", OTHER)])
+            from repro.platform.segments import AUDIT_KIND_COMPACTION
+
+            blocked = [
+                e
+                for e in obs.audit.entries
+                if e.kind == AUDIT_KIND_COMPACTION and e.decision == "blocked"
+            ]
+            assert blocked
+            assert dict(blocked[0].detail)["pins"] == {"0": 1}
+        finally:
+            index.release(pinned)
+        assert obs.metrics.counter("compaction.runs").value == 0
+        assert obs.metrics.counter("compaction.merged_docs").value == 0

@@ -107,3 +107,37 @@ class TestPlatformJson:
         assert report["retries"] >= 0
         assert "dead_nodes" in report
         assert payload["metrics"]["cluster.retries"] == report["retries"]
+
+
+class TestHealthCommand:
+    def test_text_render_covers_every_section(self):
+        code, out = run_cli(
+            "health", "--docs", "12", "--requests", "40", "--chaos-seed", "7"
+        )
+        assert code == 0
+        assert out.startswith("health @ sim_time=")
+        for heading in ("serving", "index", "ingest", "memos",
+                        "stage latency", "slo"):
+            assert heading in out
+        assert "breaker serving.node0" in out
+
+    def test_json_is_a_v1_envelope(self):
+        code, out = run_cli(
+            "health", "--docs", "12", "--requests", "40",
+            "--chaos-seed", "7", "--json",
+        )
+        assert code == 0
+        envelope = json.loads(out)
+        assert envelope["ok"] is True and envelope["error"] is None
+        assert envelope["api_version"] == "v1"
+        snap = envelope["data"]
+        assert sum(snap["serving"]["responses"].values()) == 40
+        assert snap["ingest"]["batches_applied"] == 3
+        assert {s["slo"] for s in snap["slo"]["slos"]} == {
+            "availability", "latency_p95", "freshness_p95"
+        }
+
+    def test_health_is_deterministic(self):
+        args = ("health", "--docs", "12", "--requests", "40",
+                "--chaos-seed", "7", "--json")
+        assert run_cli(*args) == run_cli(*args)
