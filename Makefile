@@ -2,7 +2,7 @@
 PYTHONPATH := src
 export PYTHONPATH
 
-.PHONY: test chaos serving-chaos incremental bench bench-obs bench-serving bench-freshness bench-throughput lint lint-report
+.PHONY: test chaos serving-chaos incremental bench bench-obs bench-serving bench-freshness bench-throughput bench-lint lint lint-report
 
 test: lint
 	python -m pytest -x -q
@@ -21,7 +21,7 @@ serving-chaos:
 incremental:
 	python -m pytest -q -m incremental
 
-bench: bench-obs bench-serving bench-freshness bench-throughput
+bench: bench-obs bench-serving bench-freshness bench-throughput bench-lint
 	cd benchmarks && PYTHONPATH=../src python -m pytest -q
 
 # Instrumentation overhead guard: tracing on vs. off on the same corpus
@@ -50,6 +50,12 @@ bench-freshness:
 # docs/sim-sec falls below its floor.  Output must stay byte-identical.
 bench-throughput:
 	cd benchmarks && PYTHONPATH=../src python -m pytest -q bench_throughput.py
+
+# Lint cache gate: cold vs warm-cache lint over src/.  Writes
+# BENCH_lint.json and fails if a warm run re-analyzes any file or costs
+# more than half the cold wall time.
+bench-lint:
+	cd benchmarks && PYTHONPATH=../src python -m pytest -q bench_lint.py
 
 # Byte-compile everything, then run the static-analysis rule set
 # (determinism, layering, obs discipline, pattern-DB/lexicon invariants).

@@ -1,0 +1,147 @@
+"""Content-hash incremental cache for ``repro lint``.
+
+The whole-program pass (:mod:`repro.analysis.program`) needs a summary
+of *every* module, but most lint runs touch only a handful of files.
+The cache keeps, per module path, the sha256 of the source it last saw
+together with the serialized :class:`ModuleSummary` and the per-file
+code-rule findings.  On a warm run an unchanged file is neither
+re-parsed nor re-checked: its summary and findings are loaded verbatim
+(findings re-enter suppression matching fresh each run, so suppression
+edits always take effect without invalidating the cache).
+
+Invalidation is deliberately blunt and safe:
+
+* the whole cache is dropped when :data:`CACHE_SCHEMA_VERSION` changes
+  (bump it whenever summary or finding shape changes), and
+* when the *rule fingerprint* — the sorted ids and severities of the
+  configured per-file code rules — differs, because cached findings are
+  only valid for the rule set that produced them.
+
+Program rules are never cached: they are cheap once summaries exist,
+and their findings depend on every module at once.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from .findings import Finding, Severity
+from .program import ModuleSummary
+
+#: Bump whenever the cached summary/finding shape changes.
+CACHE_SCHEMA_VERSION = 1
+
+#: Conventional cache file name at the repository root.
+CACHE_FILENAME = ".lint-cache.json"
+
+
+def rule_fingerprint(rules) -> str:
+    """Identity of a per-file rule set, for cache invalidation."""
+    return ",".join(
+        sorted(f"{r.rule_id}:{int(r.severity)}" for r in rules)
+    )
+
+
+def _finding_from_dict(payload: dict) -> Finding:
+    return Finding(
+        rule=payload["rule"],
+        severity=Severity.parse(payload["severity"]),
+        message=payload["message"],
+        path=payload["path"],
+        line=payload["line"],
+    )
+
+
+class LintCache:
+    """Digest-keyed store of module summaries and per-file findings."""
+
+    def __init__(self, path: str | Path | None, fingerprint: str = ""):
+        self.path = Path(path) if path is not None else None
+        self.fingerprint = fingerprint
+        self._entries: dict[str, dict] = {}
+        self._dirty = False
+        if self.path is not None and self.path.is_file():
+            self._load()
+
+    def _load(self) -> None:
+        try:
+            payload = json.loads(self.path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError):
+            return
+        if not isinstance(payload, dict):
+            return
+        if payload.get("schema") != CACHE_SCHEMA_VERSION:
+            return
+        if payload.get("fingerprint") != self.fingerprint:
+            return
+        files = payload.get("files")
+        if isinstance(files, dict):
+            self._entries = files
+
+    # -- lookup / store ----------------------------------------------------------
+
+    def lookup(
+        self, modpath: str, digest: str, display: str
+    ) -> tuple[ModuleSummary | None, list[Finding]] | None:
+        """Cached (summary, findings) for *modpath* iff the digest matches.
+
+        Returns ``None`` on a miss.  A hit with ``summary is None`` means
+        the file failed to parse last time (and still has the same
+        content); its cached findings carry the syntax error.
+        """
+        entry = self._entries.get(modpath)
+        if entry is None or entry.get("digest") != digest:
+            return None
+        raw_summary = entry.get("summary")
+        try:
+            summary = (
+                ModuleSummary.from_dict(raw_summary)
+                if raw_summary is not None
+                else None
+            )
+            findings = [_finding_from_dict(f) for f in entry.get("findings", [])]
+        except (KeyError, TypeError, ValueError):
+            return None
+        if summary is not None:
+            summary.path = display
+        for finding in findings:
+            finding.path = display
+        return summary, findings
+
+    def store(
+        self,
+        modpath: str,
+        digest: str,
+        summary: ModuleSummary | None,
+        findings: list[Finding],
+    ) -> None:
+        self._entries[modpath] = {
+            "digest": digest,
+            "summary": summary.to_dict() if summary is not None else None,
+            "findings": [f.to_dict() for f in findings],
+        }
+        self._dirty = True
+
+    def prune(self, live_modpaths: set[str]) -> None:
+        """Drop entries for files that no longer exist in the linted set."""
+        stale = [m for m in self._entries if m not in live_modpaths]
+        for modpath in stale:
+            del self._entries[modpath]
+            self._dirty = True
+
+    def save(self) -> None:
+        if self.path is None or not self._dirty:
+            return
+        payload = {
+            "schema": CACHE_SCHEMA_VERSION,
+            "fingerprint": self.fingerprint,
+            "files": {k: self._entries[k] for k in sorted(self._entries)},
+        }
+        try:
+            self.path.write_text(
+                json.dumps(payload, sort_keys=True) + "\n", encoding="utf-8"
+            )
+        except OSError:
+            pass
+        self._dirty = False

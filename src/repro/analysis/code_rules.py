@@ -996,14 +996,19 @@ class TraceContextRule(CodeRule):
 
 
 def default_code_rules() -> list[CodeRule]:
-    """The full code-rule set, in report order."""
+    """The full per-file rule set, in report order.
+
+    OBS003 (:class:`TraceContextRule`) is no longer part of the default
+    set: the interprocedural OBS003i in
+    :mod:`repro.analysis.program_rules` supersedes its per-file
+    heuristic.  The class stays importable for targeted use.
+    """
     return [
         WallClockRule(),
         SeededRngRule(),
         LayeringRule(),
         SpanContextRule(),
         MetricNameRule(),
-        TraceContextRule(),
         VinciHandlerRule(),
         ServingDisciplineRule(),
         EnvelopeSchemaRule(),

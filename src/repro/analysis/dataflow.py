@@ -1,0 +1,349 @@
+"""Function-level CFGs and a small forward-dataflow framework.
+
+The whole-program rules (:mod:`repro.analysis.program_rules`) need more
+than per-file AST pattern matching: RES001 must prove a ``pin`` reaches
+a ``release`` on *every* path out of a function, including the paths an
+exception takes.  This module supplies the two pieces they share:
+
+* :func:`build_cfg` — a statement-level control-flow graph for one
+  function.  Every simple statement becomes one node carrying *events*
+  (calls, name assignments, returns); compound statements contribute
+  structure.  Each node that can raise carries an **exceptional
+  successor** pointing at the innermost handler/finally (or the
+  function exit), so "what happens when this line throws" is an
+  ordinary graph question.
+* :func:`forward_fixpoint` — a generic worklist solver over those
+  graphs.  A rule provides a transfer function from an in-fact set to
+  ``(out_normal, out_exceptional)`` fact sets; the solver iterates to a
+  fixpoint and returns the in-facts per node.
+
+Everything here is built once per function at summary time and is
+JSON-serializable (:meth:`FunctionCfg.to_dict`), so the incremental
+lint cache can persist it and warm runs never re-parse unchanged files.
+
+Approximations, chosen to err toward *more* paths (more findings, never
+silently fewer): a ``finally`` body's exit flows both to the statement
+after the ``try`` and to the enclosing exception target, standing in
+for the re-raise continuation; ``return`` routes through the innermost
+``finally`` when one is active.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Callable, Iterable
+
+ENTRY = 0
+EXIT = 1
+
+#: Event kinds carried on CFG nodes.
+EV_CALL = "call"  # ("call", call_index) — index into FunctionSummary.calls
+EV_ASSIGN = "assign"  # ("assign", target_name, source_token)
+EV_RETURN = "return"  # ("return",)
+
+Event = tuple
+
+
+@dataclass
+class CfgNode:
+    """One statement: its events, normal and exceptional successors."""
+
+    lineno: int = 0
+    events: list[Event] = field(default_factory=list)
+    succs: list[int] = field(default_factory=list)
+    #: Where control lands if this statement raises (-1: cannot raise).
+    esucc: int = -1
+
+    def add_succ(self, idx: int) -> None:
+        if idx not in self.succs:
+            self.succs.append(idx)
+
+    def to_dict(self) -> dict:
+        return {
+            "lineno": self.lineno,
+            "events": [list(e) for e in self.events],
+            "succs": list(self.succs),
+            "esucc": self.esucc,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "CfgNode":
+        return cls(
+            lineno=payload["lineno"],
+            events=[tuple(e) for e in payload["events"]],
+            succs=list(payload["succs"]),
+            esucc=payload["esucc"],
+        )
+
+
+@dataclass
+class FunctionCfg:
+    """Statement-level CFG; node 0 is ENTRY, node 1 is EXIT."""
+
+    nodes: list[CfgNode] = field(default_factory=list)
+
+    def successors(self, idx: int) -> Iterable[int]:
+        node = self.nodes[idx]
+        yield from node.succs
+        if node.esucc >= 0:
+            yield node.esucc
+
+    def to_dict(self) -> dict:
+        return {"nodes": [n.to_dict() for n in self.nodes]}
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "FunctionCfg":
+        return cls(nodes=[CfgNode.from_dict(n) for n in payload["nodes"]])
+
+
+# ---------------------------------------------------------------------------
+# CFG construction
+# ---------------------------------------------------------------------------
+
+
+def _may_raise(stmt: ast.stmt) -> bool:
+    """Conservative: statements containing calls or subscripts can raise."""
+    for node in ast.walk(stmt):
+        if isinstance(node, (ast.Call, ast.Subscript, ast.Raise, ast.Assert)):
+            return True
+    return False
+
+
+class _CfgBuilder:
+    """Builds a :class:`FunctionCfg` with one node per simple statement.
+
+    ``register_events`` is called with each simple statement and the new
+    node, letting the caller (the summary visitor) attach call/assign
+    events that reference its own call table.
+    """
+
+    def __init__(self, register_events: Callable[[ast.stmt, CfgNode], None]):
+        self.cfg = FunctionCfg(nodes=[CfgNode(), CfgNode()])  # ENTRY, EXIT
+        self._register = register_events
+        # Innermost enclosing (loop_continue, loop_break) targets.
+        self._loops: list[tuple[int, int]] = []
+        # Innermost exception target (handler head / finally head / EXIT).
+        self._etargets: list[int] = [EXIT]
+        # Innermost active finally head, for return routing.
+        self._finallies: list[int] = []
+
+    # -- plumbing ----------------------------------------------------------------
+
+    def _new_node(self, lineno: int = 0) -> int:
+        self.cfg.nodes.append(CfgNode(lineno=lineno))
+        return len(self.cfg.nodes) - 1
+
+    def _link(self, sources: Iterable[int], target: int) -> None:
+        for idx in sources:
+            self.cfg.nodes[idx].add_succ(target)
+
+    # -- statement dispatch ------------------------------------------------------
+
+    def build(self, body: list[ast.stmt]) -> FunctionCfg:
+        tails = self._sequence(body, [ENTRY])
+        self._link(tails, EXIT)
+        return self.cfg
+
+    def _sequence(self, body: list[ast.stmt], frontier: list[int]) -> list[int]:
+        frontier = [t for t in frontier if t >= 0]
+        for stmt in body:
+            if not frontier:
+                break  # unreachable code after return/raise/break
+            frontier = [t for t in self._statement(stmt, frontier) if t >= 0]
+        return frontier
+
+    def _statement(self, stmt: ast.stmt, frontier: list[int]) -> list[int]:
+        if isinstance(stmt, ast.If):
+            return self._if(stmt, frontier)
+        if isinstance(stmt, (ast.While, ast.For, ast.AsyncFor)):
+            return self._loop(stmt, frontier)
+        if isinstance(stmt, ast.Try):
+            return self._try(stmt, frontier)
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            return self._with(stmt, frontier)
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            # Nested definitions get their own CFGs; the def itself is a
+            # no-op binding here.
+            node = self._simple(stmt, frontier, attach_events=False)
+            return [node]
+        return [self._simple_terminal(stmt, frontier)]
+
+    def _simple(
+        self, stmt: ast.stmt, frontier: list[int], attach_events: bool = True
+    ) -> int:
+        idx = self._new_node(getattr(stmt, "lineno", 0))
+        self._link(frontier, idx)
+        node = self.cfg.nodes[idx]
+        if attach_events:
+            self._register(stmt, node)
+        if _may_raise(stmt):
+            node.esucc = self._etargets[-1]
+        return idx
+
+    def _simple_terminal(self, stmt: ast.stmt, frontier: list[int]) -> int:
+        idx = self._simple(stmt, frontier)
+        node = self.cfg.nodes[idx]
+        if isinstance(stmt, ast.Return):
+            node.events.append((EV_RETURN,))
+            # A return runs active finally blocks before leaving.
+            node.add_succ(self._finallies[-1] if self._finallies else EXIT)
+            return -_mark_terminal()
+        if isinstance(stmt, ast.Raise):
+            node.esucc = self._etargets[-1]
+            node.add_succ(self._etargets[-1])
+            return -_mark_terminal()
+        if isinstance(stmt, ast.Break):
+            if self._loops:
+                node.add_succ(self._loops[-1][1])
+            return -_mark_terminal()
+        if isinstance(stmt, ast.Continue):
+            if self._loops:
+                node.add_succ(self._loops[-1][0])
+            return -_mark_terminal()
+        return idx
+
+    # -- compound statements -----------------------------------------------------
+
+    def _if(self, stmt: ast.If, frontier: list[int]) -> list[int]:
+        test = self._simple(stmt, frontier)
+        then_tails = self._sequence(stmt.body, [test])
+        else_tails = self._sequence(stmt.orelse, [test]) if stmt.orelse else [test]
+        return [t for t in then_tails + else_tails if t >= 0]
+
+    def _loop(self, stmt: ast.stmt, frontier: list[int]) -> list[int]:
+        head = self._simple(stmt, frontier)
+        after = self._new_node(getattr(stmt, "lineno", 0))
+        self._loops.append((head, after))
+        body_tails = self._sequence(stmt.body, [head])
+        self._link([t for t in body_tails if t >= 0], head)
+        self._loops.pop()
+        # Loop can be skipped (For over empty, While false) or exited.
+        self.cfg.nodes[head].add_succ(after)
+        orelse_tails = (
+            self._sequence(stmt.orelse, [after]) if getattr(stmt, "orelse", None)
+            else [after]
+        )
+        return [t for t in orelse_tails if t >= 0]
+
+    def _with(self, stmt: ast.stmt, frontier: list[int]) -> list[int]:
+        head = self._simple(stmt, frontier)
+        tails = self._sequence(stmt.body, [head])
+        return [t for t in tails if t >= 0]
+
+    def _try(self, stmt: ast.Try, frontier: list[int]) -> list[int]:
+        after_tails: list[int] = []
+        finally_head: int | None = None
+        finally_tail_nodes: list[int] = []
+        if stmt.finalbody:
+            finally_head = self._new_node(stmt.finalbody[0].lineno)
+
+        # Handlers are built first so body statements know their target.
+        handler_heads: list[int] = []
+        handler_tails: list[int] = []
+        outer_target = finally_head if finally_head is not None else self._etargets[-1]
+        for handler in stmt.handlers:
+            head = self._new_node(handler.lineno)
+            handler_heads.append(head)
+            self._etargets.append(outer_target)
+            tails = self._sequence(handler.body, [head])
+            self._etargets.pop()
+            handler_tails.extend(t for t in tails if t >= 0)
+
+        body_target = handler_heads[0] if handler_heads else outer_target
+        self._etargets.append(body_target)
+        if finally_head is not None:
+            self._finallies.append(finally_head)
+        body_tails = self._sequence(stmt.body, frontier)
+        if finally_head is not None:
+            self._finallies.pop()
+        self._etargets.pop()
+        # An exception may match any handler, not just the first.
+        for first, rest in zip(handler_heads, handler_heads[1:]):
+            self.cfg.nodes[first].add_succ(rest)
+        if handler_heads and finally_head is not None:
+            self.cfg.nodes[handler_heads[-1]].add_succ(finally_head)
+
+        else_tails = (
+            self._sequence(stmt.orelse, [t for t in body_tails if t >= 0])
+            if stmt.orelse
+            else [t for t in body_tails if t >= 0]
+        )
+        normal_tails = else_tails + handler_tails
+
+        if finally_head is not None:
+            self._link(normal_tails, finally_head)
+            self._etargets.append(self._etargets[-1])
+            fin_tails = self._sequence(stmt.finalbody, [finally_head])
+            self._etargets.pop()
+            finally_tail_nodes = [t for t in fin_tails if t >= 0]
+            # The finally exit continues normally AND stands in for the
+            # re-raise/return continuation (approximation, see module doc).
+            for tail in finally_tail_nodes:
+                self.cfg.nodes[tail].add_succ(self._etargets[-1])
+            after_tails = finally_tail_nodes
+        else:
+            after_tails = normal_tails
+        return after_tails
+
+
+_TERMINAL_COUNTER = [2]
+
+
+def _mark_terminal() -> int:
+    """A unique negative sentinel: statement never falls through."""
+    _TERMINAL_COUNTER[0] += 1
+    return _TERMINAL_COUNTER[0]
+
+
+def build_cfg(
+    fn: ast.FunctionDef | ast.AsyncFunctionDef,
+    register_events: Callable[[ast.stmt, CfgNode], None],
+) -> FunctionCfg:
+    """CFG for one function body; events attached via *register_events*."""
+    return _CfgBuilder(register_events).build(fn.body)
+
+
+# ---------------------------------------------------------------------------
+# worklist solver
+# ---------------------------------------------------------------------------
+
+Facts = frozenset
+
+#: transfer(node, in_facts) -> (out_facts_normal, out_facts_exceptional)
+Transfer = Callable[[CfgNode, Facts], tuple[Facts, Facts]]
+
+
+def forward_fixpoint(
+    cfg: FunctionCfg,
+    transfer: Transfer,
+    init: Facts = frozenset(),
+) -> list[Facts]:
+    """Forward may-analysis: facts are joined by union at merge points.
+
+    Returns the in-fact set of every node at the fixpoint.  The
+    exceptional out-set flows only along the node's exceptional
+    successor, so a transfer can model "this statement did not complete"
+    precisely (e.g. an acquire that raised never acquired).
+    """
+    n = len(cfg.nodes)
+    in_facts: list[Facts] = [frozenset()] * n
+    in_facts[ENTRY] = init
+    work = list(range(n))
+    while work:
+        idx = work.pop()
+        node = cfg.nodes[idx]
+        out_normal, out_exc = transfer(node, in_facts[idx])
+        for succ in node.succs:
+            merged = in_facts[succ] | out_normal
+            if merged != in_facts[succ]:
+                in_facts[succ] = merged
+                if succ not in work:
+                    work.append(succ)
+        if node.esucc >= 0:
+            merged = in_facts[node.esucc] | out_exc
+            if merged != in_facts[node.esucc]:
+                in_facts[node.esucc] = merged
+                if node.esucc not in work:
+                    work.append(node.esucc)
+    return in_facts

@@ -1,11 +1,20 @@
 """Rule engine for ``repro lint``.
 
 The engine walks a set of python files, parses each once, and hands the
-AST to every :class:`CodeRule` whose scope covers the file; then it runs
-every :class:`DataRule` (pattern-database and lexicon invariants, which
-need no files at all).  Findings pass through the
-:class:`~repro.analysis.suppressions.SuppressionConfig`; unsuppressed
-findings determine the exit code (max severity).
+AST to every :class:`CodeRule` whose scope covers the file; then it
+builds the whole-program model (:mod:`repro.analysis.program`) from the
+per-file summaries and hands it to every :class:`ProgramRule`
+(interprocedural invariants — resource pairing, deadline propagation,
+dead symbols); finally it runs every :class:`DataRule` (pattern-database
+and lexicon invariants, which need no files at all).  Findings pass
+through the :class:`~repro.analysis.suppressions.SuppressionConfig`;
+unsuppressed findings determine the exit code (max severity).
+
+Parsing, per-file rule findings, and module summaries are cached by
+source content hash (:mod:`repro.analysis.cache`): a warm run over an
+unchanged tree re-analyzes nothing (``LintReport.files_reanalyzed`` is
+0) and only re-runs the cheap program/data passes over cached
+summaries.
 
 The framework is dependency-free: stdlib ``ast`` + ``fnmatch`` only.
 """
@@ -20,7 +29,9 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterable, Iterator
 
+from .cache import LintCache, rule_fingerprint
 from .findings import Finding, Severity
+from .program import Program, build_program, content_digest, summarize_module
 from .suppressions import SuppressionConfig, Suppression
 
 
@@ -73,6 +84,25 @@ class DataRule(Rule):
         """Yield findings over the rule's (injectable) data tables."""
 
 
+class ProgramRule(Rule):
+    """A rule over the whole-program model (interprocedural).
+
+    ``scope`` limits which modules a rule *reports on* — the program it
+    queries always covers every linted file, so cross-module evidence is
+    never scoped away.  Findings must be yielded in a deterministic
+    order (sort by path, then line).
+    """
+
+    scope: tuple[str, ...] = ("repro/*", "repro/*.py")
+
+    def applies_to(self, modpath: str) -> bool:
+        return any(fnmatch.fnmatch(modpath, pattern) for pattern in self.scope)
+
+    @abc.abstractmethod
+    def check(self, program: Program) -> Iterator[Finding]:
+        """Yield findings over the whole program."""
+
+
 #: Rule id used for engine-level findings (parse failures, stale config).
 ENGINE_RULE = "LINT001"
 
@@ -84,6 +114,9 @@ class LintReport:
     findings: list[Finding] = field(default_factory=list)
     files_checked: int = 0
     rules_run: int = 0
+    #: Files parsed and rule-checked this run (cache misses); a warm run
+    #: over an unchanged tree reports 0.
+    files_reanalyzed: int = 0
 
     def unsuppressed(self, min_severity: Severity = Severity.INFO) -> list[Finding]:
         return [
@@ -133,6 +166,7 @@ class LintReport:
     def to_dict(self) -> dict:
         return {
             "files_checked": self.files_checked,
+            "files_reanalyzed": self.files_reanalyzed,
             "rules_run": self.rules_run,
             "exit_code": self.exit_code(),
             "findings": [f.to_dict() for f in self.findings],
@@ -165,46 +199,111 @@ def _iter_python_files(roots: Iterable[Path]) -> Iterator[Path]:
 
 
 class Linter:
-    """Runs code rules over files and data rules over the built-in tables."""
+    """Runs code, program and data rules; caches per-file work by digest."""
 
     def __init__(
         self,
         code_rules: Iterable[CodeRule] = (),
         data_rules: Iterable[DataRule] = (),
         suppressions: SuppressionConfig | None = None,
+        program_rules: Iterable[ProgramRule] = (),
+        cache_path: str | Path | None = None,
     ):
         self.code_rules = list(code_rules)
         self.data_rules = list(data_rules)
+        self.program_rules = list(program_rules)
         self.suppressions = suppressions if suppressions is not None else SuppressionConfig()
+        self.cache_path = cache_path
+        #: The program model built by the most recent :meth:`lint` call
+        #: (``--graph-out`` and ``--changed-only`` read it back).
+        self.last_program: Program | None = None
 
-    def lint(self, paths: Iterable[str | Path]) -> LintReport:
-        report = LintReport(rules_run=len(self.code_rules) + len(self.data_rules))
+    def _check_file(
+        self, display: str, modpath: str, raw: bytes, digest: str
+    ) -> tuple[object | None, list[Finding]]:
+        """Parse + summarize + per-file rules for one cache miss."""
+        try:
+            tree = ast.parse(raw.decode("utf-8"), filename=display)
+        except SyntaxError as exc:
+            return None, [
+                Finding(
+                    rule=ENGINE_RULE,
+                    severity=Severity.ERROR,
+                    message=f"syntax error: {exc.msg}",
+                    path=display,
+                    line=exc.lineno or 0,
+                )
+            ]
+        summary = summarize_module(modpath, display, tree, digest)
+        findings = [
+            finding
+            for rule in self.code_rules
+            if rule.applies_to(modpath)
+            for finding in rule.check(display, modpath, tree)
+        ]
+        return summary, findings
+
+    def lint(
+        self,
+        paths: Iterable[str | Path],
+        restrict_to: set[str] | None = None,
+    ) -> LintReport:
+        """Lint *paths*; with *restrict_to*, report findings only for
+        those module paths (the whole program is still summarized, so
+        interprocedural evidence is never lost — only reporting narrows).
+        """
+        report = LintReport(
+            rules_run=len(self.code_rules)
+            + len(self.data_rules)
+            + len(self.program_rules)
+        )
+        cache = LintCache(self.cache_path, rule_fingerprint(self.code_rules))
+        summaries = []
+        seen: set[str] = set()
+        reported_displays: set[str] = set()
         for path in _iter_python_files(Path(p) for p in paths):
-            report.files_checked += 1
             display = path.as_posix()
             modpath = _module_path(path)
-            try:
-                tree = ast.parse(path.read_text(encoding="utf-8"), filename=display)
-            except SyntaxError as exc:
-                report.findings.append(
-                    Finding(
-                        rule=ENGINE_RULE,
-                        severity=Severity.ERROR,
-                        message=f"syntax error: {exc.msg}",
-                        path=display,
-                        line=exc.lineno or 0,
-                    )
-                )
+            if modpath in seen:
                 continue
-            for rule in self.code_rules:
-                if rule.applies_to(modpath):
-                    report.findings.extend(rule.check(display, modpath, tree))
+            seen.add(modpath)
+            report.files_checked += 1
+            raw = path.read_bytes()
+            digest = content_digest(raw)
+            cached = cache.lookup(modpath, digest, display)
+            if cached is not None:
+                summary, findings = cached
+            else:
+                report.files_reanalyzed += 1
+                summary, findings = self._check_file(display, modpath, raw, digest)
+                cache.store(modpath, digest, summary, findings)
+            if summary is not None:
+                summaries.append(summary)
+            if restrict_to is None or modpath in restrict_to:
+                reported_displays.add(display)
+                report.findings.extend(findings)
+        program = build_program(summaries)
+        self.last_program = program
+        for rule in self.program_rules:
+            for finding in rule.check(program):
+                if (
+                    restrict_to is None
+                    or finding.path in reported_displays
+                    or finding.path.startswith("<")
+                ):
+                    report.findings.append(finding)
         for rule in self.data_rules:
             report.findings.extend(rule.check())
         for finding in report.findings:
             self.suppressions.apply(finding)
+        stale_files = self.suppressions.stale_files()
+        for entry in stale_files:
+            report.findings.append(_stale_file_finding(entry))
         for stale in self.suppressions.unused():
+            if stale in stale_files:
+                continue
             report.findings.append(_stale_suppression_finding(stale))
+        cache.save()
         return report
 
 
@@ -215,6 +314,18 @@ def _stale_suppression_finding(entry: Suppression) -> Finding:
         message=(
             f"suppression matched no finding ({entry.describe()}); "
             "remove it or fix its pattern"
+        ),
+        path="<suppressions>",
+    )
+
+
+def _stale_file_finding(entry: Suppression) -> Finding:
+    return Finding(
+        rule=ENGINE_RULE,
+        severity=Severity.WARNING,
+        message=(
+            f"suppression points at a missing file ({entry.describe()}); "
+            "run 'repro lint --prune-suppressions' to drop it"
         ),
         path="<suppressions>",
     )

@@ -30,10 +30,14 @@ from __future__ import annotations
 import fnmatch
 import json
 from dataclasses import dataclass
+from pathlib import Path
 
 from .findings import Finding
 
 _ALLOWED_KEYS = {"rule", "path", "match", "reason"}
+
+#: Characters that make a suppression path a glob rather than a file.
+_GLOB_CHARS = "*?["
 
 
 @dataclass(frozen=True)
@@ -60,13 +64,38 @@ class Suppression:
             parts.append(f"match={self.match!r}")
         return " ".join(parts)
 
+    def names_file(self) -> bool:
+        """True when ``path`` is a concrete file path, not a glob or a
+        pseudo-path like ``<lexicon>``."""
+        return not (
+            self.path == "*"
+            or self.path.startswith("<")
+            or any(ch in self.path for ch in _GLOB_CHARS)
+        )
+
+    def to_payload(self) -> dict:
+        payload: dict = {"rule": self.rule}
+        if self.path != "*":
+            payload["path"] = self.path
+        if self.match:
+            payload["match"] = self.match
+        payload["reason"] = self.reason
+        return payload
+
 
 class SuppressionConfig:
     """An ordered list of suppressions with per-entry hit counting."""
 
-    def __init__(self, entries: list[Suppression] | tuple[Suppression, ...] = ()):
+    def __init__(
+        self,
+        entries: list[Suppression] | tuple[Suppression, ...] = (),
+        source: str | None = None,
+    ):
         self.entries = list(entries)
         self._hits = [0] * len(self.entries)
+        #: Path the config was loaded from (None for in-memory configs);
+        #: concrete suppression paths resolve relative to its directory.
+        self.source = source
 
     @classmethod
     def from_dict(cls, payload: dict) -> "SuppressionConfig":
@@ -109,7 +138,9 @@ class SuppressionConfig:
                 payload = json.load(stream)
             except json.JSONDecodeError as exc:
                 raise ValueError(f"malformed suppression config {path}: {exc}") from exc
-        return cls.from_dict(payload)
+        config = cls.from_dict(payload)
+        config.source = path
+        return config
 
     def apply(self, finding: Finding) -> Finding:
         """Mark *finding* suppressed if an entry covers it (first wins)."""
@@ -124,6 +155,48 @@ class SuppressionConfig:
     def unused(self) -> list[Suppression]:
         """Entries that matched no finding in the last run."""
         return [entry for entry, hits in zip(self.entries, self._hits) if hits == 0]
+
+    def stale_files(self) -> list[Suppression]:
+        """Entries whose concrete ``path`` no longer exists on disk.
+
+        Paths resolve relative to the config file's directory (falling
+        back to the current directory for in-memory configs), so the
+        check matches how the repo-root config addresses sources.
+        """
+        base = Path(self.source).parent if self.source else Path(".")
+        stale = []
+        for entry in self.entries:
+            if not entry.names_file():
+                continue
+            if not (base / entry.path).exists() and not Path(entry.path).exists():
+                stale.append(entry)
+        return stale
+
+    def pruned(self) -> "SuppressionConfig":
+        """A copy without entries that matched nothing in the last run
+        and without entries naming files that no longer exist.
+
+        Entry order is preserved, so the rewrite is deterministic.
+        """
+        stale = set(self.stale_files())
+        kept = [
+            entry
+            for entry, hits in zip(self.entries, self._hits)
+            if hits > 0 and entry not in stale
+        ]
+        return SuppressionConfig(kept, source=self.source)
+
+    def to_payload(self) -> dict:
+        return {"suppressions": [entry.to_payload() for entry in self.entries]}
+
+    def save(self, path: str | None = None) -> None:
+        """Rewrite the config file deterministically (stable key order)."""
+        target = path or self.source
+        if target is None:
+            raise ValueError("suppression config has no source path to save to")
+        with open(target, "w", encoding="utf-8") as stream:
+            json.dump(self.to_payload(), stream, indent=2)
+            stream.write("\n")
 
     def __len__(self) -> int:
         return len(self.entries)

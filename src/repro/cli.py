@@ -285,6 +285,29 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="list every rule with the invariant it protects, then exit",
     )
+    lint.add_argument(
+        "--changed-only",
+        action="store_true",
+        help="only report findings for files changed per git, widened to "
+        "every file that transitively imports them",
+    )
+    lint.add_argument(
+        "--prune-suppressions",
+        action="store_true",
+        help="rewrite the suppression config without entries that matched "
+        "nothing or point at missing files, then exit",
+    )
+    lint.add_argument(
+        "--graph-out",
+        default=None,
+        metavar="PATH",
+        help="write the whole-program call/import graph as deterministic JSON",
+    )
+    lint.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="ignore and do not write the incremental analysis cache",
+    )
     return parser
 
 
@@ -623,8 +646,64 @@ def cmd_trace(args: argparse.Namespace, out: IO[str]) -> int:
     return 0
 
 
+def _git_changed_files() -> "set | None":
+    """Absolute paths git considers changed vs HEAD, plus untracked files.
+
+    Returns None when not in a usable git checkout.
+    """
+    import subprocess
+    from pathlib import Path
+
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "--show-toplevel"],
+            capture_output=True,
+            text=True,
+        )
+    except OSError:
+        return None
+    if proc.returncode != 0:
+        return None
+    top = proc.stdout.strip()
+    names: set[str] = set()
+    for cmd in (
+        ["git", "diff", "--name-only", "HEAD"],
+        ["git", "ls-files", "--others", "--exclude-standard"],
+    ):
+        proc = subprocess.run(cmd, capture_output=True, text=True, cwd=top)
+        if proc.returncode != 0:
+            return None
+        names.update(line.strip() for line in proc.stdout.splitlines() if line.strip())
+    return {Path(top) / name for name in names}
+
+
+def _restrict_to_changed(report, program, changed) -> None:
+    """Drop findings outside the changed files' reverse-dependency cone.
+
+    Pseudo-path findings (``<lexicon>``, ``<suppressions>``, ...) are
+    global and always kept.
+    """
+    from pathlib import Path
+
+    changed_resolved = {path.resolve() for path in changed}
+    changed_modpaths = [
+        modpath
+        for modpath, summary in program.modules.items()
+        if Path(summary.path).resolve() in changed_resolved
+    ]
+    keep_displays = {
+        program.modules[m].path for m in program.dependency_cone(changed_modpaths)
+    }
+    report.findings = [
+        finding
+        for finding in report.findings
+        if finding.path.startswith("<") or finding.path in keep_displays
+    ]
+
+
 def cmd_lint(args: argparse.Namespace, out: IO[str]) -> int:
     """Run the static-analysis rule set; exit code = max severity."""
+    import json
     from pathlib import Path
 
     from .analysis import Severity, all_rules, build_linter, find_suppression_config
@@ -644,11 +723,34 @@ def cmd_lint(args: argparse.Namespace, out: IO[str]) -> int:
             Path(paths[0]).resolve().parent
         )
     try:
-        linter = build_linter(config)
+        linter = build_linter(config, use_cache=not args.no_cache)
     except (OSError, ValueError) as exc:
         print(f"cannot load suppression config: {exc}", file=sys.stderr)
         return 2
     report = linter.lint(paths)
+    if args.graph_out:
+        with open(args.graph_out, "w", encoding="utf-8") as stream:
+            json.dump(linter.last_program.graph_dict(), stream, indent=2, sort_keys=True)
+            stream.write("\n")
+        out.write(f"wrote {args.graph_out}\n")
+    if args.prune_suppressions:
+        if config is None:
+            print("no suppression config found to prune", file=sys.stderr)
+            return 2
+        before = len(linter.suppressions)
+        pruned = linter.suppressions.pruned()
+        pruned.save(config)
+        out.write(
+            f"pruned {before - len(pruned)} of {before} suppression entries "
+            f"in {config}\n"
+        )
+        return 0
+    if args.changed_only:
+        changed = _git_changed_files()
+        if changed is None:
+            print("--changed-only requires a git checkout", file=sys.stderr)
+            return 2
+        _restrict_to_changed(report, linter.last_program, changed)
     threshold = Severity.parse(args.severity)
     if args.json:
         text = report.to_json() + "\n"

@@ -327,10 +327,16 @@ class SentimentAnalyzer:
             target_chunk = self._resolve(clause, pattern.target)
             if target_chunk is None:
                 continue
-            polarity, words, source_role = self._pattern_polarity(clause, pattern)
+            polarity, words, source_role, phrase_negated = self._pattern_polarity(
+                clause, pattern
+            )
             if polarity is None or not polarity.is_polar:
                 continue
-            if negated and self._handle_negation:
+            # A negative determiner inside the source phrase ("has no
+            # flaws") has already flipped the phrase score; flipping
+            # again at clause level would double-count the same "no".
+            flip = negated and not phrase_negated and self._handle_negation
+            if flip:
                 polarity = polarity.invert()
                 self._obs.metrics.counter("analyzer.negations_applied").inc()
             self._obs.metrics.counter(
@@ -342,7 +348,7 @@ class SentimentAnalyzer:
                 source_role=source_role,
                 target_role=pattern.target.role,
                 sentiment_words=words,
-                negated=negated and self._handle_negation,
+                negated=flip,
                 holder=self._opinion_holder(clause, pattern),
             )
             spans = self._target_spans(clause, pattern.target, target_chunk)
@@ -366,19 +372,19 @@ class SentimentAnalyzer:
 
     def _pattern_polarity(
         self, clause: Clause, pattern: SentimentPattern
-    ) -> tuple[Polarity | None, tuple[str, ...], str]:
+    ) -> tuple[Polarity | None, tuple[str, ...], str, bool]:
         if pattern.polarity is not None:
-            return pattern.polarity, (clause.predicate_lemma,), ""
+            return pattern.polarity, (clause.predicate_lemma,), "", False
         source_chunk = self._resolve(clause, pattern.source)
         if source_chunk is None:
-            return None, (), pattern.source.role
+            return None, (), pattern.source.role, False
         sentiment = self._scorer.score_chunk(source_chunk)
         if not sentiment.is_polar:
-            return None, (), pattern.source.role
+            return None, (), pattern.source.role, False
         polarity = sentiment.polarity
         if pattern.source.invert:
             polarity = polarity.invert()
-        return polarity, sentiment.sentiment_words, pattern.source.role
+        return polarity, sentiment.sentiment_words, pattern.source.role, sentiment.negated
 
     @staticmethod
     def _resolve(clause: Clause, ref: ComponentRef) -> Chunk | None:

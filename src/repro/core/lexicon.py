@@ -31,7 +31,7 @@ _COARSE = {"JJ": "JJ", "NN": "NN", "VB": "VB", "RB": "RB"}
 
 def coarse_pos(tag: str) -> str | None:
     """Map a Penn tag to the lexicon's coarse POS class, if sentiment-bearing."""
-    if tag in penn.ADJECTIVE_TAGS or tag in {"VBN", "VBG"}:
+    if penn.is_adjective(tag) or tag in {"VBN", "VBG"}:
         # Participles in modifier position act as adjectives; the lexicon
         # lists "disappointing"/"disappointed" as JJ entries.
         return "JJ"

@@ -15,7 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..nlp import penn
-from ..nlp.ahocorasick import TokenAutomaton
+from ..nlp.ahocorasick import build_automaton
 from ..nlp.tokens import Sentence, Span, TaggedSentence, Token
 from .model import Spot, Subject
 
@@ -96,10 +96,7 @@ class AhoCorasickSpotter:
         self._subjects = list(subjects)
         self._by_term, self._collisions = compile_terms(self._subjects)
         self._max_len = max((len(k) for k in self._by_term), default=0)
-        self._automaton = TokenAutomaton()
-        for key, subject in self._by_term.items():
-            self._automaton.add(key, subject)
-        self._automaton.compile()
+        self._automaton = build_automaton(self._by_term.items())
 
     @property
     def subjects(self) -> list[Subject]:
@@ -225,12 +222,12 @@ class NamedEntitySpotter:
             return False
         if position == 0 and token.lower in _COMMON_SENTENCE_STARTERS:
             return False
-        if token.tag not in penn.PROPER_NOUN_TAGS and not (
+        if not penn.is_proper_noun(token.tag) and not (
             position > 0 and token.tag in penn.NOUN_TAGS
         ):
             # Sentence-initial capitalized common nouns ("Battery life is
             # ...") are not names; mid-sentence capitalized nouns are.
-            if not (position == 0 and token.tag in penn.PROPER_NOUN_TAGS):
+            if not (position == 0 and penn.is_proper_noun(token.tag)):
                 return False
         return True
 

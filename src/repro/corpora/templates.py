@@ -90,9 +90,12 @@ _TRAP_GOLD_NEGATIVE = (
     "The {subject} is {pos} only in the brochure.",
 )
 
+# Retuned when the parser learned determiner negation ("No part of the
+# X is {neg}." stopped fooling the analyzer): counterfactuals keep the
+# surface reading negative while the writer's verdict is positive.
 _TRAP_GOLD_POSITIVE = (
-    "No part of the {subject} is {neg}.",
-    "No part of the {subject} seems {neg}.",
+    "The {subject} could have been {neg}.",
+    "The {subject} would be {neg} in lesser hands.",
 )
 
 # Neutral/stray sentences avoid opening with "The <non-feature noun>" so

@@ -170,7 +170,9 @@ class ShallowParser:
         while i < n:
             tok = tokens[i]
             is_break = False
-            if tok.lower in _CLAUSE_BREAK_WORDS and tok.tag in {"IN", "WDT", "WP", "WRB", "DT"}:
+            if tok.lower in _CLAUSE_BREAK_WORDS and (
+                tok.tag in {"IN", "DT"} or tok.tag in penn.WH_TAGS
+            ):
                 is_break = self._has_verb_ahead(tokens, i + 1)
             elif tok.tag == "CC" or tok.text in {",", ";", ":"}:
                 is_break = self._starts_new_clause(tokens, i + 1)
@@ -307,16 +309,27 @@ class ShallowParser:
 
     @staticmethod
     def _is_negated(tokens: list[TaggedToken], predicate: Chunk) -> bool:
-        """Negative adverb inside the verb group or immediately around it."""
+        """Negative adverb in/around the verb group, or a negative
+        determiner at a determiner position beside it.
+
+        Paper Section 4.2 lists "no" and "little" among the negatives
+        but notes they act at determiner positions — "has no flaws"
+        negates the predicate through its object, which the
+        adverb-only scan used to miss.
+        """
         for tok in predicate.tokens:
             if tok.lower in NEGATIVE_ADVERBS:
                 return True
         for tok in tokens:
-            if tok.lower in NEGATIVE_ADVERBS and (
+            negative = tok.lower in NEGATIVE_ADVERBS or (
+                tok.lower in NEGATIVE_DETERMINERS and tok.tag == "DT"
+            )
+            if negative and (
                 predicate.span.start - 24 <= tok.start < predicate.span.start
                 or predicate.span.end <= tok.start <= predicate.span.end + 1
             ):
-                # "never once failed", "not", split from group by the chunker
+                # "never once failed", "not" split from the group by the
+                # chunker, "has no flaws"
                 return True
         return False
 

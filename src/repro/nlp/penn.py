@@ -107,16 +107,6 @@ def is_verb(tag: str) -> bool:
     return tag in VERB_TAGS
 
 
-def is_punctuation(tag: str) -> bool:
-    """Return True for punctuation tags."""
-    return tag in PUNCTUATION_TAGS
-
-
-def is_open_class(tag: str) -> bool:
-    """Return True when the tag admits unseen vocabulary."""
-    return tag in OPEN_CLASS_TAGS
-
-
 def is_valid_tag(tag: str) -> bool:
     """Return True when *tag* belongs to the tagset."""
     return tag in ALL_TAGS

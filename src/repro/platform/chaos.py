@@ -67,32 +67,6 @@ class ChaosOutcome:
         return not self.violations
 
 
-def fault_plans(
-    base_seed: int,
-    runs: int,
-    *,
-    num_nodes: int,
-    num_partitions: int,
-    services: tuple[str, ...] = ("cluster.coordinator",),
-    service_failure_rate: float = 0.3,
-    node_death_rate: float = 0.25,
-    write_drop_rate: float = 0.0,
-    write_corrupt_rate: float = 0.0,
-) -> Iterator[FaultPlan]:
-    """Enumerate *runs* deterministic fault schedules from *base_seed*."""
-    for offset in range(runs):
-        yield FaultPlan.scheduled(
-            base_seed + offset,
-            services=services,
-            num_nodes=num_nodes,
-            num_partitions=num_partitions,
-            service_failure_rate=service_failure_rate,
-            node_death_rate=node_death_rate,
-            write_drop_rate=write_drop_rate,
-            write_corrupt_rate=write_corrupt_rate,
-        )
-
-
 def check_invariants(
     report: ClusterRunReport,
     *,

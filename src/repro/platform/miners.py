@@ -16,19 +16,18 @@ from __future__ import annotations
 from ..core.mining import (
     CorpusMiner,
     EntityMiner,
-    EntityPartition,
-    EntityStore,
     MinerPipeline,
     PipelineError,
     PipelineReport,
     run_corpus_miner,
 )
 
+# The EntityStore/EntityPartition protocols are NOT re-exported here:
+# nothing imports them through the platform shim (lint DEAD001), and new
+# code should take them from repro.core.mining directly.
 __all__ = [
     "CorpusMiner",
     "EntityMiner",
-    "EntityPartition",
-    "EntityStore",
     "MinerPipeline",
     "PipelineError",
     "PipelineReport",

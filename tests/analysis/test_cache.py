@@ -1,0 +1,133 @@
+"""The incremental lint cache: warm runs, invalidation, suppressions."""
+
+import json
+
+from repro.analysis import (
+    CACHE_SCHEMA_VERSION,
+    Linter,
+    SuppressionConfig,
+    default_code_rules,
+    default_program_rules,
+)
+from repro.analysis.cache import LintCache, rule_fingerprint
+
+
+def make_tree(tmp_path):
+    pkg = tmp_path / "repro" / "core"
+    pkg.mkdir(parents=True)
+    (pkg / "good.py").write_text("def fn(x):\n    return x\n", encoding="utf-8")
+    (pkg / "bad.py").write_text(
+        "import random\nrng = random.Random()\n", encoding="utf-8"
+    )
+    return tmp_path / "repro"
+
+
+def make_linter(tmp_path, **kwargs):
+    return Linter(
+        code_rules=default_code_rules(),
+        program_rules=default_program_rules(),
+        cache_path=tmp_path / "cache.json",
+        **kwargs,
+    )
+
+
+class TestWarmRuns:
+    def test_warm_run_reanalyzes_nothing(self, tmp_path):
+        tree = make_tree(tmp_path)
+        cold = make_linter(tmp_path).lint([tree])
+        assert cold.files_reanalyzed == cold.files_checked == 2
+        warm = make_linter(tmp_path).lint([tree])
+        assert warm.files_checked == 2
+        assert warm.files_reanalyzed == 0
+
+    def test_warm_findings_match_cold(self, tmp_path):
+        tree = make_tree(tmp_path)
+        cold = make_linter(tmp_path).lint([tree])
+        warm = make_linter(tmp_path).lint([tree])
+        assert [f.to_dict() for f in warm.findings] == [
+            f.to_dict() for f in cold.findings
+        ]
+
+    def test_changed_file_is_the_only_reanalysis(self, tmp_path):
+        tree = make_tree(tmp_path)
+        make_linter(tmp_path).lint([tree])
+        (tree / "core" / "good.py").write_text(
+            "def fn(x):\n    return x + 1\n", encoding="utf-8"
+        )
+        report = make_linter(tmp_path).lint([tree])
+        assert report.files_reanalyzed == 1
+
+    def test_cached_syntax_error_still_reported(self, tmp_path):
+        pkg = tmp_path / "repro" / "core"
+        pkg.mkdir(parents=True)
+        (pkg / "broken.py").write_text("def broken(:\n", encoding="utf-8")
+        cold = make_linter(tmp_path).lint([tmp_path / "repro"])
+        warm = make_linter(tmp_path).lint([tmp_path / "repro"])
+        assert warm.files_reanalyzed == 0
+        assert [f.rule for f in warm.unsuppressed()] == ["LINT001"]
+        assert "syntax error" in warm.unsuppressed()[0].message
+        assert [f.message for f in warm.findings] == [
+            f.message for f in cold.findings
+        ]
+
+    def test_suppression_edits_apply_without_invalidation(self, tmp_path):
+        tree = make_tree(tmp_path)
+        cold = make_linter(tmp_path).lint([tree])
+        assert any(f.rule == "DET002" for f in cold.unsuppressed())
+        config = SuppressionConfig.from_dict(
+            {"suppressions": [{"rule": "DET002", "reason": "fixture rng"}]}
+        )
+        warm = make_linter(tmp_path, suppressions=config).lint([tree])
+        assert warm.files_reanalyzed == 0
+        assert not any(f.rule == "DET002" for f in warm.unsuppressed())
+        assert [f.rule for f in warm.suppressed()] == ["DET002"]
+
+
+class TestInvalidation:
+    def test_rule_fingerprint_change_drops_the_cache(self, tmp_path):
+        tree = make_tree(tmp_path)
+        make_linter(tmp_path).lint([tree])
+        subset = Linter(
+            code_rules=default_code_rules()[:2],
+            cache_path=tmp_path / "cache.json",
+        )
+        report = subset.lint([tree])
+        assert report.files_reanalyzed == 2
+
+    def test_schema_version_mismatch_drops_the_cache(self, tmp_path):
+        tree = make_tree(tmp_path)
+        make_linter(tmp_path).lint([tree])
+        cache_file = tmp_path / "cache.json"
+        payload = json.loads(cache_file.read_text(encoding="utf-8"))
+        assert payload["schema"] == CACHE_SCHEMA_VERSION
+        payload["schema"] = CACHE_SCHEMA_VERSION + 1
+        cache_file.write_text(json.dumps(payload), encoding="utf-8")
+        report = make_linter(tmp_path).lint([tree])
+        assert report.files_reanalyzed == 2
+
+    def test_corrupt_cache_file_is_ignored(self, tmp_path):
+        tree = make_tree(tmp_path)
+        make_linter(tmp_path).lint([tree])
+        (tmp_path / "cache.json").write_text("{nope", encoding="utf-8")
+        report = make_linter(tmp_path).lint([tree])
+        assert report.files_reanalyzed == 2
+
+    def test_no_cache_path_disables_caching(self, tmp_path):
+        tree = make_tree(tmp_path)
+        linter = Linter(code_rules=default_code_rules())
+        assert linter.lint([tree]).files_reanalyzed == 2
+        assert linter.lint([tree]).files_reanalyzed == 2
+
+
+class TestCacheUnit:
+    def test_fingerprint_is_order_independent(self):
+        rules = default_code_rules()
+        assert rule_fingerprint(rules) == rule_fingerprint(list(reversed(rules)))
+
+    def test_save_is_deterministic(self, tmp_path):
+        for name in ("a.json", "b.json"):
+            cache = LintCache(tmp_path / name, "fp")
+            cache.store("repro/z.py", "d2", None, [])
+            cache.store("repro/a.py", "d1", None, [])
+            cache.save()
+        assert (tmp_path / "a.json").read_text() == (tmp_path / "b.json").read_text()

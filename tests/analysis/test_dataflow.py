@@ -1,0 +1,127 @@
+"""CFG construction and the forward worklist solver."""
+
+import ast
+import textwrap
+
+from repro.analysis import summarize_module
+from repro.analysis.dataflow import ENTRY, EXIT, EV_CALL, forward_fixpoint
+from repro.analysis.program import content_digest
+
+
+def function_summary(source, qname="fn"):
+    source = textwrap.dedent(source)
+    tree = ast.parse(source)
+    summary = summarize_module(
+        "repro/core/demo.py", "repro/core/demo.py", tree,
+        content_digest(source.encode()),
+    )
+    return summary.functions[qname]
+
+
+def acquire_facts(fn, acquire="pin", release="release"):
+    """In-facts at EXIT: indices of acquire calls that may still be held.
+
+    The exceptional out-set omits the node's own acquires — an acquire
+    that raised never acquired — mirroring how RES001 uses the solver.
+    """
+
+    def transfer(node, facts):
+        held = set(facts)
+        for event in node.events:
+            if event[0] != EV_CALL:
+                continue
+            if fn.calls[event[1]].terminal == release:
+                held.clear()
+        out_exc = frozenset(held)
+        for event in node.events:
+            if event[0] == EV_CALL and fn.calls[event[1]].terminal == acquire:
+                held.add(event[1])
+        return frozenset(held), out_exc
+
+    return forward_fixpoint(fn.cfg, transfer)[EXIT]
+
+
+class TestCfgShape:
+    def test_straight_line_reaches_exit(self):
+        fn = function_summary("def fn(x):\n    y = x\n    return y\n")
+        reachable = set()
+        frontier = [ENTRY]
+        while frontier:
+            idx = frontier.pop()
+            if idx in reachable:
+                continue
+            reachable.add(idx)
+            frontier.extend(fn.cfg.successors(idx))
+        assert EXIT in reachable
+
+    def test_raising_statement_has_exceptional_edge_to_exit(self):
+        fn = function_summary("def fn(x):\n    y = work(x)\n    return y\n")
+        raising = [n for n in fn.cfg.nodes if n.esucc >= 0]
+        assert raising and all(n.esucc == EXIT for n in raising)
+
+    def test_try_redirects_exceptional_edge_to_handler(self):
+        fn = function_summary(
+            """
+            def fn(x):
+                try:
+                    y = work(x)
+                except ValueError:
+                    y = 0
+                return y
+            """
+        )
+        work_node = next(
+            n for n in fn.cfg.nodes if n.events and n.events[0][0] == EV_CALL
+        )
+        assert work_node.esucc not in (EXIT, -1)
+
+
+class TestForwardFixpoint:
+    def test_balanced_pair_is_not_held_at_exit(self):
+        fn = function_summary(
+            """
+            def fn(self):
+                v = self.index.pin()
+                try:
+                    return v.data
+                finally:
+                    self.index.release(v)
+            """
+        )
+        assert acquire_facts(fn) == frozenset()
+
+    def test_exception_path_leaks_without_finally(self):
+        fn = function_summary(
+            """
+            def fn(self):
+                v = self.index.pin()
+                data = v.search()
+                self.index.release(v)
+                return data
+            """
+        )
+        assert acquire_facts(fn) != frozenset()
+
+    def test_acquire_that_raised_never_acquired(self):
+        # The only way to EXIT without the release is the pin's own
+        # exceptional edge, and the exceptional out-set omits the pin.
+        fn = function_summary(
+            """
+            def fn(self):
+                v = self.index.pin()
+                self.index.release(v)
+            """
+        )
+        assert acquire_facts(fn) == frozenset()
+
+    def test_branch_missing_release_is_held_at_exit(self):
+        fn = function_summary(
+            """
+            def fn(self, flag):
+                v = self.index.pin()
+                if flag:
+                    self.index.release(v)
+                return v
+            """
+        )
+        assert acquire_facts(fn) != frozenset()

@@ -1,0 +1,152 @@
+"""Engine internals: suppression precedence, exit codes, report shape."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import (
+    Finding,
+    LintReport,
+    Severity,
+    Suppression,
+    SuppressionConfig,
+)
+
+GOLDEN = Path(__file__).parent / "data" / "lint_report.golden.json"
+
+
+def make_finding(rule="DET002", path="src/repro/core/sampler.py", line=12,
+                 severity=Severity.ERROR, message="unseeded rng"):
+    return Finding(
+        rule=rule, severity=severity, message=message, path=path, line=line
+    )
+
+
+class TestSuppressionPrecedence:
+    """The first matching entry wins; order encodes precedence."""
+
+    def test_path_specific_entry_beats_later_rule_wide_entry(self):
+        config = SuppressionConfig(
+            [
+                Suppression(
+                    rule="DET002",
+                    path="src/repro/core/*",
+                    reason="core fixture rng",
+                ),
+                Suppression(rule="DET002", reason="blanket"),
+            ]
+        )
+        finding = config.apply(make_finding())
+        assert finding.suppression_reason == "core fixture rng"
+        assert [s.rule for s in config.unused()] == ["DET002"]
+
+    def test_rule_wide_entry_beats_later_match_entry(self):
+        config = SuppressionConfig(
+            [
+                Suppression(rule="DET002", reason="by rule"),
+                Suppression(rule="*", match="unseeded", reason="by match"),
+            ]
+        )
+        finding = config.apply(make_finding())
+        assert finding.suppression_reason == "by rule"
+
+    def test_non_matching_path_falls_through_to_match_entry(self):
+        config = SuppressionConfig(
+            [
+                Suppression(
+                    rule="DET002", path="src/repro/nlp/*", reason="nlp only"
+                ),
+                Suppression(rule="*", match="unseeded", reason="by match"),
+            ]
+        )
+        finding = config.apply(make_finding())
+        assert finding.suppression_reason == "by match"
+
+    def test_line_anchored_match_via_message_substring(self):
+        config = SuppressionConfig(
+            [Suppression(rule="DET002", match="line 12", reason="anchored")]
+        )
+        assert config.apply(make_finding(message="rng at line 12")).suppressed
+        assert not config.apply(make_finding(message="rng at line 13")).suppressed
+
+
+class TestExitCodes:
+    def test_severity_value_is_the_exit_code(self):
+        assert int(Severity.INFO) == 0
+        assert int(Severity.WARNING) == 1
+        assert int(Severity.ERROR) == 2
+
+    @pytest.mark.parametrize(
+        "severity,expected",
+        [(Severity.INFO, 0), (Severity.WARNING, 1), (Severity.ERROR, 2)],
+    )
+    def test_exit_code_is_max_unsuppressed_severity(self, severity, expected):
+        report = LintReport(findings=[make_finding(severity=severity)])
+        assert report.exit_code() == expected
+
+    def test_threshold_hides_lower_severities(self):
+        report = LintReport(
+            findings=[make_finding(severity=Severity.WARNING)]
+        )
+        assert report.exit_code(Severity.ERROR) == 0
+        assert report.exit_code(Severity.WARNING) == 1
+
+    def test_suppressed_findings_do_not_count(self):
+        finding = make_finding()
+        finding.suppressed = True
+        assert LintReport(findings=[finding]).exit_code() == 0
+
+    def test_severity_parse_round_trip(self):
+        for severity in Severity:
+            assert Severity.parse(str(severity)) is severity
+        with pytest.raises(ValueError, match="unknown severity"):
+            Severity.parse("fatal")
+
+
+class TestGoldenReport:
+    def make_report(self):
+        suppressed = Finding(
+            rule="DATA005",
+            severity=Severity.ERROR,
+            message="negation verb 'fail' is also a sentiment verb",
+            path="<lexicon>",
+            line=3,
+        )
+        suppressed.suppressed = True
+        suppressed.suppression_reason = "intended dual reading"
+        stale = Finding(
+            rule="LINT001",
+            severity=Severity.WARNING,
+            message=(
+                "suppression matched no finding (rule=OBS001 path=*); "
+                "remove it or fix its pattern"
+            ),
+            path="<suppressions>",
+        )
+        return LintReport(
+            findings=[
+                make_finding(
+                    message="unseeded random.Random() breaks byte-identical reruns"
+                ),
+                suppressed,
+                stale,
+            ],
+            files_checked=2,
+            rules_run=19,
+            files_reanalyzed=1,
+        )
+
+    def test_to_json_matches_golden_fixture(self):
+        golden = GOLDEN.read_text(encoding="utf-8").rstrip("\n")
+        assert self.make_report().to_json() == golden
+
+    def test_golden_round_trips_through_json(self):
+        payload = json.loads(self.make_report().to_json())
+        assert payload == json.loads(GOLDEN.read_text(encoding="utf-8"))
+        assert payload["exit_code"] == 2
+        assert [f["rule"] for f in payload["findings"]] == [
+            "DET002",
+            "DATA005",
+            "LINT001",
+        ]

@@ -84,3 +84,147 @@ class TestLintCli:
     def test_missing_config_is_an_error(self, tmp_path):
         code, _ = run_cli("lint", "--config", str(tmp_path / "nope.json"))
         assert code == 2
+
+
+class TestGraphOut:
+    def test_graph_export_is_deterministic_json(self, tmp_path):
+        first = tmp_path / "a.json"
+        second = tmp_path / "b.json"
+        for target in (first, second):
+            code, output = run_cli("lint", "--graph-out", str(target))
+            assert code == 0
+            assert str(target) in output
+        assert first.read_text() == second.read_text()
+        graph = json.loads(first.read_text(encoding="utf-8"))
+        assert set(graph) == {"functions", "call_edges", "import_edges"}
+        assert len(graph["functions"]) > 500
+        assert len(graph["call_edges"]) > 300
+
+
+class TestNoCache:
+    def test_no_cache_reanalyzes_every_file(self, tmp_path):
+        pkg = tmp_path / "repro" / "core"
+        pkg.mkdir(parents=True)
+        (pkg / "mod.py").write_text("def fn(): ...\n", encoding="utf-8")
+        config = tmp_path / "s.json"
+        config.write_text(json.dumps({"suppressions": []}), encoding="utf-8")
+        argv = ["lint", str(pkg), "--config", str(config), "--json"]
+        runs = []
+        for flags in ([], [], ["--no-cache"]):
+            _, output = run_cli(*argv, *flags)
+            runs.append(json.loads(output)["files_reanalyzed"])
+        # cold, warm, then --no-cache ignoring the warm cache
+        assert runs == [1, 0, 1]
+
+
+class TestPruneSuppressions:
+    def test_prune_rewrites_config_without_dead_entries(self, tmp_path):
+        pkg = tmp_path / "repro" / "core"
+        pkg.mkdir(parents=True)
+        (pkg / "mod.py").write_text("def fn(): ...\n", encoding="utf-8")
+        config = tmp_path / "s.json"
+        config.write_text(
+            json.dumps(
+                {
+                    "suppressions": [
+                        {"rule": "DATA005", "reason": "live: repo lexicon overlap"},
+                        {"rule": "OBS001", "reason": "matches nothing"},
+                        {
+                            "rule": "DET002",
+                            "path": "repro/core/gone.py",
+                            "reason": "file was deleted",
+                        },
+                    ]
+                }
+            ),
+            encoding="utf-8",
+        )
+        code, output = run_cli(
+            "lint", str(pkg), "--config", str(config), "--prune-suppressions"
+        )
+        assert code == 0
+        assert "pruned 2 of 3" in output
+        payload = json.loads(config.read_text(encoding="utf-8"))
+        assert [e["rule"] for e in payload["suppressions"]] == ["DATA005"]
+        # The surviving entry keeps its mandatory reason.
+        assert payload["suppressions"][0]["reason"]
+
+
+class TestChangedOnly:
+    def init_repo(self, tmp_path):
+        import subprocess
+
+        pkg = tmp_path / "repro" / "core"
+        pkg.mkdir(parents=True)
+        (pkg / "util.py").write_text(
+            "def helper(x):\n    return x\n", encoding="utf-8"
+        )
+        (pkg / "user.py").write_text(
+            "from repro.core.util import helper\n\n"
+            "def main():\n    return helper(0)\n",
+            encoding="utf-8",
+        )
+        (pkg / "other.py").write_text(
+            "import random\nrng = random.Random()\n", encoding="utf-8"
+        )
+        config = tmp_path / "s.json"
+        config.write_text(json.dumps({"suppressions": []}), encoding="utf-8")
+        for cmd in (
+            ["git", "init", "-q"],
+            ["git", "add", "-A"],
+            ["git", "-c", "user.email=t@t", "-c", "user.name=t",
+             "commit", "-qm", "seed"],
+        ):
+            subprocess.run(cmd, cwd=tmp_path, check=True, capture_output=True)
+        return pkg, config
+
+    def test_unchanged_tree_reports_only_global_findings(
+        self, tmp_path, monkeypatch
+    ):
+        pkg, config = self.init_repo(tmp_path)
+        monkeypatch.chdir(tmp_path)
+        code, output = run_cli(
+            "lint", "repro", "--config", str(config), "--changed-only", "--json"
+        )
+        payload = json.loads(output)
+        # other.py's DET002 is filtered out: the file did not change.
+        assert not any(
+            f["path"].endswith("other.py") for f in payload["findings"]
+        )
+        assert code == payload["exit_code"] == 2  # DATA005 findings are global
+
+    def test_change_widens_to_the_reverse_dependency_cone(
+        self, tmp_path, monkeypatch
+    ):
+        pkg, config = self.init_repo(tmp_path)
+        # Introduce a violation in user.py, then touch only util.py:
+        # user.py imports util.py, so it is in the cone and its finding
+        # must surface even though user.py itself did not change.
+        (pkg / "user.py").write_text(
+            "import random\n"
+            "from repro.core.util import helper\n\n"
+            "rng = random.Random()\n\n"
+            "def main():\n    return helper(0)\n",
+            encoding="utf-8",
+        )
+        import subprocess
+
+        subprocess.run(
+            ["git", "add", "-A"], cwd=tmp_path, check=True, capture_output=True
+        )
+        subprocess.run(
+            ["git", "-c", "user.email=t@t", "-c", "user.name=t",
+             "commit", "-qm", "violation"],
+            cwd=tmp_path, check=True, capture_output=True,
+        )
+        (pkg / "util.py").write_text(
+            "def helper(x):\n    return x + 1\n", encoding="utf-8"
+        )
+        monkeypatch.chdir(tmp_path)
+        code, output = run_cli(
+            "lint", "repro", "--config", str(config), "--changed-only", "--json"
+        )
+        payload = json.loads(output)
+        paths = {f["path"] for f in payload["findings"]}
+        assert any(p.endswith("user.py") for p in paths)
+        assert not any(p.endswith("other.py") for p in paths)

@@ -44,6 +44,12 @@ class TestSrcIsClean:
         assert all(f.rule == "DATA005" for f in suppressed)
         assert all(f.suppression_reason for f in suppressed)
 
+    def test_warm_cache_run_reanalyzes_nothing(self):
+        lint_src()  # ensure the cache is populated
+        report = lint_src()
+        assert report.files_reanalyzed == 0
+        assert report.files_checked > 80
+
 
 class TestViolationsAreCaught:
     """Deliberate violations in synthetic files must fail the lint."""

@@ -118,3 +118,92 @@ class TestLinterSuppressionIntegration:
         assert len(config) >= 1
         for entry in config.entries:
             assert entry.reason.strip()
+
+
+class TestStaleFileEntries:
+    def write_config(self, tmp_path, entries):
+        config = tmp_path / "lint-suppressions.json"
+        config.write_text(json.dumps({"suppressions": entries}), encoding="utf-8")
+        return config
+
+    def test_missing_file_entry_is_stale(self, tmp_path):
+        (tmp_path / "kept.py").write_text("x = 1\n", encoding="utf-8")
+        config = SuppressionConfig.load(
+            str(
+                self.write_config(
+                    tmp_path,
+                    [
+                        {"rule": "DET002", "path": "kept.py", "reason": "alive"},
+                        {"rule": "DET002", "path": "gone.py", "reason": "dead"},
+                    ],
+                )
+            )
+        )
+        assert [s.path for s in config.stale_files()] == ["gone.py"]
+
+    def test_globs_and_pseudo_paths_are_never_stale(self, tmp_path):
+        config = SuppressionConfig.load(
+            str(
+                self.write_config(
+                    tmp_path,
+                    [
+                        {"rule": "A", "path": "src/*", "reason": "glob"},
+                        {"rule": "B", "path": "<lexicon>", "reason": "pseudo"},
+                        {"rule": "C", "reason": "wildcard default"},
+                    ],
+                )
+            )
+        )
+        assert config.stale_files() == []
+
+    def test_stale_file_entry_becomes_a_distinct_warning(self, tmp_path):
+        config = SuppressionConfig.load(
+            str(
+                self.write_config(
+                    tmp_path,
+                    [{"rule": "DET002", "path": "gone.py", "reason": "dead"}],
+                )
+            )
+        )
+        report = Linter(suppressions=config).lint([])
+        warnings = report.unsuppressed(Severity.WARNING)
+        assert len(warnings) == 1
+        assert "missing file" in warnings[0].message
+        assert "--prune-suppressions" in warnings[0].message
+
+    def test_pruned_drops_unused_and_missing_file_entries(self, tmp_path):
+        (tmp_path / "kept.py").write_text("x = 1\n", encoding="utf-8")
+        config = SuppressionConfig.load(
+            str(
+                self.write_config(
+                    tmp_path,
+                    [
+                        {"rule": "DATA005", "reason": "hit below"},
+                        {"rule": "DET001", "reason": "never hit"},
+                        {"rule": "DET002", "path": "gone.py", "reason": "dead"},
+                    ],
+                )
+            )
+        )
+        config.apply(make_finding())
+        pruned = config.pruned()
+        assert [s.rule for s in pruned.entries] == ["DATA005"]
+
+    def test_save_round_trips_deterministically(self, tmp_path):
+        source = self.write_config(
+            tmp_path,
+            [
+                {"rule": "DATA005", "path": "<lexicon>", "match": "fail",
+                 "reason": "intended"},
+                {"rule": "*", "reason": "blanket"},
+            ],
+        )
+        config = SuppressionConfig.load(str(source))
+        config.save()
+        first = source.read_text(encoding="utf-8")
+        SuppressionConfig.load(str(source)).save()
+        assert source.read_text(encoding="utf-8") == first
+        reloaded = SuppressionConfig.load(str(source))
+        assert [e.describe() for e in reloaded.entries] == [
+            e.describe() for e in config.entries
+        ]

@@ -79,6 +79,21 @@ class TestNegationHandling:
         out = judge(plain, "The camera does not take excellent pictures.", "camera")
         assert out["camera"] is Polarity.POSITIVE  # wrong on purpose
 
+    def test_determiner_negation_in_subject(self, analyzer):
+        # Paper Section 4.2: "no" acts at a determiner position.
+        out = judge(analyzer, "No part of the lens is flimsy.", "lens")
+        assert out["lens"] is Polarity.POSITIVE
+
+    def test_determiner_negation_in_subject_of_intransitive(self, analyzer):
+        out = judge(analyzer, "No feature works.", "feature")
+        assert out["feature"] is Polarity.NEGATIVE
+
+    def test_determiner_negation_in_object_not_double_counted(self, analyzer):
+        # The phrase scorer already flips "no flaws" to positive; the
+        # clause-level negation must not flip it back.
+        out = judge(analyzer, "The camera has no flaws.", "camera")
+        assert out["camera"] is Polarity.POSITIVE
+
 
 class TestTargetAssociation:
     def test_multiple_subjects_distinct_polarity(self, analyzer):

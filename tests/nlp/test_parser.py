@@ -123,6 +123,18 @@ class TestNegation:
     def test_hardly(self):
         assert main_clause("The battery hardly lasts an hour.").negated
 
+    def test_determiner_no_negates_through_the_object(self):
+        # Paper Section 4.2: "has no flaws" negates the predicate through
+        # its object.  Found via lint DEAD001 — NEGATIVE_DETERMINERS was
+        # defined but never consulted by _is_negated.
+        assert main_clause("The camera has no flaws.").negated
+
+    def test_determiner_no_negates_from_the_subject(self):
+        assert main_clause("No feature works.").negated
+
+    def test_plain_object_is_not_negated(self):
+        assert not main_clause("The camera has flaws.").negated
+
 
 class TestClauseSegmentation:
     def test_but_splits_clauses(self):

@@ -123,3 +123,25 @@ class TestCorpusMiner:
 
     def test_empty_store(self):
         assert run_corpus_miner(WordCounter(), DataStore(num_partitions=2)) == 0
+
+
+class TestShimSurface:
+    """The platform shim re-exports only what is imported through it."""
+
+    def test_store_protocols_come_from_core_not_the_shim(self):
+        # Trimmed via lint DEAD001: nothing imported the store protocols
+        # through the platform shim, so the re-export was dropped.
+        import repro.platform.miners as shim
+        from repro.core.mining import EntityPartition, EntityStore
+
+        assert "EntityStore" not in shim.__all__
+        assert "EntityPartition" not in shim.__all__
+        assert not hasattr(shim, "EntityStore")
+        assert EntityStore is not None and EntityPartition is not None
+
+    def test_remaining_reexports_match_core(self):
+        import repro.core.mining as core
+        import repro.platform.miners as shim
+
+        for name in shim.__all__:
+            assert getattr(shim, name) is getattr(core, name)
