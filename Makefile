@@ -2,7 +2,7 @@
 PYTHONPATH := src
 export PYTHONPATH
 
-.PHONY: test chaos serving-chaos incremental bench bench-obs bench-serving bench-freshness bench-throughput bench-lint lint lint-report
+.PHONY: test chaos serving-chaos incremental recovery-chaos bench bench-obs bench-serving bench-freshness bench-throughput bench-lint bench-recovery lint lint-report
 
 test: lint
 	python -m pytest -x -q
@@ -21,7 +21,13 @@ serving-chaos:
 incremental:
 	python -m pytest -q -m incremental
 
-bench: bench-obs bench-serving bench-freshness bench-throughput bench-lint
+# Durable-recovery suite: crash-restart schedules, WAL replay,
+# anti-entropy catch-up, re-replication, and the healed-equals-unchaosed
+# determinism gate.
+recovery-chaos:
+	python -m pytest -q -m recovery
+
+bench: bench-obs bench-serving bench-freshness bench-throughput bench-lint bench-recovery
 	cd benchmarks && PYTHONPATH=../src python -m pytest -q
 
 # Instrumentation overhead guard: tracing on vs. off on the same corpus
@@ -56,6 +62,14 @@ bench-throughput:
 # more than half the cold wall time.
 bench-lint:
 	cd benchmarks && PYTHONPATH=../src python -m pytest -q bench_lint.py
+
+# Recovery gate: crash-restart runs across several chaos seeds must hold
+# ≥99% availability while the RecoveryManager re-replicates and catches
+# the rejoined node up, settle completely, and keep p95 restore duration
+# under its ceiling.  Writes BENCH_recovery.json; same-seed runs must be
+# byte-identical.
+bench-recovery:
+	cd benchmarks && PYTHONPATH=../src python -m pytest -q bench_recovery.py
 
 # Byte-compile everything, then run the static-analysis rule set
 # (determinism, layering, obs discipline, pattern-DB/lexicon invariants).

@@ -66,6 +66,7 @@ from .program_rules import (
     ResourcePairRule,
     RngFlowRule,
     TraceThreadingRule,
+    WalOrderingRule,
     default_program_rules,
 )
 from .suppressions import Suppression, SuppressionConfig
@@ -172,6 +173,7 @@ __all__ = [
     "TraceContextRule",
     "TraceThreadingRule",
     "VinciHandlerRule",
+    "WalOrderingRule",
     "WallClockRule",
     "all_rules",
     "build_linter",

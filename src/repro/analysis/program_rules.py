@@ -22,6 +22,10 @@ graph, summaries, CFGs — built once per lint run:
   draw sites — mechanical prep for the named-stream RNGManager item on
   the roadmap (paper §6 requires byte-identical reruns, which named
   per-subsystem streams make robust to reordering).
+* **PLAT004** WAL ordering: in ingest-path code, every store/index
+  mutation must be dominated by a write-ahead-log append on every CFG
+  path — append-before-mutate is what makes crash replay exact
+  (DESIGN.md §5j).
 * **DEAD001** dead public symbols: module-level functions, classes and
   assignments referenced nowhere in the project — src plus the
   *reference roots* (tests/, benchmarks/), which count as users but are
@@ -621,6 +625,123 @@ class RngFlowRule(ProgramRule):
 
 
 # ---------------------------------------------------------------------------
+# PLAT004 — WAL append dominates index mutation
+# ---------------------------------------------------------------------------
+
+
+class WalOrderingRule(ProgramRule):
+    """WAL append dominates every index mutation in ingest code (PLAT004).
+
+    The durability contract (DESIGN.md §5j) is *append-before-mutate*: a
+    batch must be in the write-ahead log before any store or index
+    mutation it causes, so a crash mid-batch can always be replayed.
+    For every ingest-path function that appends to a WAL, the rule
+    demands the append **dominate** each mutation — happen on *every*
+    CFG path leading to it, not just the happy one.
+
+    Must-dominance rides the shared may-solver via its complement: the
+    tracked fact is ``bare`` ("no append has happened yet"), seeded at
+    entry and cleared by an append's *normal* out-edge only — an append
+    that raised may never have logged, the same asymmetry RES001 uses
+    for acquires.  Union-join then means a mutation node keeps ``bare``
+    if *any* path reaches it un-logged, which is exactly the violation.
+    """
+
+    rule_id = "PLAT004"
+    name = "wal-ordering"
+    severity = Severity.ERROR
+    invariant = (
+        "in ingest-path code, every store/index mutation is dominated by a "
+        "write-ahead-log append on every CFG path (append-before-mutate)"
+    )
+    #: Ingest-path modules only: the offline bootstrap (corpus build in
+    #: the scenario/cli layers) predates the WAL by design.
+    scope = (
+        "repro/platform/ingestion.py",
+        "repro/platform/segments.py",
+        "repro/platform/wal.py",
+    )
+
+    BARE = "bare"
+    MUTATORS = frozenset(
+        {
+            "store",
+            "store_all",
+            "delete",
+            "absorb",
+            "apply_batch",
+            "index_batch",
+            "add_entity",
+            "add_entities",
+            "add_judgment",
+            "add_judgments",
+        }
+    )
+    MUTABLE_RECEIVERS = ("store", "index", "live", "shard")
+
+    @staticmethod
+    def _is_append(site: CallSite) -> bool:
+        return site.terminal == "append" and "wal" in site.receiver.lower()
+
+    def _is_mutation(self, site: CallSite) -> bool:
+        if site.terminal not in self.MUTATORS:
+            return False
+        receiver = site.receiver.lower()
+        return any(token in receiver for token in self.MUTABLE_RECEIVERS)
+
+    def check(self, program: Program) -> Iterator[Finding]:
+        findings: list[Finding] = []
+        for fid, fn in program.functions():
+            if not self.applies_to(fid[0]):
+                continue
+            if not any(self._is_append(c) for c in fn.calls):
+                continue
+            summary = program.modules[fid[0]]
+            for index in sorted(self._undominated(fn)):
+                site = fn.calls[index]
+                findings.append(
+                    self.finding(
+                        f"{site.callee}() in {fn.qname!r} mutates the "
+                        "store/index on a CFG path where no WAL append has "
+                        "happened yet; append the batch to the write-ahead "
+                        "log before touching the index "
+                        "(append-before-mutate)",
+                        path=summary.path,
+                        line=site.lineno,
+                    )
+                )
+        return _sorted(findings)
+
+    def _undominated(self, fn: FunctionSummary) -> set[int]:
+        """Call indices of mutations some un-logged path can reach."""
+
+        def transfer(node: CfgNode, facts: frozenset) -> tuple:
+            # Exceptional exit keeps the in-facts: an append that raised
+            # may never have reached the log.
+            bare = set(facts)
+            for event in node.events:
+                if event[0] == EV_CALL and self._is_append(fn.calls[event[1]]):
+                    bare.discard(self.BARE)
+            return frozenset(bare), facts
+
+        in_facts = forward_fixpoint(
+            fn.cfg, transfer, init=frozenset({self.BARE})
+        )
+        flagged: set[int] = set()
+        for idx, node in enumerate(fn.cfg.nodes):
+            bare = self.BARE in in_facts[idx]
+            for event in node.events:
+                if event[0] != EV_CALL:
+                    continue
+                site = fn.calls[event[1]]
+                if self._is_append(site):
+                    bare = False
+                elif bare and self._is_mutation(site):
+                    flagged.add(event[1])
+        return flagged
+
+
+# ---------------------------------------------------------------------------
 # DEAD001 — dead public symbols
 # ---------------------------------------------------------------------------
 
@@ -790,5 +911,6 @@ def default_program_rules(
         DeadlinePropagationRule(),
         TraceThreadingRule(),
         RngFlowRule(),
+        WalOrderingRule(),
         DeadSymbolRule(reference_roots=reference_roots),
     ]

@@ -197,6 +197,13 @@ def build_parser() -> argparse.ArgumentParser:
         "byte-identical report either way",
     )
     serve.add_argument(
+        "--restarts",
+        action="store_true",
+        help="with --chaos-seed: the killed node rejoins at a seeded time; "
+        "ingest goes through a WAL and the recovery manager re-replicates, "
+        "catches the node up, and re-admits it via breaker probes",
+    )
+    serve.add_argument(
         "--json",
         action="store_true",
         help="emit the machine-readable serving report as a v1 envelope",
@@ -230,6 +237,12 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="index the corpus incrementally as N delta batches so the "
         "ingest/compaction sections reflect the live path (default 3)",
+    )
+    health.add_argument(
+        "--restarts",
+        action="store_true",
+        help="with --chaos-seed: enable crash-restart recovery and report "
+        "the recovery and WAL health sections",
     )
     health.add_argument(
         "--json",
@@ -557,6 +570,7 @@ def cmd_serve(args: argparse.Namespace, out: IO[str]) -> int:
         profile=LoadProfile(requests=args.requests),
         obs=obs,
         batches=args.batches,
+        restarts=args.restarts,
     )
     report = scenario.run()
 
@@ -583,9 +597,21 @@ def cmd_serve(args: argparse.Namespace, out: IO[str]) -> int:
         ["faults injected", report["faults_injected"]],
         ["dead nodes", ",".join(map(str, report["dead_nodes"])) or "-"],
     ]
+    recovery = report.get("recovery")
+    if recovery is not None:
+        rows.extend(
+            [
+                ["recovery transfers", recovery["transfers"]],
+                ["docs shipped", recovery["docs_shipped"]],
+                ["nodes re-admitted", recovery["probes_admitted"]],
+                ["cluster settled", str(recovery["settled"]).lower()],
+            ]
+        )
     title = "serving run"
     if args.chaos_seed is not None:
         title += f" under chaos seed {args.chaos_seed}"
+        if args.restarts:
+            title += " with restarts"
     out.write(format_table(["metric", "value"], rows, title=title) + "\n")
     _emit_obs(args, obs, out)
     return 0
@@ -612,6 +638,7 @@ def cmd_health(args: argparse.Namespace, out: IO[str]) -> int:
         obs=obs,
         batches=args.batches,
         slo=slo,
+        restarts=args.restarts,
     )
     scenario.run()
     snapshot = health_snapshot(
@@ -619,6 +646,8 @@ def cmd_health(args: argparse.Namespace, out: IO[str]) -> int:
         router=scenario.router,
         live_indexer=scenario.live_indexer,
         slo=slo,
+        recovery=scenario.recovery,
+        wal=scenario.wal,
     )
     if args.json:
         from .platform.api import ok_envelope

@@ -62,6 +62,7 @@ from .slo import (
     SLOMonitor,
     SLOSpec,
     default_serving_slos,
+    replication_slo,
 )
 from .tracer import NULL_TRACER, NullTracer, Span, Tracer, walk
 
@@ -154,6 +155,7 @@ __all__ = [
     "render_health",
     "render_metric_records",
     "render_span_tree",
+    "replication_slo",
     "validate_metric_name",
     "walk",
     "with_trace",

@@ -73,6 +73,8 @@ def health_snapshot(
     router: Any = None,
     live_indexer: Any = None,
     slo: Any = None,
+    recovery: Any = None,
+    wal: Any = None,
 ) -> dict[str, Any]:
     """One ops snapshot; every section is optional except time + memos."""
     metrics = obs.metrics
@@ -131,6 +133,10 @@ def health_snapshot(
             if isinstance(instrument, Histogram) and not labels:
                 stages[stage] = _histogram_summary(instrument)
     snap["stage_latency"] = stages
+    if recovery is not None:
+        snap["recovery"] = recovery.snapshot()
+    if wal is not None:
+        snap["wal"] = wal.snapshot()
     if slo is not None:
         snap["slo"] = slo.status_snapshot()
     return snap
@@ -210,6 +216,38 @@ def render_health(snap: dict[str, Any]) -> str:
                 f"mean={_fmt(summary['mean'])} p95<={_fmt(summary['p95_le'])} "
                 f"trace={summary['p95_exemplar_trace']}"
             )
+    recovery = snap.get("recovery")
+    if recovery:
+        lines.append("")
+        lines.append("recovery")
+        live_rf = ", ".join(
+            f"shard{shard}:{live}"
+            for shard, live in recovery["live_replication"].items()
+        )
+        lines.append(f"  live_rf          {live_rf or '(none)'}")
+        under = ", ".join(str(s) for s in recovery["under_replicated"])
+        lines.append(f"  under_replicated {under or '(none)'}")
+        down = ", ".join(str(n) for n in recovery["down_nodes"])
+        lines.append(f"  down_nodes       {down or '(none)'}")
+        inflight = ", ".join(
+            f"shard{shard}@node{host}"
+            for shard, host in recovery["inflight_replicas"]
+        )
+        lines.append(f"  inflight         {inflight or '(none)'}")
+        lines.append(
+            "  transfers        "
+            f"{recovery['transfers']} ({recovery['docs_shipped']} docs)"
+        )
+        lines.append(f"  settled          {recovery['settled']}")
+    wal = snap.get("wal")
+    if wal:
+        lines.append("")
+        lines.append("wal")
+        lines.append(f"  depth            {wal['depth']}")
+        lines.append(f"  last_lsn         {wal['last_lsn']}")
+        lines.append(f"  checkpoint_lsn   {wal['checkpoint_lsn']}")
+        unsealed = ", ".join(str(lsn) for lsn in wal["unsealed"])
+        lines.append(f"  unsealed         {unsealed or '(none)'}")
     slo = snap.get("slo")
     if slo:
         lines.append("")

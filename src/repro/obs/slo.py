@@ -34,6 +34,7 @@ from . import audit as _audit
 AVAILABILITY = "availability"
 LATENCY = "latency"
 FRESHNESS = "freshness"
+REPLICATION = "replication"
 
 #: Audit-entry kind used for alert transitions.
 AUDIT_KIND_SLO = "slo"
@@ -84,7 +85,7 @@ class SLOSpec:
     description: str = ""
 
     def __post_init__(self) -> None:
-        if self.kind not in (AVAILABILITY, LATENCY, FRESHNESS):
+        if self.kind not in (AVAILABILITY, LATENCY, FRESHNESS, REPLICATION):
             raise ValueError(f"unknown SLO kind {self.kind!r}")
         if not 0.0 < self.objective < 1.0:
             raise ValueError("objective must be strictly between 0 and 1")
@@ -232,6 +233,25 @@ def default_serving_slos(
     )
 
 
+def replication_slo(objective: float = 0.95) -> SLOSpec:
+    """Replication-health objective for recovery-enabled clusters.
+
+    Each observation is one shard at one recovery tick; "bad" means the
+    shard was under-replicated at that instant.  Kept out of
+    :func:`default_serving_slos` so plain serving runs (no restarts, no
+    recovery manager) keep their exact report shape — the scenario
+    builder adds it via :meth:`SLOMonitor.add_spec` when recovery is on.
+    """
+    return SLOSpec(
+        name="replication_health",
+        kind=REPLICATION,
+        objective=objective,
+        description=(
+            f"{objective:.0%} of per-shard observations at full replication"
+        ),
+    )
+
+
 class SLOMonitor:
     """Tracks a set of SLO specs against one observability context.
 
@@ -250,7 +270,7 @@ class SLOMonitor:
         # Per-kind views so the per-response intake path never scans
         # trackers of the wrong kind (it runs once per router response).
         self._by_kind: dict[str, list[_Tracker]] = {
-            AVAILABILITY: [], LATENCY: [], FRESHNESS: []
+            AVAILABILITY: [], LATENCY: [], FRESHNESS: [], REPLICATION: []
         }
         self.alerts: list[AlertEvent] = []
         for spec in specs if specs is not None else default_serving_slos():
@@ -283,6 +303,17 @@ class SLOMonitor:
         now = self._obs.clock.now
         for tracker in self._by_kind[FRESHNESS]:
             tracker.record(now, lag > tracker.spec.threshold)
+
+    def record_replication(self, healthy: bool) -> None:
+        """Feed one per-shard replication-health observation.
+
+        The recovery manager calls this once per shard per tick:
+        ``healthy`` means the shard currently has at least the configured
+        replication factor's worth of *live* replicas.
+        """
+        now = self._obs.clock.now
+        for tracker in self._by_kind[REPLICATION]:
+            tracker.record(now, not healthy)
 
     # -- evaluation -------------------------------------------------------------
 

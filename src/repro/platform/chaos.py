@@ -33,8 +33,9 @@ Use from pytest::
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass, field
-from typing import Callable, Iterator, TypeVar
+from typing import Callable, Iterable, Iterator, TypeVar
 
 from ..obs import Obs
 from .cluster import Cluster, ClusterRunReport
@@ -50,6 +51,40 @@ _EPS = 1e-9
 #: Default retry policy for chaos runs: deterministic (no jitter) so
 #: work accounting is reproducible across identical seeds.
 DEFAULT_CHAOS_RETRY = RetryPolicy(max_attempts=4, base_backoff=0.1, multiplier=2.0)
+
+#: Default simulated-time window in which a killed node rejoins.
+DEFAULT_RESTART_WINDOW = (4.0, 12.0)
+
+#: Seed salt so restart draws are independent of however many draws the
+#: plan's own RNG made while scheduling deaths and service faults.
+_RESTART_SALT = 0x5BD1E995
+
+
+def schedule_restarts(
+    plan: FaultPlan,
+    *,
+    window: tuple[float, float] = DEFAULT_RESTART_WINDOW,
+    node_ids: Iterable[int] | None = None,
+) -> dict[int, float]:
+    """Attach seeded rejoin times to a plan's scheduled node deaths.
+
+    Every dead node (or just *node_ids*) gets a restart drawn uniformly
+    from *window* using ``random.Random(plan.seed ^ salt)`` — a fresh
+    generator, so the rejoin times depend only on the seed and the
+    sorted node order, never on how many draws built the rest of the
+    plan.  Returns ``{node_id: rejoin_time}`` for reports and tests.
+    """
+    lo, hi = window
+    if not 0.0 <= lo <= hi:
+        raise ValueError(f"restart window must satisfy 0 <= lo <= hi, got {window}")
+    rng = random.Random(plan.seed ^ _RESTART_SALT)
+    targets = sorted(plan.dead_nodes) if node_ids is None else sorted(node_ids)
+    times: dict[int, float] = {}
+    for node_id in targets:
+        at = lo + (hi - lo) * rng.random()
+        plan.restart_node(node_id, after_cost=at)
+        times[node_id] = at
+    return times
 
 
 @dataclass

@@ -90,6 +90,8 @@ class ClusterRunReport:
     retries: int = 0
     failovers: int = 0
     dead_nodes: tuple[int, ...] = ()
+    restarted_nodes: tuple[int, ...] = ()
+    recovered_partitions: tuple[int, ...] = ()
     lost_partitions: tuple[int, ...] = ()
     coverage: float = 1.0
     degraded: bool = False
@@ -112,6 +114,8 @@ class ClusterRunReport:
             "retries": self.retries,
             "failovers": self.failovers,
             "dead_nodes": list(self.dead_nodes),
+            "restarted_nodes": list(self.restarted_nodes),
+            "recovered_partitions": list(self.recovered_partitions),
             "lost_partitions": list(self.lost_partitions),
             "coverage": self.coverage,
             "degraded": self.degraded,
@@ -130,6 +134,8 @@ class _RunPlan:
     #: (node, partition_id, is_failover) in processing order.
     assignments: list[tuple[Node, int, bool]]
     dead_nodes: tuple[int, ...]
+    restarted_nodes: tuple[int, ...]
+    recovered_partitions: tuple[int, ...]
     lost_partitions: tuple[int, ...]
     failovers: int
 
@@ -344,25 +350,41 @@ class Cluster:
     # -- internals -------------------------------------------------------------------------------
 
     def _plan_run(self) -> _RunPlan:
-        """Apply the fault plan's node deaths to this run's assignments."""
+        """Apply the fault plan's node deaths to this run's assignments.
+
+        A dead node with a scheduled *restart* rejoins within the run:
+        the partitions its crash orphaned are re-assigned back to the
+        node itself (restart catch-up), so only restart-less deaths
+        trigger replica failover or partition loss.
+        """
         deaths: dict[int, int] = {}
+        restarted: list[int] = []
         if self._fault_plan is not None:
             for node in self._nodes:
                 death = self._fault_plan.node_death(node.node_id)
                 if death is not None:
                     deaths[node.node_id] = death
+                    if self._fault_plan.node_restart(node.node_id) is not None:
+                        restarted.append(node.node_id)
         assignments: list[tuple[Node, int, bool]] = []
-        orphaned: list[int] = []
+        orphaned: list[tuple[int, int]] = []  # (partition_id, crashed owner)
         for node in self._nodes:
             completed_before_death = deaths.get(node.node_id)
             for position, partition_id in enumerate(node.partition_ids):
                 if completed_before_death is not None and position >= completed_before_death:
-                    orphaned.append(partition_id)
+                    orphaned.append((partition_id, node.node_id))
                 else:
                     assignments.append((node, partition_id, False))
         lost: list[int] = []
+        recovered: list[int] = []
         failovers = 0
-        for partition_id in sorted(orphaned):
+        for partition_id, crashed_owner in sorted(orphaned):
+            if crashed_owner in restarted:
+                # The owner comes back mid-run and finishes its own
+                # backlog; the work is charged to the restarted node.
+                assignments.append((self._nodes[crashed_owner], partition_id, True))
+                recovered.append(partition_id)
+                continue
             survivor = next(
                 (
                     self._nodes[owner]
@@ -379,6 +401,8 @@ class Cluster:
         return _RunPlan(
             assignments=assignments,
             dead_nodes=tuple(sorted(deaths)),
+            restarted_nodes=tuple(sorted(restarted)),
+            recovered_partitions=tuple(recovered),
             lost_partitions=tuple(lost),
             failovers=failovers,
         )
@@ -432,6 +456,8 @@ class Cluster:
             retries=retries,
             failovers=run_plan.failovers if run_plan else 0,
             dead_nodes=run_plan.dead_nodes if run_plan else (),
+            restarted_nodes=run_plan.restarted_nodes if run_plan else (),
+            recovered_partitions=run_plan.recovered_partitions if run_plan else (),
             lost_partitions=run_plan.lost_partitions if run_plan else (),
             coverage=coverage,
             degraded=coverage < 1.0,
@@ -461,6 +487,10 @@ class Cluster:
         metrics.counter("cluster.messages").inc(report.messages)
         metrics.counter("cluster.retries").inc(report.retries)
         metrics.counter("cluster.failovers").inc(report.failovers)
+        metrics.counter("cluster.restarted_nodes").inc(len(report.restarted_nodes))
+        metrics.counter("cluster.recovered_partitions").inc(
+            len(report.recovered_partitions)
+        )
         metrics.counter("cluster.lost_partitions").inc(len(report.lost_partitions))
         metrics.counter("cluster.degraded_runs").inc(1 if report.degraded else 0)
         metrics.gauge("cluster.makespan").set(report.makespan)

@@ -16,7 +16,10 @@ Fault kinds
                 (``error``) or time out (``timeout``) before the
                 handler runs;
 ``node``      — a cluster node dies after completing N partitions of
-                the current run (N=0: dead on arrival);
+                the current run (N=0: dead on arrival); a death may
+                carry a scheduled *restart*: from that simulated time
+                on the node is back up and must be caught up by the
+                recovery machinery (:mod:`repro.platform.recovery`);
 ``write``     — the next K writes to a store partition are dropped
                 on the floor, or corrupted (content garbled, existing
                 annotations discarded, ``corrupted`` metadata set).
@@ -71,6 +74,7 @@ class FaultPlan:
         self._rng = random.Random(seed)
         self._service_faults: dict[str, deque[str]] = {}
         self._node_deaths: dict[int, int] = {}
+        self._node_restarts: dict[int, float] = {}
         self._write_faults: dict[int, deque[str]] = {}
         self._ledger: list[FaultEvent] = []
         self._corruption_cursor = 0
@@ -95,6 +99,25 @@ class FaultPlan:
         if after_partitions < 0:
             raise ValueError("after_partitions must be non-negative")
         self._node_deaths[node_id] = after_partitions
+        return self
+
+    def restart_node(self, node_id: int, after_cost: float) -> "FaultPlan":
+        """Schedule a killed node to rejoin at simulated time *after_cost*.
+
+        The node is considered down on the half-open interval
+        ``[0, after_cost)`` of the simulated clock and up from
+        ``after_cost`` onward.  Restarting brings back an *empty-handed*
+        node: its replicas are stale until anti-entropy catch-up ships
+        the segments it missed, which is the recovery manager's job —
+        the plan only decides *when* the machine answers again.
+        """
+        if after_cost < 0:
+            raise ValueError("after_cost must be non-negative")
+        if node_id not in self._node_deaths:
+            raise ValueError(
+                f"node {node_id} has no scheduled death; kill_node() it first"
+            )
+        self._node_restarts[node_id] = float(after_cost)
         return self
 
     def drop_write(self, partition_id: int, count: int = 1) -> "FaultPlan":
@@ -164,6 +187,22 @@ class FaultPlan:
         """Partitions the node completes before dying; None = healthy."""
         return self._node_deaths.get(node_id)
 
+    def node_restart(self, node_id: int) -> float | None:
+        """Simulated time at which a killed node rejoins; None = never."""
+        return self._node_restarts.get(node_id)
+
+    def node_down(self, node_id: int, now: float) -> bool:
+        """Is the node down *at* simulated time *now*?
+
+        A node with a scheduled death is down until its scheduled
+        restart time (forever, when no restart is scheduled).  Nodes
+        with no scheduled death are always up.
+        """
+        if node_id not in self._node_deaths:
+            return False
+        restart = self._node_restarts.get(node_id)
+        return restart is None or now < restart
+
     def intercept_write(self, partition_id: int, entity: "Entity") -> "Entity | None":
         """Apply the next write fault, if one is scheduled.
 
@@ -218,6 +257,11 @@ class FaultPlan:
         """Scheduled node deaths: node id -> partitions completed first."""
         return dict(self._node_deaths)
 
+    @property
+    def restarts(self) -> dict[int, float]:
+        """Scheduled node restarts: node id -> rejoin simulated time."""
+        return dict(self._node_restarts)
+
     def pending_service_faults(self, name: str) -> int:
         return len(self._service_faults.get(name, ()))
 
@@ -239,4 +283,6 @@ class FaultPlan:
             key = event.kind if event.kind != "write" else event.detail.split(":")[0]
             out[key] = out.get(key, 0) + 1
         out["scheduled_node_deaths"] = len(self._node_deaths)
+        if self._node_restarts:
+            out["scheduled_node_restarts"] = len(self._node_restarts)
         return out

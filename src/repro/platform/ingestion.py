@@ -25,6 +25,7 @@ from ..obs import Obs
 from ..obs.context import ROOT
 from .datastore import DataStore
 from .entity import Entity
+from .wal import NullWriteAheadLog, WriteAheadLog
 
 
 class Source(abc.ABC):
@@ -256,9 +257,15 @@ class ScriptedDeltaSource(DeltaSource):
 
 @dataclass
 class IngestionReport:
-    """Per-source ingestion counts."""
+    """Per-source ingestion counts.
+
+    ``lsn`` is the write-ahead-log sequence number the increment's batch
+    was appended under (0 when the manager runs without a durable log);
+    callers seal it once the batch's segment is safely absorbed.
+    """
 
     per_source: dict[str, int] = field(default_factory=dict)
+    lsn: int = 0
 
     @property
     def total(self) -> int:
@@ -276,11 +283,25 @@ class IngestionManager:
     indexing.
     """
 
-    def __init__(self, store: DataStore, obs: Obs | None = None):
+    def __init__(
+        self,
+        store: DataStore,
+        obs: Obs | None = None,
+        *,
+        wal: WriteAheadLog | None = None,
+    ):
         self._store = store
         self._obs = obs if obs is not None else Obs.default()
+        # Always hold *a* log so the append unconditionally precedes
+        # every store mutation on the increment path (PLAT004): callers
+        # that opt out of durability get the no-op log.
+        self._wal = wal if wal is not None else NullWriteAheadLog()
         self._sources: list[Source] = []
         self._delta_sources: list[DeltaSource] = []
+
+    @property
+    def wal(self) -> WriteAheadLog:
+        return self._wal
 
     def add_source(self, source: Source) -> None:
         self._sources.append(source)
@@ -322,29 +343,33 @@ class IngestionManager:
         ``ingest.docs`` series (deletes in ``ingest.deletes``).
         """
         report = IngestionReport()
-        batch: list[DocumentDelta] = []
         metrics = self._obs.metrics
         with self._obs.tracer.span("ingest.increment", parent=ROOT) as span:
-            for source in self._delta_sources:
-                deltas = source.poll(max_deltas)
-                docs = 0
-                deletes = 0
-                for delta in deltas:
-                    if delta.kind == DELTA_DELETE:
-                        self._store.delete(delta.entity_id)
-                        deletes += 1
-                    else:
-                        self._store.store(delta.entity)
-                        docs += 1
-                if docs:
-                    metrics.counter("ingest.docs", source=source.name).inc(docs)
-                if deletes:
-                    metrics.counter("ingest.deletes", source=source.name).inc(deletes)
+            polled = [(source, source.poll(max_deltas)) for source in self._delta_sources]
+            batch = [delta for _, deltas in polled for delta in deltas]
+            for source, deltas in polled:
                 report.per_source[source.name] = (
                     report.per_source.get(source.name, 0) + len(deltas)
                 )
-                batch.extend(deltas)
             span.set_attribute("deltas", len(batch))
             if batch:
+                # Durability before visibility: the whole batch reaches
+                # the log before any store mutation (PLAT004), so a
+                # crash mid-apply replays the complete increment.
+                report.lsn = self._wal.append(batch)
+                for source, deltas in polled:
+                    docs = 0
+                    deletes = 0
+                    for delta in deltas:
+                        if delta.kind == DELTA_DELETE:
+                            self._store.delete(delta.entity_id)
+                            deletes += 1
+                        else:
+                            self._store.store(delta.entity)
+                            docs += 1
+                    if docs:
+                        metrics.counter("ingest.docs", source=source.name).inc(docs)
+                    if deletes:
+                        metrics.counter("ingest.deletes", source=source.name).inc(deletes)
                 self._store.flush()
         return batch, report

@@ -374,11 +374,13 @@ class LiveIndexer:
         *,
         obs: Obs | None = None,
         policy: CompactionPolicy | None = None,
+        wal=None,  # WriteAheadLog; untyped to avoid a circular import
     ):
         self._index = index
         self._delta_indexer = delta_indexer
         self._obs = obs if obs is not None else Obs.default()
         self._policy = policy or CompactionPolicy()
+        self._wal = wal
         self._lag = self._obs.metrics.histogram("ingest.freshness_lag")
         self._ingest_lag = self._obs.metrics.histogram("ingest.lag")
         self._docs = self._obs.metrics.counter("ingest.documents_indexed")
@@ -396,13 +398,20 @@ class LiveIndexer:
     def policy(self) -> CompactionPolicy:
         return self._policy
 
-    def apply_batch(self, deltas: list[DocumentDelta]) -> dict[str, float | int]:
+    def apply_batch(
+        self, deltas: list[DocumentDelta], *, lsn: int = 0
+    ) -> dict[str, float | int]:
         """Seal, absorb and maybe compact one batch; returns batch stats.
 
         Each batch is its own root trace (``ingest.batch``): background
         index maintenance must never be attributed to whatever request
         trace happens to be open, and the segment id on the span links
         the trace to the segment it produced.
+
+        When the batch came through a write-ahead log, pass its *lsn*:
+        the WAL record is sealed only after every replica has absorbed
+        the segment, which is the durability point a crash-replay
+        resumes from.
         """
         obs = self._obs
         started_at = obs.clock.now
@@ -416,6 +425,8 @@ class LiveIndexer:
             ) as absorb_span:
                 version = self._index.absorb(segment)
                 absorb_span.set_attribute("version", version)
+            if self._wal is not None and lsn:
+                self._wal.seal(lsn)
             queryable_at = obs.clock.now
             lag = queryable_at - started_at
             self._lag.observe(lag)

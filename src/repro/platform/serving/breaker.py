@@ -46,6 +46,7 @@ class CircuitBreaker:
         "_gauge",
         "_opens",
         "_fastfails",
+        "_probes",
     )
 
     def __init__(
@@ -71,6 +72,7 @@ class CircuitBreaker:
         self._fastfails = obs.metrics.counter(
             "serving.breaker_fastfails", service=service
         )
+        self._probes = obs.metrics.counter("serving.breaker_probes", service=service)
         self._gauge.set(_STATE_GAUGE[CLOSED])
 
     # -- state machine ----------------------------------------------------------
@@ -96,6 +98,25 @@ class CircuitBreaker:
                 return True
             self._fastfails.inc()
             return False
+        return True
+
+    def probe(self) -> bool:
+        """May an *explicit* recovery probe be sent now?
+
+        Unlike :meth:`allow`, which serves request traffic and counts a
+        fast-fail against an open breaker, ``probe`` is the recovery
+        manager deliberately knocking on a rejoined node's door: while
+        the cooldown is still running it returns False without charging
+        a fast-fail, and once the cooldown has elapsed it moves the
+        breaker to half-open and admits exactly the probe.  The caller
+        reports the probe's outcome through :meth:`record_success` /
+        :meth:`record_failure` like any other request.
+        """
+        if self._state == OPEN:
+            if self._obs.clock.now - self._opened_at < self.cooldown:
+                return False
+            self._set_state(HALF_OPEN)
+        self._probes.inc()
         return True
 
     def record_success(self) -> None:
@@ -125,4 +146,5 @@ class CircuitBreaker:
             "consecutive_failures": self._failures,
             "opens": int(self._opens.value),
             "fastfails": int(self._fastfails.value),
+            "probes": int(self._probes.value),
         }

@@ -23,14 +23,17 @@ from typing import Any
 
 from ...core import SentimentMiner, Subject
 from ...corpora import DOMAINS, ReviewGenerator
-from ...obs import Obs, SLOMonitor
+from ...obs import Obs, SLOMonitor, replication_slo
 from ..api import validate_envelope
+from ..chaos import DEFAULT_RESTART_WINDOW, schedule_restarts
 from ..datastore import DataStore
 from ..entity import Entity
 from ..faults import FAIL, TIMEOUT, FaultPlan
 from ..ingestion import DELTA_ADD, DocumentDelta
+from ..recovery import RecoveryManager
 from ..segments import CompactionPolicy, DeltaIndexer, LiveIndexer
 from ..vinci import VinciBus
+from ..wal import WriteAheadLog
 from .router import (
     DEFAULT_BUDGET,
     STATUS_DEGRADED,
@@ -82,6 +85,7 @@ class LoadGenerator:
         queries: list[str],
         seed: int = 0,
         profile: LoadProfile | None = None,
+        on_burst: Any = None,
     ):
         if not subjects:
             raise ValueError("need at least one subject to query")
@@ -92,6 +96,10 @@ class LoadGenerator:
         self._queries = list(queries)
         self._rng = random.Random(seed)
         self.profile = profile or LoadProfile()
+        #: Optional zero-arg hook invoked after each drained burst —
+        #: the recovery manager's tick rides the same cadence as SLO
+        #: evaluation so healing happens between bursts, never mid-read.
+        self._on_burst = on_burst
         #: Every (request, envelope) pair from the most recent run() —
         #: the trace-completeness gate audits these against the span dump.
         self.last_outcomes: list[tuple[Any, dict[str, Any]]] = []
@@ -135,6 +143,8 @@ class LoadGenerator:
             # are the closed-loop clock ticks alerts can fire on.
             if self._router.slo is not None:
                 self._router.slo.evaluate()
+            if self._on_burst is not None:
+                self._on_burst()
         self.last_outcomes = list(outcomes)
         return self._report(outcomes)
 
@@ -192,9 +202,26 @@ class ServingScenario:
     obs: Obs
     chaos_seed: int | None
     live_indexer: LiveIndexer | None = None
+    recovery: RecoveryManager | None = None
+    wal: WriteAheadLog | None = None
+
+    #: Upper bound on post-run settle ticks; generous — a single
+    #: death/rejoin pair settles in two or three.
+    SETTLE_TICKS = 64
 
     def run(self) -> dict[str, Any]:
         report = self.generator.run()
+        if self.recovery is not None:
+            # Let recovery finish after the load stops: tick until the
+            # cluster is healed (node rejoined, caught up, re-admitted,
+            # recovery replicas retired) so the report describes a
+            # settled cluster — the state the determinism gate compares.
+            for _ in range(self.SETTLE_TICKS):
+                if self.recovery.settled:
+                    break
+                self.obs.clock.advance(0.5)
+                self.recovery.tick()
+            report["recovery"] = self.recovery.summary()
         report["chaos_seed"] = self.chaos_seed
         report["placement"] = {
             str(shard): nodes for shard, nodes in self.router.index.placement().items()
@@ -227,6 +254,7 @@ def build_scenario(
     batches: int | None = None,
     compaction: CompactionPolicy | None = None,
     slo: SLOMonitor | None = None,
+    restarts: bool = False,
 ) -> ServingScenario:
     """Mine a synthetic corpus, shard it, and wire the front door.
 
@@ -241,6 +269,14 @@ def build_scenario(
     seed) and schedules ``fault_fraction`` × requests service faults
     across the surviving node endpoints — the bench's "kill one index
     node, ≥5% service fault rate" regime.
+
+    With ``restarts=True`` on top of ``chaos_seed``, the dead node also
+    *comes back*: :func:`~repro.platform.chaos.schedule_restarts` draws
+    a seeded rejoin time, ingest batches go through a
+    :class:`~repro.platform.wal.WriteAheadLog` before touching the
+    index, and a :class:`~repro.platform.recovery.RecoveryManager`
+    (ticked between bursts) re-replicates, catches the node up by
+    anti-entropy, and re-admits it through breaker probes.
     """
     obs = obs if obs is not None else Obs.default()
     profile = profile or LoadProfile()
@@ -265,11 +301,26 @@ def build_scenario(
             kind = TIMEOUT if rng.random() < 0.5 else FAIL
             plan.fail_service(node_service(node_id), count=per_node, kind=kind)
 
+    wal: WriteAheadLog | None = None
+    if restarts and plan is not None:
+        wal = WriteAheadLog(obs=obs)
+        if slo is not None:
+            slo.add_spec(replication_slo())
+        # Writers must treat the doomed node as down from the start, so
+        # its replicas genuinely miss segments and anti-entropy has real
+        # work on rejoin.  The recovery manager re-installs the same
+        # liveness view when it is constructed below.
+        index_liveness = lambda node_id: not plan.node_down(  # noqa: E731
+            node_id, obs.clock.now
+        )
+
     store = DataStore()
     store.store_all(
         Entity(entity_id=d.doc_id, content=d.text) for d in documents
     )
     index = ReplicatedIndex(num_shards, num_nodes, replication=replication)
+    if wal is not None:
+        index.set_liveness(index_liveness)
     live: LiveIndexer | None = None
     if batches is None:
         result = miner.mine_corpus((d.doc_id, d.text) for d in documents)
@@ -285,6 +336,7 @@ def build_scenario(
             DeltaIndexer(miner, obs=obs),
             obs=obs,
             policy=compaction or CompactionPolicy(),
+            wal=wal,
         )
         deltas = [
             DocumentDelta(
@@ -296,7 +348,11 @@ def build_scenario(
         ]
         size = max(1, -(-len(deltas) // batches))  # ceil division
         for start in range(0, len(deltas), size):
-            stats = live.apply_batch(deltas[start : start + size])
+            batch = deltas[start : start + size]
+            # WAL ordering: the batch is durable before any index
+            # mutation; apply_batch seals the record once absorbed.
+            lsn = wal.append(batch) if wal is not None else 0
+            stats = live.apply_batch(batch, lsn=lsn)
             if slo is not None:
                 slo.record_freshness(stats["freshness_lag"])
 
@@ -314,6 +370,26 @@ def build_scenario(
         latency_seed=seed,
         slo=slo,
     )
+    recovery: RecoveryManager | None = None
+    if wal is not None:
+        # The restart window is relative to *serving* start, not sim
+        # epoch: the corpus build above burns an unpredictable amount of
+        # simulated time (mining cost scales with the corpus), and the
+        # rejoin must land mid-run to exercise catch-up under load.  The
+        # offset is derived from the deterministic clock, so the whole
+        # schedule is still a pure function of the seeds.
+        lo, hi = DEFAULT_RESTART_WINDOW
+        now = obs.clock.now
+        schedule_restarts(plan, window=(now + lo, now + hi))
+        recovery = RecoveryManager(
+            index,
+            plan,
+            obs,
+            router=router,
+            slo=slo,
+            wal=wal,
+            live_indexer=live,
+        )
     query_subjects = [s.canonical for s in subjects]
     queries = [
         vocab.features[0],
@@ -327,6 +403,7 @@ def build_scenario(
         queries=queries,
         seed=chaos_seed if chaos_seed is not None else seed,
         profile=profile,
+        on_burst=recovery.tick if recovery is not None else None,
     )
     return ServingScenario(
         router=router,
@@ -335,4 +412,6 @@ def build_scenario(
         obs=obs,
         chaos_seed=chaos_seed,
         live_indexer=live,
+        recovery=recovery,
+        wal=wal,
     )

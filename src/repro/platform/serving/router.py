@@ -86,6 +86,10 @@ DEFAULT_BUDGET = 4.0
 #: Default per-op row limits (mirror the unsharded services).
 _DEFAULT_LIMITS = {"sentences": 20, "subjects": 50, "search": 100}
 
+#: Budget handed to recovery probes — tiny on purpose: a probe that
+#: cannot answer a ping almost instantly should not be re-admitted.
+PROBE_BUDGET = 0.5
+
 
 def node_service(node_id: int) -> str:
     """Vinci service name of one node's serving endpoint."""
@@ -161,13 +165,16 @@ class NodeIndexService:
         self._store = store
         self._obs = obs
         self._fault_plan = fault_plan
-        self._replicas: dict[int, ShardReplica] = {
-            replica.shard_id: replica for replica in index.replicas_on(node_id)
-        }
+        # The index is consulted live (never cached): the recovery
+        # manager adds and drops replicas while the cluster serves, and
+        # a node must answer for whatever it hosts *now*.
+        self._index = index
 
     @property
     def shard_ids(self) -> list[int]:
-        return sorted(self._replicas)
+        return sorted(
+            replica.shard_id for replica in self._index.replicas_on(self.node_id)
+        )
 
     def handle(self, payload: dict[str, Any]) -> Envelope:
         """Vinci handler: dict payload in, v1 envelope out.
@@ -189,15 +196,20 @@ class NodeIndexService:
             op=payload.get("op", ""),
             shard=payload.get("shard"),
         ):
-            if (
-                self._fault_plan is not None
-                and self._fault_plan.node_death(self.node_id) is not None
+            if self._fault_plan is not None and self._fault_plan.node_down(
+                self.node_id, self._obs.clock.now
             ):
-                raise VinciError(f"node {self.node_id} is dead")
+                raise VinciError(f"node {self.node_id} is down")
             deadline = Deadline(self._obs.clock, float(payload.get("budget", 0.0)))
             op = payload.get("op", "")
+            if op == "ping":
+                return self.answer_ping(payload, deadline)
             shard_id = payload.get("shard")
-            replica = self._replicas.get(shard_id)
+            replica = (
+                self._index.replica_on(self.node_id, shard_id)
+                if shard_id is not None
+                else None
+            )
             if replica is None:
                 raise VinciError(
                     f"node {self.node_id} hosts no replica of shard {shard_id!r}"
@@ -214,6 +226,11 @@ class NodeIndexService:
             raise VinciError(f"unknown serving op {op!r}")
 
     # -- per-op answers (each accepts and honours the propagated Deadline) ------
+
+    def answer_ping(self, payload: dict[str, Any], deadline: Deadline) -> Envelope:
+        """Liveness probe: reaching this line at all means the node is up."""
+        deadline.check("ping")
+        return ok_envelope({"node": self.node_id, "status": "up"})
 
     def answer_counts(
         self, snapshot: ReplicaSnapshot, payload: dict[str, Any], deadline: Deadline
@@ -363,6 +380,40 @@ class ServingRouter:
 
     def breaker_snapshots(self) -> list[dict[str, Any]]:
         return [self._breakers[name].snapshot() for name in sorted(self._breakers)]
+
+    def probe_node(self, node_id: int) -> bool:
+        """Explicitly probe one node's endpoint for re-admission.
+
+        The recovery manager calls this for rejoined nodes (in sorted
+        node order, so re-admission is deterministic).  The breaker
+        decides whether a probe may go out at all
+        (:meth:`CircuitBreaker.probe`); the probe itself is a ``ping``
+        through the bus, so it exercises the same fault plan and death
+        checks as real traffic.  Returns True when the node answered
+        and its breaker closed.
+        """
+        service = node_service(node_id)
+        breaker = self._breakers[service]
+        if not breaker.probe():
+            return False
+        with self._obs.tracer.span(
+            "serving.probe", parent=ROOT, node=node_id
+        ) as span:
+            try:
+                self._bus.request(
+                    service,
+                    with_trace(
+                        {"op": "ping", "budget": PROBE_BUDGET},
+                        self._obs.tracer.current_context,
+                    ),
+                )
+            except VinciError as exc:
+                breaker.record_failure()
+                span.set_attribute("result", f"refused: {exc}")
+                return False
+            breaker.record_success()
+            span.set_attribute("result", "admitted")
+            return True
 
     # -- request construction ---------------------------------------------------
 

@@ -35,7 +35,7 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass, field
-from typing import Iterable
+from typing import Callable, Iterable
 
 from ...core.model import SentimentJudgment
 from ..entity import Entity
@@ -57,6 +57,44 @@ def shard_of(key: str, num_shards: int) -> int:
 
 def _base_log() -> list[ShardSegment]:
     return [ShardSegment(version=0)]
+
+
+def segment_docs(segment: ShardSegment) -> int:
+    """Transferable size of one segment: documents plus sentiment entries.
+
+    Recovery charges ``TRANSFER_COST_PER_DOC`` per unit shipped, the
+    same accounting :meth:`ReplicatedIndex.compact` uses for rewrites.
+    """
+    return len(segment.inverted.doc_ids) + len(segment.sentiment)
+
+
+def segment_digest(segment: ShardSegment) -> str:
+    """Content digest of one shard segment, for anti-entropy comparison.
+
+    Two segments with equal digests hold the same observable content —
+    the digest covers the version, the sorted tombstones, the sorted
+    document ids, and every sentiment entry in sorted-subject order.
+    It is *content*-based on purpose: distinct Python objects (a base
+    built twice, a replayed slice, a per-replica compaction merge) must
+    compare equal when they would answer every query identically.
+    """
+    h = hashlib.md5()
+    h.update(str(segment.version).encode("utf-8"))
+    for tombstone in sorted(segment.tombstones):
+        h.update(b"\x00t")
+        h.update(tombstone.encode("utf-8"))
+    for doc_id in sorted(segment.inverted.doc_ids):
+        h.update(b"\x00d")
+        h.update(doc_id.encode("utf-8"))
+    for subject, entries in segment.sentiment.items():
+        for entry in entries:
+            h.update(b"\x00s")
+            h.update(
+                repr(
+                    (subject, entry.entity_id, entry.polarity.value, entry.start, entry.end)
+                ).encode("utf-8")
+            )
+    return h.hexdigest()
 
 
 @dataclass
@@ -97,6 +135,15 @@ class ShardReplica:
 
     def describe(self) -> str:
         return f"shard{self.shard_id}/r{self.replica}@node{self.node_id}"
+
+    def version_vector(self) -> tuple[tuple[int, str], ...]:
+        """(version, content digest) per segment — the anti-entropy unit.
+
+        Two replicas of a shard are byte-identical for every query iff
+        their version vectors are equal; a shared prefix tells the
+        recovery manager how much of the log the peer already holds.
+        """
+        return tuple((s.version, segment_digest(s)) for s in self.segments)
 
 
 class ReplicatedIndex:
@@ -140,6 +187,19 @@ class ReplicatedIndex:
             ]
         self._version = 0
         self._pins: dict[int, int] = {}
+        # node_id -> up?  None means every node is always up (the
+        # pre-recovery behaviour); the recovery manager installs a
+        # fault-plan-and-clock-aware callable so absorbs and compactions
+        # skip replicas whose host is down — that is exactly what makes
+        # a rejoining node stale and anti-entropy catch-up meaningful.
+        self._liveness: Callable[[int], bool] | None = None
+
+    def set_liveness(self, liveness: Callable[[int], bool] | None) -> None:
+        """Install a ``node_id -> up?`` probe consulted by writers."""
+        self._liveness = liveness
+
+    def node_up(self, node_id: int) -> bool:
+        return self._liveness is None or self._liveness(node_id)
 
     # -- construction (the offline half of mode B) -------------------------------
 
@@ -182,6 +242,10 @@ class ReplicatedIndex:
         carries the segment's *full* tombstone set — a deleted
         document's sentiment entries may live in any subject shard, and
         surplus tombstones mask nothing that exists.
+
+        Replicas hosted on a down node (per :meth:`set_liveness`) do
+        *not* receive the slice: a crashed machine cannot accept
+        writes, and the gap is what anti-entropy repairs on rejoin.
         """
         version = self._version + 1
         slices = [
@@ -198,7 +262,8 @@ class ReplicatedIndex:
             )
         for shard_id in range(self.num_shards):
             for replica in self._replicas[shard_id]:
-                replica.segments.append(slices[shard_id])
+                if self.node_up(replica.node_id):
+                    replica.segments.append(slices[shard_id])
         self._version = version
         return version
 
@@ -246,6 +311,10 @@ class ReplicatedIndex:
         rewritten = 0
         for replicas in self._replicas.values():
             for replica in replicas:
+                if not self.node_up(replica.node_id):
+                    # A down node cannot rewrite its own log; its
+                    # backlog is resolved by anti-entropy on rejoin.
+                    continue
                 prefix = [s for s in replica.segments if s.version <= floor]
                 if len(prefix) < 2:
                     continue
@@ -284,3 +353,91 @@ class ReplicatedIndex:
     def placement(self) -> dict[int, list[int]]:
         """Shard id → hosting node ids, for reports and tests."""
         return {shard_id: self.nodes_for(shard_id) for shard_id in self.shard_ids()}
+
+    def replica_on(self, node_id: int, shard_id: int) -> ShardReplica | None:
+        """The replica of *shard_id* hosted on *node_id*, if any.
+
+        Looked up live (not cached) so node services see replicas the
+        recovery manager adds or drops while the cluster is serving.
+        """
+        for replica in self._replicas[shard_id]:
+            if replica.node_id == node_id:
+                return replica
+        return None
+
+    # -- recovery (re-replication and anti-entropy catch-up) ---------------------
+
+    def live_replication(self) -> dict[int, int]:
+        """Shard id → replicas currently hosted on *up* nodes."""
+        return {
+            shard_id: sum(
+                1 for replica in replicas if self.node_up(replica.node_id)
+            )
+            for shard_id, replicas in self._replicas.items()
+        }
+
+    def under_replicated(self) -> list[int]:
+        """Shards with fewer live replicas than the replication factor."""
+        return [
+            shard_id
+            for shard_id, live in sorted(self.live_replication().items())
+            if live < self.replication
+        ]
+
+    def add_replica(
+        self, shard_id: int, node_id: int, source: ShardReplica
+    ) -> tuple[ShardReplica, int]:
+        """Materialise an extra replica of a shard from a donor copy.
+
+        The new replica starts as a transfer of the donor's entire
+        segment log (immutable slices are shared by reference, exactly
+        as absorb shares them).  Returns the replica plus the number of
+        documents shipped, which the caller charges at
+        ``TRANSFER_COST_PER_DOC``.
+        """
+        if any(r.node_id == node_id for r in self._replicas[shard_id]):
+            raise ValueError(f"node {node_id} already hosts shard {shard_id}")
+        replica = ShardReplica(
+            shard_id=shard_id,
+            replica=max(r.replica for r in self._replicas[shard_id]) + 1,
+            node_id=node_id,
+            segments=list(source.segments),
+        )
+        self._replicas[shard_id].append(replica)
+        return replica, sum(segment_docs(s) for s in source.segments)
+
+    def drop_replica(self, shard_id: int, node_id: int) -> ShardReplica:
+        """Retire the replica of *shard_id* on *node_id* (recovery only)."""
+        for index, replica in enumerate(self._replicas[shard_id]):
+            if replica.node_id == node_id:
+                return self._replicas[shard_id].pop(index)
+        raise ValueError(f"node {node_id} hosts no replica of shard {shard_id}")
+
+    def sync_replica(self, target: ShardReplica, source: ShardReplica) -> int:
+        """Anti-entropy: make *target*'s segment log equal *source*'s.
+
+        Version vectors are compared pairwise; when the target's log is
+        a digest-exact prefix of the source's, only the missing suffix
+        is shipped.  Any divergence (the source compacted while the
+        target was down, or the target lost its log entirely) falls
+        back to a full transfer.  Returns the documents shipped — zero
+        when the replicas already agree.
+        """
+        source_vector = source.version_vector()
+        target_vector = target.version_vector()
+        if target_vector == source_vector:
+            return 0
+        common = 0
+        for ours, theirs in zip(target_vector, source_vector):
+            if ours != theirs:
+                break
+            common += 1
+        if common == len(target_vector):
+            # Clean suffix catch-up: ship only what the target missed.
+            shipped = source.segments[common:]
+            target.segments.extend(shipped)
+        else:
+            # Divergent logs: full resync from the donor.
+            shipped = source.segments
+            target.segments[:] = list(source.segments)
+        return sum(segment_docs(s) for s in shipped)

@@ -9,6 +9,7 @@ from repro.analysis import (
     ResourcePairRule,
     RngFlowRule,
     TraceThreadingRule,
+    WalOrderingRule,
     build_program,
     default_program_rules,
     summarize_module,
@@ -429,10 +430,111 @@ class TestDeadSymbolRule:
         assert [f.rule for f in without_roots] == ["DEAD001"]
 
 
+class TestWalOrderingRule:
+    def test_append_before_mutate_is_clean(self):
+        findings = run_rule(
+            WalOrderingRule(),
+            {
+                "repro/platform/ingestion.py": """
+                class Manager:
+                    def ingest(self, batch):
+                        if batch:
+                            lsn = self._wal.append(batch)
+                            for delta in batch:
+                                self._store.store(delta.entity)
+                        return batch
+                """
+            },
+        )
+        assert findings == []
+
+    def test_mutation_before_append_is_flagged(self):
+        findings = run_rule(
+            WalOrderingRule(),
+            {
+                "repro/platform/ingestion.py": """
+                class Manager:
+                    def ingest(self, batch):
+                        for delta in batch:
+                            self._store.store(delta.entity)
+                        self._wal.append(batch)
+                """
+            },
+        )
+        assert len(findings) == 1
+        assert findings[0].rule == "PLAT004"
+        assert "no WAL append has happened yet" in findings[0].message
+
+    def test_append_on_one_branch_only_is_flagged(self):
+        # The append must dominate: reaching the mutation through the
+        # durable=False arm is an un-logged mutation path.
+        findings = run_rule(
+            WalOrderingRule(),
+            {
+                "repro/platform/ingestion.py": """
+                class Manager:
+                    def ingest(self, batch, durable):
+                        if durable:
+                            self._wal.append(batch)
+                        self._store.store_all(batch)
+                """
+            },
+        )
+        assert len(findings) == 1
+        assert "store_all" in findings[0].message
+
+    def test_functions_without_wal_appends_are_exempt(self):
+        # The offline bootstrap path mutates without a WAL by design;
+        # the contract binds only code that participates in logging.
+        findings = run_rule(
+            WalOrderingRule(),
+            {
+                "repro/platform/ingestion.py": """
+                class Manager:
+                    def bootstrap(self, entities):
+                        self._store.store_all(entities)
+                """
+            },
+        )
+        assert findings == []
+
+    def test_out_of_scope_modules_are_exempt(self):
+        findings = run_rule(
+            WalOrderingRule(),
+            {
+                "repro/platform/serving/loadgen.py": """
+                def build(batch, wal, store):
+                    store.store_all(batch)
+                    wal.append(batch)
+                """
+            },
+        )
+        assert findings == []
+
+    def test_real_ingest_path_is_clean(self):
+        import pathlib
+
+        root = pathlib.Path(__file__).resolve().parents[2] / "src"
+        modules = {
+            f"repro/platform/{name}": (
+                root / "repro" / "platform" / name
+            ).read_text(encoding="utf-8")
+            for name in ("ingestion.py", "segments.py", "wal.py")
+        }
+        assert run_rule(WalOrderingRule(), modules) == []
+
+
 class TestDefaultProgramRules:
-    def test_all_five_rules_registered(self):
+    def test_all_six_rules_registered(self):
         ids = [r.rule_id for r in default_program_rules()]
-        assert ids == ["RES001", "SRV001", "OBS003i", "DET002i", "DEAD001"]
+        assert ids == [
+            "RES001",
+            "SRV001",
+            "OBS003i",
+            "DET002i",
+            "PLAT004",
+            "DEAD001",
+        ]
 
     def test_findings_are_deterministically_ordered(self):
         modules = {

@@ -1,0 +1,396 @@
+"""The recovery determinism gate: crashed-and-healed equals never-crashed.
+
+Three layers of evidence for DESIGN.md §5j:
+
+* a byte-identity gate on the full serving stack — after a seeded
+  crash-restart run settles, every replica's segment digests (and the
+  answers the router serves) are identical to a run that never crashed,
+  and the same seed reproduces the whole report byte-for-byte;
+* a WAL replay gate — a crash between "batch accepted" and "segment
+  absorbed" (on either side of the absorb) replays to the same
+  observable state as a run with no crash, exactly once;
+* a Hypothesis property — *any* seeded interleaving of deaths, rejoins,
+  delta batches, compactions, and recovery ticks converges to
+  byte-identical replicas at the restored replication factor.
+"""
+
+import json
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import SentimentMiner, Subject
+from repro.obs import Obs, SLOMonitor, default_serving_slos
+from repro.platform.entity import Entity
+from repro.platform.faults import FaultPlan
+from repro.platform.ingestion import DELTA_ADD, DocumentDelta
+from repro.platform.recovery import RecoveryManager
+from repro.platform.segments import CompactionPolicy, DeltaIndexer, LiveIndexer
+from repro.platform.serving import LoadProfile, ReplicatedIndex, build_scenario
+from repro.platform.serving.shards import segment_digest
+from repro.platform.wal import WriteAheadLog
+
+pytestmark = pytest.mark.recovery
+
+TEMPLATES = (
+    "The NR70 is excellent . I love the pictures .",
+    "The NR70 is awful . The battery is bad .",
+    "The G3 is great . Pictures look sharp .",
+    "The G3 is terrible . The lens is poor .",
+)
+
+
+def fresh_miner(obs=None):
+    return SentimentMiner(
+        subjects=[Subject("NR70"), Subject("G3")], obs=obs or Obs.default()
+    )
+
+
+def add(doc_id, content):
+    return DocumentDelta(
+        kind=DELTA_ADD,
+        entity_id=doc_id,
+        entity=Entity(entity_id=doc_id, content=content),
+    )
+
+
+def replica_vectors(index):
+    """Per-shard, per-node segment digest vectors — the byte-level view."""
+    return {
+        shard_id: tuple(
+            sorted(
+                (replica.node_id, replica.version_vector())
+                for replica in index.replicas_for(shard_id)
+            )
+        )
+        for shard_id in index.shard_ids()
+    }
+
+
+def run_scenario(chaos_seed, restarts):
+    obs = Obs.enabled()
+    slo = SLOMonitor(obs, default_serving_slos())
+    scenario = build_scenario(
+        chaos_seed=chaos_seed,
+        batches=4,
+        obs=obs,
+        slo=slo,
+        restarts=restarts,
+        profile=LoadProfile(requests=120),
+    )
+    report = scenario.run()
+    return scenario, report
+
+
+def served_answers(scenario):
+    """Fixed read set through the router; content-only (no meta/latency)."""
+    router = scenario.router
+    answers = []
+    for op, payload in (
+        ("subjects", {}),
+        ("counts", {"subject": "powershot g3"}),
+        ("search", {"q": "battery"}),
+    ):
+        request = router.make_request(op, payload, priority=2, budget=8.0)
+        immediate = router.submit(request)
+        outcomes = [(request, immediate)] if immediate is not None else []
+        outcomes.extend(router.drain())
+        for _, envelope in outcomes:
+            answers.append(envelope["data"])
+    return answers
+
+
+class TestRecoveryDeterminismGate:
+    def test_healed_cluster_is_byte_identical_to_unchaosed_run(self):
+        chaos, chaos_report = run_scenario(chaos_seed=7, restarts=True)
+        clean, _ = run_scenario(chaos_seed=None, restarts=False)
+        assert chaos_report["recovery"]["settled"] is True
+        assert chaos_report["recovery"]["deaths"] == 1
+        assert chaos_report["recovery"]["rejoins"] == 1
+        # Every replica of every shard — including the crashed node's —
+        # carries exactly the segments of a run that never crashed.
+        assert replica_vectors(chaos.router.index) == replica_vectors(
+            clean.router.index
+        )
+
+    def test_served_answers_match_after_recovery(self):
+        chaos, _ = run_scenario(chaos_seed=7, restarts=True)
+        clean, _ = run_scenario(chaos_seed=None, restarts=False)
+        assert served_answers(chaos) == served_answers(clean)
+
+    def test_same_seed_full_report_is_byte_identical(self):
+        for seed in (7, 11):
+            _, first = run_scenario(chaos_seed=seed, restarts=True)
+            _, second = run_scenario(chaos_seed=seed, restarts=True)
+            assert json.dumps(first, sort_keys=True) == json.dumps(
+                second, sort_keys=True
+            )
+
+    def test_recovery_lifecycle_is_visible_in_the_report(self):
+        _, report = run_scenario(chaos_seed=7, restarts=True)
+        recovery = report["recovery"]
+        assert recovery["transfers"] > 0
+        assert recovery["docs_shipped"] > 0
+        assert recovery["probes_admitted"] == 1
+        assert recovery["restore_durations"]
+        assert recovery["catchup_durations"]
+        assert recovery["under_replicated"] == []
+        assert report["fault_summary"]["scheduled_node_restarts"] == 1
+        assert report["late_responses"] == 0
+        assert report["malformed_responses"] == 0
+
+
+# ---------------------------------------------------------------------------
+# WAL replay after a mid-batch crash
+# ---------------------------------------------------------------------------
+
+
+def wal_stack(obs=None):
+    obs = obs or Obs.default()
+    index = ReplicatedIndex(4, 3, replication=2)
+    wal = WriteAheadLog(obs=obs)
+    live = LiveIndexer(
+        index,
+        DeltaIndexer(fresh_miner(obs), obs=obs),
+        obs=obs,
+        policy=CompactionPolicy(max_segments=8),
+        wal=wal,
+    )
+    return index, wal, live, obs
+
+
+BATCH_ONE = [add("d0", TEMPLATES[0]), add("d1", TEMPLATES[1])]
+BATCH_TWO = [add("d2", TEMPLATES[2]), add("d3", TEMPLATES[3])]
+
+
+def no_crash_reference():
+    index, wal, live, _ = wal_stack()
+    for batch in (BATCH_ONE, BATCH_TWO):
+        live.apply_batch(batch, lsn=wal.append(batch))
+    return replica_vectors(index)
+
+
+class TestWalReplay:
+    def test_crash_before_absorb_replays_to_the_no_crash_state(self):
+        index, wal, live, obs = wal_stack()
+        live.apply_batch(BATCH_ONE, lsn=wal.append(BATCH_ONE))
+        wal.append(BATCH_TWO)  # accepted ...
+        # ... and the indexer dies before apply_batch.  A restarted
+        # indexer (fresh miner, fresh LiveIndexer — the crashed one is
+        # gone) replays the unsealed suffix.
+        restarted = LiveIndexer(
+            index,
+            DeltaIndexer(fresh_miner(obs), obs=obs),
+            obs=obs,
+            policy=CompactionPolicy(max_segments=8),
+            wal=wal,
+        )
+        recovery = RecoveryManager(
+            index, None, obs, wal=wal, live_indexer=restarted
+        )
+        assert recovery.replay_wal() == 1
+        assert wal.depth == 0
+        assert replica_vectors(index) == no_crash_reference()
+
+    def test_crash_after_absorb_before_seal_is_idempotent(self):
+        # The worst window: the segment was absorbed but the crash beat
+        # the seal.  Replay re-absorbs the batch; full-batch tombstones
+        # mask the first copy, so the observable documents and judgments
+        # converge (exactly-once at the content level).
+        index, wal, live, obs = wal_stack()
+        live.apply_batch(BATCH_ONE, lsn=wal.append(BATCH_ONE))
+        lsn = wal.append(BATCH_TWO)
+        live.apply_batch(BATCH_TWO)  # absorbed, but lsn never sealed
+        assert wal.depth == 1
+        restarted = LiveIndexer(
+            index,
+            DeltaIndexer(fresh_miner(obs), obs=obs),
+            obs=obs,
+            policy=CompactionPolicy(max_segments=8),
+            wal=wal,
+        )
+        recovery = RecoveryManager(
+            index, None, obs, wal=wal, live_indexer=restarted
+        )
+        assert recovery.replay_wal() == 1
+        assert wal.checkpoint_lsn == lsn
+        reference = ReplicatedIndex(4, 3, replication=2)
+        obs2 = Obs.default()
+        ref_live = LiveIndexer(
+            reference,
+            DeltaIndexer(fresh_miner(obs2), obs=obs2),
+            obs=obs2,
+            policy=CompactionPolicy(max_segments=8),
+        )
+        ref_live.apply_batch(BATCH_ONE)
+        ref_live.apply_batch(BATCH_TWO)
+        for shard_id in index.shard_ids():
+            got = index.replicas_for(shard_id)[0].view()
+            want = reference.replicas_for(shard_id)[0].view()
+            assert sorted(got.inverted.doc_ids) == sorted(want.inverted.doc_ids)
+            assert (
+                got.sentiment.subject_counts() == want.sentiment.subject_counts()
+            )
+        assert recovery.replay_wal() == 0  # sealed now; nothing to redo
+
+
+# ---------------------------------------------------------------------------
+# property: any interleaving converges
+# ---------------------------------------------------------------------------
+
+#: One chaos step: kill a node / schedule its restart / apply the next
+#: delta batch / run a recovery tick.  Invalid steps are skipped by the
+#: interpreter (kill while a node is down, restart with nobody down).
+#: The interpreter ticks the recovery manager right after every kill and
+#: restart — the failure detector observes each liveness transition
+#: before the next fault.  Without that assumption RF=2 genuinely loses
+#: data: two nodes blipping across two different batches leaves no
+#: complete replica to heal from.
+step_strategy = st.lists(
+    st.one_of(
+        st.tuples(st.just("kill"), st.integers(0, 2)),
+        st.just(("restart",)),
+        st.just(("batch",)),
+        st.just(("tick",)),
+    ),
+    min_size=1,
+    max_size=10,
+)
+
+
+def interleaved_build(steps):
+    """Run *steps* on a live cluster with recovery; return (index, batches)."""
+    obs = Obs.default()
+    index = ReplicatedIndex(4, 3, replication=2)
+    wal = WriteAheadLog(obs=obs)
+    live = LiveIndexer(
+        index,
+        DeltaIndexer(fresh_miner(obs), obs=obs),
+        obs=obs,
+        policy=CompactionPolicy(max_segments=2),  # compact aggressively
+        wal=wal,
+    )
+    plan = FaultPlan(0)
+    recovery = RecoveryManager(index, plan, obs, wal=wal, live_indexer=live)
+    died: set[int] = set()
+    down: int | None = None
+    batches = 0
+    for step in steps:
+        if step[0] == "kill":
+            node = step[1]
+            if down is not None or node in died:
+                continue  # single-failure model; one death per node
+            plan.kill_node(node)
+            died.add(node)
+            down = node
+            recovery.tick()  # the detector sees the death promptly
+        elif step[0] == "restart":
+            if down is None:
+                continue
+            plan.restart_node(down, after_cost=obs.clock.now + 1.0)
+            obs.clock.advance(1.5)
+            down = None
+            recovery.tick()  # ... and the rejoin
+        elif step[0] == "batch":
+            batch = [add(f"b{batches}", TEMPLATES[batches % len(TEMPLATES)])]
+            live.apply_batch(batch, lsn=wal.append(batch))
+            batches += 1
+        else:
+            recovery.tick()
+    if down is not None:
+        plan.restart_node(down, after_cost=obs.clock.now + 1.0)
+        obs.clock.advance(1.5)
+    for _ in range(8):
+        if recovery.settled:
+            break
+        recovery.tick()
+        obs.clock.advance(0.5)
+    assert recovery.settled
+    assert wal.depth == 0
+    return index, batches
+
+
+def reference_build(batches):
+    """The same batch sequence on a cluster that never crashed."""
+    obs = Obs.default()
+    index = ReplicatedIndex(4, 3, replication=2)
+    live = LiveIndexer(
+        index,
+        DeltaIndexer(fresh_miner(obs), obs=obs),
+        obs=obs,
+        policy=CompactionPolicy(max_segments=2),
+    )
+    for i in range(batches):
+        live.apply_batch([add(f"b{i}", TEMPLATES[i % len(TEMPLATES)])])
+    return index
+
+
+class TestInterleavingProperty:
+    @settings(
+        max_examples=25,
+        deadline=None,
+        derandomize=True,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(steps=step_strategy)
+    def test_any_interleaving_converges_to_identical_replicas(self, steps):
+        index, batches = interleaved_build(steps)
+        reference = reference_build(batches)
+        for shard_id in index.shard_ids():
+            vectors = {
+                replica.version_vector()
+                for replica in index.replicas_for(shard_id)
+            }
+            assert len(vectors) == 1  # replicas byte-identical
+            assert len(index.replicas_for(shard_id)) == index.replication
+        assert index.under_replicated() == []
+        assert replica_vectors(index) == replica_vectors(reference)
+
+    @settings(max_examples=10, deadline=None, derandomize=True)
+    @given(steps=step_strategy)
+    def test_interleavings_are_reproducible(self, steps):
+        first, _ = interleaved_build(steps)
+        second, _ = interleaved_build(steps)
+        assert replica_vectors(first) == replica_vectors(second)
+
+    def test_unobserved_blip_is_healed_by_the_sweep(self):
+        # A node dies, misses a batch, and comes back entirely between
+        # two recovery ticks.  Liveness alone would call the stale
+        # replica healthy; the digest-guided anti-entropy sweep must
+        # still notice the divergence and heal it.
+        obs = Obs.default()
+        index = ReplicatedIndex(4, 3, replication=2)
+        wal = WriteAheadLog(obs=obs)
+        live = LiveIndexer(
+            index,
+            DeltaIndexer(fresh_miner(obs), obs=obs),
+            obs=obs,
+            policy=CompactionPolicy(max_segments=2),
+            wal=wal,
+        )
+        plan = FaultPlan(0)
+        recovery = RecoveryManager(index, plan, obs, wal=wal, live_indexer=live)
+        plan.kill_node(0)
+        batch = [add("b0", TEMPLATES[0])]
+        live.apply_batch(batch, lsn=wal.append(batch))  # node 0 misses it
+        plan.restart_node(0, after_cost=obs.clock.now + 1.0)
+        obs.clock.advance(1.5)  # back up before any tick ran
+        assert not recovery.settled  # divergence counts as unhealed
+        recovery.tick()
+        assert recovery.settled
+        assert any(e["kind"] == "sweep" for e in recovery.events)
+        assert replica_vectors(index) == replica_vectors(reference_build(1))
+
+
+def test_segment_digest_distinguishes_content():
+    obs = Obs.default()
+    index = ReplicatedIndex(1, 1, replication=1)
+    live = LiveIndexer(
+        index, DeltaIndexer(fresh_miner(obs), obs=obs), obs=obs
+    )
+    live.apply_batch([add("d0", TEMPLATES[0])])
+    live.apply_batch([add("d1", TEMPLATES[1])])
+    (replica,) = index.replicas_for(0)
+    digests = [segment_digest(s) for s in replica.segments]
+    assert len(set(digests)) == len(digests)
